@@ -1,0 +1,192 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/fabric"
+	"repro/internal/intent"
+	"repro/internal/resmodel"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out.
+// Each reports the quantity the choice trades on via b.ReportMetric,
+// so `go test -bench Ablation -benchtime=1x -v` reads as a study.
+
+// BenchmarkAblationQueueingModel compares congested end-to-end RTT
+// with the utilization-driven queueing-latency model on vs off. Off,
+// the simulator cannot express the paper's congestion anomalies at
+// all — the entire E2/E3 phenomenology rides on this term.
+func BenchmarkAblationQueueingModel(b *testing.B) {
+	run := func(factor float64) simtime.Duration {
+		e := simtime.NewEngine(1)
+		topo := topology.TwoSocketServer()
+		cfg := fabric.DefaultConfig()
+		cfg.QueueingFactor = factor
+		fab := fabric.New(topo, e, cfg)
+		if _, err := workload.StartLoopback(fab, "evil", "nic0", "socket0.dimm0_0"); err != nil {
+			b.Fatal(err)
+		}
+		e.RunFor(100 * simtime.Microsecond)
+		var rtt simtime.Duration
+		_ = fab.SendTransaction(fabric.TxOptions{
+			Tenant: "probe", Src: "external0", Dst: "socket0.dimm0_0", RespBytes: 64,
+		}, func(r fabric.TxRecord) { rtt = r.RTT })
+		e.Run()
+		return rtt
+	}
+	var on, off simtime.Duration
+	for i := 0; i < b.N; i++ {
+		on = run(0.35)
+		off = run(0)
+	}
+	b.ReportMetric(float64(on), "congested-rtt-ns")
+	b.ReportMetric(float64(off), "no-queueing-rtt-ns")
+	if on <= off {
+		b.Fatalf("queueing model had no effect: %v vs %v", on, off)
+	}
+}
+
+// BenchmarkAblationSuspectThreshold sweeps the localizer's suspicion
+// threshold. Too low and healthy links shared with the failed path
+// are accused (false positives); too high and partial degradations
+// escape. The default 0.8 localizes with zero false accusations.
+func BenchmarkAblationSuspectThreshold(b *testing.B) {
+	victim := topology.LinkID("pcieswitch0->nic0")
+	run := func(threshold float64) (suspects int, victimTop bool) {
+		e := simtime.NewEngine(3)
+		topo := topology.TwoSocketServer()
+		fab := fabric.New(topo, e, fabric.DefaultConfig())
+		cfg := anomaly.DefaultConfig()
+		cfg.SuspectThreshold = threshold
+		plat, err := anomaly.New(fab, anomaly.DefaultPairs(topo), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = plat.Start()
+		e.RunFor(2 * simtime.Millisecond)
+		_ = fab.DegradeLink(victim, 0.2, 10*simtime.Microsecond)
+		e.RunFor(simtime.Millisecond)
+		ss := plat.Suspects()
+		top := len(ss) > 0 &&
+			(ss[0].Link == victim || ss[0].Link == topo.Link(victim).Reverse)
+		return len(ss), top
+	}
+	for i := 0; i < b.N; i++ {
+		for _, th := range []float64{0.3, 0.8, 0.99} {
+			n, top := run(th)
+			b.ReportMetric(float64(n), fmt.Sprintf("suspects@%.2f", th))
+			if th == 0.8 && (!top || n != 2) {
+				b.Fatalf("default threshold: %d suspects, victim top=%v", n, top)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPipeVsHose compares how much fabric the two
+// resource models reserve for the same four-endpoint communication
+// need (§3.2 Q1): pipes reserve per pair and overcommit when the
+// traffic matrix is actually any-to-any bounded per endpoint; the
+// hose bound is tighter on shared links.
+func BenchmarkAblationPipeVsHose(b *testing.B) {
+	topo := topology.TwoSocketServer()
+	eps := []topology.CompID{"gpu0", "nic0", "gpu1", "nic1"}
+	per := topology.GBps(4)
+	var pipeTotal, hoseTotal topology.Rate
+	for i := 0; i < b.N; i++ {
+		// Pipe model: a full mesh of pairwise pipes, each sized for
+		// the endpoint's full egress (the pessimistic translation an
+		// any-to-any app must request).
+		pipes := resmodel.NewReservation()
+		for _, a := range eps {
+			for _, c := range eps {
+				if a == c {
+					continue
+				}
+				p, err := topo.ShortestPath(a, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pipes.AddPipe(p, per)
+			}
+		}
+		// Hose model: per-endpoint aggregate guarantees.
+		var hoses []resmodel.HoseDemand
+		for _, a := range eps {
+			hoses = append(hoses, resmodel.HoseDemand{Endpoint: a, Egress: per, Ingress: per})
+		}
+		hose, err := resmodel.ProvisionHose(topo, hoses)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pipeTotal, hoseTotal = pipes.Total(), hose.Total()
+	}
+	b.ReportMetric(pipeTotal.GBpsValue(), "pipe-reserved-GBps")
+	b.ReportMetric(hoseTotal.GBpsValue(), "hose-reserved-GBps")
+	if hoseTotal >= pipeTotal {
+		b.Fatalf("hose bound %v not tighter than pipe mesh %v", hoseTotal, pipeTotal)
+	}
+}
+
+// BenchmarkAblationDestinationExpansion isolates where the
+// topology-aware scheduler's pathway diversity actually comes from on
+// tree-like hosts: expanding memory pseudo-destinations across
+// channels and sockets. Pinning each pipe to the single
+// lowest-latency DIMM (what an application hard-coding its buffer
+// placement does) collapses admission to zero once that channel is
+// full; AnyMemory admits everything via the UPI.
+func BenchmarkAblationDestinationExpansion(b *testing.B) {
+	topo := topology.TwoSocketServer()
+	usage := sched.Usage{
+		Capacity: make(map[topology.LinkID]topology.Rate),
+		Free:     make(map[topology.LinkID]topology.Rate),
+	}
+	for _, l := range topo.Links() {
+		usage.Capacity[l.ID] = l.Capacity
+		usage.Free[l.ID] = l.Capacity
+	}
+	// Saturate socket-0 DRAM channel headroom as in E9.
+	for _, l := range topo.Links() {
+		from, to := topo.Component(l.From), topo.Component(l.To)
+		if from.Kind == topology.KindMemCtrl && to.Kind == topology.KindDIMM && to.Socket == 0 {
+			usage.Free[l.ID] = topology.GBps(5)
+		}
+	}
+	build := func(dst topology.CompID) []intent.Target {
+		var targets []intent.Target
+		for i, src := range []topology.CompID{"gpu0", "nic0", "ssd0"} {
+			targets = append(targets, intent.Target{
+				Tenant: fabric.TenantID(fmt.Sprintf("t%d", i)),
+				Src:    src, Dst: dst, Rate: topology.GBps(10),
+			})
+		}
+		return targets
+	}
+	in, err := intent.New(topo, 2, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pinned, expanded int
+	for i := 0; i < b.N; i++ {
+		schedule := func(dst topology.CompID) int {
+			reqs, err := in.CompileAll(build(dst))
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := sched.TopologyAware{}.Schedule(reqs, usage)
+			return sched.Summarize(out, usage).Admitted
+		}
+		pinned = schedule("socket0.dimm0_0")
+		expanded = schedule(intent.AnyMemory)
+	}
+	b.ReportMetric(float64(pinned), "admitted-pinned-dimm")
+	b.ReportMetric(float64(expanded), "admitted-any-memory")
+	if expanded <= pinned {
+		b.Fatalf("destination expansion bought nothing: %d vs %d", expanded, pinned)
+	}
+}

@@ -1,0 +1,46 @@
+// Command ihbench regenerates the reproduction's experiment tables
+// (E1-E10, see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	ihbench            # run everything
+//	ihbench -run E7    # one experiment
+//	ihbench -seed 7    # different seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (E1..E10) or 'all'")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	var list []experiments.Experiment
+	if *run == "all" {
+		list = experiments.Registry
+	} else {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ihbench: %v\n", err)
+			os.Exit(1)
+		}
+		list = []experiments.Experiment{e}
+	}
+	for _, e := range list {
+		start := time.Now()
+		tab, err := e.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ihbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("(%s regenerated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

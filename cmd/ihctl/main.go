@@ -1,0 +1,275 @@
+// Command ihctl is the operator's client for the ihnetd control
+// plane: inspect topology and usage, admit/evict/verify tenants, read
+// alerts and detections, run diagnostics, and advance virtual time —
+// all over the daemon's JSON API.
+//
+// Usage:
+//
+//	ihctl [-addr host:port] <command> [args]
+//
+// Commands:
+//
+//	topology                       summarize the host
+//	report                         per-link utilization + per-tenant usage
+//	alerts                         monitor alerts (congestion, config drift)
+//	detections                     anomaly detections with suspects
+//	tenants                        list admitted tenants
+//	admit <tenant> <src> <dst> <gbps>   admit a single-pipe tenant
+//	evict <tenant>                 release a tenant's guarantees
+//	verify <tenant>                check guarantees against reality
+//	usage <tenant>                 the tenant's own virtual-link usage
+//	ping <src> <dst>               intra-host ping via the daemon
+//	trace <src> <dst>              intra-host traceroute via the daemon
+//	perf <src> <dst> [tenant]      bandwidth probe via the daemon
+//	advance <micros>               move virtual time forward
+//	experiment <id>                run one experiment (E1..E12) server-side
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "ihnetd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "ihctl: need a command (see -h)")
+		os.Exit(2)
+	}
+	c := client{base: "http://" + *addr}
+	if err := c.dispatch(args); err != nil {
+		fmt.Fprintf(os.Stderr, "ihctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type client struct{ base string }
+
+func (c client) dispatch(args []string) error {
+	cmd, rest := args[0], args[1:]
+	need := func(n int, usage string) error {
+		if len(rest) != n {
+			return fmt.Errorf("usage: ihctl %s %s", cmd, usage)
+		}
+		return nil
+	}
+	switch cmd {
+	case "topology":
+		return c.get("/api/topology", prettyTopology)
+	case "report":
+		return c.get("/api/report", prettyReport)
+	case "alerts":
+		return c.get("/api/alerts", prettyJSON)
+	case "detections":
+		return c.get("/api/detections", prettyJSON)
+	case "tenants":
+		return c.get("/api/tenants", prettyJSON)
+	case "admit":
+		if err := need(4, "<tenant> <src> <dst> <gbps>"); err != nil {
+			return err
+		}
+		gbps, err := strconv.ParseFloat(rest[3], 64)
+		if err != nil {
+			return fmt.Errorf("bad rate %q", rest[3])
+		}
+		body := map[string]any{
+			"tenant": rest[0],
+			"targets": []map[string]any{
+				{"src": rest[1], "dst": rest[2], "rate_gbps": gbps},
+			},
+		}
+		return c.post("/api/tenants", body, prettyJSON)
+	case "evict":
+		if err := need(1, "<tenant>"); err != nil {
+			return err
+		}
+		return c.delete("/api/tenants/"+url.PathEscape(rest[0]), prettyJSON)
+	case "verify":
+		if err := need(1, "<tenant>"); err != nil {
+			return err
+		}
+		return c.get("/api/tenants/"+url.PathEscape(rest[0])+"/verify", prettyJSON)
+	case "usage":
+		if err := need(1, "<tenant>"); err != nil {
+			return err
+		}
+		return c.get("/api/tenants/"+url.PathEscape(rest[0])+"/usage", prettyJSON)
+	case "ping":
+		if err := need(2, "<src> <dst>"); err != nil {
+			return err
+		}
+		return c.get("/api/diag/ping?src="+url.QueryEscape(rest[0])+"&dst="+url.QueryEscape(rest[1]), prettyJSON)
+	case "trace":
+		if err := need(2, "<src> <dst>"); err != nil {
+			return err
+		}
+		return c.get("/api/diag/trace?src="+url.QueryEscape(rest[0])+"&dst="+url.QueryEscape(rest[1]), prettyJSON)
+	case "perf":
+		if len(rest) != 2 && len(rest) != 3 {
+			return fmt.Errorf("usage: ihctl perf <src> <dst> [tenant]")
+		}
+		u := "/api/diag/perf?src=" + url.QueryEscape(rest[0]) + "&dst=" + url.QueryEscape(rest[1])
+		if len(rest) == 3 {
+			u += "&tenant=" + url.QueryEscape(rest[2])
+		}
+		return c.get(u, prettyJSON)
+	case "advance":
+		if err := need(1, "<micros>"); err != nil {
+			return err
+		}
+		us, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad micros %q", rest[0])
+		}
+		return c.post("/api/advance", map[string]any{"micros": us}, prettyJSON)
+	case "experiment":
+		if err := need(1, "<id>"); err != nil {
+			return err
+		}
+		return c.get("/api/experiments/"+url.PathEscape(rest[0]), prettyExperiment)
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func (c client) get(path string, render func([]byte) error) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	return c.finish(resp, render)
+}
+
+func (c client) post(path string, body any, render func([]byte) error) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return c.finish(resp, render)
+}
+
+func (c client) delete(path string, render func([]byte) error) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return c.finish(resp, render)
+}
+
+func (c client) finish(resp *http.Response, render func([]byte) error) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s", resp.Status)
+	}
+	return render(data)
+}
+
+func prettyJSON(data []byte) error {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, data, "", "  "); err != nil {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err := buf.WriteTo(os.Stdout)
+	return err
+}
+
+func prettyTopology(data []byte) error {
+	var t struct {
+		Name       string `json:"name"`
+		Components []struct {
+			Kind string `json:"kind"`
+		} `json:"components"`
+		Links []struct {
+			Class string `json:"class"`
+		} `json:"links"`
+	}
+	if err := json.Unmarshal(data, &t); err != nil {
+		return err
+	}
+	kinds := map[string]int{}
+	for _, c := range t.Components {
+		kinds[c.Kind]++
+	}
+	classes := map[string]int{}
+	for _, l := range t.Links {
+		classes[l.Class]++
+	}
+	fmt.Printf("host %q: %d components, %d links\n", t.Name, len(t.Components), len(t.Links))
+	fmt.Printf("  components: %v\n  link classes: %v\n", kinds, classes)
+	return nil
+}
+
+func prettyReport(data []byte) error {
+	var r struct {
+		VirtualTimeNs int64 `json:"virtual_time_ns"`
+		Links         []struct {
+			ID          string  `json:"id"`
+			Utilization float64 `json:"utilization"`
+		} `json:"links"`
+		Tenants   map[string]map[string]float64 `json:"tenant_usage_bps"`
+		Congested []string                      `json:"congested"`
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return err
+	}
+	fmt.Printf("virtual time: %dns\n", r.VirtualTimeNs)
+	fmt.Printf("congested links: %v\n", r.Congested)
+	fmt.Println("busiest links:")
+	// Top 5 by utilization.
+	for i := 0; i < 5; i++ {
+		best, idx := -1.0, -1
+		for j, l := range r.Links {
+			if l.Utilization > best {
+				best, idx = l.Utilization, j
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		fmt.Printf("  %-48s %5.1f%%\n", r.Links[idx].ID, best*100)
+		r.Links[idx].Utilization = -2
+	}
+	for t, usage := range r.Tenants {
+		fmt.Printf("tenant %s: %v\n", t, usage)
+	}
+	return nil
+}
+
+func prettyExperiment(data []byte) error {
+	var e struct {
+		Rendered string `json:"rendered"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil {
+		return err
+	}
+	fmt.Print(e.Rendered)
+	return nil
+}

@@ -1,0 +1,66 @@
+// Command ihnetd is the manageable intra-host network daemon: it runs
+// the full manager (monitor + anomaly platform + arbiter) over a
+// simulated host and serves the JSON control plane of internal/httpapi.
+//
+// Virtual time advances continuously by default (1 ms of virtual time
+// per 10 ms of wall time); pass -autoadvance=0 to drive time only via
+// POST /api/advance for fully deterministic interaction.
+//
+// Usage:
+//
+//	ihnetd -addr :8080 -preset two-socket
+//	curl localhost:8080/api/report
+//	curl -X POST localhost:8080/api/tenants -d '{"tenant":"kv","targets":[{"src":"nic0","dst":"memory:socket0","rate_gbps":80}]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpapi"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	preset := flag.String("preset", "two-socket",
+		"topology preset: "+strings.Join(topology.PresetNames(), ", "))
+	seed := flag.Int64("seed", 1, "simulation seed")
+	auto := flag.Duration("autoadvance", time.Millisecond,
+		"virtual time advanced per 10ms of wall time (0 = manual only)")
+	flag.Parse()
+
+	build, ok := topology.Presets[*preset]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ihnetd: unknown preset %q\n", *preset)
+		os.Exit(1)
+	}
+	opts := core.DefaultOptions()
+	opts.Seed = *seed
+	mgr, err := core.New(build(), opts)
+	if err != nil {
+		log.Fatalf("ihnetd: %v", err)
+	}
+	if err := mgr.Start(); err != nil {
+		log.Fatalf("ihnetd: %v", err)
+	}
+	srv := httpapi.New(mgr)
+	if *auto > 0 {
+		go func() {
+			ticker := time.NewTicker(10 * time.Millisecond)
+			defer ticker.Stop()
+			for range ticker.C {
+				srv.Advance(simtime.Duration(*auto))
+			}
+		}()
+	}
+	log.Printf("ihnetd: managing %q host on %s (auto-advance %v/10ms)", *preset, *addr, *auto)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

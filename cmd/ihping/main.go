@@ -1,0 +1,51 @@
+// Command ihping is the intra-host ping the paper calls for in §3.1:
+// it probes the round-trip latency and loss between two components of
+// the intra-host network, optionally under injected load or faults.
+//
+// Usage:
+//
+//	ihping -src gpu0 -dst nic0 [-count 10] [-size 64] [-loopback]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/cmd/internal/cli"
+	"repro/internal/diag"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func main() {
+	var common cli.Common
+	common.Register()
+	src := flag.String("src", "gpu0", "probe source component")
+	dst := flag.String("dst", "nic0", "probe destination component")
+	count := flag.Int("count", 10, "number of probes")
+	size := flag.Int64("size", 64, "probe payload bytes each way")
+	interval := flag.Duration("interval", 10_000, "virtual time between probes (ns)")
+	flag.Parse()
+
+	fab, err := common.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihping: %v\n", err)
+		os.Exit(1)
+	}
+	rep, err := diag.RunPing(fab, topology.CompID(*src), topology.CompID(*dst), diag.PingOptions{
+		Count: *count, Size: *size, Interval: simtime.Duration(*interval),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihping: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep)
+	for i, rtt := range rep.RTTs {
+		fmt.Printf("  probe %2d: rtt=%v\n", i+1, rtt)
+	}
+	if rep.Lost > 0 {
+		fmt.Printf("  %d probe(s) lost\n", rep.Lost)
+		os.Exit(2)
+	}
+}

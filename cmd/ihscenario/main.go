@@ -1,0 +1,69 @@
+// Command ihscenario runs declarative incident drills (see
+// internal/scenario and the scenarios/ directory): it admits the
+// spec's tenants, plays its workload/fault timeline against a managed
+// host, and evaluates the assertions — the management plane's own
+// regression harness.
+//
+// Usage:
+//
+//	ihscenario scenarios/silent-degradation.json
+//	ihscenario scenarios/*.json
+//	ihscenario -v scenarios/colocation-guarantee.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print the drill timeline")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ihscenario [-v] <drill.json> ...")
+		os.Exit(2)
+	}
+	failed := 0
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ihscenario: %v\n", err)
+			os.Exit(1)
+		}
+		spec, err := scenario.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ihscenario: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		res, err := scenario.Run(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ihscenario: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		status := "PASS"
+		if !res.Passed {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s  %s (%s)\n", status, res.Name, path)
+		if *verbose {
+			for _, line := range res.Timeline {
+				fmt.Printf("      %s\n", line)
+			}
+		}
+		for _, c := range res.Checks {
+			mark := "ok"
+			if !c.Passed {
+				mark = "FAILED"
+			}
+			fmt.Printf("      %-28s %-8s %s\n", c.Assert.Kind, mark, c.Detail)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

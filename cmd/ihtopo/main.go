@@ -1,0 +1,105 @@
+// Command ihtopo inspects the built-in host topology presets: the
+// components, links, and Figure 1 class envelopes of the intra-host
+// network.
+//
+// Usage:
+//
+//	ihtopo -preset two-socket [-links] [-components] [-paths gpu0,nic0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/memsys"
+	"repro/internal/topology"
+)
+
+func main() {
+	preset := flag.String("preset", "two-socket", "topology preset: "+strings.Join(topology.PresetNames(), ", "))
+	hostFile := flag.String("hostfile", "", "JSON host description to inspect instead of a preset")
+	showLinks := flag.Bool("links", false, "list every directed link")
+	showComps := flag.Bool("components", false, "list every component")
+	dumpJSON := flag.Bool("json", false, "dump the host description as JSON (feed back via -hostfile)")
+	paths := flag.String("paths", "", "src,dst: print the k shortest paths between two components")
+	k := flag.Int("k", 3, "number of alternative paths for -paths")
+	flag.Parse()
+
+	var topo *topology.Topology
+	if *hostFile != "" {
+		f, err := os.Open(*hostFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ihtopo: %v\n", err)
+			os.Exit(1)
+		}
+		topo, err = topology.FromJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ihtopo: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		build, ok := topology.Presets[*preset]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ihtopo: unknown preset %q (have %s)\n", *preset, strings.Join(topology.PresetNames(), ", "))
+			os.Exit(1)
+		}
+		topo = build()
+	}
+	if *dumpJSON {
+		data, err := topo.MarshalJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ihtopo: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	fmt.Printf("preset %s: %d components, %d directed links\n",
+		topo.Name, topo.NumComponents(), topo.NumLinks())
+
+	counts := make(map[topology.Kind]int)
+	for _, c := range topo.Components() {
+		counts[c.Kind]++
+	}
+	for k := topology.KindCPU; k <= topology.KindExternal; k++ {
+		if counts[k] > 0 {
+			fmt.Printf("  %-12s %d\n", k.String(), counts[k])
+		}
+	}
+	ms := memsys.New(topo)
+	fmt.Printf("  sockets: %v, aggregate memory bandwidth %v\n", ms.Sockets(), ms.AggregateBandwidth(-1))
+
+	if *showComps {
+		fmt.Println("\ncomponents:")
+		for _, c := range topo.Components() {
+			fmt.Printf("  %-24s %-12s socket=%d config=%v\n", c.ID, c.Kind, c.Socket, c.Config)
+		}
+	}
+	if *showLinks {
+		fmt.Println("\nlinks:")
+		for _, l := range topo.Links() {
+			fmt.Printf("  %-52s class=(%d)%-13s cap=%-10s lat=%s\n",
+				l.ID, l.Class.FigureRef(), l.Class, l.Capacity, l.BaseLatency)
+		}
+	}
+	if *paths != "" {
+		parts := strings.SplitN(*paths, ",", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "ihtopo: -paths wants src,dst")
+			os.Exit(1)
+		}
+		ps, err := topo.KShortestPaths(topology.CompID(parts[0]), topology.CompID(parts[1]), *k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ihtopo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%d pathway(s) %s -> %s:\n", len(ps), parts[0], parts[1])
+		for i, p := range ps {
+			fmt.Printf("  %d. [%v, bottleneck %v] %s\n", i+1, p.BaseLatency(), p.BottleneckCapacity(), p)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command ihtrace is the intra-host traceroute of §3.1: it walks the
+// current path between two components hop by hop and attributes
+// round-trip latency to each fabric element, so a silently degraded
+// switch or link stands out.
+//
+// Usage:
+//
+//	ihtrace -src gpu0 -dst socket0.dimm0_0 [-degrade pcieswitch0->nic0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/cmd/internal/cli"
+	"repro/internal/diag"
+	"repro/internal/topology"
+)
+
+func main() {
+	var common cli.Common
+	common.Register()
+	src := flag.String("src", "gpu0", "trace source component")
+	dst := flag.String("dst", "socket0.dimm0_0", "trace destination component")
+	size := flag.Int64("size", 64, "probe payload bytes each way")
+	flag.Parse()
+
+	fab, err := common.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihtrace: %v\n", err)
+		os.Exit(1)
+	}
+	rep, err := diag.RunTrace(fab, topology.CompID(*src), topology.CompID(*dst), *size)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihtrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep)
+}

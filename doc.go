@@ -1,0 +1,8 @@
+// Package repro is ihnet: a manageable intra-host network, reproducing
+// "Towards a Manageable Intra-Host Network" (HotOS '23).
+//
+// The system lives under internal/ (see DESIGN.md for the inventory),
+// the runnable tools under cmd/, the examples under examples/, and the
+// benchmark harness that regenerates every experiment table in
+// bench_test.go.
+package repro

@@ -1,0 +1,102 @@
+// Colocation: the paper's §2 motivating story, end to end. A remote
+// key-value store and an ML training job share one host. The KV store
+// "does not use the GPU at all", yet its tail latency collapses when
+// the trainer and an RDMA-loopback antagonist saturate the PCIe fabric
+// and memory bus it depends on. Admitting the KV tenant through the
+// manager (compile -> schedule -> arbitrate) restores its tail.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arbiter"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/intent"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func phase(managed bool) {
+	opts := core.DefaultOptions()
+	opts.EnableAnomaly = false
+	opts.Arbiter.Mode = arbiter.Strict
+	mgr, err := core.New(topology.TwoSocketServer(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if managed {
+		if _, err := mgr.Admit("kv", []intent.Target{
+			{Src: "nic0", Dst: "socket0.dimm0_0", Rate: topology.GBps(10)},
+			{Src: "socket0.dimm0_0", Dst: "nic0", Rate: topology.GBps(10)},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fab := mgr.Fabric()
+
+	kv, err := workload.StartKV(fab, workload.DefaultKVConfig("kv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Solo baseline.
+	mgr.RunFor(simtime.Millisecond)
+	solo := kv.Latency().Percentile(99)
+	kv.Latency().Reset()
+
+	// The aggressors arrive.
+	ml, err := workload.StartML(fab, workload.DefaultMLConfig("ml"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, err := workload.StartLoopback(fab, "evil", "nic0", "socket0.dimm0_0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr.RunFor(2 * simtime.Millisecond)
+
+	label := "unmanaged"
+	if managed {
+		label = "managed  "
+	}
+	fmt.Printf("%s  kv p99 solo=%-10v co-located=%-10v (%.1fx)   ml=%v  loopback=%v\n",
+		label, solo, kv.Latency().Percentile(99),
+		float64(kv.Latency().Percentile(99))/float64(solo),
+		ml.Throughput(), lb.Rate())
+	kv.Stop()
+	ml.Stop()
+	lb.Stop()
+	mgr.Stop()
+}
+
+func main() {
+	fmt.Println("KV store + ML trainer + RDMA loopback on one two-socket host")
+	fmt.Println()
+	phase(false)
+	phase(true)
+	fmt.Println()
+	fmt.Println("The managed run admits kv with 10GB/s pipes both ways between nic0 and")
+	fmt.Println("its memory; the arbiter caps the aggressors on every shared link, and")
+	fmt.Println("the co-located tail returns to within a few x of solo.")
+
+	// Bonus: what the monitor sees during the unmanaged incident.
+	fmt.Println()
+	fmt.Println("Monitor's view of the congested fabric (unmanaged, top 5 links):")
+	engine := simtime.NewEngine(1)
+	fab := fabric.New(topology.TwoSocketServer(), engine, fabric.DefaultConfig())
+	if _, err := workload.StartML(fab, workload.DefaultMLConfig("ml")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := workload.StartLoopback(fab, "evil", "nic0", "socket0.dimm0_0"); err != nil {
+		log.Fatal(err)
+	}
+	engine.RunFor(simtime.Millisecond)
+	for _, st := range fab.BusiestLinks(5) {
+		fmt.Printf("  %-44s util=%5.1f%%  flows=%d\n", st.Link, st.Utilization*100, st.Flows)
+	}
+}

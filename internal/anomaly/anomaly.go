@@ -1,0 +1,380 @@
+// Package anomaly implements the paper's "platform for anomaly
+// detection" (§3.1): devices on the intra-host network periodically
+// send heartbeats to each other (the intra-host analogue of Pingmesh),
+// a detector flags pairs whose heartbeats are lost or whose RTT
+// inflates beyond a learned baseline, and a localizer ranks links by
+// path-overlap voting to pinpoint the silently degraded component —
+// the PCIe-switch failure scenario the paper uses as motivation.
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// Pair is one heartbeat relation between two components.
+type Pair struct {
+	Src, Dst topology.CompID
+}
+
+func (p Pair) String() string { return string(p.Src) + "~" + string(p.Dst) }
+
+// DefaultPairs returns the full mesh over the host's I/O devices and
+// CPUs (GPUs, NICs, SSDs, FPGAs, CPU sockets), excluding the external
+// node: the coverage a deployed heartbeat service would configure.
+func DefaultPairs(topo *topology.Topology) []Pair {
+	var devs []topology.CompID
+	for _, c := range topo.Components() {
+		switch c.Kind {
+		case topology.KindGPU, topology.KindNIC, topology.KindSSD,
+			topology.KindFPGA, topology.KindCPU:
+			devs = append(devs, c.ID)
+		}
+	}
+	var out []Pair
+	for _, a := range devs {
+		for _, b := range devs {
+			if a != b {
+				out = append(out, Pair{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// Config tunes the platform.
+type Config struct {
+	// Period between heartbeat rounds.
+	Period simtime.Duration
+	// ProbeBytes sizes each heartbeat request (response is equal).
+	ProbeBytes int64
+	// CalibrationRounds learn the per-pair RTT baseline before
+	// detection arms.
+	CalibrationRounds int
+	// LatencyFactor flags a heartbeat whose RTT exceeds baseline by
+	// this multiple.
+	LatencyFactor float64
+	// ConsecutiveBad heartbeats on a pair trigger a detection.
+	ConsecutiveBad int
+	// SuspectThreshold is the minimum bad-traversal fraction for a
+	// link to be reported as a suspect.
+	SuspectThreshold float64
+	// WindowRounds bounds the voting window.
+	WindowRounds int
+}
+
+// DefaultConfig returns the settings used in experiments: 100 us
+// heartbeats, 64-byte probes, 10 calibration rounds, 3x latency
+// threshold, 3 consecutive bad probes, 0.8 suspicion threshold.
+func DefaultConfig() Config {
+	return Config{
+		Period:            100 * simtime.Microsecond,
+		ProbeBytes:        64,
+		CalibrationRounds: 10,
+		LatencyFactor:     3,
+		ConsecutiveBad:    3,
+		SuspectThreshold:  0.8,
+		WindowRounds:      16,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("anomaly: non-positive period")
+	}
+	if c.ProbeBytes < 0 {
+		return fmt.Errorf("anomaly: negative probe size")
+	}
+	if c.CalibrationRounds <= 0 || c.ConsecutiveBad <= 0 || c.WindowRounds <= 0 {
+		return fmt.Errorf("anomaly: rounds parameters must be positive")
+	}
+	if c.LatencyFactor <= 1 {
+		return fmt.Errorf("anomaly: latency factor must exceed 1")
+	}
+	if c.SuspectThreshold <= 0 || c.SuspectThreshold > 1 {
+		return fmt.Errorf("anomaly: suspect threshold outside (0,1]")
+	}
+	return nil
+}
+
+// Suspect is one link's localization verdict.
+type Suspect struct {
+	Link topology.LinkID
+	// Score is the fraction of traversing heartbeats in the window
+	// that were anomalous.
+	Score float64
+	// Traversals is the window's probe coverage of this link.
+	Traversals int
+}
+
+// Detection is one anomaly incident.
+type Detection struct {
+	At simtime.Time
+	// Pair whose heartbeats triggered the detection.
+	Pair Pair
+	// Lost is true when heartbeats were dropped (hard failure) rather
+	// than slow (degradation).
+	Lost bool
+	// Suspects is the localization ranking at detection time,
+	// highest score first.
+	Suspects []Suspect
+}
+
+// pairState is the detector's per-pair memory.
+type pairState struct {
+	pair       Pair
+	path       topology.Path
+	calSamples []simtime.Duration
+	baseline   simtime.Duration
+	consecBad  int
+	alerted    bool
+	lastRTT    simtime.Duration
+	lastLost   bool
+}
+
+// linkWindow is a sliding window of traversal outcomes for one link.
+type linkWindow struct {
+	bad, total []int // per round-slot counters
+}
+
+// Platform runs the heartbeat mesh and localization.
+type Platform struct {
+	fab   *fabric.Fabric
+	cfg   Config
+	pairs []*pairState
+
+	ticker     *simtime.Ticker
+	round      int
+	slot       int
+	links      map[topology.LinkID]*linkWindow
+	detections []Detection
+	probesSent uint64
+}
+
+// New builds a platform probing the given pairs. Paths are resolved
+// once at construction (heartbeat paths are pinned, like a real
+// source-routed probe).
+func New(fab *fabric.Fabric, pairs []Pair, cfg Config) (*Platform, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("anomaly: no pairs")
+	}
+	p := &Platform{fab: fab, cfg: cfg, links: make(map[topology.LinkID]*linkWindow)}
+	for _, pr := range pairs {
+		path, err := fab.Topology().ShortestPath(pr.Src, pr.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("anomaly: pair %s: %w", pr, err)
+		}
+		p.pairs = append(p.pairs, &pairState{pair: pr, path: path})
+	}
+	return p, nil
+}
+
+// Start begins heartbeat rounds.
+func (p *Platform) Start() error {
+	if p.ticker != nil {
+		return fmt.Errorf("anomaly: already started")
+	}
+	p.ticker = p.fab.Engine().Every(p.cfg.Period, p.roundFn)
+	return nil
+}
+
+// Stop halts heartbeats; history remains queryable.
+func (p *Platform) Stop() {
+	if p.ticker != nil {
+		p.ticker.Stop()
+		p.ticker = nil
+	}
+}
+
+// roundFn sends one heartbeat per pair and evaluates results as the
+// callbacks arrive (probe RTTs are microseconds, far below the round
+// period, so results land before the next round).
+func (p *Platform) roundFn() {
+	p.round++
+	p.slot = (p.slot + 1) % p.cfg.WindowRounds
+	for _, lw := range p.links {
+		lw.bad[p.slot] = 0
+		lw.total[p.slot] = 0
+	}
+	for _, ps := range p.pairs {
+		ps := ps
+		p.probesSent++
+		err := p.fab.SendTransaction(fabric.TxOptions{
+			Tenant: fabric.SystemTenant,
+			Src:    ps.pair.Src, Dst: ps.pair.Dst,
+			Path:     ps.path,
+			ReqBytes: p.cfg.ProbeBytes, RespBytes: p.cfg.ProbeBytes,
+		}, func(r fabric.TxRecord) { p.onResult(ps, r) })
+		if err != nil {
+			// Treat an unroutable probe as a loss.
+			p.onResult(ps, fabric.TxRecord{Lost: true})
+		}
+	}
+}
+
+// onResult scores one heartbeat outcome.
+func (p *Platform) onResult(ps *pairState, r fabric.TxRecord) {
+	ps.lastRTT, ps.lastLost = r.RTT, r.Lost
+	inCalibration := p.round <= p.cfg.CalibrationRounds
+	if inCalibration {
+		if !r.Lost {
+			ps.calSamples = append(ps.calSamples, r.RTT)
+			var sum simtime.Duration
+			for _, s := range ps.calSamples {
+				sum += s
+			}
+			ps.baseline = sum / simtime.Duration(len(ps.calSamples))
+		}
+		return
+	}
+	bad := r.Lost
+	if !bad && ps.baseline > 0 {
+		bad = float64(r.RTT) > float64(ps.baseline)*p.cfg.LatencyFactor
+	}
+	p.vote(ps.path, bad)
+	if !bad {
+		ps.consecBad = 0
+		ps.alerted = false
+		return
+	}
+	ps.consecBad++
+	if ps.consecBad >= p.cfg.ConsecutiveBad && !ps.alerted {
+		ps.alerted = true
+		p.detections = append(p.detections, Detection{
+			At:       p.fab.Engine().Now(),
+			Pair:     ps.pair,
+			Lost:     r.Lost,
+			Suspects: p.Suspects(),
+		})
+	}
+}
+
+// vote records a heartbeat outcome on every link of its path (both
+// directions: the response traveled the reverse).
+func (p *Platform) vote(path topology.Path, bad bool) {
+	record := func(id topology.LinkID) {
+		lw := p.links[id]
+		if lw == nil {
+			lw = &linkWindow{
+				bad:   make([]int, p.cfg.WindowRounds),
+				total: make([]int, p.cfg.WindowRounds),
+			}
+			p.links[id] = lw
+		}
+		lw.total[p.slot]++
+		if bad {
+			lw.bad[p.slot]++
+		}
+	}
+	for _, l := range path.Links {
+		record(l.ID)
+		record(l.Reverse)
+	}
+}
+
+// Suspects returns the current localization ranking: links whose
+// bad-traversal fraction meets the threshold, highest score first,
+// ties broken by ID. Scoring covers only the most recent
+// ConsecutiveBad rounds, so a fresh incident is not diluted by the
+// healthy history before it; localization granularity is the
+// undirected link, since a heartbeat response always traverses the
+// reverse direction of its request.
+func (p *Platform) Suspects() []Suspect {
+	var out []Suspect
+	ids := make([]string, 0, len(p.links))
+	for id := range p.links {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	recent := p.cfg.ConsecutiveBad
+	if recent > p.cfg.WindowRounds {
+		recent = p.cfg.WindowRounds
+	}
+	for _, id := range ids {
+		lw := p.links[topology.LinkID(id)]
+		bad, total := 0, 0
+		for off := 0; off < recent; off++ {
+			i := (p.slot - off + p.cfg.WindowRounds) % p.cfg.WindowRounds
+			bad += lw.bad[i]
+			total += lw.total[i]
+		}
+		if total == 0 {
+			continue
+		}
+		score := float64(bad) / float64(total)
+		if score >= p.cfg.SuspectThreshold {
+			out = append(out, Suspect{Link: topology.LinkID(id), Score: score, Traversals: total})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Link < out[j].Link
+	})
+	return out
+}
+
+// Detections returns the incident history, oldest first.
+func (p *Platform) Detections() []Detection {
+	out := make([]Detection, len(p.detections))
+	copy(out, p.detections)
+	return out
+}
+
+// PairStat is one pair's current heartbeat state, for downstream
+// diagnosis (e.g. the diagml classifier's RTT-inflation feature).
+type PairStat struct {
+	Pair     Pair
+	Baseline simtime.Duration
+	LastRTT  simtime.Duration
+	LastLost bool
+}
+
+// PairStats returns the per-pair heartbeat state in pair order.
+func (p *Platform) PairStats() []PairStat {
+	out := make([]PairStat, 0, len(p.pairs))
+	for _, ps := range p.pairs {
+		out = append(out, PairStat{
+			Pair: ps.pair, Baseline: ps.baseline,
+			LastRTT: ps.lastRTT, LastLost: ps.lastLost,
+		})
+	}
+	return out
+}
+
+// ProbesSent returns the cumulative heartbeat count — the platform's
+// own fabric footprint (each probe also consumes intra-host
+// bandwidth, which is the Q2 trade-off).
+func (p *Platform) ProbesSent() uint64 { return p.probesSent }
+
+// Overhead reports the platform's own resource footprint: probe rate
+// and the aggregate fabric bytes it injects per second of virtual time
+// (request + response on every pair). This is the monitoring side of
+// the §3.1 Q2 dilemma, quantified.
+type Overhead struct {
+	ProbesPerSecond float64
+	BytesPerSecond  float64
+}
+
+// Overhead computes the platform's steady-state footprint from its
+// configuration (probes are fixed-size and periodic, so this is exact
+// once running).
+func (p *Platform) Overhead() Overhead {
+	perRound := float64(len(p.pairs))
+	persec := perRound / p.cfg.Period.Seconds()
+	return Overhead{
+		ProbesPerSecond: persec,
+		BytesPerSecond:  persec * float64(2*p.cfg.ProbeBytes),
+	}
+}
+
+// Rounds returns the number of completed heartbeat rounds.
+func (p *Platform) Rounds() int { return p.round }

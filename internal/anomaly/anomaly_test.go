@@ -1,0 +1,206 @@
+package anomaly
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func setup(t *testing.T) (*Platform, *fabric.Fabric, *simtime.Engine) {
+	t.Helper()
+	e := simtime.NewEngine(11)
+	topo := topology.TwoSocketServer()
+	fab := fabric.New(topo, e, fabric.DefaultConfig())
+	p, err := New(fab, DefaultPairs(topo), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, fab, e
+}
+
+func TestDefaultPairsFullMesh(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	pairs := DefaultPairs(topo)
+	// Devices: 2 gpu + 2 nic + 2 ssd + 2 cpu = 8 -> 8*7 = 56 pairs.
+	if len(pairs) != 56 {
+		t.Fatalf("pairs = %d, want 56", len(pairs))
+	}
+	seen := make(map[Pair]bool)
+	for _, p := range pairs {
+		if p.Src == p.Dst {
+			t.Fatalf("self pair %s", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair %s", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := simtime.NewEngine(1)
+	topo := topology.MinimalHost()
+	fab := fabric.New(topo, e, fabric.DefaultConfig())
+	pairs := DefaultPairs(topo)
+	bad := []Config{
+		{Period: 0, ProbeBytes: 64, CalibrationRounds: 1, LatencyFactor: 2, ConsecutiveBad: 1, SuspectThreshold: 0.5, WindowRounds: 4},
+		{Period: 1, ProbeBytes: -1, CalibrationRounds: 1, LatencyFactor: 2, ConsecutiveBad: 1, SuspectThreshold: 0.5, WindowRounds: 4},
+		{Period: 1, ProbeBytes: 64, CalibrationRounds: 0, LatencyFactor: 2, ConsecutiveBad: 1, SuspectThreshold: 0.5, WindowRounds: 4},
+		{Period: 1, ProbeBytes: 64, CalibrationRounds: 1, LatencyFactor: 1, ConsecutiveBad: 1, SuspectThreshold: 0.5, WindowRounds: 4},
+		{Period: 1, ProbeBytes: 64, CalibrationRounds: 1, LatencyFactor: 2, ConsecutiveBad: 1, SuspectThreshold: 1.5, WindowRounds: 4},
+	}
+	for i, c := range bad {
+		if _, err := New(fab, pairs, c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(fab, nil, DefaultConfig()); err == nil {
+		t.Error("empty pairs accepted")
+	}
+	if _, err := New(fab, []Pair{{"nope", "gpu0"}}, DefaultConfig()); err == nil {
+		t.Error("unroutable pair accepted")
+	}
+}
+
+func TestHealthyFabricNoDetections(t *testing.T) {
+	p, _, e := setup(t)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(5 * simtime.Millisecond)
+	if n := len(p.Detections()); n != 0 {
+		t.Fatalf("healthy fabric produced %d detections", n)
+	}
+	if len(p.Suspects()) != 0 {
+		t.Fatalf("healthy fabric has suspects: %v", p.Suspects())
+	}
+	if p.ProbesSent() == 0 || p.Rounds() == 0 {
+		t.Fatal("no probes sent")
+	}
+}
+
+func TestHardFailureDetectedAndLocalized(t *testing.T) {
+	p, fab, e := setup(t)
+	_ = p.Start()
+	e.RunFor(3 * simtime.Millisecond) // calibrate
+	victim := topology.LinkID("socket0.rootport0->pcieswitch0")
+	if err := fab.FailLink(victim); err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(3 * simtime.Millisecond)
+	dets := p.Detections()
+	if len(dets) == 0 {
+		t.Fatal("hard failure not detected")
+	}
+	if !dets[0].Lost {
+		t.Fatal("hard failure not classified as loss")
+	}
+	// Localization: the failed link (or its reverse) must rank first.
+	if len(dets[0].Suspects) == 0 {
+		t.Fatal("no suspects at detection")
+	}
+	top := dets[0].Suspects[0].Link
+	rev := fab.Topology().Link(victim).Reverse
+	if top != victim && top != rev {
+		t.Fatalf("top suspect %s, want %s or %s (all: %v)", top, victim, rev, dets[0].Suspects)
+	}
+}
+
+func TestSilentDegradationDetectedAndLocalized(t *testing.T) {
+	p, fab, e := setup(t)
+	_ = p.Start()
+	e.RunFor(3 * simtime.Millisecond) // calibrate
+	// The paper's motivating case: the PCIe switch silently degrades —
+	// capacity intact enough not to trip counters, latency way up.
+	victim := topology.LinkID("pcieswitch0->nic0")
+	if err := fab.DegradeLink(victim, 0.2, 10*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(3 * simtime.Millisecond)
+	dets := p.Detections()
+	if len(dets) == 0 {
+		t.Fatal("silent degradation not detected")
+	}
+	if dets[0].Lost {
+		t.Fatal("degradation misclassified as loss")
+	}
+	found := false
+	rev := fab.Topology().Link(victim).Reverse
+	for _, s := range dets[0].Suspects {
+		if s.Link == victim || s.Link == rev {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degraded link not among suspects: %v", dets[0].Suspects)
+	}
+	// Healthy links shared with healthy paths must not be top suspect.
+	top := dets[0].Suspects[0].Link
+	if top != victim && top != rev {
+		t.Fatalf("top suspect %s is not the degraded link", top)
+	}
+}
+
+func TestDetectionLatencyBounded(t *testing.T) {
+	p, fab, e := setup(t)
+	cfg := DefaultConfig()
+	_ = p.Start()
+	e.RunFor(2 * simtime.Millisecond)
+	injectAt := e.Now()
+	_ = fab.FailLink("socket0.rootport0->pcieswitch0")
+	e.RunFor(3 * simtime.Millisecond)
+	dets := p.Detections()
+	if len(dets) == 0 {
+		t.Fatal("not detected")
+	}
+	latency := dets[0].At.Sub(injectAt)
+	// Needs ConsecutiveBad rounds of Period each, plus probe RTT.
+	maxExpected := simtime.Duration(cfg.ConsecutiveBad+2) * cfg.Period
+	if latency > maxExpected {
+		t.Fatalf("detection latency %v exceeds %v", latency, maxExpected)
+	}
+}
+
+func TestRecoveryRearmsDetection(t *testing.T) {
+	p, fab, e := setup(t)
+	_ = p.Start()
+	e.RunFor(2 * simtime.Millisecond)
+	victim := topology.LinkID("pcieswitch0->nic0")
+	_ = fab.FailLink(victim)
+	e.RunFor(2 * simtime.Millisecond)
+	first := len(p.Detections())
+	if first == 0 {
+		t.Fatal("not detected")
+	}
+	// Sustained failure: no duplicate detections for the same pair.
+	e.RunFor(2 * simtime.Millisecond)
+	sustained := len(p.Detections())
+	if sustained != first {
+		t.Fatalf("sustained failure re-alerted: %d -> %d", first, sustained)
+	}
+	_ = fab.RestoreLink(victim)
+	e.RunFor(2 * simtime.Millisecond)
+	_ = fab.FailLink(victim)
+	e.RunFor(2 * simtime.Millisecond)
+	if len(p.Detections()) <= sustained {
+		t.Fatal("recurrence not re-detected after recovery")
+	}
+	p.Stop()
+}
+
+func TestStopHaltsProbing(t *testing.T) {
+	p, _, e := setup(t)
+	_ = p.Start()
+	if err := p.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	e.RunFor(simtime.Millisecond)
+	n := p.ProbesSent()
+	p.Stop()
+	e.RunFor(simtime.Millisecond)
+	if p.ProbesSent() != n {
+		t.Fatal("probes continued after Stop")
+	}
+}

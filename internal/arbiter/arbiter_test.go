@@ -1,0 +1,241 @@
+package arbiter
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/resmodel"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// twoFlowLine builds a 100 B/s line a->b->c with one greedy flow per
+// tenant and returns everything needed for assertions.
+func twoFlowLine(t *testing.T, mode Mode) (*Arbiter, *fabric.Fabric, *simtime.Engine, *fabric.Flow, *fabric.Flow, topology.Path) {
+	t.Helper()
+	e := simtime.NewEngine(2)
+	topo := topology.New("line")
+	topo.MustAddComponent("a", topology.KindNIC, 0)
+	topo.MustAddComponent("b", topology.KindPCIeSwitch, 0)
+	topo.MustAddComponent("c", topology.KindDIMM, 0)
+	topo.MustAddLink(topology.LinkSpec{A: "a", B: "b", Class: topology.ClassPCIeDown, Capacity: 100, BaseLatency: 10})
+	topo.MustAddLink(topology.LinkSpec{A: "b", B: "c", Class: topology.ClassIntraSocket, Capacity: 100, BaseLatency: 10})
+	fab := fabric.New(topo, e, fabric.Config{PCIeEfficiency: 1})
+	p, err := topo.ShortestPath("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := &fabric.Flow{Tenant: "kv", Path: p}
+	ml := &fabric.Flow{Tenant: "ml", Path: p}
+	if err := fab.AddFlow(kv); err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.AddFlow(ml); err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(fab, Config{Mode: mode, AdjustPeriod: 10 * simtime.Microsecond, BorrowFraction: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, fab, e, kv, ml, p
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := simtime.NewEngine(1)
+	fab := fabric.New(topology.MinimalHost(), e, fabric.DefaultConfig())
+	bad := []Config{
+		{Mode: "weird", AdjustPeriod: 1},
+		{Mode: Strict, AdjustPeriod: 0},
+		{Mode: Strict, AdjustPeriod: 1, BorrowFraction: 2},
+	}
+	for i, c := range bad {
+		if _, err := New(fab, c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(fab, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrictGuaranteeEnforced(t *testing.T) {
+	a, _, e, kv, ml, p := twoFlowLine(t, Strict)
+	// Without arbitration: fair split 50/50.
+	if kv.Rate() != 50 || ml.Rate() != 50 {
+		t.Fatalf("pre-arbiter rates %v/%v", kv.Rate(), ml.Rate())
+	}
+	// Guarantee kv 80 B/s along the path.
+	res := resmodel.NewReservation()
+	res.AddPipe(p, 80)
+	if err := a.Install("kv", res); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Start()
+	e.RunFor(100 * simtime.Microsecond)
+	if r := float64(kv.Rate()); r < 79.9 || r > 80.1 {
+		t.Fatalf("guaranteed tenant rate %v, want 80", r)
+	}
+	if r := float64(ml.Rate()); r < 19.9 || r > 20.1 {
+		t.Fatalf("bystander rate %v, want 20", r)
+	}
+}
+
+func TestStrictWastesIdleReservation(t *testing.T) {
+	a, fab, e, kv, ml, p := twoFlowLine(t, Strict)
+	res := resmodel.NewReservation()
+	res.AddPipe(p, 80)
+	_ = a.Install("kv", res)
+	_ = a.Start()
+	// kv goes idle (demand ~0); strict mode still caps ml at 20.
+	_ = fab.SetDemand(kv, 1)
+	e.RunFor(200 * simtime.Microsecond)
+	if r := float64(ml.Rate()); r > 20.1 {
+		t.Fatalf("strict bystander rate %v, want <= 20 (no work conservation)", r)
+	}
+}
+
+func TestWorkConservingLendsIdleBandwidth(t *testing.T) {
+	a, fab, e, kv, ml, p := twoFlowLine(t, WorkConserving)
+	res := resmodel.NewReservation()
+	res.AddPipe(p, 80)
+	_ = a.Install("kv", res)
+	_ = a.Start()
+	_ = fab.SetDemand(kv, 1)
+	e.RunFor(500 * simtime.Microsecond)
+	// ml should have borrowed well beyond its 20 B/s leftover.
+	if r := float64(ml.Rate()); r < 50 {
+		t.Fatalf("work-conserving bystander rate %v, want > 50", r)
+	}
+	// kv ramps back up: guarantee must be restored within a few
+	// adjustment periods.
+	_ = fab.SetDemand(kv, 0) // unconstrained again
+	e.RunFor(500 * simtime.Microsecond)
+	if r := float64(kv.Rate()); r < 79 {
+		t.Fatalf("guarantee not restored after ramp-up: %v", r)
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	a, _, _, _, _, _ := twoFlowLine(t, Strict)
+	if err := a.Install("", resmodel.NewReservation()); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+	bad := resmodel.NewReservation()
+	bad.Add("zz->qq", 5)
+	if err := a.Install("kv", bad); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+}
+
+func TestRemoveReleasesBandwidth(t *testing.T) {
+	a, fab, e, kv, ml, p := twoFlowLine(t, Strict)
+	res := resmodel.NewReservation()
+	res.AddPipe(p, 80)
+	_ = a.Install("kv", res)
+	_ = a.Start()
+	e.RunFor(100 * simtime.Microsecond)
+	if float64(ml.Rate()) > 20.1 {
+		t.Fatal("precondition failed")
+	}
+	a.Remove("kv")
+	e.RunFor(100 * simtime.Microsecond)
+	if r := float64(ml.Rate()); r < 49 {
+		t.Fatalf("after removal ml rate %v, want ~50 fair share", r)
+	}
+	if fab.CapCount() != 0 && float64(kv.Rate()) < 49 {
+		t.Fatalf("stale caps after removal: %d caps, kv %v", fab.CapCount(), kv.Rate())
+	}
+	a.Remove("kv") // idempotent
+}
+
+func TestGuaranteedAndFreeMap(t *testing.T) {
+	a, _, _, _, _, p := twoFlowLine(t, Strict)
+	res := resmodel.NewReservation()
+	res.AddPipe(p, 30)
+	_ = a.Install("kv", res)
+	g := a.Guaranteed("kv")
+	if g.Rate(p.Links[0].ID) != 30 {
+		t.Fatalf("guaranteed %v", g.Rate(p.Links[0].ID))
+	}
+	// Merging accumulates.
+	_ = a.Install("kv", res)
+	if a.Guaranteed("kv").Rate(p.Links[0].ID) != 60 {
+		t.Fatal("install did not merge")
+	}
+	free := a.FreeMap()
+	if free[p.Links[0].ID] != 40 {
+		t.Fatalf("free %v, want 40", free[p.Links[0].ID])
+	}
+	capm := a.CapacityMap()
+	if capm[p.Links[0].ID] != 100 {
+		t.Fatalf("capacity %v", capm[p.Links[0].ID])
+	}
+	if a.Guaranteed("nobody").Total() != 0 {
+		t.Fatal("unknown tenant has guarantees")
+	}
+}
+
+func TestSystemTenantNeverCapped(t *testing.T) {
+	a, fab, e, _, _, p := twoFlowLine(t, Strict)
+	sys := &fabric.Flow{Tenant: fabric.SystemTenant, Path: p}
+	_ = fab.AddFlow(sys)
+	res := resmodel.NewReservation()
+	res.AddPipe(p, 80)
+	_ = a.Install("kv", res)
+	_ = a.Start()
+	e.RunFor(100 * simtime.Microsecond)
+	if _, ok := fab.TenantCap(p.Links[0].ID, fabric.SystemTenant); ok {
+		t.Fatal("system tenant was capped")
+	}
+}
+
+func TestAdjustmentLoopRuns(t *testing.T) {
+	a, _, e, _, _, p := twoFlowLine(t, WorkConserving)
+	res := resmodel.NewReservation()
+	res.AddPipe(p, 10)
+	_ = a.Install("kv", res)
+	_ = a.Start()
+	if err := a.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	e.RunFor(simtime.Millisecond)
+	// 1ms / 10us = 100 ticks plus install passes.
+	if a.Adjustments() < 100 {
+		t.Fatalf("adjustments %d, want >= 100", a.Adjustments())
+	}
+	a.Stop()
+	n := a.Adjustments()
+	e.RunFor(simtime.Millisecond)
+	if a.Adjustments() != n {
+		t.Fatal("adjustments after Stop")
+	}
+	if a.Mode() != WorkConserving {
+		t.Fatal("mode accessor wrong")
+	}
+}
+
+func BenchmarkArbitrationPass(b *testing.B) {
+	e := simtime.NewEngine(9)
+	topo := topology.DGXStyle()
+	fab := fabric.New(topo, e, fabric.DefaultConfig())
+	a, _ := New(fab, DefaultConfig())
+	// 8 tenants with pipes over GPU links.
+	for i := 0; i < 8; i++ {
+		gpu := topology.CompID([]string{"gpu0", "gpu1", "gpu2", "gpu3", "gpu4", "gpu5", "gpu6", "gpu7"}[i])
+		p, err := topo.ShortestPath(gpu, "socket0.dimm0_0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := resmodel.NewReservation()
+		res.AddPipe(p, topology.GBps(2))
+		tn := fabric.TenantID(gpu)
+		_ = fab.AddFlow(&fabric.Flow{Tenant: tn, Path: p})
+		if err := a.Install(tn, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.apply()
+	}
+}

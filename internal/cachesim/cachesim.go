@@ -1,0 +1,301 @@
+// Package cachesim models Intel DDIO-style direct cache access and the
+// cache-thrashing interference pathway the paper describes in §2:
+// high-bandwidth I/O devices write directly into a dedicated slice of
+// the last-level cache; when their combined working set overflows that
+// slice, data is evicted to DRAM before applications consume it, and
+// the spilled traffic consumes memory-bus bandwidth that would
+// otherwise not be touched at all.
+//
+// The model is occupancy-based: each registered I/O stream holds a
+// working set proportional to its rate and the application's drain
+// window. Overflow produces a per-stream miss fraction, and the
+// manager materializes the resulting writeback + refetch traffic as
+// real flows on the fabric's memory links, so the interference is
+// visible to the monitor, the counters and the other tenants.
+package cachesim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// Config sizes the LLC model.
+type Config struct {
+	// LLCBytes is the total last-level cache size per socket.
+	LLCBytes int64
+	// Ways is the cache associativity (total ways).
+	Ways int
+	// DDIOWays is the number of ways reserved for direct I/O writes
+	// (Intel defaults to 2 of 11).
+	DDIOWays int
+	// DrainWindow is how long I/O data lingers in cache before the
+	// application consumes it; working set = rate x window.
+	DrainWindow simtime.Duration
+}
+
+// DefaultConfig matches a Cascade-Lake-class part: 30 MiB LLC, 11
+// ways, 2 DDIO ways, 200 us drain window.
+func DefaultConfig() Config {
+	return Config{
+		LLCBytes:    30 << 20,
+		Ways:        11,
+		DDIOWays:    2,
+		DrainWindow: 200 * simtime.Microsecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.LLCBytes <= 0 {
+		return fmt.Errorf("cachesim: non-positive LLC size")
+	}
+	if c.Ways <= 0 || c.DDIOWays <= 0 || c.DDIOWays > c.Ways {
+		return fmt.Errorf("cachesim: invalid ways %d/%d", c.DDIOWays, c.Ways)
+	}
+	if c.DrainWindow <= 0 {
+		return fmt.Errorf("cachesim: non-positive drain window")
+	}
+	return nil
+}
+
+// DDIOCapacity returns the bytes available to direct I/O writes.
+func (c Config) DDIOCapacity() int64 {
+	return c.LLCBytes * int64(c.DDIOWays) / int64(c.Ways)
+}
+
+// StreamID names a registered I/O stream.
+type StreamID string
+
+// stream is one device's direct-to-cache write stream.
+type stream struct {
+	id     StreamID
+	tenant fabric.TenantID
+	socket int
+	rate   topology.Rate
+	// spill flows materialized on the fabric (writeback + refetch).
+	wb, rf *fabric.Flow
+	miss   float64
+}
+
+// Manager tracks DDIO streams per socket and maintains the spill flows
+// their overflow induces.
+type Manager struct {
+	fab *fabric.Fabric
+	cfg Config
+
+	streams map[StreamID]*stream
+}
+
+// NewManager creates a DDIO manager over the fabric.
+func NewManager(fab *fabric.Fabric, cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{fab: fab, cfg: cfg, streams: make(map[StreamID]*stream)}, nil
+}
+
+// Config returns the manager's cache configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// ddioEnabled consults the socket's LLC component configuration.
+func (m *Manager) ddioEnabled(socket int) bool {
+	llc := m.fab.Topology().Component(llcID(socket))
+	if llc == nil {
+		return false
+	}
+	v, ok := llc.ConfigValue(topology.ConfigDDIO)
+	return ok && v == "on"
+}
+
+func llcID(socket int) topology.CompID {
+	return topology.CompID(fmt.Sprintf("socket%d.llc", socket))
+}
+
+// AddStream registers a direct-to-cache I/O stream on a socket and
+// rebalances spill traffic. rate is the stream's sustained write rate
+// into the LLC.
+func (m *Manager) AddStream(id StreamID, tenant fabric.TenantID, socket int, rate topology.Rate) error {
+	if _, ok := m.streams[id]; ok {
+		return fmt.Errorf("cachesim: duplicate stream %q", id)
+	}
+	if rate < 0 {
+		return fmt.Errorf("cachesim: negative rate")
+	}
+	if m.fab.Topology().Component(llcID(socket)) == nil {
+		return fmt.Errorf("cachesim: socket %d has no LLC", socket)
+	}
+	st := &stream{id: id, tenant: tenant, socket: socket, rate: rate}
+	if err := m.materialize(st); err != nil {
+		return err
+	}
+	m.streams[id] = st
+	m.rebalance(socket)
+	return nil
+}
+
+// SetStreamRate updates a stream's write rate and rebalances.
+func (m *Manager) SetStreamRate(id StreamID, rate topology.Rate) error {
+	st, ok := m.streams[id]
+	if !ok {
+		return fmt.Errorf("cachesim: unknown stream %q", id)
+	}
+	if rate < 0 {
+		return fmt.Errorf("cachesim: negative rate")
+	}
+	st.rate = rate
+	m.rebalance(st.socket)
+	return nil
+}
+
+// RemoveStream drops a stream and its spill flows.
+func (m *Manager) RemoveStream(id StreamID) {
+	st, ok := m.streams[id]
+	if !ok {
+		return
+	}
+	delete(m.streams, id)
+	m.fab.RemoveFlow(st.wb)
+	m.fab.RemoveFlow(st.rf)
+	m.rebalance(st.socket)
+}
+
+// materialize creates the stream's writeback and refetch flows with
+// zero demand; rebalance sets their demands.
+func (m *Manager) materialize(st *stream) error {
+	topo := m.fab.Topology()
+	dimms := dimmsOn(topo, st.socket)
+	if len(dimms) == 0 {
+		return fmt.Errorf("cachesim: socket %d has no DIMMs", st.socket)
+	}
+	// Spread streams across DIMMs by a stable hash of the stream ID.
+	d := dimms[hashString(string(st.id))%len(dimms)]
+	wbPath, err := topo.ShortestPath(llcID(st.socket), d)
+	if err != nil {
+		return err
+	}
+	rfPath, err := topo.ShortestPath(d, llcID(st.socket))
+	if err != nil {
+		return err
+	}
+	st.wb = &fabric.Flow{Tenant: st.tenant, Path: wbPath, Demand: 1}
+	st.rf = &fabric.Flow{Tenant: st.tenant, Path: rfPath, Demand: 1}
+	if err := m.fab.AddFlow(st.wb); err != nil {
+		return err
+	}
+	if err := m.fab.AddFlow(st.rf); err != nil {
+		m.fab.RemoveFlow(st.wb)
+		return err
+	}
+	return nil
+}
+
+func dimmsOn(topo *topology.Topology, socket int) []topology.CompID {
+	var out []topology.CompID
+	for _, c := range topo.ComponentsOfKind(topology.KindDIMM) {
+		if c.Socket == socket {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+func hashString(s string) int {
+	h := 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ int(s[i])) * 16777619 & 0x7fffffff
+	}
+	return h
+}
+
+// rebalance recomputes miss fractions for a socket's streams and
+// updates spill-flow demands.
+func (m *Manager) rebalance(socket int) {
+	var socketStreams []*stream
+	var totalWS float64
+	for _, st := range m.sorted() {
+		if st.socket != socket {
+			continue
+		}
+		socketStreams = append(socketStreams, st)
+		totalWS += float64(st.rate) * m.cfg.DrainWindow.Seconds()
+	}
+	capacity := float64(m.cfg.DDIOCapacity())
+	miss := 0.0
+	if !m.ddioEnabled(socket) {
+		miss = 1 // DDIO off: every I/O byte goes through DRAM
+	} else if totalWS > capacity && totalWS > 0 {
+		miss = 1 - capacity/totalWS
+	}
+	for _, st := range socketStreams {
+		st.miss = miss
+		spill := topology.Rate(float64(st.rate) * miss)
+		// A missed byte is written back to DRAM and later refetched:
+		// spill appears on both directions of the memory path.
+		if spill <= 0 {
+			spill = 1 // keep flows alive but negligible
+		}
+		_ = m.fab.SetDemand(st.wb, spill)
+		_ = m.fab.SetDemand(st.rf, spill)
+	}
+}
+
+func (m *Manager) sorted() []*stream {
+	out := make([]*stream, 0, len(m.streams))
+	for _, st := range m.streams {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// MissFraction returns a stream's current miss fraction in [0,1].
+func (m *Manager) MissFraction(id StreamID) (float64, error) {
+	st, ok := m.streams[id]
+	if !ok {
+		return 0, fmt.Errorf("cachesim: unknown stream %q", id)
+	}
+	return st.miss, nil
+}
+
+// SpillRate returns the total DRAM writeback rate induced by a
+// socket's DDIO overflow (the refetch direction adds the same again).
+func (m *Manager) SpillRate(socket int) topology.Rate {
+	var sum topology.Rate
+	for _, st := range m.streams {
+		if st.socket == socket {
+			sum += topology.Rate(float64(st.rate) * st.miss)
+		}
+	}
+	return sum
+}
+
+// Occupancy returns the socket's DDIO working set in bytes and the
+// slice capacity.
+func (m *Manager) Occupancy(socket int) (workingSet, capacity int64) {
+	var ws float64
+	for _, st := range m.streams {
+		if st.socket == socket {
+			ws += float64(st.rate) * m.cfg.DrainWindow.Seconds()
+		}
+	}
+	return int64(ws), m.cfg.DDIOCapacity()
+}
+
+// Streams returns the number of registered streams.
+func (m *Manager) Streams() int { return len(m.streams) }
+
+// MaxMiss returns the highest miss fraction across all streams (zero
+// with no streams) — the diagml classifier's cache-thrash feature.
+func (m *Manager) MaxMiss() float64 {
+	max := 0.0
+	for _, st := range m.streams {
+		if st.miss > max {
+			max = st.miss
+		}
+	}
+	return max
+}

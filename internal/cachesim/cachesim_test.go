@@ -1,0 +1,232 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func newManager(t *testing.T) (*Manager, *fabric.Fabric) {
+	t.Helper()
+	e := simtime.NewEngine(1)
+	topo := topology.TwoSocketServer()
+	fab := fabric.New(topo, e, fabric.Config{PCIeEfficiency: 1})
+	m, err := NewManager(fab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fab
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{LLCBytes: 0, Ways: 11, DDIOWays: 2, DrainWindow: 1},
+		{LLCBytes: 1, Ways: 0, DDIOWays: 2, DrainWindow: 1},
+		{LLCBytes: 1, Ways: 4, DDIOWays: 5, DrainWindow: 1},
+		{LLCBytes: 1, Ways: 4, DDIOWays: 2, DrainWindow: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestDDIOCapacity(t *testing.T) {
+	c := DefaultConfig()
+	want := int64(30<<20) * 2 / 11
+	if got := c.DDIOCapacity(); got != want {
+		t.Fatalf("DDIOCapacity = %d, want %d", got, want)
+	}
+}
+
+func TestSingleStreamFitsNoSpill(t *testing.T) {
+	m, _ := newManager(t)
+	// 20 GB/s x 200us = 4 MB working set < 5.45 MB DDIO capacity.
+	if err := m.AddStream("nic0-rx", "kv", 0, topology.GBps(20)); err != nil {
+		t.Fatal(err)
+	}
+	miss, err := m.MissFraction("nic0-rx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss != 0 {
+		t.Fatalf("fitting stream miss fraction %v, want 0", miss)
+	}
+	if sp := m.SpillRate(0); float64(sp) > 1 {
+		t.Fatalf("spill rate %v, want ~0", sp)
+	}
+}
+
+func TestTwoStreamsThrash(t *testing.T) {
+	m, _ := newManager(t)
+	// 2 x 20 GB/s x 200us = 8 MB > 5.45 MB capacity.
+	_ = m.AddStream("nic0-rx", "kv", 0, topology.GBps(20))
+	if err := m.AddStream("ssd0-wr", "ml", 0, topology.GBps(20)); err != nil {
+		t.Fatal(err)
+	}
+	miss, _ := m.MissFraction("nic0-rx")
+	wantMiss := 1 - float64(DefaultConfig().DDIOCapacity())/(40e9*200e-6)
+	if math.Abs(miss-wantMiss) > 1e-9 {
+		t.Fatalf("miss fraction %v, want %v", miss, wantMiss)
+	}
+	// Both streams see the same (shared-slice) miss fraction.
+	miss2, _ := m.MissFraction("ssd0-wr")
+	if miss2 != miss {
+		t.Fatalf("asymmetric miss fractions %v vs %v", miss, miss2)
+	}
+	// Spill rate = total rate x miss.
+	wantSpill := 40e9 * wantMiss
+	if got := float64(m.SpillRate(0)); math.Abs(got-wantSpill) > 1 {
+		t.Fatalf("spill rate %v, want %v", got, wantSpill)
+	}
+}
+
+func TestSpillAppearsOnMemoryLinks(t *testing.T) {
+	m, fab := newManager(t)
+	_ = m.AddStream("a", "t1", 0, topology.GBps(30))
+	_ = m.AddStream("b", "t2", 0, topology.GBps(30))
+	// Some memctrl->dimm link on socket 0 must now carry traffic.
+	var total topology.Rate
+	for _, st := range fab.AllLinkStats() {
+		l := fab.Topology().Link(st.Link)
+		from, to := fab.Topology().Component(l.From), fab.Topology().Component(l.To)
+		if from.Kind == topology.KindMemCtrl && to.Kind == topology.KindDIMM && to.Socket == 0 {
+			total += st.CurrentRate
+		}
+	}
+	if float64(total) < 1e9 {
+		t.Fatalf("memory links carry %v, want substantial spill", total)
+	}
+}
+
+func TestDDIOOffForcesFullMiss(t *testing.T) {
+	m, fab := newManager(t)
+	fab.Topology().Component("socket0.llc").SetConfig(topology.ConfigDDIO, "off")
+	_ = m.AddStream("a", "t1", 0, topology.GBps(5))
+	miss, _ := m.MissFraction("a")
+	if miss != 1 {
+		t.Fatalf("DDIO-off miss fraction %v, want 1", miss)
+	}
+}
+
+func TestSocketsIndependent(t *testing.T) {
+	m, _ := newManager(t)
+	_ = m.AddStream("a", "t1", 0, topology.GBps(30))
+	_ = m.AddStream("b", "t2", 0, topology.GBps(30))
+	_ = m.AddStream("c", "t3", 1, topology.GBps(5))
+	missC, _ := m.MissFraction("c")
+	if missC != 0 {
+		t.Fatalf("socket-1 stream thrashed by socket-0 load: miss %v", missC)
+	}
+	if m.SpillRate(1) > 1 {
+		t.Fatalf("socket 1 spill %v", m.SpillRate(1))
+	}
+}
+
+func TestRateUpdateAndRemove(t *testing.T) {
+	m, fab := newManager(t)
+	_ = m.AddStream("a", "t1", 0, topology.GBps(30))
+	_ = m.AddStream("b", "t2", 0, topology.GBps(30))
+	missBefore, _ := m.MissFraction("a")
+	if missBefore <= 0 {
+		t.Fatal("expected thrash before update")
+	}
+	if err := m.SetStreamRate("b", topology.GBps(1)); err != nil {
+		t.Fatal(err)
+	}
+	missAfter, _ := m.MissFraction("a")
+	if missAfter >= missBefore {
+		t.Fatalf("reducing competitor rate did not reduce miss: %v -> %v", missBefore, missAfter)
+	}
+	flowsBefore := fab.Flows()
+	m.RemoveStream("b")
+	if fab.Flows() != flowsBefore-2 {
+		t.Fatalf("remove did not drop 2 spill flows: %d -> %d", flowsBefore, fab.Flows())
+	}
+	if m.Streams() != 1 {
+		t.Fatalf("Streams = %d", m.Streams())
+	}
+	m.RemoveStream("b") // idempotent
+}
+
+func TestValidationErrors(t *testing.T) {
+	m, _ := newManager(t)
+	if err := m.AddStream("a", "t", 0, -1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := m.AddStream("a", "t", 9, topology.GBps(1)); err == nil {
+		t.Fatal("bad socket accepted")
+	}
+	_ = m.AddStream("a", "t", 0, topology.GBps(1))
+	if err := m.AddStream("a", "t", 0, topology.GBps(1)); err == nil {
+		t.Fatal("duplicate stream accepted")
+	}
+	if err := m.SetStreamRate("zz", topology.GBps(1)); err == nil {
+		t.Fatal("unknown stream rate update accepted")
+	}
+	if err := m.SetStreamRate("a", -1); err == nil {
+		t.Fatal("negative rate update accepted")
+	}
+	if _, err := m.MissFraction("zz"); err == nil {
+		t.Fatal("unknown stream miss query accepted")
+	}
+}
+
+// Property: miss fraction is always in [0,1], zero while the combined
+// working set fits, and monotonically non-decreasing in total rate.
+func TestPropertyMissFraction(t *testing.T) {
+	f := func(r1, r2 uint8) bool {
+		m, _ := newManager(t)
+		rate1 := topology.Rate(r1) * 5e8 // up to 127 GB/s
+		rate2 := topology.Rate(r2) * 5e8
+		if err := m.AddStream("a", "t1", 0, rate1); err != nil {
+			return false
+		}
+		if err := m.AddStream("b", "t2", 0, rate2); err != nil {
+			return false
+		}
+		miss, err := m.MissFraction("a")
+		if err != nil {
+			return false
+		}
+		if miss < 0 || miss > 1 {
+			return false
+		}
+		ws, capacity := m.Occupancy(0)
+		if ws <= capacity && miss != 0 {
+			return false
+		}
+		if ws > capacity && miss == 0 {
+			return false
+		}
+		// Raising a rate never lowers the miss fraction.
+		if err := m.SetStreamRate("b", rate2+1e9); err != nil {
+			return false
+		}
+		miss2, _ := m.MissFraction("a")
+		return miss2 >= miss
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	m, _ := newManager(t)
+	_ = m.AddStream("a", "t", 0, topology.GBps(20))
+	ws, cap := m.Occupancy(0)
+	if ws != 4_000_000 { // 20e9 B/s x 200us
+		t.Fatalf("working set %d, want 4e6", ws)
+	}
+	if cap != DefaultConfig().DDIOCapacity() {
+		t.Fatalf("capacity %d", cap)
+	}
+}

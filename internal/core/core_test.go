@@ -1,0 +1,361 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/intent"
+	"repro/internal/resmodel"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := New(topology.TwoSocketServer(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewAndStartStop(t *testing.T) {
+	m := newManager(t)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	m.RunFor(simtime.Millisecond)
+	if m.Monitor().Sweeps() == 0 {
+		t.Fatal("monitor not sweeping")
+	}
+	if m.Arbiter().Adjustments() == 0 {
+		t.Fatal("arbiter not adjusting")
+	}
+	if m.Anomaly().ProbesSent() == 0 {
+		t.Fatal("heartbeats not flowing")
+	}
+	m.Stop()
+	probes := m.Anomaly().ProbesSent()
+	m.RunFor(simtime.Millisecond)
+	if m.Anomaly().ProbesSent() != probes {
+		t.Fatal("probes after stop")
+	}
+}
+
+func TestNewValidatesTopology(t *testing.T) {
+	bad := topology.New("empty")
+	if _, err := New(bad, DefaultOptions()); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+}
+
+func TestAdmitLifecycle(t *testing.T) {
+	m := newManager(t)
+	view, err := m.Admit("kv", []intent.Target{
+		{Src: "nic0", Dst: intent.AnyMemory, Rate: topology.GBps(10)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view == nil || view.Tenant != "kv" {
+		t.Fatalf("view %+v", view)
+	}
+	rec := m.Tenant("kv")
+	if rec == nil || len(rec.Assignments) != 1 || !rec.Assignments[0].Admitted {
+		t.Fatalf("tenant record %+v", rec)
+	}
+	if len(m.Tenants()) != 1 {
+		t.Fatal("Tenants() wrong")
+	}
+	// Guarantees installed on the fabric.
+	if m.Fabric().CapCount() == 0 {
+		t.Fatal("no caps installed after admission")
+	}
+	if _, err := m.Admit("kv", nil); err == nil {
+		t.Fatal("double admission accepted")
+	}
+	if err := m.Evict("kv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Evict("kv"); err == nil {
+		t.Fatal("double evict accepted")
+	}
+	if m.Tenant("kv") != nil {
+		t.Fatal("tenant record left after evict")
+	}
+}
+
+func TestAdmitFillsTenantField(t *testing.T) {
+	m := newManager(t)
+	if _, err := m.Admit("a", []intent.Target{
+		{Tenant: "b", Src: "nic0", Dst: "gpu0", Rate: 1},
+	}); err == nil {
+		t.Fatal("mismatched target tenant accepted")
+	}
+	if _, err := m.Admit("", nil); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+}
+
+func TestAdmitAllOrNothing(t *testing.T) {
+	m := newManager(t)
+	_, err := m.Admit("ml", []intent.Target{
+		{Src: "gpu0", Dst: intent.AnyMemory, Rate: topology.GBps(10)},
+		{Src: "gpu0", Dst: "nic0", Rate: topology.GBps(100)}, // impossible
+	})
+	if err == nil {
+		t.Fatal("infeasible batch admitted")
+	}
+	// Nothing reserved: a full-size admission must still succeed.
+	if m.Fabric().CapCount() != 0 {
+		t.Fatal("partial reservation leaked")
+	}
+	if _, err := m.Admit("ml", []intent.Target{
+		{Src: "gpu0", Dst: intent.AnyMemory, Rate: topology.GBps(25)},
+	}); err != nil {
+		t.Fatalf("post-rollback admission failed: %v", err)
+	}
+}
+
+func TestAdmissionControlUnderPressure(t *testing.T) {
+	m := newManager(t)
+	// Admit tenants demanding NIC bandwidth until rejection: the PCIe
+	// switch downstream link to nic0 (27.84 GB/s effective) gates it.
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		tn := fabric.TenantID(string(rune('a' + i)))
+		_, err := m.Admit(tn, []intent.Target{
+			{Src: "nic0", Dst: intent.AnyMemory, Rate: topology.GBps(8)},
+		})
+		if err != nil {
+			break
+		}
+		admitted++
+	}
+	if admitted != 3 {
+		t.Fatalf("admitted %d tenants of 8GB/s through a ~27.8GB/s link, want 3", admitted)
+	}
+}
+
+func TestGuaranteeHoldsUnderAntagonist(t *testing.T) {
+	m := newManager(t)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// kv gets a 10 GB/s guarantee nic0 -> memory.
+	view, err := m.Admit("kv", []intent.Target{
+		{Src: "nic0", Dst: "memory:socket0", Rate: topology.GBps(10)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvPath := m.Tenant("kv").Assignments[0].Path
+	kvFlow := &fabric.Flow{Tenant: "kv", Path: kvPath}
+	if err := m.Fabric().AddFlow(kvFlow); err != nil {
+		t.Fatal(err)
+	}
+	// Antagonist floods the same path with 4 greedy flows.
+	for i := 0; i < 4; i++ {
+		if err := m.Fabric().AddFlow(&fabric.Flow{Tenant: "evil", Path: kvPath}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RunFor(simtime.Millisecond)
+	if r := kvFlow.Rate(); float64(r) < float64(topology.GBps(10))*0.98 {
+		t.Fatalf("guaranteed tenant got %v, want >= 10GB/s", r)
+	}
+	_ = view
+}
+
+func TestAdmitHoseTenant(t *testing.T) {
+	m := newManager(t)
+	view, err := m.Admit("dist", []intent.Target{
+		{Model: resmodel.ModelHose, Hoses: []resmodel.HoseDemand{
+			{Endpoint: "gpu0", Egress: topology.GBps(5), Ingress: topology.GBps(5)},
+			{Endpoint: "gpu1", Egress: topology.GBps(5), Ingress: topology.GBps(5)},
+			{Endpoint: "nic0", Egress: topology.GBps(2), Ingress: topology.GBps(2)},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Reservation.Links) == 0 {
+		t.Fatal("hose admission produced empty reservation")
+	}
+	// The UPI link between gpu0 and gpu1 must carry a guarantee.
+	if !view.Guaranteed("cpu0->cpu1") {
+		t.Fatal("inter-socket hose link not guaranteed")
+	}
+	// Enforcement is live: caps exist on the fabric.
+	if m.Fabric().CapCount() == 0 {
+		t.Fatal("no caps installed")
+	}
+	if err := m.Evict("dist"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Fabric().CapCount() != 0 {
+		t.Fatal("hose caps not released")
+	}
+}
+
+func TestManagerWithNaiveScheduler(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Scheduler = "naive"
+	m, err := New(topology.TwoSocketServer(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scheduler().Name() != "naive" {
+		t.Fatalf("scheduler %q", m.Scheduler().Name())
+	}
+	if _, err := m.Admit("a", []intent.Target{
+		{Src: "gpu0", Dst: "nic0", Rate: topology.GBps(5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	opts.Scheduler = "bogus"
+	if _, err := New(topology.TwoSocketServer(), opts); err == nil {
+		t.Fatal("bogus scheduler accepted")
+	}
+}
+
+func TestManagerDDIOIntegration(t *testing.T) {
+	m := newManager(t)
+	if err := m.DDIO().AddStream("rx", "kv", 0, topology.GBps(30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DDIO().AddStream("wr", "ml", 0, topology.GBps(30)); err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(simtime.Millisecond)
+	if m.DDIO().MaxMiss() <= 0 {
+		t.Fatal("no thrash through manager-owned cache model")
+	}
+	// The spill shows up in the monitor's per-tenant usage.
+	rep := m.Monitor().UsageReport()
+	found := false
+	for _, tu := range rep.Tenants {
+		if tu.Tenant == "kv" && tu.ByClass[topology.ClassIntraSocket] > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("spill traffic invisible to the monitor")
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	src := newManager(t)
+	dstM, err := New(topology.DGXStyle(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Admit("kv", []intent.Target{
+		{Src: "nic0", Dst: intent.AnyMemory, Rate: topology.GBps(10)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	view, err := src.Migrate("kv", dstM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.HostName != "dgx-style" {
+		t.Fatalf("migrated view host %q", view.HostName)
+	}
+	if src.Tenant("kv") != nil {
+		t.Fatal("tenant still on source after migration")
+	}
+	if dstM.Tenant("kv") == nil {
+		t.Fatal("tenant missing on destination")
+	}
+	if src.Fabric().CapCount() != 0 {
+		t.Fatal("source caps not released")
+	}
+	// Error paths.
+	if _, err := src.Migrate("kv", dstM); err == nil {
+		t.Fatal("migrating absent tenant accepted")
+	}
+	if _, err := dstM.Migrate("kv", dstM); err == nil {
+		t.Fatal("self-migration accepted")
+	}
+}
+
+func TestMigrationRejectedKeepsSource(t *testing.T) {
+	src := newManager(t)
+	tiny, err := New(topology.MinimalHost(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the tiny host's NIC memory path completely.
+	if _, err := tiny.Admit("hog", []intent.Target{
+		{Src: "nic0", Dst: intent.AnyMemory, Rate: topology.GBps(25)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Admit("kv", []intent.Target{
+		{Src: "nic0", Dst: intent.AnyMemory, Rate: topology.GBps(20)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = src.Migrate("kv", tiny)
+	if err == nil || !strings.Contains(err.Error(), "destination rejected") {
+		t.Fatalf("expected destination rejection, got %v", err)
+	}
+	if src.Tenant("kv") == nil {
+		t.Fatal("failed migration evicted the tenant")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := newManager(t)
+	if m.Engine() == nil || m.Topology() == nil || m.Counters() == nil ||
+		m.Interpreter() == nil || m.Telemetry() == nil {
+		t.Fatal("nil accessor")
+	}
+	if m.Topology().Name != "two-socket" {
+		t.Fatalf("topology %q", m.Topology().Name)
+	}
+	// Telemetry pipeline collects once started.
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(simtime.Millisecond)
+	if m.Telemetry().Store().Len() == 0 {
+		t.Fatal("telemetry store empty after 1ms")
+	}
+	// Counter bank reads through the manager.
+	if _, err := m.Counters().ReadLink("cpu0->socket0.llc"); err != nil {
+		t.Fatal(err)
+	}
+	// Telemetry can be disabled.
+	opts := DefaultOptions()
+	opts.EnableTelemetry = false
+	m2, err := New(topology.MinimalHost(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Telemetry() != nil {
+		t.Fatal("disabled telemetry not nil")
+	}
+}
+
+func TestDeterministicManagers(t *testing.T) {
+	run := func() simtime.Duration {
+		m, err := New(topology.TwoSocketServer(), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = m.Start()
+		m.RunFor(5 * simtime.Millisecond)
+		// Use a probe-derived quantity as the fingerprint.
+		dets := m.Anomaly().ProbesSent()
+		return simtime.Duration(dets)
+	}
+	if run() != run() {
+		t.Fatal("managers with equal seeds diverged")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arbiter"
+	"repro/internal/fabric"
+	"repro/internal/intent"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func strictManager(t *testing.T) *Manager {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.EnableAnomaly = false
+	opts.Arbiter.Mode = arbiter.Strict
+	m, err := New(topology.TwoSocketServer(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestVerifyTenantMeetsGuarantee(t *testing.T) {
+	m := strictManager(t)
+	if _, err := m.Admit("kv", []intent.Target{
+		{Src: "nic0", Dst: "memory:socket0", Rate: topology.GBps(10)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Pile on antagonists.
+	p := m.Tenant("kv").Assignments[0].Path
+	for i := 0; i < 3; i++ {
+		if err := m.Fabric().AddFlow(&fabric.Flow{Tenant: "evil", Path: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RunFor(simtime.Millisecond)
+	vs, err := m.VerifyTenant("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("verifications: %d", len(vs))
+	}
+	v := vs[0]
+	if !v.Met {
+		t.Fatalf("guarantee not met under contention: promised %v achieved %v", v.Promised, v.Achieved)
+	}
+	if !v.LatencyMet {
+		t.Fatal("latency flagged with no bound declared")
+	}
+	if v.IdleLatency <= 0 {
+		t.Fatal("no latency measured")
+	}
+}
+
+func TestVerifyTenantDetectsEnforcementLoss(t *testing.T) {
+	m := strictManager(t)
+	if _, err := m.Admit("kv", []intent.Target{
+		{Src: "nic0", Dst: "memory:socket0", Rate: topology.GBps(10)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Tenant("kv").Assignments[0].Path
+	for i := 0; i < 3; i++ {
+		_ = m.Fabric().AddFlow(&fabric.Flow{Tenant: "evil", Path: p})
+	}
+	// Sabotage: clear all caps and stop the arbiter so it cannot
+	// reinstall them — enforcement silently lost.
+	m.Arbiter().Stop()
+	m.Monitor().Stop()
+	m.Fabric().ClearAllCaps()
+	vs, err := m.VerifyTenant("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0].Met {
+		t.Fatalf("verification passed without enforcement: achieved %v of %v",
+			vs[0].Achieved, vs[0].Promised)
+	}
+}
+
+func TestVerifyTenantLatencyBound(t *testing.T) {
+	m := strictManager(t)
+	if _, err := m.Admit("kv", []intent.Target{
+		{Src: "nic0", Dst: "memory:socket0", Rate: topology.GBps(5),
+			MaxLatency: 300 * simtime.Nanosecond},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := m.VerifyTenant("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vs[0].LatencyMet {
+		t.Fatalf("latency bound flagged on idle fabric: %v", vs[0].IdleLatency)
+	}
+	// Degrade a pathway hop so the bound breaks.
+	path := m.Tenant("kv").Assignments[0].Path
+	if err := m.Fabric().DegradeLink(path.Links[0].ID, 0, 5*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	vs, err = m.VerifyTenant("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs[0].LatencyMet {
+		t.Fatal("broken latency bound not flagged")
+	}
+}
+
+func TestVerifyUnknownTenant(t *testing.T) {
+	m := strictManager(t)
+	if _, err := m.VerifyTenant("ghost"); err == nil {
+		t.Fatal("unknown tenant accepted")
+	}
+}

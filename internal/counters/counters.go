@@ -1,0 +1,172 @@
+// Package counters emulates the hardware performance counters of a
+// commodity server — the Intel PCM/RDT-style interface the paper
+// discusses under §3.1 Q1. It deliberately reproduces their
+// limitations: counters are aggregate-only (no per-tenant attribution),
+// quantized to cache-line granularity, slightly noisy, and rate-limited
+// (reads more frequent than the sample period return the previous,
+// stale sample).
+//
+// The monitoring system can use this bank as its "hardware counter"
+// telemetry source and compare it against exact software interception,
+// quantifying the attribution-accuracy gap of experiment E5.
+package counters
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// Config sets the counter bank's fidelity limits.
+type Config struct {
+	// SamplePeriod is the minimum interval between fresh samples of
+	// one counter; faster reads return the cached value. Hardware
+	// counter interfaces are typically limited to O(ms) refresh.
+	SamplePeriod simtime.Duration
+	// Quantum is the counting granularity in bytes (cache line = 64).
+	Quantum int64
+	// NoiseFrac adds uniform +/- noise of this relative magnitude to
+	// each fresh sample, modeling measurement error. Zero disables.
+	NoiseFrac float64
+}
+
+// DefaultConfig matches a PCM-like tool: 1 ms refresh, 64-byte
+// quantum, 0.5% noise.
+func DefaultConfig() Config {
+	return Config{
+		SamplePeriod: simtime.Millisecond,
+		Quantum:      64,
+		NoiseFrac:    0.005,
+	}
+}
+
+// Sample is one counter reading.
+type Sample struct {
+	// At is when the reading was (actually) taken; stale reads carry
+	// the original sample time.
+	At simtime.Time
+	// Bytes is the cumulative byte count since fabric start.
+	Bytes uint64
+	// Stale reports that the rate limit served a cached value.
+	Stale bool
+}
+
+// Bank is a set of per-link hardware counters over one fabric.
+type Bank struct {
+	fab *fabric.Fabric
+	cfg Config
+
+	cache map[topology.LinkID]Sample
+}
+
+// NewBank creates a counter bank.
+func NewBank(fab *fabric.Fabric, cfg Config) (*Bank, error) {
+	if cfg.SamplePeriod < 0 || cfg.Quantum < 0 || cfg.NoiseFrac < 0 || cfg.NoiseFrac >= 1 {
+		return nil, fmt.Errorf("counters: invalid config %+v", cfg)
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 1
+	}
+	return &Bank{fab: fab, cfg: cfg, cache: make(map[topology.LinkID]Sample)}, nil
+}
+
+// ReadLink samples the cumulative bytes counter of one directed link,
+// subject to the bank's fidelity limits.
+func (b *Bank) ReadLink(id topology.LinkID) (Sample, error) {
+	now := b.fab.Engine().Now()
+	if prev, ok := b.cache[id]; ok && now.Sub(prev.At) < b.cfg.SamplePeriod {
+		stale := prev
+		stale.Stale = true
+		return stale, nil
+	}
+	st, err := b.fab.LinkStatsFor(id)
+	if err != nil {
+		return Sample{}, err
+	}
+	truth := st.TotalBytes
+	if b.cfg.NoiseFrac > 0 {
+		n := (b.fab.Engine().Rand().Float64()*2 - 1) * b.cfg.NoiseFrac
+		truth *= 1 + n
+	}
+	v := int64(truth)
+	v -= v % b.cfg.Quantum
+	if v < 0 {
+		v = 0
+	}
+	s := Sample{At: now, Bytes: uint64(v)}
+	if prev, ok := b.cache[id]; ok && s.Bytes < prev.Bytes {
+		s.Bytes = prev.Bytes // counters never run backwards
+	}
+	b.cache[id] = s
+	return s, nil
+}
+
+// RateBetween converts two samples of the same counter to an average
+// byte rate. It returns an error when the samples are not ordered.
+func RateBetween(a, c Sample) (topology.Rate, error) {
+	if c.At <= a.At {
+		return 0, fmt.Errorf("counters: samples not time-ordered")
+	}
+	d := c.At.Sub(a.At).Seconds()
+	bytes := float64(c.Bytes) - float64(a.Bytes)
+	if bytes < 0 {
+		bytes = 0
+	}
+	return topology.Rate(bytes / d), nil
+}
+
+// ClassBytes sums fresh readings of every link of one class — the
+// "PCIe bandwidth per socket"-style aggregate PCM reports. socket < 0
+// aggregates the whole host.
+func (b *Bank) ClassBytes(class topology.LinkClass, socket int) (uint64, error) {
+	var sum uint64
+	topo := b.fab.Topology()
+	for _, l := range topo.Links() {
+		if l.Class != class {
+			continue
+		}
+		if socket >= 0 {
+			from := topo.Component(l.From)
+			if from == nil || from.Socket != socket {
+				continue
+			}
+		}
+		s, err := b.ReadLink(l.ID)
+		if err != nil {
+			return 0, err
+		}
+		sum += s.Bytes
+	}
+	return sum, nil
+}
+
+// Snapshot reads every link counter once and returns the samples keyed
+// by link ID. Stale entries are included as served.
+func (b *Bank) Snapshot() map[topology.LinkID]Sample {
+	out := make(map[topology.LinkID]Sample)
+	for _, l := range b.fab.Topology().Links() {
+		s, err := b.ReadLink(l.ID)
+		if err == nil {
+			out[l.ID] = s
+		}
+	}
+	return out
+}
+
+// AttributeEvenly is the best a counter-only monitor can do for
+// per-tenant attribution: divide a link's aggregate bytes evenly among
+// the tenants known to be active on it. The error of this estimate
+// versus interception ground truth is measured by experiment E5.
+func AttributeEvenly(total uint64, tenants []fabric.TenantID) map[fabric.TenantID]float64 {
+	out := make(map[fabric.TenantID]float64, len(tenants))
+	if len(tenants) == 0 {
+		return out
+	}
+	share := float64(total) / float64(len(tenants))
+	for _, t := range tenants {
+		out[t] = share
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package counters
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// setup builds a minimal fabric with one saturating flow nic0 -> dimm.
+func setup(t *testing.T, cfg Config) (*Bank, *fabric.Fabric, *simtime.Engine, topology.Path) {
+	t.Helper()
+	e := simtime.NewEngine(42)
+	topo := topology.MinimalHost()
+	fab := fabric.New(topo, e, fabric.Config{PCIeEfficiency: 1})
+	p, err := topo.ShortestPath("nic0", "socket0.dimm0_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.AddFlow(&fabric.Flow{Tenant: "t1", Path: p, Demand: topology.GBps(10)}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBank(fab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, fab, e, p
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := simtime.NewEngine(1)
+	fab := fabric.New(topology.MinimalHost(), e, fabric.DefaultConfig())
+	bad := []Config{
+		{SamplePeriod: -1},
+		{Quantum: -1},
+		{NoiseFrac: -0.1},
+		{NoiseFrac: 1},
+	}
+	for i, c := range bad {
+		if _, err := NewBank(fab, c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewBank(fab, Config{}); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+func TestCounterTracksTraffic(t *testing.T) {
+	b, _, e, p := setup(t, Config{SamplePeriod: simtime.Millisecond, Quantum: 64})
+	link := p.Links[0].ID
+	e.RunFor(10 * simtime.Millisecond)
+	s, err := b.ReadLink(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 GB/s for 10 ms = 100 MB.
+	want := 100e6
+	if math.Abs(float64(s.Bytes)-want) > want*0.01 {
+		t.Fatalf("counter %d, want ~%v", s.Bytes, want)
+	}
+	if s.Stale {
+		t.Fatal("first read marked stale")
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	b, _, e, p := setup(t, Config{SamplePeriod: 1, Quantum: 64})
+	e.RunFor(simtime.Millisecond)
+	s, _ := b.ReadLink(p.Links[0].ID)
+	if s.Bytes%64 != 0 {
+		t.Fatalf("counter %d not 64-byte quantized", s.Bytes)
+	}
+}
+
+func TestRateLimitServesStale(t *testing.T) {
+	b, _, e, p := setup(t, Config{SamplePeriod: simtime.Millisecond, Quantum: 1})
+	link := p.Links[0].ID
+	e.RunFor(2 * simtime.Millisecond)
+	s1, _ := b.ReadLink(link)
+	e.RunFor(100 * simtime.Microsecond) // below sample period
+	s2, _ := b.ReadLink(link)
+	if !s2.Stale {
+		t.Fatal("fast re-read not marked stale")
+	}
+	if s2.Bytes != s1.Bytes || s2.At != s1.At {
+		t.Fatal("stale read changed value")
+	}
+	e.RunFor(simtime.Millisecond)
+	s3, _ := b.ReadLink(link)
+	if s3.Stale {
+		t.Fatal("read after period still stale")
+	}
+	if s3.Bytes <= s1.Bytes {
+		t.Fatal("fresh read did not advance")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	b, _, e, p := setup(t, Config{SamplePeriod: 1, Quantum: 1, NoiseFrac: 0.2})
+	link := p.Links[0].ID
+	var prev uint64
+	for i := 0; i < 50; i++ {
+		e.RunFor(100 * simtime.Microsecond)
+		s, err := b.ReadLink(link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Bytes < prev {
+			t.Fatalf("counter ran backwards: %d -> %d", prev, s.Bytes)
+		}
+		prev = s.Bytes
+	}
+}
+
+func TestNoiseBounded(t *testing.T) {
+	b, fab, e, p := setup(t, Config{SamplePeriod: 1, Quantum: 1, NoiseFrac: 0.05})
+	link := p.Links[0].ID
+	e.RunFor(10 * simtime.Millisecond)
+	s, _ := b.ReadLink(link)
+	st, _ := fab.LinkStatsFor(link)
+	if math.Abs(float64(s.Bytes)-st.TotalBytes) > st.TotalBytes*0.06 {
+		t.Fatalf("noise beyond bound: counter %d vs truth %v", s.Bytes, st.TotalBytes)
+	}
+}
+
+func TestRateBetween(t *testing.T) {
+	a := Sample{At: 0, Bytes: 0}
+	c := Sample{At: simtime.Time(simtime.Second), Bytes: 1000}
+	r, err := RateBetween(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1000 {
+		t.Fatalf("rate %v, want 1000", r)
+	}
+	if _, err := RateBetween(c, a); err == nil {
+		t.Fatal("unordered samples accepted")
+	}
+	// Counter reset tolerance: negative delta clamps to zero.
+	d := Sample{At: simtime.Time(2 * simtime.Second), Bytes: 500}
+	r, _ = RateBetween(c, d)
+	if r != 0 {
+		t.Fatalf("negative delta rate %v, want 0", r)
+	}
+}
+
+func TestClassBytes(t *testing.T) {
+	b, _, e, _ := setup(t, Config{SamplePeriod: 1, Quantum: 1})
+	e.RunFor(5 * simtime.Millisecond)
+	pcie, err := b.ClassBytes(topology.ClassPCIeDown, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcie == 0 {
+		t.Fatal("PCIe class counter zero under load")
+	}
+	inter, err := b.ClassBytes(topology.ClassInterHost, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter != 0 {
+		t.Fatal("idle inter-host counter nonzero")
+	}
+}
+
+func TestSnapshotCoversAllLinks(t *testing.T) {
+	b, fab, e, _ := setup(t, Config{SamplePeriod: 1, Quantum: 1})
+	e.RunFor(simtime.Millisecond)
+	snap := b.Snapshot()
+	if len(snap) != fab.Topology().NumLinks() {
+		t.Fatalf("snapshot has %d links, want %d", len(snap), fab.Topology().NumLinks())
+	}
+}
+
+func TestReadUnknownLink(t *testing.T) {
+	b, _, _, _ := setup(t, Config{})
+	if _, err := b.ReadLink("nope->nope"); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+}
+
+func TestAttributeEvenly(t *testing.T) {
+	got := AttributeEvenly(300, []fabric.TenantID{"a", "b", "c"})
+	for _, tn := range []fabric.TenantID{"a", "b", "c"} {
+		if got[tn] != 100 {
+			t.Fatalf("share %v", got)
+		}
+	}
+	if len(AttributeEvenly(100, nil)) != 0 {
+		t.Fatal("empty tenant list should yield empty map")
+	}
+}

@@ -1,0 +1,107 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// captureRecord is the serialized form of one sniffed transaction —
+// the "pcap" of the intra-host wireshark. Paths serialize as link IDs
+// so captures replay on any fabric with the same topology.
+type captureRecord struct {
+	Tenant    string   `json:"tenant"`
+	Src       string   `json:"src"`
+	Dst       string   `json:"dst"`
+	Links     []string `json:"links"`
+	ReqBytes  int64    `json:"req_bytes"`
+	RespBytes int64    `json:"resp_bytes"`
+	SentNs    int64    `json:"sent_ns"`
+	RTTNs     int64    `json:"rtt_ns"`
+	Lost      bool     `json:"lost,omitempty"`
+}
+
+// SaveCapture writes sniffed records as JSON lines.
+func SaveCapture(w io.Writer, records []fabric.TxRecord) error {
+	enc := json.NewEncoder(w)
+	for _, r := range records {
+		cr := captureRecord{
+			Tenant: string(r.Tenant), Src: string(r.Src), Dst: string(r.Dst),
+			ReqBytes: r.ReqBytes, RespBytes: r.RespBytes,
+			SentNs: int64(r.Sent), RTTNs: int64(r.RTT), Lost: r.Lost,
+		}
+		for _, id := range r.Path.LinkIDs() {
+			cr.Links = append(cr.Links, string(id))
+		}
+		if err := enc.Encode(cr); err != nil {
+			return fmt.Errorf("diag: save capture: %w", err)
+		}
+	}
+	return nil
+}
+
+// Replay is the outcome of re-injecting a capture.
+type Replay struct {
+	Injected int
+	Skipped  int // records whose path no longer resolves
+}
+
+// ReplayCapture re-injects a saved capture onto a fabric, preserving
+// relative timing (the first record fires immediately, later ones at
+// their original offsets). Operators use this to reproduce an incident
+// against a candidate fix — the "replay the pcap" workflow. onResult,
+// when non-nil, receives each replayed transaction's fresh outcome.
+func ReplayCapture(fab *fabric.Fabric, r io.Reader, onResult func(fabric.TxRecord)) (Replay, error) {
+	dec := json.NewDecoder(r)
+	var recs []captureRecord
+	for {
+		var cr captureRecord
+		if err := dec.Decode(&cr); err == io.EOF {
+			break
+		} else if err != nil {
+			return Replay{}, fmt.Errorf("diag: replay decode: %w", err)
+		}
+		recs = append(recs, cr)
+	}
+	if len(recs) == 0 {
+		return Replay{}, nil
+	}
+	base := recs[0].SentNs
+	var rep Replay
+	topo := fab.Topology()
+	for _, cr := range recs {
+		var links []*topology.Link
+		ok := true
+		for _, id := range cr.Links {
+			l := topo.Link(topology.LinkID(id))
+			if l == nil {
+				ok = false
+				break
+			}
+			links = append(links, l)
+		}
+		if !ok {
+			rep.Skipped++
+			continue
+		}
+		opts := fabric.TxOptions{
+			Tenant: fabric.TenantID(cr.Tenant),
+			Src:    topology.CompID(cr.Src), Dst: topology.CompID(cr.Dst),
+			Path:     topology.Path{Links: links},
+			ReqBytes: cr.ReqBytes, RespBytes: cr.RespBytes,
+		}
+		delay := simtime.Duration(cr.SentNs - base)
+		if delay < 0 {
+			delay = 0
+		}
+		fab.Engine().After(delay, func() {
+			_ = fab.SendTransaction(opts, onResult)
+		})
+		rep.Injected++
+	}
+	return rep, nil
+}

@@ -1,0 +1,129 @@
+package diag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+)
+
+func TestCaptureSaveReplayRoundTrip(t *testing.T) {
+	fab, e := newFab(9)
+	sn, err := StartSniff(fab, SniffFilter{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a small spread of transactions over time.
+	for i := 0; i < 5; i++ {
+		i := i
+		e.After(simtime.Duration(i)*10*simtime.Microsecond, func() {
+			_ = fab.SendTransaction(fabric.TxOptions{
+				Tenant: "kv", Src: "gpu0", Dst: "nic0",
+				ReqBytes: int64(64 * (i + 1)), RespBytes: 128,
+			}, nil)
+		})
+	}
+	e.Run()
+	sn.Stop()
+	records := sn.Captured()
+	if len(records) != 5 {
+		t.Fatalf("captured %d", len(records))
+	}
+	var buf bytes.Buffer
+	if err := SaveCapture(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 5 {
+		t.Fatalf("saved %d lines", lines)
+	}
+
+	// Replay onto a fresh fabric; outcomes must match the original
+	// timing-wise (same topology, same idle conditions).
+	fab2, e2 := newFab(9)
+	var replayed []fabric.TxRecord
+	rep, err := ReplayCapture(fab2, &buf, func(r fabric.TxRecord) { replayed = append(replayed, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected != 5 || rep.Skipped != 0 {
+		t.Fatalf("replay: %+v", rep)
+	}
+	e2.Run()
+	if len(replayed) != 5 {
+		t.Fatalf("replayed %d outcomes", len(replayed))
+	}
+	for i, r := range replayed {
+		if r.Lost {
+			t.Fatalf("replayed tx %d lost on healthy fabric", i)
+		}
+		if r.Tenant != "kv" || r.Src != "gpu0" || r.Dst != "nic0" {
+			t.Fatalf("replayed tx fields: %+v", r)
+		}
+	}
+	// Relative timing preserved: last send 40us after first.
+	gap := replayed[len(replayed)-1].Sent - replayed[0].Sent
+	if gap != simtime.Time(40*simtime.Microsecond) {
+		t.Fatalf("replay spacing %v, want 40us", gap)
+	}
+}
+
+func TestReplayOnDifferentTopologySkips(t *testing.T) {
+	fab, e := newFab(9)
+	sn, _ := StartSniff(fab, SniffFilter{}, 10)
+	_ = fab.SendTransaction(fabric.TxOptions{Tenant: "a", Src: "gpu0", Dst: "nic0", RespBytes: 1}, nil)
+	e.Run()
+	sn.Stop()
+	var buf bytes.Buffer
+	if err := SaveCapture(&buf, sn.Captured()); err != nil {
+		t.Fatal(err)
+	}
+	// A minimal host lacks the two-socket link IDs used by the
+	// capture... gpu0->rootport exists on minimal too; corrupt the
+	// capture instead to guarantee a missing link.
+	corrupted := strings.ReplaceAll(buf.String(), "pcieswitch0", "pcieswitchZZ")
+	rep, err := ReplayCapture(fab, strings.NewReader(corrupted), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 1 || rep.Injected != 0 {
+		t.Fatalf("replay on mismatched topology: %+v", rep)
+	}
+}
+
+func TestReplayEmptyAndGarbage(t *testing.T) {
+	fab, _ := newFab(9)
+	rep, err := ReplayCapture(fab, strings.NewReader(""), nil)
+	if err != nil || rep.Injected != 0 {
+		t.Fatalf("empty capture: %+v, %v", rep, err)
+	}
+	if _, err := ReplayCapture(fab, strings.NewReader("{not json"), nil); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReplayUnderChangedConditions(t *testing.T) {
+	// The point of replay: the same traffic against a now-degraded
+	// fabric shows the regression.
+	fab, e := newFab(9)
+	sn, _ := StartSniff(fab, SniffFilter{}, 10)
+	_ = fab.SendTransaction(fabric.TxOptions{Tenant: "a", Src: "gpu0", Dst: "nic0", RespBytes: 64}, nil)
+	e.Run()
+	sn.Stop()
+	origRTT := sn.Captured()[0].RTT
+	var buf bytes.Buffer
+	_ = SaveCapture(&buf, sn.Captured())
+
+	fab2, e2 := newFab(9)
+	_ = fab2.DegradeLink("pcieswitch0->nic0", 0, 5*simtime.Microsecond)
+	var got fabric.TxRecord
+	_, err := ReplayCapture(fab2, &buf, func(r fabric.TxRecord) { got = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Run()
+	if got.RTT <= origRTT {
+		t.Fatalf("replay on degraded fabric RTT %v not above original %v", got.RTT, origRTT)
+	}
+}

@@ -1,0 +1,261 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func newFab(seed int64) (*fabric.Fabric, *simtime.Engine) {
+	e := simtime.NewEngine(seed)
+	topo := topology.TwoSocketServer()
+	fab := fabric.New(topo, e, fabric.DefaultConfig())
+	return fab, e
+}
+
+func TestPingHealthy(t *testing.T) {
+	fab, _ := newFab(1)
+	rep, err := RunPing(fab, "gpu0", "nic0", DefaultPingOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 10 || rep.Lost != 0 {
+		t.Fatalf("sent %d lost %d", rep.Sent, rep.Lost)
+	}
+	if rep.Min <= 0 || rep.Avg < rep.Min || rep.Max < rep.Avg || rep.P99 > rep.Max {
+		t.Fatalf("rtt stats inconsistent: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "gpu0 -> nic0") {
+		t.Fatalf("report string: %s", rep)
+	}
+}
+
+func TestPingLoss(t *testing.T) {
+	fab, _ := newFab(1)
+	_ = fab.FailLink("pcieswitch0->nic0")
+	rep, err := RunPing(fab, "gpu0", "nic0", DefaultPingOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lost != 10 {
+		t.Fatalf("lost %d, want 10", rep.Lost)
+	}
+}
+
+func TestPingValidation(t *testing.T) {
+	fab, _ := newFab(1)
+	if _, err := StartPing(fab, "gpu0", "nope", DefaultPingOptions(), nil); err == nil {
+		t.Fatal("unknown dst accepted")
+	}
+	bad := DefaultPingOptions()
+	bad.Count = 0
+	if _, err := StartPing(fab, "gpu0", "nic0", bad, nil); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestPingDetectsCongestion(t *testing.T) {
+	fab, _ := newFab(1)
+	idle, err := RunPing(fab, "gpu0", "nic0", DefaultPingOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := fab.Topology().ShortestPath("gpu0", "nic0")
+	_ = fab.AddFlow(&fabric.Flow{Tenant: "bg", Path: p})
+	loaded, err := RunPing(fab, "gpu0", "nic0", DefaultPingOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Avg <= idle.Avg {
+		t.Fatalf("congested avg %v not above idle %v", loaded.Avg, idle.Avg)
+	}
+}
+
+func TestTraceWalksPath(t *testing.T) {
+	fab, _ := newFab(2)
+	rep, err := RunTrace(fab, "gpu0", "socket0.dimm0_0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Hops) != rep.Path.Hops() {
+		t.Fatalf("%d hops reported, path has %d", len(rep.Hops), rep.Path.Hops())
+	}
+	var cum simtime.Duration
+	for i, h := range rep.Hops {
+		if h.Index != i {
+			t.Fatalf("hop index %d at position %d", h.Index, i)
+		}
+		if h.Lost {
+			t.Fatalf("hop %d lost on healthy fabric", i)
+		}
+		if h.Cumulative < cum {
+			t.Fatalf("cumulative RTT decreased at hop %d", i)
+		}
+		cum = h.Cumulative
+	}
+	if !strings.Contains(rep.String(), "trace gpu0") {
+		t.Fatalf("report: %s", rep)
+	}
+}
+
+func TestTraceLocalizesDegradedHop(t *testing.T) {
+	fab, _ := newFab(2)
+	// Degrade the third hop of gpu0 -> dimm path heavily.
+	path, _ := fab.Topology().ShortestPath("gpu0", "socket0.dimm0_0")
+	victim := path.Links[2]
+	_ = fab.DegradeLink(victim.ID, 0, 5*simtime.Microsecond)
+	rep, err := RunTrace(fab, "gpu0", "socket0.dimm0_0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim hop must carry by far the largest hop latency.
+	worst, worstIdx := simtime.Duration(0), -1
+	for _, h := range rep.Hops {
+		if h.HopLatency > worst {
+			worst, worstIdx = h.HopLatency, h.Index
+		}
+	}
+	if worstIdx != 2 {
+		t.Fatalf("worst hop %d (lat %v), want hop 2\n%s", worstIdx, worst, rep)
+	}
+}
+
+func TestTraceReportsLossAtFailedHop(t *testing.T) {
+	fab, _ := newFab(2)
+	path, _ := fab.Topology().ShortestPath("gpu0", "socket0.dimm0_0")
+	_ = fab.FailLink(path.Links[1].ID)
+	rep, err := RunTrace(fab, "gpu0", "socket0.dimm0_0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Hops[1].Lost {
+		t.Fatal("failed hop not marked lost")
+	}
+	if rep.Hops[0].Lost {
+		t.Fatal("hop before failure marked lost")
+	}
+}
+
+func TestPerfMeasuresBottleneck(t *testing.T) {
+	fab, _ := newFab(3)
+	rep, err := RunPerf(fab, "gpu0", "nic0", DefaultPerfOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unloaded: achieved should be within 2% of path capacity.
+	if rep.Achieved < rep.PathCapacity*98/100 {
+		t.Fatalf("achieved %v well below capacity %v", rep.Achieved, rep.PathCapacity)
+	}
+	if rep.BottleneckLink == "" {
+		t.Fatal("no bottleneck identified")
+	}
+	if fab.Flows() != 0 {
+		t.Fatal("perf left its probe flow behind")
+	}
+}
+
+func TestPerfUnderContention(t *testing.T) {
+	fab, _ := newFab(3)
+	p, _ := fab.Topology().ShortestPath("gpu0", "nic0")
+	_ = fab.AddFlow(&fabric.Flow{Tenant: "bg", Path: p})
+	rep, err := RunPerf(fab, "gpu0", "nic0", DefaultPerfOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sharing with one background flow: roughly half capacity.
+	half := rep.PathCapacity / 2
+	if rep.Achieved > half*11/10 || rep.Achieved < half*9/10 {
+		t.Fatalf("contended achieved %v, want ~%v", rep.Achieved, half)
+	}
+}
+
+func TestPerfAsTenantSeesCaps(t *testing.T) {
+	fab, _ := newFab(3)
+	p, _ := fab.Topology().ShortestPath("gpu0", "nic0")
+	capped := topology.Rate(1e9)
+	_ = fab.SetTenantCap(p.Links[0].ID, "kv", capped)
+	opts := DefaultPerfOptions()
+	opts.Tenant = "kv"
+	rep, err := RunPerf(fab, "gpu0", "nic0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Achieved > capped*101/100 {
+		t.Fatalf("capped tenant achieved %v, cap %v", rep.Achieved, capped)
+	}
+}
+
+func TestPerfValidation(t *testing.T) {
+	fab, _ := newFab(3)
+	if _, err := StartPerf(fab, "gpu0", "nic0", PerfOptions{Duration: 0}, nil); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := StartPerf(fab, "gpu0", "nope", DefaultPerfOptions(), nil); err == nil {
+		t.Fatal("unknown dst accepted")
+	}
+}
+
+func TestSnifferFilters(t *testing.T) {
+	fab, e := newFab(4)
+	sn, err := StartSniff(fab, SniffFilter{Tenant: "kv"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fab.SendTransaction(fabric.TxOptions{Tenant: "kv", Src: "gpu0", Dst: "nic0", RespBytes: 1}, nil)
+	_ = fab.SendTransaction(fabric.TxOptions{Tenant: "ml", Src: "gpu0", Dst: "nic0", RespBytes: 1}, nil)
+	e.Run()
+	seen, matched := sn.Counts()
+	if seen != 2 || matched != 1 {
+		t.Fatalf("seen %d matched %d, want 2/1", seen, matched)
+	}
+	got := sn.Captured()
+	if len(got) != 1 || got[0].Tenant != "kv" {
+		t.Fatalf("captured %+v", got)
+	}
+	sn.Stop()
+	_ = fab.SendTransaction(fabric.TxOptions{Tenant: "kv", Src: "gpu0", Dst: "nic0", RespBytes: 1}, nil)
+	e.Run()
+	if s, _ := sn.Counts(); s != 2 {
+		t.Fatal("sniffer saw traffic after Stop")
+	}
+}
+
+func TestSnifferLinkAndLostFilters(t *testing.T) {
+	fab, e := newFab(4)
+	path, _ := fab.Topology().ShortestPath("gpu0", "nic0")
+	snLink, _ := StartSniff(fab, SniffFilter{Link: path.Links[0].ID}, 10)
+	snLost, _ := StartSniff(fab, SniffFilter{LostOnly: true}, 10)
+	_ = fab.SendTransaction(fabric.TxOptions{Tenant: "a", Src: "gpu0", Dst: "nic0", RespBytes: 1}, nil)
+	_ = fab.SendTransaction(fabric.TxOptions{Tenant: "a", Src: "ssd0", Dst: "socket0.dimm0_0", RespBytes: 1}, nil)
+	e.Run()
+	if _, m := snLink.Counts(); m != 1 {
+		t.Fatalf("link filter matched %d, want 1", m)
+	}
+	if _, m := snLost.Counts(); m != 0 {
+		t.Fatalf("lost filter matched %d, want 0", m)
+	}
+	_ = fab.FailLink(path.Links[1].ID)
+	_ = fab.SendTransaction(fabric.TxOptions{Tenant: "a", Src: "gpu0", Dst: "nic0", RespBytes: 1}, nil)
+	e.Run()
+	if _, m := snLost.Counts(); m != 1 {
+		t.Fatalf("lost filter matched %d after failure, want 1", m)
+	}
+}
+
+func TestSnifferCapacityEviction(t *testing.T) {
+	fab, e := newFab(4)
+	sn, _ := StartSniff(fab, SniffFilter{}, 3)
+	for i := 0; i < 5; i++ {
+		_ = fab.SendTransaction(fabric.TxOptions{Tenant: "a", Src: "gpu0", Dst: "nic0", RespBytes: 1}, nil)
+	}
+	e.Run()
+	if n := len(sn.Captured()); n != 3 {
+		t.Fatalf("retained %d, want 3", n)
+	}
+	if _, err := StartSniff(fab, SniffFilter{}, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}

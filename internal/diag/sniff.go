@@ -1,0 +1,90 @@
+package diag
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/topology"
+)
+
+// SniffFilter selects which transactions a sniffer captures. Zero
+// values match everything.
+type SniffFilter struct {
+	Src, Dst topology.CompID
+	Tenant   fabric.TenantID
+	// Link restricts capture to transactions whose path traverses the
+	// given directed link — "port mirroring" on one fabric link.
+	Link topology.LinkID
+	// LostOnly captures only dropped transactions.
+	LostOnly bool
+}
+
+// Matches reports whether a record passes the filter.
+func (f SniffFilter) Matches(r fabric.TxRecord) bool {
+	if f.Src != "" && r.Src != f.Src {
+		return false
+	}
+	if f.Dst != "" && r.Dst != f.Dst {
+		return false
+	}
+	if f.Tenant != "" && r.Tenant != f.Tenant {
+		return false
+	}
+	if f.Link != "" && !r.Path.HasLink(f.Link) {
+		return false
+	}
+	if f.LostOnly && !r.Lost {
+		return false
+	}
+	return true
+}
+
+// Sniffer captures transaction records matching a filter into a
+// bounded buffer — the intra-host wireshark.
+type Sniffer struct {
+	filter   SniffFilter
+	capacity int
+	records  []fabric.TxRecord
+	matched  uint64
+	seen     uint64
+	detach   func()
+}
+
+// StartSniff attaches a sniffer to the fabric. capacity bounds the
+// retained records (oldest evicted). Call Stop to detach.
+func StartSniff(fab *fabric.Fabric, filter SniffFilter, capacity int) (*Sniffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("diag: non-positive sniffer capacity")
+	}
+	s := &Sniffer{filter: filter, capacity: capacity}
+	s.detach = fab.AttachSniffer(func(r fabric.TxRecord) {
+		s.seen++
+		if !s.filter.Matches(r) {
+			return
+		}
+		s.matched++
+		if len(s.records) >= s.capacity {
+			s.records = s.records[1:]
+		}
+		s.records = append(s.records, r)
+	})
+	return s, nil
+}
+
+// Stop detaches the sniffer from the fabric.
+func (s *Sniffer) Stop() {
+	if s.detach != nil {
+		s.detach()
+		s.detach = nil
+	}
+}
+
+// Captured returns the retained records, oldest first.
+func (s *Sniffer) Captured() []fabric.TxRecord {
+	out := make([]fabric.TxRecord, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// Counts returns (transactions seen, transactions matched).
+func (s *Sniffer) Counts() (seen, matched uint64) { return s.seen, s.matched }

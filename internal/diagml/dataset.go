@@ -1,0 +1,163 @@
+package diagml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/anomaly"
+	"repro/internal/cachesim"
+	"repro/internal/fabric"
+	"repro/internal/monitor"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// GenerateDataset produces perClass labeled incidents per fault class
+// by running short simulations on the two-socket host: start the
+// monitoring stack, let heartbeats calibrate, inject the class's fault
+// with randomized parameters, let the system react, and snapshot the
+// multi-modal features. Everything derives from seed, so datasets are
+// reproducible.
+func GenerateDataset(seed int64, perClass int) ([]Sample, error) {
+	if perClass <= 0 {
+		return nil, fmt.Errorf("diagml: perClass must be positive")
+	}
+	var out []Sample
+	for li, label := range AllLabels {
+		for i := 0; i < perClass; i++ {
+			s, err := generateIncident(seed+int64(li)*10_000+int64(i), label)
+			if err != nil {
+				return nil, fmt.Errorf("diagml: %s incident %d: %w", label, i, err)
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// incidentLinks are the fault-injection candidates: the PCIe fabric
+// links whose failures the paper's motivating scenarios involve.
+var incidentLinks = []topology.LinkID{
+	"pcieswitch0->nic0",
+	"nic0->pcieswitch0",
+	"pcieswitch0->socket0.rootport0",
+	"socket0.rootport0->pcieswitch0",
+	"pcieswitch1->nic1",
+	"socket0.rootport1->gpu0",
+	"pcieswitch1->ssd1",
+}
+
+func generateIncident(seed int64, label Label) (Sample, error) {
+	engine := simtime.NewEngine(seed)
+	rng := engine.Rand()
+	topo := topology.TwoSocketServer()
+	fab := fabric.New(topo, engine, fabric.DefaultConfig())
+
+	cfg := anomaly.DefaultConfig()
+	plat, err := anomaly.New(fab, anomaly.DefaultPairs(topo), cfg)
+	if err != nil {
+		return Sample{}, err
+	}
+	if err := plat.Start(); err != nil {
+		return Sample{}, err
+	}
+	mon, err := monitor.New(fab, monitor.DefaultOptions())
+	if err != nil {
+		return Sample{}, err
+	}
+	if err := mon.Start(); err != nil {
+		return Sample{}, err
+	}
+	ddio, err := cachesim.NewManager(fab, cachesim.DefaultConfig())
+	if err != nil {
+		return Sample{}, err
+	}
+	// Quiet background so "healthy" is not trivially all-zero: a
+	// light NIC-to-memory flow on socket 1 and a fitting DDIO stream.
+	bgPath, err := topo.ShortestPath("nic1", "socket1.dimm0_0")
+	if err != nil {
+		return Sample{}, err
+	}
+	if err := fab.AddFlow(&fabric.Flow{Tenant: "bg", Path: bgPath,
+		Demand: topology.GBps(2 + 4*rng.Float64())}); err != nil {
+		return Sample{}, err
+	}
+	if err := ddio.AddStream("bg", "bg", 1, topology.GBps(5+5*rng.Float64())); err != nil {
+		return Sample{}, err
+	}
+	// Calibrate heartbeats.
+	engine.RunFor(simtime.Duration(cfg.CalibrationRounds+3) * cfg.Period)
+
+	if err := inject(label, fab, ddio, topo, rng); err != nil {
+		return Sample{}, err
+	}
+	// Let the fault express itself through the telemetry.
+	engine.RunFor(simtime.Millisecond)
+	f := Extract(fab, plat, mon, ddio)
+	return Sample{Features: f, Label: label}, nil
+}
+
+// InjectForDemo injects one incident of the given class into a live
+// fabric, with the same randomized parameters the dataset generator
+// uses. cmd/ihdiag uses it to stage classifier demonstrations.
+func InjectForDemo(label Label, fab *fabric.Fabric, ddio *cachesim.Manager, topo *topology.Topology, rng *rand.Rand) error {
+	return inject(label, fab, ddio, topo, rng)
+}
+
+func inject(label Label, fab *fabric.Fabric, ddio *cachesim.Manager, topo *topology.Topology, rng *rand.Rand) error {
+	switch label {
+	case Healthy:
+		return nil
+	case LinkFailure:
+		return fab.FailLink(incidentLinks[rng.Intn(len(incidentLinks))])
+	case Degradation:
+		link := incidentLinks[rng.Intn(len(incidentLinks))]
+		frac := 0.1 + 0.3*rng.Float64()
+		extra := simtime.Duration(5+rng.Intn(15)) * simtime.Microsecond
+		return fab.DegradeLink(link, frac, extra)
+	case Congestion:
+		// 2-4 greedy aggressors across the socket-0 fabric.
+		n := 2 + rng.Intn(3)
+		pairs := [][2]topology.CompID{
+			{"nic0", "socket0.dimm0_0"},
+			{"socket0.dimm0_0", "nic0"},
+			{"socket0.dimm0_1", "gpu0"},
+			{"ssd0", "socket0.dimm1_0"},
+		}
+		for i := 0; i < n; i++ {
+			pr := pairs[i%len(pairs)]
+			p, err := topo.ShortestPath(pr[0], pr[1])
+			if err != nil {
+				return err
+			}
+			if err := fab.AddFlow(&fabric.Flow{
+				Tenant: fabric.TenantID(fmt.Sprintf("agg%d", i)), Path: p,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	case DDIOThrash:
+		for i := 0; i < 2; i++ {
+			rate := topology.GBps(18 + 14*rng.Float64())
+			if err := ddio.AddStream(cachesim.StreamID(fmt.Sprintf("hot%d", i)),
+				fabric.TenantID(fmt.Sprintf("io%d", i)), 0, rate); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Misconfig:
+		// Flip one of the performance-relevant knobs the monitor
+		// watches.
+		switch rng.Intn(3) {
+		case 0:
+			topo.Component("socket0.llc").SetConfig(topology.ConfigDDIO, "off")
+		case 1:
+			topo.Component("socket0.rootport0").SetConfig(topology.ConfigIOMMU, "translate")
+		default:
+			topo.Component("socket0.rootport1").SetConfig(topology.ConfigIOMMU, "translate")
+		}
+		return nil
+	}
+	return fmt.Errorf("diagml: unknown label %q", label)
+}

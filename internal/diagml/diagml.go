@@ -1,0 +1,271 @@
+// Package diagml is the "advanced diagnostic capabilities" extension
+// the paper sketches in §3.1 Q3: because intra-host telemetry is
+// multi-modal (heartbeat RTTs, per-class link utilization, DDIO cache
+// occupancy, configuration state — not just the bytes/packets/drops of
+// homogeneous Ethernet links), learned classifiers can tell fault
+// *types* apart where threshold rules cannot.
+//
+// The package provides a feature extractor over the live monitoring
+// stack, a deterministic synthetic-incident generator for training
+// data, and a k-nearest-neighbor classifier (stdlib only, exact, and
+// explainable — each verdict cites its nearest training incidents).
+package diagml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/anomaly"
+	"repro/internal/cachesim"
+	"repro/internal/fabric"
+	"repro/internal/monitor"
+	"repro/internal/topology"
+)
+
+// Label classifies an incident.
+type Label string
+
+// The fault classes the intra-host network can be in.
+const (
+	Healthy     Label = "healthy"
+	LinkFailure Label = "link-failure"
+	Degradation Label = "link-degradation"
+	Congestion  Label = "congestion"
+	DDIOThrash  Label = "ddio-thrash"
+	Misconfig   Label = "misconfiguration"
+)
+
+// AllLabels lists every class in a fixed order.
+var AllLabels = []Label{Healthy, LinkFailure, Degradation, Congestion, DDIOThrash, Misconfig}
+
+// Features is one incident's multi-modal telemetry snapshot. The
+// first two modalities (RTT inflation, loss) are what a homogeneous,
+// inter-host-style monitor would have; the rest exist only because
+// the intra-host monitor is fine-grained and heterogeneous.
+type Features struct {
+	// RTTInflation is the worst heartbeat RTT relative to its pair's
+	// calibrated baseline.
+	RTTInflation float64
+	// LossFrac is the fraction of pairs whose last heartbeat was lost.
+	LossFrac float64
+	// MaxPCIeUtil, MaxMemUtil, MaxUPIUtil are peak utilizations by
+	// link class.
+	MaxPCIeUtil float64
+	MaxMemUtil  float64
+	MaxUPIUtil  float64
+	// DDIOMiss is the worst DDIO stream miss fraction.
+	DDIOMiss float64
+	// ConfigDrift counts configuration-drift alerts.
+	ConfigDrift float64
+}
+
+// vector returns the feature values in fixed order.
+func (f Features) vector() []float64 {
+	return []float64{f.RTTInflation, f.LossFrac, f.MaxPCIeUtil,
+		f.MaxMemUtil, f.MaxUPIUtil, f.DDIOMiss, f.ConfigDrift}
+}
+
+// featureCount is the dimensionality of the full feature space.
+const featureCount = 7
+
+// Extract builds a feature snapshot from the live monitoring stack.
+// Any of plat, mon, ddio may be nil (its modalities read as zero),
+// which is how single-modality ablations are expressed.
+func Extract(fab *fabric.Fabric, plat *anomaly.Platform, mon *monitor.Monitor, ddio *cachesim.Manager) Features {
+	var f Features
+	if plat != nil {
+		stats := plat.PairStats()
+		lost := 0
+		for _, ps := range stats {
+			if ps.LastLost {
+				lost++
+				continue
+			}
+			if ps.Baseline > 0 && ps.LastRTT > 0 {
+				infl := float64(ps.LastRTT) / float64(ps.Baseline)
+				if infl > f.RTTInflation {
+					f.RTTInflation = infl
+				}
+			}
+		}
+		if len(stats) > 0 {
+			f.LossFrac = float64(lost) / float64(len(stats))
+		}
+	}
+	for _, st := range fab.AllLinkStats() {
+		switch st.Class {
+		case topology.ClassPCIeUp, topology.ClassPCIeDown:
+			if st.Utilization > f.MaxPCIeUtil {
+				f.MaxPCIeUtil = st.Utilization
+			}
+		case topology.ClassIntraSocket, topology.ClassCXL:
+			if st.Utilization > f.MaxMemUtil {
+				f.MaxMemUtil = st.Utilization
+			}
+		case topology.ClassInterSocket:
+			if st.Utilization > f.MaxUPIUtil {
+				f.MaxUPIUtil = st.Utilization
+			}
+		}
+	}
+	if ddio != nil {
+		f.DDIOMiss = ddio.MaxMiss()
+	}
+	if mon != nil {
+		f.ConfigDrift = float64(len(mon.AlertsOfKind(monitor.AlertConfigDrift)))
+	}
+	return f
+}
+
+// Sample is a labeled incident.
+type Sample struct {
+	Features Features
+	Label    Label
+}
+
+// Classifier is a k-nearest-neighbor fault classifier with per-feature
+// min-max normalization learned from the training set.
+type Classifier struct {
+	samples []Sample
+	k       int
+	lo, hi  [featureCount]float64
+	// mask selects the feature dimensions in use; ablations restrict
+	// it to the homogeneous modalities.
+	mask [featureCount]bool
+}
+
+// Option configures training.
+type Option func(*Classifier)
+
+// WithModalities restricts the classifier to the first n feature
+// dimensions (n=2 keeps only RTT inflation and loss — the
+// inter-host-style homogeneous telemetry).
+func WithModalities(n int) Option {
+	return func(c *Classifier) {
+		for i := range c.mask {
+			c.mask[i] = i < n
+		}
+	}
+}
+
+// Train fits a k-NN classifier on the samples.
+func Train(samples []Sample, k int, opts ...Option) (*Classifier, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("diagml: empty training set")
+	}
+	if k <= 0 || k > len(samples) {
+		return nil, fmt.Errorf("diagml: k=%d outside [1,%d]", k, len(samples))
+	}
+	c := &Classifier{samples: samples, k: k}
+	for i := range c.mask {
+		c.mask[i] = true
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	for i := 0; i < featureCount; i++ {
+		c.lo[i] = math.Inf(1)
+		c.hi[i] = math.Inf(-1)
+	}
+	for _, s := range samples {
+		v := s.Features.vector()
+		for i, x := range v {
+			if x < c.lo[i] {
+				c.lo[i] = x
+			}
+			if x > c.hi[i] {
+				c.hi[i] = x
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *Classifier) normalize(v []float64) []float64 {
+	out := make([]float64, featureCount)
+	for i, x := range v {
+		if !c.mask[i] {
+			continue
+		}
+		span := c.hi[i] - c.lo[i]
+		if span <= 0 {
+			continue
+		}
+		out[i] = (x - c.lo[i]) / span
+	}
+	return out
+}
+
+func dist(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Verdict is a classification with its evidence.
+type Verdict struct {
+	Label Label
+	// Confidence is the winning label's share of the k votes.
+	Confidence float64
+	// Neighbors are the labels of the k nearest training incidents,
+	// nearest first — the verdict's explanation.
+	Neighbors []Label
+}
+
+// Classify labels one incident.
+func (c *Classifier) Classify(f Features) Verdict {
+	q := c.normalize(f.vector())
+	type scored struct {
+		d     float64
+		label Label
+		idx   int
+	}
+	all := make([]scored, len(c.samples))
+	for i, s := range c.samples {
+		all[i] = scored{d: dist(q, c.normalize(s.Features.vector())), label: s.Label, idx: i}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].idx < all[j].idx
+	})
+	votes := make(map[Label]int)
+	neighbors := make([]Label, 0, c.k)
+	for _, s := range all[:c.k] {
+		votes[s.label]++
+		neighbors = append(neighbors, s.label)
+	}
+	best, bestVotes := Label(""), -1
+	for _, l := range AllLabels {
+		if votes[l] > bestVotes {
+			best, bestVotes = l, votes[l]
+		}
+	}
+	return Verdict{Label: best, Confidence: float64(bestVotes) / float64(c.k), Neighbors: neighbors}
+}
+
+// Evaluate returns accuracy and the per-class confusion counts of the
+// classifier on a labeled test set.
+func (c *Classifier) Evaluate(test []Sample) (accuracy float64, confusion map[Label]map[Label]int) {
+	confusion = make(map[Label]map[Label]int)
+	correct := 0
+	for _, s := range test {
+		v := c.Classify(s.Features)
+		if confusion[s.Label] == nil {
+			confusion[s.Label] = make(map[Label]int)
+		}
+		confusion[s.Label][v.Label]++
+		if v.Label == s.Label {
+			correct++
+		}
+	}
+	if len(test) > 0 {
+		accuracy = float64(correct) / float64(len(test))
+	}
+	return accuracy, confusion
+}

@@ -1,0 +1,195 @@
+package diagml
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 1); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	samples := []Sample{{Label: Healthy}, {Label: Congestion}}
+	if _, err := Train(samples, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Train(samples, 3); err == nil {
+		t.Fatal("k > len accepted")
+	}
+	if _, err := Train(samples, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifySeparableToy(t *testing.T) {
+	// Hand-built separable incidents.
+	train := []Sample{
+		{Features{1, 0, 0.1, 0.1, 0, 0, 0}, Healthy},
+		{Features{1.1, 0, 0.2, 0.1, 0, 0, 0}, Healthy},
+		{Features{1, 0.5, 0.1, 0.1, 0, 0, 0}, LinkFailure},
+		{Features{1, 0.8, 0.2, 0.1, 0, 0, 0}, LinkFailure},
+		{Features{20, 0, 0.2, 0.1, 0, 0, 0}, Degradation},
+		{Features{30, 0, 0.1, 0.2, 0, 0, 0}, Degradation},
+		{Features{8, 0, 1.0, 0.9, 0.2, 0, 0}, Congestion},
+		{Features{9, 0, 0.95, 1.0, 0.3, 0, 0}, Congestion},
+		{Features{1.5, 0, 0.2, 0.8, 0, 0.4, 0}, DDIOThrash},
+		{Features{1.6, 0, 0.1, 0.9, 0, 0.5, 0}, DDIOThrash},
+		{Features{1.2, 0, 0.1, 0.1, 0, 0, 1}, Misconfig},
+		{Features{1.3, 0, 0.2, 0.1, 0, 0, 2}, Misconfig},
+	}
+	c, err := Train(train, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		f    Features
+		want Label
+	}{
+		{Features{1.05, 0, 0.15, 0.1, 0, 0, 0}, Healthy},
+		{Features{1, 0.6, 0.15, 0.1, 0, 0, 0}, LinkFailure},
+		{Features{25, 0, 0.15, 0.15, 0, 0, 0}, Degradation},
+		{Features{8.5, 0, 0.97, 0.95, 0.25, 0, 0}, Congestion},
+		{Features{1.55, 0, 0.15, 0.85, 0, 0.45, 0}, DDIOThrash},
+		{Features{1.25, 0, 0.15, 0.1, 0, 0, 1}, Misconfig},
+	}
+	for _, tc := range cases {
+		v := c.Classify(tc.f)
+		if v.Label != tc.want {
+			t.Errorf("classified %+v as %s (want %s), neighbors %v", tc.f, v.Label, tc.want, v.Neighbors)
+		}
+		if v.Confidence <= 0 || v.Confidence > 1 {
+			t.Errorf("confidence %v out of range", v.Confidence)
+		}
+		if len(v.Neighbors) != 2 {
+			t.Errorf("neighbors %v", v.Neighbors)
+		}
+	}
+}
+
+func TestGenerateDatasetShape(t *testing.T) {
+	ds, err := GenerateDataset(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2*len(AllLabels) {
+		t.Fatalf("dataset size %d, want %d", len(ds), 2*len(AllLabels))
+	}
+	counts := make(map[Label]int)
+	for _, s := range ds {
+		counts[s.Label]++
+	}
+	for _, l := range AllLabels {
+		if counts[l] != 2 {
+			t.Fatalf("label %s has %d samples", l, counts[l])
+		}
+	}
+	// Feature sanity per class.
+	for _, s := range ds {
+		switch s.Label {
+		case LinkFailure:
+			if s.Features.LossFrac == 0 {
+				t.Errorf("link-failure incident with no loss: %+v", s.Features)
+			}
+		case Degradation:
+			if s.Features.RTTInflation < 2 {
+				t.Errorf("degradation with low inflation: %+v", s.Features)
+			}
+		case Congestion:
+			if s.Features.MaxPCIeUtil < 0.9 && s.Features.MaxMemUtil < 0.9 {
+				t.Errorf("congestion without saturation: %+v", s.Features)
+			}
+		case DDIOThrash:
+			if s.Features.DDIOMiss == 0 {
+				t.Errorf("ddio-thrash without misses: %+v", s.Features)
+			}
+		case Misconfig:
+			if s.Features.ConfigDrift == 0 {
+				t.Errorf("misconfig without drift alert: %+v", s.Features)
+			}
+		}
+	}
+	if _, err := GenerateDataset(7, 0); err == nil {
+		t.Fatal("perClass=0 accepted")
+	}
+}
+
+func TestDatasetDeterminism(t *testing.T) {
+	a, err := GenerateDataset(11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDataset(11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEndToEndAccuracy(t *testing.T) {
+	train, err := GenerateDataset(100, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := GenerateDataset(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Train(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, confusion := full.Evaluate(test)
+	if acc < 0.8 {
+		t.Fatalf("full-modality accuracy %.2f, want >= 0.8 (confusion %v)", acc, confusion)
+	}
+	// Homogeneous (inter-host-style) telemetry only: must be worse —
+	// the paper's Q3 point that multi-modal data matters.
+	narrow, err := Train(train, 3, WithModalities(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naccAcc, _ := narrow.Evaluate(test)
+	if naccAcc >= acc {
+		t.Fatalf("2-modality accuracy %.2f not below full %.2f", naccAcc, acc)
+	}
+}
+
+// Property: classification is deterministic and always returns a
+// known label with confidence in (0,1].
+func TestPropertyClassifierTotal(t *testing.T) {
+	train, err := GenerateDataset(300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Train(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := make(map[Label]bool)
+	for _, l := range AllLabels {
+		known[l] = true
+	}
+	f := func(a, b, d, e, g, h, i float64) bool {
+		abs := func(x float64) float64 {
+			if x < 0 {
+				return -x
+			}
+			if x != x { // NaN
+				return 0
+			}
+			return x
+		}
+		feat := Features{abs(a), abs(b), abs(d), abs(e), abs(g), abs(h), abs(i)}
+		v1 := c.Classify(feat)
+		v2 := c.Classify(feat)
+		return known[v1.Label] && v1.Label == v2.Label &&
+			v1.Confidence > 0 && v1.Confidence <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

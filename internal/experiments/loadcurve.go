@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arbiter"
+	"repro/internal/core"
+	"repro/internal/intent"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// E13LoadLatencyCurve produces the figure-style series behind the
+// paper's "predictable application performance" goal: KV-store offered
+// load is swept (closed loop, shrinking think time) against a fixed
+// antagonist, with and without the tenant's guarantee. Unmanaged, the
+// latency curve sits on the congestion plateau at every load level;
+// managed, it stays near the service floor until the tenant's own
+// guarantee saturates.
+func E13LoadLatencyCurve(seed int64) (Table, error) {
+	t := Table{
+		ID:      "E13",
+		Title:   "KV latency vs offered load, with and without a guarantee (fixed ML+loopback antagonist)",
+		Columns: []string{"outstanding", "offered load", "unmanaged p50", "unmanaged p99", "managed p50", "managed p99"},
+		Notes: []string{
+			"offered load = completed requests per ms of virtual time (managed run)",
+			"managed = kv admitted with 10GB/s pipes both ways, strict arbiter",
+		},
+	}
+	type point struct {
+		p50, p99 simtime.Duration
+		rate     float64
+	}
+	run := func(outstanding int, managed bool) (point, error) {
+		opts := core.DefaultOptions()
+		opts.Seed = seed
+		opts.EnableAnomaly = false
+		opts.EnableTelemetry = false
+		opts.Arbiter.Mode = arbiter.Strict
+		mgr, err := core.New(topology.TwoSocketServer(), opts)
+		if err != nil {
+			return point{}, err
+		}
+		if err := mgr.Start(); err != nil {
+			return point{}, err
+		}
+		if managed {
+			if _, err := mgr.Admit("kv", []intent.Target{
+				{Src: "nic0", Dst: "socket0.dimm0_0", Rate: topology.GBps(10)},
+				{Src: "socket0.dimm0_0", Dst: "nic0", Rate: topology.GBps(10)},
+			}); err != nil {
+				return point{}, err
+			}
+		}
+		fab := mgr.Fabric()
+		cfg := workload.DefaultKVConfig("kv")
+		cfg.ThinkTime = 0
+		cfg.Outstanding = outstanding
+		kv, err := workload.StartKV(fab, cfg)
+		if err != nil {
+			return point{}, err
+		}
+		if _, err := workload.StartML(fab, workload.DefaultMLConfig("ml")); err != nil {
+			return point{}, err
+		}
+		if _, err := workload.StartLoopback(fab, "evil", "nic0", "socket0.dimm0_0"); err != nil {
+			return point{}, err
+		}
+		const window = 2 * simtime.Millisecond
+		mgr.RunFor(window)
+		h := kv.Latency()
+		p := point{
+			p50:  h.Percentile(50),
+			p99:  h.Percentile(99),
+			rate: float64(h.Count()) / (window.Seconds() * 1000),
+		}
+		kv.Stop()
+		mgr.Stop()
+		return p, nil
+	}
+	for _, outstanding := range []int{1, 4, 16, 64, 256} {
+		un, err := run(outstanding, false)
+		if err != nil {
+			return Table{}, err
+		}
+		ma, err := run(outstanding, true)
+		if err != nil {
+			return Table{}, err
+		}
+		t.AddRow(fmt.Sprintf("%d", outstanding),
+			fmt.Sprintf("%.0f req/ms", ma.rate),
+			un.p50.String(), un.p99.String(),
+			ma.p50.String(), ma.p99.String())
+	}
+	return t, nil
+}

@@ -1,0 +1,122 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// SetTenantCap installs a hard rate cap for one tenant on one directed
+// link: the tenant's flows on that link will collectively never exceed
+// the cap. This is the arbiter's enforcement primitive — the software
+// analogue of per-tenant throttling in a programmable fabric (§3.2 Q2
+// of the paper). A zero cap blocks the tenant on the link entirely.
+func (f *Fabric) SetTenantCap(link topology.LinkID, tenant TenantID, cap topology.Rate) error {
+	ls, err := f.state(link)
+	if err != nil {
+		return err
+	}
+	if cap < 0 {
+		return fmt.Errorf("fabric: negative cap for %s on %s", tenant, link)
+	}
+	ls.caps[tenant] = cap
+	f.markDirty()
+	return nil
+}
+
+// ClearTenantCap removes a tenant's cap on a link, returning the
+// tenant to unrestricted fair sharing there.
+func (f *Fabric) ClearTenantCap(link topology.LinkID, tenant TenantID) error {
+	ls, err := f.state(link)
+	if err != nil {
+		return err
+	}
+	if _, ok := ls.caps[tenant]; ok {
+		delete(ls.caps, tenant)
+		f.markDirty()
+	}
+	return nil
+}
+
+// TenantCap returns the tenant's cap on a link and whether one is set.
+func (f *Fabric) TenantCap(link topology.LinkID, tenant TenantID) (topology.Rate, bool) {
+	ls, err := f.state(link)
+	if err != nil {
+		return 0, false
+	}
+	c, ok := ls.caps[tenant]
+	return c, ok
+}
+
+// ClearAllCaps removes every per-tenant cap on every link.
+func (f *Fabric) ClearAllCaps() {
+	changed := false
+	for _, ls := range f.links {
+		if len(ls.caps) > 0 {
+			ls.caps = make(map[TenantID]topology.Rate)
+			changed = true
+		}
+	}
+	if changed {
+		f.markDirty()
+	}
+}
+
+// SetTenantWeight sets a tenant's global weight multiplier for
+// weighted max-min sharing. Weights scale every flow of the tenant;
+// the default is 1. Non-positive weights are rejected.
+func (f *Fabric) SetTenantWeight(tenant TenantID, w float64) error {
+	if w <= 0 {
+		return fmt.Errorf("fabric: non-positive tenant weight %v", w)
+	}
+	f.tenantWeight[tenant] = w
+	f.markDirty()
+	return nil
+}
+
+// TenantWeight returns a tenant's weight (1 if unset).
+func (f *Fabric) TenantWeight(tenant TenantID) float64 {
+	if w, ok := f.tenantWeight[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// CapCount returns the total number of installed (link, tenant) caps,
+// a measure of arbiter state size.
+func (f *Fabric) CapCount() int {
+	n := 0
+	for _, ls := range f.links {
+		n += len(ls.caps)
+	}
+	return n
+}
+
+// CapsOn returns the tenants capped on a link, sorted, with their caps.
+func (f *Fabric) CapsOn(link topology.LinkID) map[TenantID]topology.Rate {
+	ls, err := f.state(link)
+	if err != nil || len(ls.caps) == 0 {
+		return nil
+	}
+	out := make(map[TenantID]topology.Rate, len(ls.caps))
+	for t, c := range ls.caps {
+		out[t] = c
+	}
+	return out
+}
+
+// Tenants returns the sorted set of tenants with at least one active
+// flow.
+func (f *Fabric) Tenants() []TenantID {
+	seen := make(map[TenantID]bool)
+	for _, fl := range f.flows {
+		seen[fl.Tenant] = true
+	}
+	out := make([]TenantID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,246 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func TestFailureStallsSizedTransferRestoreResumes(t *testing.T) {
+	f, e, p := newLineFabric()
+	var doneAt simtime.Time
+	fl := &Flow{Tenant: "t", Path: p, Size: 1000,
+		OnComplete: func(at simtime.Time) { doneAt = at }}
+	_ = f.AddFlow(fl)
+	// Fail at t=2s (200 bytes in), restore at t=7s.
+	e.Schedule(simtime.Time(2*simtime.Second), func() { _ = f.FailLink(p.Links[0].ID) })
+	e.Schedule(simtime.Time(7*simtime.Second), func() { _ = f.RestoreLink(p.Links[0].ID) })
+	e.Run()
+	// 200B at 100B/s (2s) + 5s stalled + 800B at 100B/s (8s) = t=15s.
+	want := simtime.Time(15 * simtime.Second)
+	if doneAt != want {
+		t.Fatalf("stall-resume completion at %v, want %v", doneAt, want)
+	}
+}
+
+func TestRemoveFlowDuringStall(t *testing.T) {
+	f, e, p := newLineFabric()
+	completed := false
+	fl := &Flow{Tenant: "t", Path: p, Size: 1000,
+		OnComplete: func(simtime.Time) { completed = true }}
+	_ = f.AddFlow(fl)
+	e.RunFor(simtime.Duration(simtime.Second))
+	_ = f.FailLink(p.Links[0].ID)
+	f.RemoveFlow(fl)
+	_ = f.RestoreLink(p.Links[0].ID)
+	e.Run()
+	if completed {
+		t.Fatal("removed flow completed")
+	}
+	if f.Flows() != 0 {
+		t.Fatal("flows left")
+	}
+}
+
+func TestCapChangeMidTransfer(t *testing.T) {
+	f, e, p := newLineFabric()
+	var doneAt simtime.Time
+	fl := &Flow{Tenant: "slow", Path: p, Size: 1000,
+		OnComplete: func(at simtime.Time) { doneAt = at }}
+	_ = f.AddFlow(fl)
+	// Cap the tenant to 10 B/s at t=5s (500 bytes in).
+	e.Schedule(simtime.Time(5*simtime.Second), func() {
+		_ = f.SetTenantCap(p.Links[0].ID, "slow", 10)
+	})
+	e.Run()
+	// 500B at 100B/s (5s) + 500B at 10B/s (50s) = 55s.
+	want := simtime.Time(55 * simtime.Second)
+	if doneAt != want {
+		t.Fatalf("capped completion at %v, want %v", doneAt, want)
+	}
+}
+
+func TestOnCompleteChainsNextFlow(t *testing.T) {
+	// The ML-trainer pattern: OnComplete immediately adds the next
+	// sized flow; the fabric must handle mutation from inside its own
+	// completion processing.
+	f, e, p := newLineFabric()
+	var completions []simtime.Time
+	var start func()
+	start = func() {
+		if len(completions) >= 3 {
+			return
+		}
+		_ = f.AddFlow(&Flow{Tenant: "t", Path: p, Size: 100,
+			OnComplete: func(at simtime.Time) {
+				completions = append(completions, at)
+				start()
+			}})
+	}
+	start()
+	e.Run()
+	if len(completions) != 3 {
+		t.Fatalf("chained %d completions, want 3", len(completions))
+	}
+	for i, at := range completions {
+		want := simtime.Time(i+1) * simtime.Time(simtime.Second)
+		if at != want {
+			t.Fatalf("completion %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestSimultaneousCompletions(t *testing.T) {
+	f, e, p := newLineFabric()
+	count := 0
+	for i := 0; i < 4; i++ {
+		_ = f.AddFlow(&Flow{Tenant: "t", Path: p, Size: 250,
+			OnComplete: func(simtime.Time) { count++ }})
+	}
+	e.Run()
+	// 4 flows x 250B sharing 100B/s: all finish together at t=10s.
+	if count != 4 {
+		t.Fatalf("%d completions", count)
+	}
+	if e.Now() != simtime.Time(10*simtime.Second) {
+		t.Fatalf("finished at %v, want 10s", e.Now())
+	}
+}
+
+func TestZeroSizeTransactionOnSelfPath(t *testing.T) {
+	f, e, _ := newLineFabric()
+	// Single-hop transaction a->b.
+	var rec TxRecord
+	err := f.SendTransaction(TxOptions{Tenant: "t", Src: "a", Dst: "b"},
+		func(r TxRecord) { rec = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if rec.Lost || rec.RTT != 10 {
+		t.Fatalf("single-hop tx: %+v", rec)
+	}
+}
+
+// Property: total bytes accounted on a link equal rate-integral over
+// time for any schedule of demand changes.
+func TestPropertyAccountingConsistent(t *testing.T) {
+	f := func(changes []uint8) bool {
+		fab, e, p := newLineFabric()
+		fl := &Flow{Tenant: "t", Path: p}
+		if err := fab.AddFlow(fl); err != nil {
+			return false
+		}
+		var expected float64
+		last := e.Now()
+		lastRate := float64(fl.Rate())
+		for _, c := range changes {
+			dt := simtime.Duration(c%50+1) * simtime.Duration(simtime.Second) / 10
+			e.RunFor(dt)
+			expected += lastRate * e.Now().Sub(last).Seconds()
+			last = e.Now()
+			_ = fab.SetDemand(fl, topology.Rate(c%100)+1)
+			lastRate = float64(fl.Rate())
+		}
+		e.RunFor(simtime.Duration(simtime.Second))
+		expected += lastRate * e.Now().Sub(last).Seconds()
+		st, err := fab.LinkStatsFor(p.Links[0].ID)
+		if err != nil {
+			return false
+		}
+		diff := st.TotalBytes - expected
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= expected*1e-9+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the full co-location simulation is deterministic — same
+// seed, same final accounting, across arbitrary run lengths.
+func TestPropertySimulationDeterministic(t *testing.T) {
+	run := func(seed int64, ms int) float64 {
+		e := simtime.NewEngine(seed)
+		topo := topology.TwoSocketServer()
+		fab := New(topo, e, DefaultConfig())
+		p1, _ := topo.ShortestPath("nic0", "socket0.dimm0_0")
+		p2, _ := topo.ShortestPath("socket0.dimm0_0", "gpu0")
+		_ = fab.AddFlow(&Flow{Tenant: "a", Path: p1})
+		_ = fab.AddFlow(&Flow{Tenant: "b", Path: p2, Demand: topology.GBps(7)})
+		for i := 0; i < 5; i++ {
+			_ = fab.SendTransaction(TxOptions{Tenant: "c", Src: "external0",
+				Dst: "socket0.dimm0_0", RespBytes: 4096}, nil)
+		}
+		e.RunFor(simtime.Duration(ms) * simtime.Millisecond)
+		var sum float64
+		for _, st := range fab.AllLinkStats() {
+			sum += st.TotalBytes
+		}
+		return sum
+	}
+	f := func(seedRaw uint8, msRaw uint8) bool {
+		seed, ms := int64(seedRaw), int(msRaw%5)+1
+		return run(seed, ms) == run(seed, ms)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchDefersRecompute(t *testing.T) {
+	f, _, p := newLineFabric()
+	fl := &Flow{Tenant: "a", Path: p}
+	_ = f.AddFlow(fl)
+	if fl.Rate() != 100 {
+		t.Fatal("precondition")
+	}
+	f.Batch(func() {
+		_ = f.SetTenantCap(p.Links[0].ID, "a", 10)
+		// Reads inside the batch see the consistent pre-batch state.
+		if fl.Rate() != 100 {
+			t.Fatalf("mid-batch rate %v, want pre-batch 100", fl.Rate())
+		}
+		// Nested batches flatten.
+		f.Batch(func() {
+			_ = f.SetTenantCap(p.Links[1].ID, "a", 20)
+		})
+	})
+	// One settle at the end applies everything.
+	if fl.Rate() != 10 {
+		t.Fatalf("post-batch rate %v, want 10", fl.Rate())
+	}
+}
+
+func TestBatchWithSizedFlowCompletion(t *testing.T) {
+	f, e, p := newLineFabric()
+	var doneAt simtime.Time
+	fl := &Flow{Tenant: "a", Path: p, Size: 1000,
+		OnComplete: func(at simtime.Time) { doneAt = at }}
+	_ = f.AddFlow(fl)
+	e.RunFor(simtime.Duration(5 * simtime.Second))
+	f.Batch(func() {
+		_ = f.SetTenantCap(p.Links[0].ID, "a", 10)
+	})
+	e.Run()
+	// 500B at 100B/s then 500B at 10B/s = 5s + 50s.
+	if doneAt != simtime.Time(55*simtime.Second) {
+		t.Fatalf("completion at %v, want 55s", doneAt)
+	}
+}
+
+func TestTxStatsAccumulate(t *testing.T) {
+	f, e, p := newLineFabric()
+	_ = f.SendTransaction(TxOptions{Tenant: "t", Src: "a", Dst: "c", RespBytes: 1}, nil)
+	_ = f.FailLink(p.Links[1].ID)
+	_ = f.SendTransaction(TxOptions{Tenant: "t", Src: "a", Dst: "c", RespBytes: 1}, nil)
+	e.Run()
+	st := f.TxStats()
+	if st.Sent != 2 || st.Completed != 1 || st.Lost != 1 {
+		t.Fatalf("tx stats %+v", st)
+	}
+}

@@ -1,0 +1,250 @@
+// Package fabric is a flow-level discrete-event simulator of an
+// intra-host network. It models contention, congestion and latency on
+// the topology graph: concurrent flows share link capacity under
+// weighted max-min fairness, subject to per-(link,tenant) rate caps
+// installed by the resource arbiter; transaction latency inflates with
+// link utilization; links can fail outright or degrade silently.
+//
+// The fabric is the ground truth that the manageability stack (monitor,
+// anomaly detector, diagnostics, arbiter) observes and controls — it
+// stands in for the real PCIe/UPI/memory-bus hardware that the paper's
+// vision would instrument.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// TenantID identifies a tenant (VM, container, or application) for
+// accounting and resource arbitration. The empty TenantID is the
+// "system" tenant used by infrastructure traffic such as heartbeats.
+type TenantID string
+
+// SystemTenant is the tenant of infrastructure-originated traffic.
+const SystemTenant TenantID = "_system"
+
+// Config tunes the fabric's behavioural models.
+type Config struct {
+	// QueueingFactor scales utilization-driven latency inflation:
+	// per-hop latency = base * (1 + QueueingFactor * rho/(1-rho)),
+	// where rho is the link's utilization. Zero disables queueing
+	// latency (ablation for E2).
+	QueueingFactor float64
+	// MaxInflation caps the per-hop inflation multiplier so latency
+	// stays finite as rho -> 1.
+	MaxInflation float64
+	// PCIeEfficiency derates PCIe link capacity for TLP/DLLP protocol
+	// overhead. 1.0 means raw capacity. Typically ~0.85-0.9 for 256 B
+	// max payload (see the pcie package).
+	PCIeEfficiency float64
+	// IOMMULatency is the address-translation cost added to
+	// device-initiated traffic entering a root port whose IOMMU is
+	// configured to "translate" (Figure 1's "Translation Services"
+	// knob). The lookup is dynamic: flipping the component config
+	// changes latency live, which is exactly the kind of silent
+	// reconfiguration the monitor's drift detector exists to catch.
+	IOMMULatency simtime.Duration
+}
+
+// DefaultConfig returns the configuration used across experiments:
+// moderate queueing sensitivity and PCIe 4.0 protocol efficiency at a
+// 256-byte maximum payload.
+func DefaultConfig() Config {
+	return Config{
+		QueueingFactor: 0.35,
+		MaxInflation:   40,
+		PCIeEfficiency: 0.87,
+		IOMMULatency:   200 * simtime.Nanosecond,
+	}
+}
+
+// linkState is the run-time state of one directed link.
+type linkState struct {
+	link *topology.Link
+	// effective capacity after protocol derating, degradation.
+	capacity topology.Rate
+	// extraLatency is degradation-injected latency added to base.
+	extraLatency simtime.Duration
+	failed       bool
+	degradeFrac  float64 // 0 = healthy, 0.5 = half capacity lost
+
+	flows map[*Flow]struct{}
+
+	// inboundRootPort marks links carrying device-initiated traffic
+	// into a root port; such links pay the IOMMU translation cost when
+	// the port's config says "translate".
+	inboundRootPort *topology.Component // the root port, or nil
+
+	// Per-tenant rate caps installed by the arbiter.
+	caps map[TenantID]topology.Rate
+
+	// Accounting.
+	lastUpdate  simtime.Time
+	totalBytes  float64
+	tenantBytes map[TenantID]float64
+	currentRate topology.Rate // sum of allocated flow rates
+}
+
+// Fabric simulates the intra-host network of one host.
+type Fabric struct {
+	topo   *topology.Topology
+	engine *simtime.Engine
+	cfg    Config
+
+	links        map[topology.LinkID]*linkState
+	flows        map[FlowID]*Flow
+	tenantWeight map[TenantID]float64
+	nextID       uint64
+	dirty        bool // rates need recomputation
+	inRecompute  bool
+	batching     bool // Batch() open: defer recomputation
+	txStats      TransactionStats
+
+	// sniffers receive a copy of every transaction record (ihsniff).
+	sniffers []func(TxRecord)
+}
+
+// New creates a fabric over the given topology, driven by the engine's
+// virtual clock.
+func New(topo *topology.Topology, engine *simtime.Engine, cfg Config) *Fabric {
+	if cfg.MaxInflation <= 0 {
+		cfg.MaxInflation = 40
+	}
+	if cfg.PCIeEfficiency <= 0 || cfg.PCIeEfficiency > 1 {
+		cfg.PCIeEfficiency = 1
+	}
+	f := &Fabric{
+		topo:         topo,
+		engine:       engine,
+		cfg:          cfg,
+		links:        make(map[topology.LinkID]*linkState),
+		flows:        make(map[FlowID]*Flow),
+		tenantWeight: make(map[TenantID]float64),
+	}
+	for _, l := range topo.Links() {
+		cap := l.Capacity
+		if l.Class == topology.ClassPCIeUp || l.Class == topology.ClassPCIeDown {
+			cap = topology.Rate(float64(cap) * cfg.PCIeEfficiency)
+		}
+		var inbound *topology.Component
+		if to := topo.Component(l.To); to != nil && to.Kind == topology.KindRootPort {
+			if from := topo.Component(l.From); from != nil && from.Kind != topology.KindLLC {
+				inbound = to
+			}
+		}
+		f.links[l.ID] = &linkState{
+			inboundRootPort: inbound,
+			link:            l,
+			capacity:        cap,
+			flows:           make(map[*Flow]struct{}),
+			caps:            make(map[TenantID]topology.Rate),
+			tenantBytes:     make(map[TenantID]float64),
+			lastUpdate:      engine.Now(),
+		}
+	}
+	return f
+}
+
+// Topology returns the underlying (immutable) topology.
+func (f *Fabric) Topology() *topology.Topology { return f.topo }
+
+// Engine returns the virtual-time engine driving this fabric.
+func (f *Fabric) Engine() *simtime.Engine { return f.engine }
+
+// Config returns the fabric's behavioural configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+func (f *Fabric) state(id topology.LinkID) (*linkState, error) {
+	ls, ok := f.links[id]
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown link %q", id)
+	}
+	return ls, nil
+}
+
+// sortedLinkStates returns link states ordered by link ID for
+// deterministic iteration.
+func (f *Fabric) sortedLinkStates() []*linkState {
+	out := make([]*linkState, 0, len(f.links))
+	for _, ls := range f.links {
+		out = append(out, ls)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].link.ID < out[j].link.ID })
+	return out
+}
+
+// Utilization returns the link's current utilization in [0,1]: the sum
+// of allocated flow rates divided by effective capacity. Failed links
+// report 1.
+func (f *Fabric) Utilization(id topology.LinkID) (float64, error) {
+	ls, err := f.state(id)
+	if err != nil {
+		return 0, err
+	}
+	f.recomputeIfDirty()
+	if ls.failed {
+		return 1, nil
+	}
+	if ls.capacity <= 0 {
+		return 0, nil
+	}
+	u := float64(ls.currentRate) / float64(ls.capacity)
+	return math.Min(u, 1), nil
+}
+
+// EffectiveCapacity returns the link's capacity after protocol derating
+// and any injected degradation.
+func (f *Fabric) EffectiveCapacity(id topology.LinkID) (topology.Rate, error) {
+	ls, err := f.state(id)
+	if err != nil {
+		return 0, err
+	}
+	return ls.capacity, nil
+}
+
+// hopLatency returns the congestion-inflated one-way latency of a link
+// at its current utilization.
+func (f *Fabric) hopLatency(ls *linkState) simtime.Duration {
+	base := ls.link.BaseLatency + ls.extraLatency
+	if ls.inboundRootPort != nil && f.cfg.IOMMULatency > 0 {
+		if v, ok := ls.inboundRootPort.ConfigValue(topology.ConfigIOMMU); ok && v == "translate" {
+			base += f.cfg.IOMMULatency
+		}
+	}
+	if f.cfg.QueueingFactor <= 0 {
+		return base
+	}
+	var rho float64
+	if ls.capacity > 0 {
+		rho = math.Min(float64(ls.currentRate)/float64(ls.capacity), 0.999)
+	}
+	infl := 1 + f.cfg.QueueingFactor*rho/(1-rho)
+	if infl > f.cfg.MaxInflation {
+		infl = f.cfg.MaxInflation
+	}
+	return simtime.Duration(float64(base) * infl)
+}
+
+// PathLatency returns the current one-way latency along path for a
+// negligible-size message, including congestion inflation on every hop.
+// It returns an error containing the first failed link, if any.
+func (f *Fabric) PathLatency(p topology.Path) (simtime.Duration, error) {
+	f.recomputeIfDirty()
+	var sum simtime.Duration
+	for _, l := range p.Links {
+		ls, err := f.state(l.ID)
+		if err != nil {
+			return 0, err
+		}
+		if ls.failed {
+			return 0, fmt.Errorf("fabric: link %s failed", l.ID)
+		}
+		sum += f.hopLatency(ls)
+	}
+	return sum, nil
+}

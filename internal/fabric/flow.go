@@ -1,0 +1,273 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// FlowID identifies an active flow within a fabric.
+type FlowID uint64
+
+// Flow is a unidirectional stream of traffic along a fixed path.
+//
+// A flow with Size == 0 is persistent: it runs until removed, pushing
+// up to Demand bytes/second. A flow with Size > 0 is a sized transfer:
+// it completes once Size bytes have been delivered and then invokes
+// OnComplete.
+type Flow struct {
+	ID     FlowID
+	Tenant TenantID
+	Path   topology.Path
+	// Demand is the source's maximum offered rate. Zero means
+	// unconstrained (limited only by the fabric).
+	Demand topology.Rate
+	// Weight sets the flow's share under weighted max-min fairness
+	// relative to other flows. Zero is treated as 1.
+	Weight float64
+	// Size is the transfer length in bytes; zero means persistent.
+	Size int64
+	// OnComplete fires when a sized transfer finishes. It receives the
+	// completion time.
+	OnComplete func(simtime.Time)
+
+	// Run-time state, owned by the fabric.
+	rate      topology.Rate // current allocated rate
+	remaining float64       // bytes left (sized flows)
+	mark      simtime.Time  // progress accounted up to this instant
+	started   simtime.Time
+	completed bool
+	removed   bool
+	doneEv    simtime.EventHandle
+	fabric    *Fabric
+}
+
+// Rate returns the flow's currently allocated rate.
+func (fl *Flow) Rate() topology.Rate {
+	if fl.fabric != nil {
+		fl.fabric.recomputeIfDirty()
+	}
+	return fl.rate
+}
+
+// Remaining returns the bytes left to transfer for a sized flow.
+func (fl *Flow) Remaining() int64 {
+	if fl.fabric != nil && !fl.removed {
+		fl.fabric.settleAccounting()
+	}
+	return int64(math.Ceil(fl.remaining))
+}
+
+// Completed reports whether a sized flow has finished.
+func (fl *Flow) Completed() bool { return fl.completed }
+
+// Started returns the virtual time at which the flow was added.
+func (fl *Flow) Started() simtime.Time { return fl.started }
+
+// AddFlow installs a flow on the fabric and triggers a global rate
+// recomputation. The flow's path must be non-empty and reference links
+// of this fabric's topology. Flows across failed links are accepted
+// but receive zero rate until the link recovers.
+func (f *Fabric) AddFlow(fl *Flow) error {
+	if fl == nil || fl.fabric != nil {
+		return fmt.Errorf("fabric: flow nil or already added")
+	}
+	if fl.Path.Hops() == 0 {
+		return fmt.Errorf("fabric: flow with empty path")
+	}
+	for _, l := range fl.Path.Links {
+		if _, ok := f.links[l.ID]; !ok {
+			return fmt.Errorf("fabric: flow path references unknown link %q", l.ID)
+		}
+	}
+	if fl.Weight < 0 || fl.Demand < 0 || fl.Size < 0 {
+		return fmt.Errorf("fabric: negative flow parameter")
+	}
+	if fl.Weight == 0 {
+		fl.Weight = 1
+	}
+	f.nextID++
+	fl.ID = FlowID(f.nextID)
+	fl.fabric = f
+	fl.started = f.engine.Now()
+	fl.mark = fl.started
+	fl.remaining = float64(fl.Size)
+	f.flows[fl.ID] = fl
+	for _, l := range fl.Path.Links {
+		f.links[l.ID].flows[fl] = struct{}{}
+	}
+	f.markDirty()
+	return nil
+}
+
+// RemoveFlow detaches a flow and recomputes rates. Removing a flow
+// twice or removing a completed sized flow is a no-op.
+func (f *Fabric) RemoveFlow(fl *Flow) {
+	if fl == nil || fl.fabric != f || fl.removed {
+		return
+	}
+	f.settleAccounting()
+	fl.removed = true
+	fl.doneEv.Cancel()
+	delete(f.flows, fl.ID)
+	for _, l := range fl.Path.Links {
+		delete(f.links[l.ID].flows, fl)
+	}
+	f.markDirty()
+}
+
+// SetDemand updates a flow's offered rate and recomputes sharing.
+func (f *Fabric) SetDemand(fl *Flow, demand topology.Rate) error {
+	if fl == nil || fl.fabric != f || fl.removed {
+		return fmt.Errorf("fabric: flow not active")
+	}
+	if demand < 0 {
+		return fmt.Errorf("fabric: negative demand")
+	}
+	fl.Demand = demand
+	f.markDirty()
+	return nil
+}
+
+// Flows returns the number of active flows.
+func (f *Fabric) Flows() int { return len(f.flows) }
+
+// markDirty flags rates stale and recomputes unless a recomputation is
+// already on the stack or a batch is open.
+func (f *Fabric) markDirty() {
+	f.dirty = true
+	if f.batching {
+		return
+	}
+	f.recomputeIfDirty()
+}
+
+// Batch groups many mutations (cap updates, flow arrivals) into one
+// rate recomputation: fn runs with recomputation deferred, and the
+// fabric settles once at the end. Reads inside fn observe the
+// consistent pre-batch state — which is exactly what a
+// measure-then-set control loop like the arbiter wants. Virtual time
+// cannot advance inside fn (the simulation is single-threaded), so no
+// accounting or completion scheduling is lost. Nested batches flatten.
+func (f *Fabric) Batch(fn func()) {
+	if f.batching {
+		fn()
+		return
+	}
+	f.batching = true
+	fn()
+	f.batching = false
+	f.recomputeIfDirty()
+}
+
+// recomputeIfDirty settles accounting, recomputes max-min rates, fires
+// any completions that settling revealed, and re-arms completion
+// events. Completions can cascade (OnComplete may add or remove
+// flows); the loop runs until the state is clean. Re-entrant calls
+// (from callbacks) return immediately; the outermost invocation
+// finishes the job.
+func (f *Fabric) recomputeIfDirty() {
+	if f.inRecompute || f.batching {
+		return
+	}
+	f.inRecompute = true
+	defer func() { f.inRecompute = false }()
+	for f.dirty {
+		f.dirty = false
+		f.settleAccounting()
+		f.computeRates()
+		f.fireCompletions()
+		if f.dirty {
+			continue
+		}
+		f.armCompletions()
+	}
+}
+
+// settleAccounting accrues per-link byte counts at current rates since
+// each link's last update, and advances sized-flow progress. It is
+// safe to call at any time; it never changes rates.
+func (f *Fabric) settleAccounting() {
+	now := f.engine.Now()
+	for _, ls := range f.links {
+		dt := now.Sub(ls.lastUpdate).Seconds()
+		if dt > 0 {
+			for fl := range ls.flows {
+				b := float64(fl.rate) * dt
+				ls.totalBytes += b
+				ls.tenantBytes[fl.Tenant] += b
+			}
+		}
+		ls.lastUpdate = now
+	}
+	for _, fl := range f.flows {
+		if fl.Size > 0 && !fl.completed {
+			dt := now.Sub(fl.mark).Seconds()
+			if dt > 0 {
+				fl.remaining -= float64(fl.rate) * dt
+				if fl.remaining < 1 {
+					fl.remaining = 0
+				}
+			}
+		}
+		fl.mark = now
+	}
+}
+
+// fireCompletions completes every sized flow whose remaining bytes
+// reached zero. Completion removes the flow and invokes OnComplete,
+// which may mutate the flow set (dirty handling is in the caller).
+func (f *Fabric) fireCompletions() {
+	var done []*Flow
+	for _, fl := range f.flows {
+		if fl.Size > 0 && !fl.completed && fl.remaining <= 0 {
+			done = append(done, fl)
+		}
+	}
+	// Deterministic completion order.
+	for i := 0; i < len(done); i++ {
+		for j := i + 1; j < len(done); j++ {
+			if done[j].ID < done[i].ID {
+				done[i], done[j] = done[j], done[i]
+			}
+		}
+	}
+	now := f.engine.Now()
+	for _, fl := range done {
+		fl.completed = true
+		fl.removed = true
+		fl.doneEv.Cancel()
+		delete(f.flows, fl.ID)
+		for _, l := range fl.Path.Links {
+			delete(f.links[l.ID].flows, fl)
+		}
+		f.dirty = true
+		if fl.OnComplete != nil {
+			fl.OnComplete(now)
+		}
+	}
+}
+
+// armCompletions (re)schedules the completion event of every active
+// sized flow according to its current rate.
+func (f *Fabric) armCompletions() {
+	for _, fl := range f.flows {
+		if fl.Size == 0 || fl.completed {
+			continue
+		}
+		fl.doneEv.Cancel()
+		if fl.rate <= 0 {
+			continue // stalled; re-armed by the next recompute
+		}
+		eta := fl.rate.TimeToSend(int64(math.Ceil(fl.remaining)))
+		if eta < 1 {
+			eta = 1
+		}
+		fl.doneEv = f.engine.After(eta, func() {
+			f.dirty = true
+			f.recomputeIfDirty()
+		})
+	}
+}

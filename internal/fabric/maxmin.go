@@ -1,0 +1,167 @@
+package fabric
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// computeRates allocates a rate to every active flow under weighted
+// max-min fairness by progressive filling.
+//
+// Constraints considered, in deterministic order:
+//   - every link's effective capacity, shared by all flows crossing it;
+//   - every per-(link,tenant) cap installed by the arbiter, shared by
+//     that tenant's flows on that link;
+//   - every flow's own demand.
+//
+// The algorithm repeatedly finds the tightest constraint — the one
+// whose remaining capacity divided by the total effective weight of
+// its still-unfrozen member flows is smallest — and freezes those
+// members at their weighted fair share. Effective weight is the flow's
+// Weight times its tenant's global weight.
+func (f *Fabric) computeRates() {
+	type constraint struct {
+		key     string
+		cap     float64
+		members []*Flow
+	}
+	var cons []*constraint
+
+	for _, ls := range f.sortedLinkStates() {
+		if len(ls.flows) == 0 {
+			ls.currentRate = 0
+			continue
+		}
+		members := make([]*Flow, 0, len(ls.flows))
+		for fl := range ls.flows {
+			members = append(members, fl)
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		capacity := float64(ls.capacity)
+		if ls.failed {
+			capacity = 0
+		}
+		cons = append(cons, &constraint{
+			key:     "link:" + string(ls.link.ID),
+			cap:     capacity,
+			members: members,
+		})
+		// Tenant caps on this link.
+		tenants := make([]TenantID, 0, len(ls.caps))
+		for t := range ls.caps {
+			tenants = append(tenants, t)
+		}
+		sort.Slice(tenants, func(i, j int) bool { return tenants[i] < tenants[j] })
+		for _, t := range tenants {
+			var tm []*Flow
+			for _, fl := range members {
+				if fl.Tenant == t {
+					tm = append(tm, fl)
+				}
+			}
+			if len(tm) == 0 {
+				continue
+			}
+			cons = append(cons, &constraint{
+				key:     "cap:" + string(ls.link.ID) + ":" + string(t),
+				cap:     float64(ls.caps[t]),
+				members: tm,
+			})
+		}
+	}
+	// Flow demands.
+	flowIDs := make([]FlowID, 0, len(f.flows))
+	for id := range f.flows {
+		flowIDs = append(flowIDs, id)
+	}
+	sort.Slice(flowIDs, func(i, j int) bool { return flowIDs[i] < flowIDs[j] })
+	for _, id := range flowIDs {
+		fl := f.flows[id]
+		if fl.Demand > 0 {
+			cons = append(cons, &constraint{
+				key:     "demand:" + string(rune(0)) + itoaFlow(id),
+				cap:     float64(fl.Demand),
+				members: []*Flow{fl},
+			})
+		}
+	}
+
+	frozen := make(map[FlowID]bool, len(f.flows))
+	alloc := make(map[FlowID]float64, len(f.flows))
+	effWeight := func(fl *Flow) float64 {
+		w := fl.Weight
+		if tw, ok := f.tenantWeight[fl.Tenant]; ok && tw > 0 {
+			w *= tw
+		}
+		return w
+	}
+
+	for len(frozen) < len(f.flows) {
+		bestShare := math.Inf(1)
+		var best *constraint
+		for _, c := range cons {
+			remaining := c.cap
+			aw := 0.0
+			for _, fl := range c.members {
+				if frozen[fl.ID] {
+					remaining -= alloc[fl.ID]
+				} else {
+					aw += effWeight(fl)
+				}
+			}
+			if aw == 0 {
+				continue
+			}
+			share := remaining / aw
+			if share < 0 {
+				share = 0
+			}
+			if share < bestShare {
+				bestShare = share
+				best = c
+			}
+		}
+		if best == nil {
+			// No constraint covers the remaining flows; cannot happen
+			// because every flow crosses at least one link. Freeze at
+			// zero defensively rather than looping forever.
+			for id := range f.flows {
+				if !frozen[id] {
+					frozen[id] = true
+					alloc[id] = 0
+				}
+			}
+			break
+		}
+		for _, fl := range best.members {
+			if !frozen[fl.ID] {
+				frozen[fl.ID] = true
+				alloc[fl.ID] = bestShare * effWeight(fl)
+			}
+		}
+	}
+
+	for id, fl := range f.flows {
+		fl.rate = topology.Rate(alloc[id])
+	}
+	for _, ls := range f.links {
+		var sum topology.Rate
+		for fl := range ls.flows {
+			sum += fl.rate
+		}
+		ls.currentRate = sum
+	}
+}
+
+func itoaFlow(id FlowID) string {
+	// Zero-padded so lexicographic order matches numeric order.
+	const digits = 20
+	var buf [digits]byte
+	for i := digits - 1; i >= 0; i-- {
+		buf[i] = byte('0' + id%10)
+		id /= 10
+	}
+	return string(buf[:])
+}

@@ -1,0 +1,234 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// randomScenario builds a DGX fabric with n random flows between random
+// endpoints and returns the fabric and flows.
+func randomScenario(seed int64, n int) (*Fabric, []*Flow) {
+	e := simtime.NewEngine(seed)
+	topo := topology.DGXStyle()
+	f := New(topo, e, Config{PCIeEfficiency: 1})
+	eps := topo.Endpoints()
+	rng := rand.New(rand.NewSource(seed))
+	var flows []*Flow
+	for i := 0; i < n; i++ {
+		src := eps[rng.Intn(len(eps))].ID
+		dst := eps[rng.Intn(len(eps))].ID
+		if src == dst {
+			continue
+		}
+		p, err := topo.ShortestPath(src, dst)
+		if err != nil {
+			continue
+		}
+		fl := &Flow{
+			Tenant: TenantID([]string{"a", "b", "c"}[rng.Intn(3)]),
+			Path:   p,
+			Weight: float64(rng.Intn(4) + 1),
+		}
+		if rng.Intn(2) == 0 {
+			fl.Demand = topology.Rate(rng.Float64() * 50e9)
+		}
+		if err := f.AddFlow(fl); err != nil {
+			panic(err)
+		}
+		flows = append(flows, fl)
+	}
+	return f, flows
+}
+
+// Invariant 1: no link carries more than its capacity (feasibility).
+// Invariant 2: no flow exceeds its demand.
+// Invariant 3: max-min optimality — every flow is bottlenecked: it
+// either meets its demand or crosses a link that is (a) saturated and
+// (b) on which no other flow has a higher rate-per-weight (otherwise
+// the allocation would not be max-min fair).
+func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
+	t.Helper()
+	const eps = 1e-3 // bytes/sec slack for float accumulation
+	for _, ls := range f.sortedLinkStates() {
+		var sum float64
+		for fl := range ls.flows {
+			sum += float64(fl.rate)
+		}
+		if sum > float64(ls.capacity)*(1+1e-9)+eps {
+			t.Fatalf("link %s oversubscribed: %v > %v", ls.link.ID, sum, ls.capacity)
+		}
+		// Tenant caps respected.
+		for tenant, cap := range ls.caps {
+			var tsum float64
+			for fl := range ls.flows {
+				if fl.Tenant == tenant {
+					tsum += float64(fl.rate)
+				}
+			}
+			if tsum > float64(cap)*(1+1e-9)+eps {
+				t.Fatalf("link %s tenant %s cap violated: %v > %v", ls.link.ID, tenant, tsum, cap)
+			}
+		}
+	}
+	for _, fl := range flows {
+		if fl.removed {
+			continue
+		}
+		if fl.Demand > 0 && float64(fl.rate) > float64(fl.Demand)*(1+1e-9)+eps {
+			t.Fatalf("flow %d exceeds demand: %v > %v", fl.ID, fl.rate, fl.Demand)
+		}
+		if fl.Demand > 0 && float64(fl.rate) >= float64(fl.Demand)*(1-1e-6)-eps {
+			continue // demand-bottlenecked
+		}
+		// Must have a saturated bottleneck link where this flow's
+		// normalized share is maximal among the link's flows.
+		bottlenecked := false
+		for _, l := range fl.Path.Links {
+			ls := f.links[l.ID]
+			var sum float64
+			for other := range ls.flows {
+				sum += float64(other.rate)
+			}
+			if sum < float64(ls.capacity)*(1-1e-6)-eps {
+				continue // link not saturated
+			}
+			w := func(x *Flow) float64 {
+				ww := x.Weight
+				if tw, ok := f.tenantWeight[x.Tenant]; ok && tw > 0 {
+					ww *= tw
+				}
+				return ww
+			}
+			myShare := float64(fl.rate) / w(fl)
+			isMax := true
+			for other := range ls.flows {
+				if float64(other.rate)/w(other) > myShare*(1+1e-6)+eps {
+					isMax = false
+					break
+				}
+			}
+			if isMax {
+				bottlenecked = true
+				break
+			}
+			// The flow may instead be bottlenecked by a tenant cap on
+			// this link.
+			if cap, ok := ls.caps[fl.Tenant]; ok {
+				var tsum float64
+				for other := range ls.flows {
+					if other.Tenant == fl.Tenant {
+						tsum += float64(other.rate)
+					}
+				}
+				if tsum >= float64(cap)*(1-1e-6)-eps {
+					bottlenecked = true
+					break
+				}
+			}
+		}
+		// Also check cap-bottleneck on unsaturated links.
+		if !bottlenecked {
+			for _, l := range fl.Path.Links {
+				ls := f.links[l.ID]
+				if cap, ok := ls.caps[fl.Tenant]; ok {
+					var tsum float64
+					for other := range ls.flows {
+						if other.Tenant == fl.Tenant {
+							tsum += float64(other.rate)
+						}
+					}
+					if tsum >= float64(cap)*(1-1e-6)-eps {
+						bottlenecked = true
+						break
+					}
+				}
+			}
+		}
+		if !bottlenecked {
+			t.Fatalf("flow %d (rate %v) has no bottleneck: not max-min fair", fl.ID, fl.rate)
+		}
+	}
+}
+
+func TestPropertyMaxMinInvariantsRandomFlows(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		fab, flows := randomScenario(seed, int(n%40)+1)
+		checkMaxMinInvariants(t, fab, flows)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMaxMinWithRandomCaps(t *testing.T) {
+	f := func(seed int64) bool {
+		fab, flows := randomScenario(seed, 20)
+		rng := rand.New(rand.NewSource(seed + 1))
+		// Cap random tenants on random links of active flows.
+		for i := 0; i < 10 && len(flows) > 0; i++ {
+			fl := flows[rng.Intn(len(flows))]
+			l := fl.Path.Links[rng.Intn(fl.Path.Hops())]
+			_ = fab.SetTenantCap(l.ID, fl.Tenant, topology.Rate(rng.Float64()*20e9))
+		}
+		checkMaxMinInvariants(t, fab, flows)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinDeterminism(t *testing.T) {
+	run := func() []topology.Rate {
+		fab, flows := randomScenario(99, 25)
+		out := make([]topology.Rate, len(flows))
+		for i, fl := range flows {
+			out[i] = fl.Rate()
+		}
+		_ = fab
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic flow count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic rates at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// With one unconstrained flow per disjoint path, each should get
+	// its full bottleneck (no artificial throttling).
+	e := simtime.NewEngine(1)
+	topo := topology.DGXStyle()
+	f := New(topo, e, Config{PCIeEfficiency: 1})
+	p1, _ := topo.ShortestPath("gpu0", "nic0")
+	p2, _ := topo.ShortestPath("gpu2", "nic2")
+	f1 := &Flow{Tenant: "a", Path: p1}
+	f2 := &Flow{Tenant: "b", Path: p2}
+	_ = f.AddFlow(f1)
+	_ = f.AddFlow(f2)
+	if f1.Rate() != p1.BottleneckCapacity() {
+		t.Fatalf("disjoint flow 1 rate %v, want %v", f1.Rate(), p1.BottleneckCapacity())
+	}
+	if f2.Rate() != p2.BottleneckCapacity() {
+		t.Fatalf("disjoint flow 2 rate %v, want %v", f2.Rate(), p2.BottleneckCapacity())
+	}
+}
+
+func BenchmarkComputeRates40Flows(b *testing.B) {
+	fab, _ := randomScenario(7, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fab.dirty = true
+		fab.recomputeIfDirty()
+	}
+}

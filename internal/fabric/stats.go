@@ -1,0 +1,141 @@
+package fabric
+
+import (
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// LinkStats is a settled snapshot of one directed link's state. This
+// is the ground truth the telemetry sources sample (with their own
+// fidelity limits layered on top).
+type LinkStats struct {
+	Link        topology.LinkID
+	Class       topology.LinkClass
+	Capacity    topology.Rate // effective, after derating/degradation
+	CurrentRate topology.Rate // sum of allocated flow rates
+	Utilization float64
+	TotalBytes  float64
+	TenantBytes map[TenantID]float64
+	Flows       int
+	Failed      bool
+}
+
+// LinkStatsFor returns a settled snapshot of one link.
+func (f *Fabric) LinkStatsFor(id topology.LinkID) (LinkStats, error) {
+	ls, err := f.state(id)
+	if err != nil {
+		return LinkStats{}, err
+	}
+	f.recomputeIfDirty()
+	f.settleAccounting()
+	tb := make(map[TenantID]float64, len(ls.tenantBytes))
+	for t, b := range ls.tenantBytes {
+		tb[t] = b
+	}
+	util := 0.0
+	if ls.capacity > 0 {
+		util = float64(ls.currentRate) / float64(ls.capacity)
+		if util > 1 {
+			util = 1
+		}
+	}
+	if ls.failed {
+		util = 1
+	}
+	return LinkStats{
+		Link:        id,
+		Class:       ls.link.Class,
+		Capacity:    ls.capacity,
+		CurrentRate: ls.currentRate,
+		Utilization: util,
+		TotalBytes:  ls.totalBytes,
+		TenantBytes: tb,
+		Flows:       len(ls.flows),
+		Failed:      ls.failed,
+	}, nil
+}
+
+// AllLinkStats returns settled snapshots of every link, ordered by ID.
+func (f *Fabric) AllLinkStats() []LinkStats {
+	f.recomputeIfDirty()
+	f.settleAccounting()
+	out := make([]LinkStats, 0, len(f.links))
+	for _, ls := range f.sortedLinkStates() {
+		s, _ := f.LinkStatsFor(ls.link.ID)
+		out = append(out, s)
+	}
+	return out
+}
+
+// TenantUsage sums a tenant's current allocated rate per link class —
+// the per-tenant usage statistics the paper's monitor must expose.
+func (f *Fabric) TenantUsage(t TenantID) map[topology.LinkClass]topology.Rate {
+	f.recomputeIfDirty()
+	out := make(map[topology.LinkClass]topology.Rate)
+	for _, fl := range f.flows {
+		if fl.Tenant != t {
+			continue
+		}
+		seen := make(map[topology.LinkClass]bool)
+		for _, l := range fl.Path.Links {
+			if !seen[l.Class] {
+				seen[l.Class] = true
+				out[l.Class] += fl.rate
+			}
+		}
+	}
+	return out
+}
+
+// TenantsOn returns the sorted tenants with at least one active flow
+// crossing the given directed link.
+func (f *Fabric) TenantsOn(link topology.LinkID) []TenantID {
+	ls, err := f.state(link)
+	if err != nil {
+		return nil
+	}
+	seen := make(map[TenantID]bool)
+	for fl := range ls.flows {
+		seen[fl.Tenant] = true
+	}
+	out := make([]TenantID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TenantRateOn returns a tenant's current aggregate allocated rate on
+// one directed link.
+func (f *Fabric) TenantRateOn(link topology.LinkID, tenant TenantID) topology.Rate {
+	ls, err := f.state(link)
+	if err != nil {
+		return 0
+	}
+	f.recomputeIfDirty()
+	var sum topology.Rate
+	for fl := range ls.flows {
+		if fl.Tenant == tenant {
+			sum += fl.rate
+		}
+	}
+	return sum
+}
+
+// BusiestLinks returns the n highest-utilization links, ties broken by
+// link ID, most utilized first.
+func (f *Fabric) BusiestLinks(n int) []LinkStats {
+	all := f.AllLinkStats()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Utilization != all[j].Utilization {
+			return all[i].Utilization > all[j].Utilization
+		}
+		return all[i].Link < all[j].Link
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}

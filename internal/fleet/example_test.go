@@ -1,0 +1,45 @@
+package fleet_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/intent"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// Localization-driven evacuation: a silent fault on one host moves
+// exactly the tenants whose pathways cross the suspect link.
+func ExampleFleet_Rebalance() {
+	fl := fleet.New()
+	for i, name := range []string{"host-a", "host-b"} {
+		opts := core.DefaultOptions()
+		opts.Seed = int64(i + 1)
+		mgr, err := core.New(topology.TwoSocketServer(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_ = mgr.Start()
+		_, _ = fl.AddHost(name, mgr)
+	}
+	hostA := fl.Host("host-a")
+	_, _ = hostA.Mgr.Admit("victim", []intent.Target{
+		{Src: "nic0", Dst: "memory:socket0", Rate: topology.GBps(5)},
+	})
+	_, _ = hostA.Mgr.Admit("bystander", []intent.Target{
+		{Src: "gpu1", Dst: "memory:socket1", Rate: topology.GBps(5)},
+	})
+	fl.RunFor(2 * simtime.Millisecond) // calibrate heartbeats
+	_ = hostA.Mgr.Fabric().DegradeLink("pcieswitch0->nic0", 0.2, 10*simtime.Microsecond)
+	fl.RunFor(2 * simtime.Millisecond) // detect + localize
+
+	rep := fl.Rebalance()
+	fmt.Println("moved victim to:", rep.Moved["victim"])
+	fmt.Println("bystander stayed on:", fl.Locate("bystander").Name)
+	// Output:
+	// moved victim to: host-b
+	// bystander stayed on: host-a
+}

@@ -1,0 +1,207 @@
+// Package fleet coordinates the managers of multiple hosts. The
+// paper's virtualized intra-host abstraction promises that tenants
+// "easily migrate their VMs or containers without reconfiguring their
+// own intra-host networks"; this package is the operator-side
+// counterpart: least-pressure placement of new tenants across hosts,
+// and health-driven evacuation that uses the anomaly platform's
+// localization to move exactly the tenants whose pathways cross a
+// suspect link.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/intent"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/vnet"
+)
+
+// Host is one managed machine in the fleet.
+type Host struct {
+	Name string
+	Mgr  *core.Manager
+}
+
+// Pressure is the host's reserved fraction of total fabric capacity —
+// the placement policy's load signal.
+func (h *Host) Pressure() float64 {
+	free := h.Mgr.Arbiter().FreeMap()
+	capacity := h.Mgr.Arbiter().CapacityMap()
+	var f, c float64
+	for l, cv := range capacity {
+		c += float64(cv)
+		f += float64(free[l])
+	}
+	if c == 0 {
+		return 0
+	}
+	return 1 - f/c
+}
+
+// Fleet is a set of hosts under one operator.
+type Fleet struct {
+	hosts []*Host
+}
+
+// New returns an empty fleet.
+func New() *Fleet { return &Fleet{} }
+
+// AddHost registers a managed host under a unique name.
+func (f *Fleet) AddHost(name string, mgr *core.Manager) (*Host, error) {
+	if name == "" || mgr == nil {
+		return nil, fmt.Errorf("fleet: host needs a name and a manager")
+	}
+	for _, h := range f.hosts {
+		if h.Name == name {
+			return nil, fmt.Errorf("fleet: duplicate host %q", name)
+		}
+	}
+	h := &Host{Name: name, Mgr: mgr}
+	f.hosts = append(f.hosts, h)
+	return h, nil
+}
+
+// Hosts returns the fleet's hosts sorted by name.
+func (f *Fleet) Hosts() []*Host {
+	out := append([]*Host(nil), f.hosts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Host returns the named host, or nil.
+func (f *Fleet) Host(name string) *Host {
+	for _, h := range f.hosts {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// RunFor advances every host's virtual clock by d. Hosts are
+// independent simulations; the fleet keeps them loosely in step.
+func (f *Fleet) RunFor(d simtime.Duration) {
+	for _, h := range f.Hosts() {
+		h.Mgr.RunFor(d)
+	}
+}
+
+// Place admits a tenant on the least-pressured host that accepts it
+// (ties broken by name). It returns the view and the chosen host.
+func (f *Fleet) Place(tenant fabric.TenantID, targets []intent.Target) (*vnet.View, *Host, error) {
+	if len(f.hosts) == 0 {
+		return nil, nil, fmt.Errorf("fleet: no hosts")
+	}
+	order := f.Hosts()
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Pressure() < order[j].Pressure() })
+	var lastErr error
+	for _, h := range order {
+		view, err := h.Mgr.Admit(tenant, cloneTargets(targets))
+		if err == nil {
+			return view, h, nil
+		}
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("fleet: no host admitted %q: %w", tenant, lastErr)
+}
+
+// cloneTargets copies the slice so per-host tenant-field fill-in does
+// not alias across admission attempts.
+func cloneTargets(targets []intent.Target) []intent.Target {
+	out := make([]intent.Target, len(targets))
+	copy(out, targets)
+	return out
+}
+
+// Locate returns the host currently running the tenant, or nil.
+func (f *Fleet) Locate(tenant fabric.TenantID) *Host {
+	for _, h := range f.Hosts() {
+		if h.Mgr.Tenant(tenant) != nil {
+			return h
+		}
+	}
+	return nil
+}
+
+// AffectedTenants returns the tenants on a host whose assigned
+// pathways traverse any of the host's current anomaly suspects (in
+// either direction). These are the tenants an incident actually
+// touches — evacuation does not need to drain the whole machine.
+func AffectedTenants(h *Host) []fabric.TenantID {
+	suspect := make(map[topology.LinkID]bool)
+	for _, d := range h.Mgr.Anomaly().Detections() {
+		for _, s := range d.Suspects {
+			suspect[s.Link] = true
+		}
+	}
+	if len(suspect) == 0 {
+		return nil
+	}
+	var out []fabric.TenantID
+	for _, rec := range h.Mgr.Tenants() {
+		hit := false
+		for _, a := range rec.Assignments {
+			for _, l := range a.Path.Links {
+				if suspect[l.ID] || suspect[l.Reverse] {
+					hit = true
+				}
+			}
+		}
+		if hit {
+			out = append(out, rec.ID)
+		}
+	}
+	return out
+}
+
+// EvacuationReport summarizes one rebalancing pass.
+type EvacuationReport struct {
+	// Moved maps tenant to its destination host name.
+	Moved map[fabric.TenantID]string
+	// Failed lists tenants no other host would admit (they stay put;
+	// the operator gets to decide what degrades).
+	Failed []fabric.TenantID
+}
+
+// Rebalance migrates, for every host with active anomaly detections,
+// the affected tenants to the least-pressured healthy host that will
+// take them. Unaffected tenants are never touched.
+func (f *Fleet) Rebalance() EvacuationReport {
+	rep := EvacuationReport{Moved: make(map[fabric.TenantID]string)}
+	unhealthy := make(map[string]bool)
+	for _, h := range f.Hosts() {
+		if len(h.Mgr.Anomaly().Detections()) > 0 {
+			unhealthy[h.Name] = true
+		}
+	}
+	for _, h := range f.Hosts() {
+		if !unhealthy[h.Name] {
+			continue
+		}
+		for _, tenant := range AffectedTenants(h) {
+			moved := false
+			candidates := f.Hosts()
+			sort.SliceStable(candidates, func(i, j int) bool {
+				return candidates[i].Pressure() < candidates[j].Pressure()
+			})
+			for _, dst := range candidates {
+				if dst.Name == h.Name || unhealthy[dst.Name] {
+					continue
+				}
+				if _, err := h.Mgr.Migrate(tenant, dst.Mgr); err == nil {
+					rep.Moved[tenant] = dst.Name
+					moved = true
+					break
+				}
+			}
+			if !moved {
+				rep.Failed = append(rep.Failed, tenant)
+			}
+		}
+	}
+	return rep
+}

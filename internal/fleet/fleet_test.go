@@ -1,0 +1,176 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intent"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func newFleet(t *testing.T, n int) *Fleet {
+	t.Helper()
+	f := New()
+	for i := 0; i < n; i++ {
+		opts := core.DefaultOptions()
+		opts.Seed = int64(i + 1)
+		m, err := core.New(topology.TwoSocketServer(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.AddHost(string(rune('a'+i)), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestAddHostValidation(t *testing.T) {
+	f := New()
+	if _, err := f.AddHost("", nil); err == nil {
+		t.Fatal("empty host accepted")
+	}
+	m, _ := core.New(topology.MinimalHost(), core.DefaultOptions())
+	if _, err := f.AddHost("x", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddHost("x", m); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if f.Host("x") == nil || f.Host("y") != nil {
+		t.Fatal("Host lookup wrong")
+	}
+}
+
+func TestPlaceLeastPressure(t *testing.T) {
+	f := newFleet(t, 2)
+	targets := []intent.Target{{Src: "nic0", Dst: intent.AnyMemory, Rate: topology.GBps(8)}}
+	// First placement goes somewhere; pressure that host, then the
+	// second distinct tenant should land on the other.
+	_, h1, err := f.Place("t1", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, h2, err := f.Place("t2", targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Name == h2.Name {
+		t.Fatalf("both tenants on %s despite equal alternatives", h1.Name)
+	}
+	if f.Locate("t1") == nil || f.Locate("t2") == nil {
+		t.Fatal("Locate failed")
+	}
+	if f.Locate("ghost") != nil {
+		t.Fatal("Locate found ghost")
+	}
+}
+
+func TestPlaceFailsWhenFull(t *testing.T) {
+	f := newFleet(t, 2)
+	big := []intent.Target{{Src: "nic0", Dst: intent.AnyMemory, Rate: topology.GBps(25)}}
+	if _, _, err := f.Place("t1", big); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Place("t2", big); err != nil {
+		t.Fatal(err)
+	}
+	// Both hosts' nic0 uplinks are now fully reserved.
+	if _, _, err := f.Place("t3", big); err == nil {
+		t.Fatal("overcommit accepted")
+	}
+}
+
+func TestPressureGrowsWithReservations(t *testing.T) {
+	f := newFleet(t, 1)
+	h := f.Hosts()[0]
+	before := h.Pressure()
+	if _, err := h.Mgr.Admit("t", []intent.Target{
+		{Src: "nic0", Dst: intent.AnyMemory, Rate: topology.GBps(20)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Pressure() <= before {
+		t.Fatalf("pressure %v not above %v after reservation", h.Pressure(), before)
+	}
+}
+
+func TestRebalanceMovesOnlyAffectedTenants(t *testing.T) {
+	f := newFleet(t, 2)
+	hostA := f.Host("a")
+	// victim's pathway crosses pcieswitch0; bystander lives on the
+	// other socket's fabric entirely.
+	if _, err := hostA.Mgr.Admit("victim", []intent.Target{
+		{Src: "nic0", Dst: "memory:socket0", Rate: topology.GBps(5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hostA.Mgr.Admit("bystander", []intent.Target{
+		{Src: "gpu1", Dst: "memory:socket1", Rate: topology.GBps(5)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Calibrate heartbeats, then silently degrade the victim's switch
+	// link on host a.
+	f.RunFor(2 * simtime.Millisecond)
+	if err := hostA.Mgr.Fabric().DegradeLink("pcieswitch0->nic0", 0.2, 10*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(2 * simtime.Millisecond)
+	if len(hostA.Mgr.Anomaly().Detections()) == 0 {
+		t.Fatal("degradation not detected; rebalance has nothing to act on")
+	}
+	affected := AffectedTenants(hostA)
+	if len(affected) != 1 || affected[0] != "victim" {
+		t.Fatalf("affected = %v, want [victim]", affected)
+	}
+	rep := f.Rebalance()
+	if dst, ok := rep.Moved["victim"]; !ok || dst != "b" {
+		t.Fatalf("rebalance moved %v", rep.Moved)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("failed: %v", rep.Failed)
+	}
+	if f.Locate("victim").Name != "b" {
+		t.Fatal("victim not on host b")
+	}
+	if f.Locate("bystander").Name != "a" {
+		t.Fatal("bystander was moved")
+	}
+}
+
+func TestRebalanceReportsUnplaceable(t *testing.T) {
+	f := newFleet(t, 2)
+	hostA, hostB := f.Host("a"), f.Host("b")
+	// Fill host b's nic0 path so it cannot take the victim.
+	if _, err := hostB.Mgr.Admit("hog", []intent.Target{
+		{Src: "nic0", Dst: intent.AnyMemory, Rate: topology.GBps(25)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hostA.Mgr.Admit("victim", []intent.Target{
+		{Src: "nic0", Dst: "memory:socket0", Rate: topology.GBps(20)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f.RunFor(2 * simtime.Millisecond)
+	_ = hostA.Mgr.Fabric().DegradeLink("pcieswitch0->nic0", 0.2, 10*simtime.Microsecond)
+	f.RunFor(2 * simtime.Millisecond)
+	rep := f.Rebalance()
+	if len(rep.Failed) != 1 || rep.Failed[0] != "victim" {
+		t.Fatalf("report: %+v", rep)
+	}
+	if f.Locate("victim").Name != "a" {
+		t.Fatal("unplaceable tenant was evicted anyway")
+	}
+}
+
+func TestPlaceNoHosts(t *testing.T) {
+	if _, _, err := New().Place("t", nil); err == nil {
+		t.Fatal("placement on empty fleet accepted")
+	}
+}

@@ -1,0 +1,492 @@
+// Package httpapi exposes the manageable intra-host network over a
+// JSON control plane — the operator-facing surface of the paper's
+// vision: inspect the topology, read per-link and per-tenant usage,
+// admit and evict tenants (compile -> schedule -> arbitrate), pull
+// anomaly detections, and run diagnostics, all against the simulated
+// host driven by explicit virtual-time advancement.
+//
+// The simulation engine is single-threaded; a mutex serializes every
+// handler, and virtual time moves only via POST /api/advance (or the
+// daemon's optional auto-advance loop), so API interactions are
+// deterministic and replayable.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/intent"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// Server wraps a manager with an HTTP control plane.
+type Server struct {
+	mu  sync.Mutex
+	mgr *core.Manager
+}
+
+// New builds a server over the manager.
+func New(mgr *core.Manager) *Server { return &Server{mgr: mgr} }
+
+// Advance moves virtual time forward by d under the server's lock.
+// The daemon's auto-advance loop uses it; tests may too.
+func (s *Server) Advance(d simtime.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mgr.RunFor(d)
+}
+
+// Handler returns the API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/topology", s.locked(s.getTopology))
+	mux.HandleFunc("GET /api/report", s.locked(s.getReport))
+	mux.HandleFunc("GET /api/alerts", s.locked(s.getAlerts))
+	mux.HandleFunc("GET /api/detections", s.locked(s.getDetections))
+	mux.HandleFunc("GET /api/tenants", s.locked(s.getTenants))
+	mux.HandleFunc("POST /api/tenants", s.locked(s.postTenant))
+	mux.HandleFunc("DELETE /api/tenants/{id}", s.locked(s.deleteTenant))
+	mux.HandleFunc("POST /api/advance", s.locked(s.postAdvance))
+	mux.HandleFunc("GET /api/diag/ping", s.locked(s.getPing))
+	mux.HandleFunc("GET /api/diag/trace", s.locked(s.getTrace))
+	mux.HandleFunc("GET /api/diag/perf", s.locked(s.getPerf))
+	mux.HandleFunc("GET /api/telemetry", s.locked(s.getTelemetry))
+	mux.HandleFunc("GET /api/tenants/{id}/verify", s.locked(s.getVerify))
+	mux.HandleFunc("GET /api/tenants/{id}/usage", s.locked(s.getTenantUsage))
+	mux.HandleFunc("GET /api/experiments/{id}", s.getExperiment) // self-contained
+	return mux
+}
+
+func (s *Server) locked(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// DTOs.
+
+type componentDTO struct {
+	ID     string            `json:"id"`
+	Kind   string            `json:"kind"`
+	Socket int               `json:"socket"`
+	Config map[string]string `json:"config,omitempty"`
+}
+
+type linkDTO struct {
+	ID          string  `json:"id"`
+	Class       string  `json:"class"`
+	FigureRef   int     `json:"figure_ref"`
+	CapacityBps float64 `json:"capacity_bps"`
+	LatencyNs   int64   `json:"latency_ns"`
+}
+
+type topologyDTO struct {
+	Name       string         `json:"name"`
+	Components []componentDTO `json:"components"`
+	Links      []linkDTO      `json:"links"`
+}
+
+func (s *Server) getTopology(w http.ResponseWriter, _ *http.Request) {
+	topo := s.mgr.Topology()
+	out := topologyDTO{Name: topo.Name}
+	for _, c := range topo.Components() {
+		out.Components = append(out.Components, componentDTO{
+			ID: string(c.ID), Kind: c.Kind.String(), Socket: c.Socket, Config: c.Config,
+		})
+	}
+	for _, l := range topo.Links() {
+		out.Links = append(out.Links, linkDTO{
+			ID: string(l.ID), Class: l.Class.String(), FigureRef: l.Class.FigureRef(),
+			CapacityBps: float64(l.Capacity), LatencyNs: int64(l.BaseLatency),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type linkUsageDTO struct {
+	ID          string             `json:"id"`
+	Utilization float64            `json:"utilization"`
+	RateBps     float64            `json:"rate_bps"`
+	Failed      bool               `json:"failed,omitempty"`
+	TenantBytes map[string]float64 `json:"tenant_bytes,omitempty"`
+}
+
+type reportDTO struct {
+	VirtualTimeNs int64                         `json:"virtual_time_ns"`
+	Links         []linkUsageDTO                `json:"links"`
+	Tenants       map[string]map[string]float64 `json:"tenant_usage_bps"`
+	Congested     []string                      `json:"congested,omitempty"`
+}
+
+func (s *Server) getReport(w http.ResponseWriter, _ *http.Request) {
+	rep := s.mgr.Monitor().UsageReport()
+	out := reportDTO{
+		VirtualTimeNs: int64(rep.At),
+		Tenants:       make(map[string]map[string]float64),
+	}
+	for _, st := range rep.Links {
+		lu := linkUsageDTO{
+			ID: string(st.Link), Utilization: st.Utilization,
+			RateBps: float64(st.CurrentRate), Failed: st.Failed,
+		}
+		if len(st.TenantBytes) > 0 {
+			lu.TenantBytes = make(map[string]float64, len(st.TenantBytes))
+			for t, b := range st.TenantBytes {
+				lu.TenantBytes[string(t)] = b
+			}
+		}
+		out.Links = append(out.Links, lu)
+	}
+	for _, tu := range rep.Tenants {
+		m := make(map[string]float64)
+		for class, r := range tu.ByClass {
+			m[class.String()] = float64(r)
+		}
+		out.Tenants[string(tu.Tenant)] = m
+	}
+	for _, l := range rep.Congested {
+		out.Congested = append(out.Congested, string(l))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) getAlerts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Monitor().Alerts())
+}
+
+func (s *Server) getDetections(w http.ResponseWriter, _ *http.Request) {
+	type suspectDTO struct {
+		Link  string  `json:"link"`
+		Score float64 `json:"score"`
+	}
+	type detectionDTO struct {
+		AtNs     int64        `json:"at_ns"`
+		Pair     string       `json:"pair"`
+		Lost     bool         `json:"lost"`
+		Suspects []suspectDTO `json:"suspects"`
+	}
+	var out []detectionDTO
+	for _, d := range s.mgr.Anomaly().Detections() {
+		dd := detectionDTO{AtNs: int64(d.At), Pair: d.Pair.String(), Lost: d.Lost}
+		for _, su := range d.Suspects {
+			dd.Suspects = append(dd.Suspects, suspectDTO{Link: string(su.Link), Score: su.Score})
+		}
+		out = append(out, dd)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type targetDTO struct {
+	Model    string  `json:"model,omitempty"`
+	Src      string  `json:"src"`
+	Dst      string  `json:"dst"`
+	RateGbps float64 `json:"rate_gbps"`
+	MaxLatNs int64   `json:"max_latency_ns,omitempty"`
+}
+
+type admitDTO struct {
+	Tenant  string      `json:"tenant"`
+	Targets []targetDTO `json:"targets"`
+}
+
+type viewDTO struct {
+	Tenant   string             `json:"tenant"`
+	Host     string             `json:"host"`
+	LinksBps map[string]float64 `json:"guaranteed_links_bps"`
+}
+
+func (s *Server) postTenant(w http.ResponseWriter, r *http.Request) {
+	var req admitDTO
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	targets := make([]intent.Target, 0, len(req.Targets))
+	for _, t := range req.Targets {
+		targets = append(targets, intent.Target{
+			Tenant: fabric.TenantID(req.Tenant),
+			Src:    topology.CompID(t.Src), Dst: topology.CompID(t.Dst),
+			Rate:       topology.Gbps(t.RateGbps),
+			MaxLatency: simtime.Duration(t.MaxLatNs),
+		})
+	}
+	view, err := s.mgr.Admit(fabric.TenantID(req.Tenant), targets)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	out := viewDTO{Tenant: string(view.Tenant), Host: view.HostName,
+		LinksBps: make(map[string]float64)}
+	for l, rate := range view.Reservation.Links {
+		out.LinksBps[string(l)] = float64(rate)
+	}
+	writeJSON(w, http.StatusCreated, out)
+}
+
+func (s *Server) deleteTenant(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.Evict(fabric.TenantID(id)); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"evicted": id})
+}
+
+func (s *Server) getTenants(w http.ResponseWriter, _ *http.Request) {
+	type tenantDTO struct {
+		ID      string   `json:"id"`
+		Targets []string `json:"targets"`
+	}
+	out := []tenantDTO{}
+	for _, t := range s.mgr.Tenants() {
+		td := tenantDTO{ID: string(t.ID)}
+		for _, target := range t.Targets {
+			td.Targets = append(td.Targets, target.String())
+		}
+		out = append(out, td)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) postAdvance(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Micros int64 `json:"micros"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Micros <= 0 || req.Micros > 10_000_000 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("micros must be in (0, 1e7]"))
+		return
+	}
+	s.mgr.RunFor(simtime.Duration(req.Micros) * simtime.Microsecond)
+	writeJSON(w, http.StatusOK, map[string]int64{"virtual_time_ns": int64(s.mgr.Engine().Now())})
+}
+
+func (s *Server) getPing(w http.ResponseWriter, r *http.Request) {
+	src := topology.CompID(r.URL.Query().Get("src"))
+	dst := topology.CompID(r.URL.Query().Get("dst"))
+	var rep diag.PingReport
+	done := false
+	_, err := diag.StartPing(s.mgr.Fabric(), src, dst, diag.DefaultPingOptions(),
+		func(pr diag.PingReport) { rep, done = pr, true })
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	for i := 0; i < 1000 && !done; i++ {
+		s.mgr.RunFor(10 * simtime.Microsecond)
+	}
+	if !done {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("ping did not complete"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"report": rep.String(),
+		"sent":   rep.Sent,
+		"lost":   rep.Lost,
+		"avg_ns": int64(rep.Avg),
+		"p99_ns": int64(rep.P99),
+	})
+}
+
+func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
+	src := topology.CompID(r.URL.Query().Get("src"))
+	dst := topology.CompID(r.URL.Query().Get("dst"))
+	var rep diag.TraceReport
+	done := false
+	_, err := diag.StartTrace(s.mgr.Fabric(), src, dst, 64,
+		func(tr diag.TraceReport) { rep, done = tr, true })
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	for i := 0; i < 1000 && !done; i++ {
+		s.mgr.RunFor(10 * simtime.Microsecond)
+	}
+	if !done {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("trace did not complete"))
+		return
+	}
+	type hopDTO struct {
+		Link  string `json:"link"`
+		RTTNs int64  `json:"rtt_ns"`
+		HopNs int64  `json:"hop_ns"`
+		Lost  bool   `json:"lost,omitempty"`
+	}
+	hops := make([]hopDTO, 0, len(rep.Hops))
+	for _, h := range rep.Hops {
+		hops = append(hops, hopDTO{Link: string(h.Link), RTTNs: int64(h.Cumulative),
+			HopNs: int64(h.HopLatency), Lost: h.Lost})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"path": rep.Path.String(), "hops": hops})
+}
+
+func (s *Server) getPerf(w http.ResponseWriter, r *http.Request) {
+	src := topology.CompID(r.URL.Query().Get("src"))
+	dst := topology.CompID(r.URL.Query().Get("dst"))
+	tenant := fabric.TenantID(r.URL.Query().Get("tenant"))
+	var rep diag.PerfReport
+	done := false
+	_, err := diag.StartPerf(s.mgr.Fabric(), src, dst, diag.PerfOptions{
+		Duration: 200 * simtime.Microsecond, Tenant: tenant,
+	}, func(pr diag.PerfReport) { rep, done = pr, true })
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	for i := 0; i < 1000 && !done; i++ {
+		s.mgr.RunFor(10 * simtime.Microsecond)
+	}
+	if !done {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("perf did not complete"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"report":            rep.String(),
+		"achieved_bps":      float64(rep.Achieved),
+		"path_capacity_bps": float64(rep.PathCapacity),
+		"bottleneck":        string(rep.BottleneckLink),
+	})
+}
+
+func (s *Server) getVerify(w http.ResponseWriter, r *http.Request) {
+	id := fabric.TenantID(r.PathValue("id"))
+	vs, err := s.mgr.VerifyTenant(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	type verificationDTO struct {
+		Path        string  `json:"path"`
+		PromisedBps float64 `json:"promised_bps"`
+		AchievedBps float64 `json:"achieved_bps"`
+		Met         bool    `json:"met"`
+		LatencyNs   int64   `json:"latency_ns"`
+		LatencyMet  bool    `json:"latency_met"`
+	}
+	out := make([]verificationDTO, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, verificationDTO{
+			Path: v.Path.String(), PromisedBps: float64(v.Promised),
+			AchievedBps: float64(v.Achieved), Met: v.Met,
+			LatencyNs: int64(v.IdleLatency), LatencyMet: v.LatencyMet,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) getTenantUsage(w http.ResponseWriter, r *http.Request) {
+	id := fabric.TenantID(r.PathValue("id"))
+	rec := s.mgr.Tenant(id)
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown tenant %q", id))
+		return
+	}
+	type usageDTO struct {
+		Link         string  `json:"link"`
+		AllocatedBps float64 `json:"allocated_bps"`
+		UsedBps      float64 `json:"used_bps"`
+		Utilization  float64 `json:"utilization"`
+	}
+	var out []usageDTO
+	for _, lu := range rec.View.UsageReport(s.mgr.Fabric()) {
+		out = append(out, usageDTO{
+			Link: string(lu.Link), AllocatedBps: float64(lu.Allocated),
+			UsedBps: float64(lu.Used), Utilization: lu.Utilization,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) getTelemetry(w http.ResponseWriter, r *http.Request) {
+	pl := s.mgr.Telemetry()
+	if pl == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("telemetry pipeline disabled"))
+		return
+	}
+	q := r.URL.Query()
+	var since simtime.Time
+	if v := q.Get("since_ns"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		since = simtime.Time(n)
+	}
+	link := topology.LinkID(q.Get("link"))
+	metric := telemetry.Metric(q.Get("metric"))
+	tenant := fabric.TenantID(q.Get("tenant"))
+	type pointDTO struct {
+		AtNs   int64   `json:"at_ns"`
+		Link   string  `json:"link"`
+		Tenant string  `json:"tenant,omitempty"`
+		Metric string  `json:"metric"`
+		Value  float64 `json:"value"`
+	}
+	out := []pointDTO{}
+	for _, p := range pl.Store().Since(since) {
+		if link != "" && p.Link != link {
+			continue
+		}
+		if metric != "" && p.Metric != metric {
+			continue
+		}
+		if tenant != "" && p.Tenant != tenant {
+			continue
+		}
+		out = append(out, pointDTO{
+			AtNs: int64(p.At), Link: string(p.Link), Tenant: string(p.Tenant),
+			Metric: string(p.Metric), Value: p.Value,
+		})
+	}
+	o := pl.Overhead()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"points":            out,
+		"dropped":           pl.Store().Dropped(),
+		"points_per_second": o.PointsPerSecond,
+		"spool_bps":         float64(o.SpoolRate),
+	})
+}
+
+func (s *Server) getExperiment(w http.ResponseWriter, r *http.Request) {
+	id := strings.ToUpper(r.PathValue("id"))
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	tab, err := exp.Run(42)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": tab.ID, "title": tab.Title, "columns": tab.Columns,
+		"rows": tab.Rows, "notes": tab.Notes, "rendered": tab.Render(),
+	})
+}

@@ -1,0 +1,198 @@
+package intent
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/resmodel"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func interp(t *testing.T) *Interpreter {
+	t.Helper()
+	in, err := New(topology.TwoSocketServer(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(topology.MinimalHost(), 0, nil); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestCompilePipeConcrete(t *testing.T) {
+	in := interp(t)
+	req, err := in.Compile(Target{
+		Tenant: "ml", Src: "gpu0", Dst: "nic0", Rate: topology.GBps(10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, p := range req.Candidates {
+		if p.Src() != "gpu0" || p.Dst() != "nic0" {
+			t.Fatalf("candidate endpoints %s -> %s", p.Src(), p.Dst())
+		}
+	}
+	// Sorted by latency.
+	for i := 1; i < len(req.Candidates); i++ {
+		if req.Candidates[i].BaseLatency() < req.Candidates[i-1].BaseLatency() {
+			t.Fatal("candidates not latency-sorted")
+		}
+	}
+}
+
+func TestCompilePipeAnyMemoryExpands(t *testing.T) {
+	in := interp(t)
+	req, err := in.Compile(Target{
+		Tenant: "ml", Src: "gpu0", Dst: AnyMemory, Rate: topology.GBps(10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 DIMMs on the host -> candidates to several distinct DIMMs.
+	dsts := make(map[topology.CompID]bool)
+	for _, p := range req.Candidates {
+		dsts[p.Dst()] = true
+	}
+	if len(dsts) < 4 {
+		t.Fatalf("AnyMemory expanded to only %d destinations", len(dsts))
+	}
+}
+
+func TestCompilePipeSocketMemory(t *testing.T) {
+	in := interp(t)
+	req, err := in.Compile(Target{
+		Tenant: "ml", Src: "gpu0", Dst: "memory:socket1", Rate: topology.GBps(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.TwoSocketServer()
+	for _, p := range req.Candidates {
+		if topo.Component(p.Dst()).Socket != 1 {
+			t.Fatalf("candidate to %s not on socket 1", p.Dst())
+		}
+	}
+	if _, err := in.Compile(Target{Tenant: "t", Src: "gpu0", Dst: "memory:socketX", Rate: 1}); err == nil {
+		t.Fatal("malformed socket target accepted")
+	}
+	if _, err := in.Compile(Target{Tenant: "t", Src: "gpu0", Dst: "memory:socket7", Rate: 1}); err == nil {
+		t.Fatal("absent socket accepted")
+	}
+}
+
+func TestCompilePipeCapacityInfeasible(t *testing.T) {
+	in := interp(t)
+	_, err := in.Compile(Target{
+		Tenant: "ml", Src: "gpu0", Dst: "nic0", Rate: topology.GBps(100),
+	})
+	if err == nil || !strings.Contains(err.Error(), "no pathway") {
+		t.Fatalf("100GB/s over PCIe compiled: %v", err)
+	}
+}
+
+func TestCompilePipeLatencyBound(t *testing.T) {
+	in := interp(t)
+	// Tight bound excludes cross-socket paths.
+	req, err := in.Compile(Target{
+		Tenant: "ml", Src: "gpu0", Dst: AnyMemory, Rate: topology.GBps(5),
+		MaxLatency: 250 * simtime.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.TwoSocketServer()
+	for _, p := range req.Candidates {
+		if topo.Component(p.Dst()).Socket != 0 {
+			t.Fatalf("latency-bounded candidate crossed sockets: %s", p)
+		}
+	}
+	// Impossible bound.
+	if _, err := in.Compile(Target{
+		Tenant: "ml", Src: "gpu0", Dst: "nic0", Rate: 1, MaxLatency: 1,
+	}); err == nil {
+		t.Fatal("1ns latency bound compiled")
+	}
+}
+
+func TestCompileValidationErrors(t *testing.T) {
+	in := interp(t)
+	cases := []Target{
+		{Tenant: "", Src: "gpu0", Dst: "nic0", Rate: 1},
+		{Tenant: "t", Src: "gpu0", Dst: "nic0", Rate: 0},
+		{Tenant: "t", Src: "nope", Dst: "nic0", Rate: 1},
+		{Tenant: "t", Src: "gpu0", Dst: "nope", Rate: 1},
+		{Tenant: "t", Model: "weird", Src: "gpu0", Dst: "nic0", Rate: 1},
+	}
+	for i, c := range cases {
+		if _, err := in.Compile(c); err == nil {
+			t.Errorf("case %d compiled: %+v", i, c)
+		}
+	}
+}
+
+func TestCompileHose(t *testing.T) {
+	in := interp(t)
+	req, err := in.Compile(Target{
+		Tenant: "dist", Model: resmodel.ModelHose,
+		Hoses: []resmodel.HoseDemand{
+			{Endpoint: "gpu0", Egress: topology.GBps(5), Ingress: topology.GBps(5)},
+			{Endpoint: "gpu1", Egress: topology.GBps(5), Ingress: topology.GBps(5)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.HoseReservation.Links) == 0 {
+		t.Fatal("hose compiled to empty reservation")
+	}
+	// Infeasible hose: more than link capacity.
+	if _, err := in.Compile(Target{
+		Tenant: "dist", Model: resmodel.ModelHose,
+		Hoses: []resmodel.HoseDemand{
+			{Endpoint: "gpu0", Egress: topology.GBps(100), Ingress: topology.GBps(100)},
+			{Endpoint: "gpu1", Egress: topology.GBps(100), Ingress: topology.GBps(100)},
+		},
+	}); err == nil {
+		t.Fatal("infeasible hose compiled")
+	}
+}
+
+func TestCompileAll(t *testing.T) {
+	in := interp(t)
+	reqs, err := in.CompileAll([]Target{
+		{Tenant: "a", Src: "gpu0", Dst: "nic0", Rate: topology.GBps(1)},
+		{Tenant: "b", Src: "ssd0", Dst: AnyMemory, Rate: topology.GBps(1)},
+	})
+	if err != nil || len(reqs) != 2 {
+		t.Fatalf("CompileAll: %v, %d", err, len(reqs))
+	}
+	if _, err := in.CompileAll([]Target{
+		{Tenant: "a", Src: "gpu0", Dst: "nic0", Rate: topology.GBps(1)},
+		{Tenant: "b", Src: "gpu0", Dst: "nic0", Rate: -1},
+	}); err == nil {
+		t.Fatal("batch with bad target compiled")
+	}
+}
+
+func TestInterpreterIsTopologyGeneric(t *testing.T) {
+	// The same intent must compile on every preset that has the
+	// components — the migration property.
+	target := Target{Tenant: "ml", Src: "gpu0", Dst: AnyMemory, Rate: topology.GBps(8)}
+	for name, build := range topology.Presets {
+		in, err := New(build(), 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.Compile(target); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+	}
+}

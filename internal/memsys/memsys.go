@@ -1,0 +1,171 @@
+// Package memsys provides the memory-system view of an intra-host
+// topology: NUMA distances between devices and memory, candidate DIMM
+// targets under a placement policy, channel interleaving, and
+// aggregate memory-bandwidth accounting. The topology-aware scheduler
+// uses it to enumerate the "several pathways" (§3.2 of the paper) a
+// device-to-memory transfer can take.
+package memsys
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// Policy selects which DIMMs qualify as placement targets for a
+// device's DMA buffers.
+type Policy string
+
+// Placement policies, mirroring the ConfigNUMA values.
+const (
+	// PolicyLocal restricts placement to the device's own socket.
+	PolicyLocal Policy = "local"
+	// PolicyRemote restricts placement to other sockets (used in
+	// tests and antagonist workloads).
+	PolicyRemote Policy = "remote"
+	// PolicyInterleave admits every DIMM on the host.
+	PolicyInterleave Policy = "interleave"
+)
+
+// System wraps a topology with memory-oriented queries. It is cheap to
+// construct and stateless except for the interleave cursor.
+type System struct {
+	topo *topology.Topology
+	next map[topology.CompID]int // interleave cursors per device
+}
+
+// New returns a memory-system view over topo.
+func New(topo *topology.Topology) *System {
+	return &System{topo: topo, next: make(map[topology.CompID]int)}
+}
+
+// Sockets returns the sorted socket indices present in the topology
+// (excluding the external pseudo-socket -1).
+func (s *System) Sockets() []int {
+	seen := make(map[int]bool)
+	for _, c := range s.topo.Components() {
+		if c.Socket >= 0 {
+			seen[c.Socket] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DIMMs returns the sorted DIMM IDs on the given socket, or all DIMMs
+// when socket is negative.
+func (s *System) DIMMs(socket int) []topology.CompID {
+	var out []topology.CompID
+	for _, c := range s.topo.ComponentsOfKind(topology.KindDIMM) {
+		if socket < 0 || c.Socket == socket {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// Candidates returns the DIMM targets a device may DMA to under the
+// given policy, sorted by ID. It returns an error for unknown devices
+// or when the policy admits no DIMM.
+func (s *System) Candidates(device topology.CompID, p Policy) ([]topology.CompID, error) {
+	dev := s.topo.Component(device)
+	if dev == nil {
+		return nil, fmt.Errorf("memsys: unknown device %q", device)
+	}
+	var out []topology.CompID
+	for _, c := range s.topo.ComponentsOfKind(topology.KindDIMM) {
+		switch p {
+		case PolicyLocal:
+			if c.Socket == dev.Socket {
+				out = append(out, c.ID)
+			}
+		case PolicyRemote:
+			if c.Socket != dev.Socket {
+				out = append(out, c.ID)
+			}
+		case PolicyInterleave:
+			out = append(out, c.ID)
+		default:
+			return nil, fmt.Errorf("memsys: unknown policy %q", p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("memsys: policy %q admits no DIMM for %q", p, device)
+	}
+	return out, nil
+}
+
+// NextTarget cycles through a device's candidate DIMMs round-robin —
+// simple software interleaving across channels and sockets.
+func (s *System) NextTarget(device topology.CompID, p Policy) (topology.CompID, error) {
+	cands, err := s.Candidates(device, p)
+	if err != nil {
+		return "", err
+	}
+	i := s.next[device] % len(cands)
+	s.next[device]++
+	return cands[i], nil
+}
+
+// Distance returns the NUMA distance between a device and a DIMM as
+// the base latency of the shortest path between them. It is the
+// scheduler's cost metric for placement.
+func (s *System) Distance(device, dimm topology.CompID) (simtime.Duration, error) {
+	p, err := s.topo.ShortestPath(device, dimm)
+	if err != nil {
+		return 0, err
+	}
+	return p.BaseLatency(), nil
+}
+
+// DistanceMatrix returns socket-to-socket NUMA distances: the base
+// latency of the shortest CPU-to-DIMM path from each socket's CPU to
+// each socket's first DIMM. The diagonal is local access latency.
+func (s *System) DistanceMatrix() (map[int]map[int]simtime.Duration, error) {
+	sockets := s.Sockets()
+	out := make(map[int]map[int]simtime.Duration, len(sockets))
+	for _, a := range sockets {
+		out[a] = make(map[int]simtime.Duration, len(sockets))
+		cpu := topology.CompID(fmt.Sprintf("cpu%d", a))
+		if s.topo.Component(cpu) == nil {
+			return nil, fmt.Errorf("memsys: socket %d has no cpu%d component", a, a)
+		}
+		for _, b := range sockets {
+			dimms := s.DIMMs(b)
+			if len(dimms) == 0 {
+				return nil, fmt.Errorf("memsys: socket %d has no DIMMs", b)
+			}
+			d, err := s.Distance(cpu, dimms[0])
+			if err != nil {
+				return nil, err
+			}
+			out[a][b] = d
+		}
+	}
+	return out, nil
+}
+
+// AggregateBandwidth sums the capacities of all memory-channel links
+// (memctrl -> DIMM) on a socket — the socket's theoretical memory
+// bandwidth. Negative socket aggregates the whole host.
+func (s *System) AggregateBandwidth(socket int) topology.Rate {
+	var sum topology.Rate
+	for _, l := range s.topo.Links() {
+		from, to := s.topo.Component(l.From), s.topo.Component(l.To)
+		if from == nil || to == nil {
+			continue
+		}
+		if from.Kind == topology.KindMemCtrl && to.Kind == topology.KindDIMM {
+			if socket < 0 || to.Socket == socket {
+				sum += l.Capacity
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,142 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestSockets(t *testing.T) {
+	s := New(topology.TwoSocketServer())
+	got := s.Sockets()
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Sockets = %v", got)
+	}
+}
+
+func TestDIMMs(t *testing.T) {
+	s := New(topology.TwoSocketServer())
+	if n := len(s.DIMMs(0)); n != 4 {
+		t.Fatalf("socket 0 DIMMs = %d, want 4", n)
+	}
+	if n := len(s.DIMMs(-1)); n != 8 {
+		t.Fatalf("all DIMMs = %d, want 8", n)
+	}
+}
+
+func TestCandidatesPolicies(t *testing.T) {
+	s := New(topology.TwoSocketServer())
+	local, err := s.Candidates("gpu0", PolicyLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range local {
+		if s.topoComponentSocket(t, d) != 0 {
+			t.Fatalf("local candidate %s not on socket 0", d)
+		}
+	}
+	remote, err := s.Candidates("gpu0", PolicyRemote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range remote {
+		if s.topoComponentSocket(t, d) != 1 {
+			t.Fatalf("remote candidate %s not on socket 1", d)
+		}
+	}
+	all, err := s.Candidates("gpu0", PolicyInterleave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(local)+len(remote) {
+		t.Fatalf("interleave %d != local %d + remote %d", len(all), len(local), len(remote))
+	}
+	if _, err := s.Candidates("nope", PolicyLocal); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := s.Candidates("gpu0", Policy("bogus")); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func (s *System) topoComponentSocket(t *testing.T, id topology.CompID) int {
+	t.Helper()
+	c := s.topo.Component(id)
+	if c == nil {
+		t.Fatalf("component %s missing", id)
+	}
+	return c.Socket
+}
+
+func TestRemotePolicyFailsOnSingleSocket(t *testing.T) {
+	s := New(topology.MinimalHost())
+	if _, err := s.Candidates("gpu0", PolicyRemote); err == nil {
+		t.Fatal("remote policy on single-socket host should fail")
+	}
+}
+
+func TestNextTargetRoundRobin(t *testing.T) {
+	s := New(topology.TwoSocketServer())
+	cands, _ := s.Candidates("gpu0", PolicyLocal)
+	seen := make(map[topology.CompID]int)
+	for i := 0; i < 2*len(cands); i++ {
+		d, err := s.NextTarget("gpu0", PolicyLocal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[d]++
+	}
+	for _, d := range cands {
+		if seen[d] != 2 {
+			t.Fatalf("round robin uneven: %v", seen)
+		}
+	}
+}
+
+func TestDistanceLocalBelowRemote(t *testing.T) {
+	s := New(topology.TwoSocketServer())
+	local, err := s.Distance("gpu0", "socket0.dimm0_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := s.Distance("gpu0", "socket1.dimm0_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local >= remote {
+		t.Fatalf("local distance %v not below remote %v", local, remote)
+	}
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	s := New(topology.TwoSocketServer())
+	m, err := s.DistanceMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("matrix has %d rows", len(m))
+	}
+	if m[0][0] >= m[0][1] {
+		t.Fatalf("local %v not below remote %v", m[0][0], m[0][1])
+	}
+	if m[1][1] >= m[1][0] {
+		t.Fatalf("local %v not below remote %v", m[1][1], m[1][0])
+	}
+	// Symmetric topology: cross distances equal.
+	if m[0][1] != m[1][0] {
+		t.Fatalf("asymmetric cross distances %v vs %v", m[0][1], m[1][0])
+	}
+}
+
+func TestAggregateBandwidth(t *testing.T) {
+	s := New(topology.TwoSocketServer())
+	perSocket := s.AggregateBandwidth(0)
+	// 2 memctrls x 2 DIMMs x 60 GB/s = 240 GB/s.
+	if g := perSocket.GBpsValue(); g != 240 {
+		t.Fatalf("socket bandwidth %v GB/s, want 240", g)
+	}
+	if s.AggregateBandwidth(-1) != 2*perSocket {
+		t.Fatal("host aggregate != 2x socket")
+	}
+}

@@ -1,0 +1,180 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func setup(t *testing.T) (*Monitor, *fabric.Fabric, *simtime.Engine) {
+	t.Helper()
+	e := simtime.NewEngine(3)
+	topo := topology.MinimalHost()
+	fab := fabric.New(topo, e, fabric.Config{PCIeEfficiency: 1})
+	m, err := New(fab, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fab, e
+}
+
+func saturate(t *testing.T, fab *fabric.Fabric, tenant fabric.TenantID) *fabric.Flow {
+	t.Helper()
+	p, err := fab.Topology().ShortestPath("nic0", "socket0.dimm0_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &fabric.Flow{Tenant: tenant, Path: p}
+	if err := fab.AddFlow(fl); err != nil {
+		t.Fatal(err)
+	}
+	return fl
+}
+
+func TestOptionsValidation(t *testing.T) {
+	e := simtime.NewEngine(1)
+	fab := fabric.New(topology.MinimalHost(), e, fabric.DefaultConfig())
+	if _, err := New(fab, Options{CheckPeriod: 0, CongestionWatermark: 0.9}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := New(fab, Options{CheckPeriod: 1, CongestionWatermark: 0}); err == nil {
+		t.Fatal("zero watermark accepted")
+	}
+	if _, err := New(fab, Options{CheckPeriod: 1, CongestionWatermark: 1.5}); err == nil {
+		t.Fatal("watermark > 1 accepted")
+	}
+}
+
+func TestCongestionAlertEdgeTriggered(t *testing.T) {
+	m, fab, e := setup(t)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	e.RunFor(simtime.Millisecond)
+	if n := len(m.AlertsOfKind(AlertCongestion)); n != 0 {
+		t.Fatalf("idle fabric raised %d congestion alerts", n)
+	}
+	fl := saturate(t, fab, "ml")
+	e.RunFor(simtime.Millisecond)
+	alerts := m.AlertsOfKind(AlertCongestion)
+	if len(alerts) == 0 {
+		t.Fatal("saturated fabric raised no congestion alert")
+	}
+	// Edge-triggered: sustained congestion does not re-alert.
+	count := len(alerts)
+	e.RunFor(5 * simtime.Millisecond)
+	if len(m.AlertsOfKind(AlertCongestion)) != count {
+		t.Fatal("sustained congestion re-alerted every sweep")
+	}
+	// Clearing and re-congesting alerts again.
+	fab.RemoveFlow(fl)
+	e.RunFor(simtime.Millisecond)
+	saturate(t, fab, "ml")
+	e.RunFor(simtime.Millisecond)
+	if len(m.AlertsOfKind(AlertCongestion)) <= count {
+		t.Fatal("re-congestion did not alert")
+	}
+	if m.Sweeps() == 0 {
+		t.Fatal("no sweeps counted")
+	}
+}
+
+func TestConfigDriftDetection(t *testing.T) {
+	m, fab, e := setup(t)
+	_ = m.Start()
+	e.RunFor(simtime.Millisecond)
+	if n := len(m.AlertsOfKind(AlertConfigDrift)); n != 0 {
+		t.Fatalf("unchanged config raised %d drift alerts", n)
+	}
+	// Flip DDIO off — the classic silent misconfiguration.
+	fab.Topology().Component("socket0.llc").SetConfig(topology.ConfigDDIO, "off")
+	e.RunFor(simtime.Millisecond)
+	drifts := m.AlertsOfKind(AlertConfigDrift)
+	if len(drifts) != 1 {
+		t.Fatalf("drift alerts = %d, want 1", len(drifts))
+	}
+	d := drifts[0]
+	if d.Component != "socket0.llc" || d.Key != topology.ConfigDDIO || d.Old != "on" || d.New != "off" {
+		t.Fatalf("drift alert fields: %+v", d)
+	}
+	// Alert once, not every sweep.
+	e.RunFor(5 * simtime.Millisecond)
+	if len(m.AlertsOfKind(AlertConfigDrift)) != 1 {
+		t.Fatal("drift re-alerted")
+	}
+	// A new key (previously unset) also alerts.
+	fab.Topology().Component("nic0").SetConfig("sriov", "on")
+	e.RunFor(simtime.Millisecond)
+	drifts = m.AlertsOfKind(AlertConfigDrift)
+	if len(drifts) != 2 || drifts[1].Old != "<unset>" {
+		t.Fatalf("new-key drift: %+v", drifts)
+	}
+}
+
+func TestUsageReport(t *testing.T) {
+	m, fab, e := setup(t)
+	saturate(t, fab, "ml")
+	saturate(t, fab, "kv")
+	e.RunFor(simtime.Millisecond)
+	r := m.UsageReport()
+	if len(r.Links) != fab.Topology().NumLinks() {
+		t.Fatalf("report covers %d links", len(r.Links))
+	}
+	if len(r.Tenants) != 2 {
+		t.Fatalf("report tenants = %d, want 2", len(r.Tenants))
+	}
+	if r.Tenants[0].Tenant != "kv" || r.Tenants[1].Tenant != "ml" {
+		t.Fatalf("tenants not sorted: %+v", r.Tenants)
+	}
+	if len(r.Congested) == 0 {
+		t.Fatal("saturated link not reported congested")
+	}
+	for _, tu := range r.Tenants {
+		if tu.ByClass[topology.ClassPCIeDown] <= 0 {
+			t.Fatalf("tenant %s has no PCIe usage", tu.Tenant)
+		}
+	}
+}
+
+func TestAlertCapacityBounded(t *testing.T) {
+	e := simtime.NewEngine(3)
+	topo := topology.MinimalHost()
+	fab := fabric.New(topo, e, fabric.Config{PCIeEfficiency: 1})
+	m, err := New(fab, Options{
+		CheckPeriod: 100 * simtime.Microsecond, CongestionWatermark: 0.9, AlertCapacity: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Start()
+	// Toggle congestion repeatedly to generate > capacity alerts.
+	p, _ := topo.ShortestPath("nic0", "socket0.dimm0_0")
+	for i := 0; i < 10; i++ {
+		fl := &fabric.Flow{Tenant: "x", Path: p}
+		_ = fab.AddFlow(fl)
+		e.RunFor(300 * simtime.Microsecond)
+		fab.RemoveFlow(fl)
+		e.RunFor(300 * simtime.Microsecond)
+	}
+	if n := len(m.Alerts()); n > 3 {
+		t.Fatalf("alert history %d exceeds capacity 3", n)
+	}
+	m.Stop()
+}
+
+func TestStopHaltsSweeps(t *testing.T) {
+	m, _, e := setup(t)
+	_ = m.Start()
+	e.RunFor(simtime.Millisecond)
+	n := m.Sweeps()
+	m.Stop()
+	e.RunFor(simtime.Millisecond)
+	if m.Sweeps() != n {
+		t.Fatal("sweeps continued after Stop")
+	}
+}

@@ -1,0 +1,178 @@
+// Package pcie models PCI Express protocol behaviour at the level
+// needed for intra-host network management: raw lane rates per
+// generation, transaction-layer-packet (TLP) efficiency as a function
+// of maximum payload size, read-request/completion overhead, and the
+// throughput ceiling imposed by a device's outstanding-read window.
+//
+// The model follows the methodology of Neugebauer et al.,
+// "Understanding PCIe performance for end host networking"
+// (SIGCOMM '18), which the paper cites as the measurement basis for
+// its Figure 1 PCIe numbers.
+package pcie
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// Gen identifies a PCIe generation.
+type Gen int
+
+// Supported PCIe generations.
+const (
+	Gen3 Gen = 3
+	Gen4 Gen = 4
+	Gen5 Gen = 5
+)
+
+// perLaneGbps returns the post-encoding per-lane data rate in Gb/s.
+// Gen3 runs 8 GT/s with 128b/130b encoding; each later generation
+// doubles the transfer rate.
+func (g Gen) perLaneGbps() (float64, error) {
+	switch g {
+	case Gen3:
+		return 8.0 * 128 / 130, nil
+	case Gen4:
+		return 16.0 * 128 / 130, nil
+	case Gen5:
+		return 32.0 * 128 / 130, nil
+	}
+	return 0, fmt.Errorf("pcie: unsupported generation %d", int(g))
+}
+
+// LinkParams describes one PCIe link's static configuration.
+type LinkParams struct {
+	Gen   Gen
+	Lanes int // 1, 2, 4, 8, 16
+	// MaxPayload is the negotiated maximum TLP payload in bytes
+	// (typically 128, 256 or 512).
+	MaxPayload int
+	// MaxReadReq is the maximum read request size in bytes (typically
+	// 512-4096).
+	MaxReadReq int
+	// RCB is the read completion boundary: completions for one read
+	// arrive in chunks of at most this many bytes (64 or 128).
+	RCB int
+}
+
+// DefaultGen4x16 returns the configuration used by the topology
+// presets: PCIe 4.0 x16, 256-byte max payload, 512-byte read requests,
+// 128-byte completion boundary.
+func DefaultGen4x16() LinkParams {
+	return LinkParams{Gen: Gen4, Lanes: 16, MaxPayload: 256, MaxReadReq: 512, RCB: 128}
+}
+
+// Validate checks the parameters are self-consistent.
+func (p LinkParams) Validate() error {
+	if _, err := p.Gen.perLaneGbps(); err != nil {
+		return err
+	}
+	switch p.Lanes {
+	case 1, 2, 4, 8, 16:
+	default:
+		return fmt.Errorf("pcie: invalid lane count %d", p.Lanes)
+	}
+	if p.MaxPayload < 64 || p.MaxPayload > 4096 || p.MaxPayload&(p.MaxPayload-1) != 0 {
+		return fmt.Errorf("pcie: invalid max payload %d", p.MaxPayload)
+	}
+	if p.MaxReadReq < p.MaxPayload || p.MaxReadReq > 4096 {
+		return fmt.Errorf("pcie: invalid max read request %d", p.MaxReadReq)
+	}
+	if p.RCB != 64 && p.RCB != 128 {
+		return fmt.Errorf("pcie: invalid RCB %d", p.RCB)
+	}
+	return nil
+}
+
+// RawRate returns the link's post-encoding raw data rate.
+func (p LinkParams) RawRate() (topology.Rate, error) {
+	perLane, err := p.Gen.perLaneGbps()
+	if err != nil {
+		return 0, err
+	}
+	return topology.Gbps(perLane * float64(p.Lanes)), nil
+}
+
+// Protocol overhead constants, per TLP on the wire (Gen3+ framing):
+// 12-byte three-DW header + 4-byte LCRC + 4-byte framing/sequence,
+// plus a DLLP tax (ACKs and flow-control updates) of about 5%.
+const (
+	tlpHeaderBytes  = 12
+	tlpLCRCBytes    = 4
+	tlpFramingBytes = 4
+	tlpOverhead     = tlpHeaderBytes + tlpLCRCBytes + tlpFramingBytes
+	dllpTax         = 0.05
+)
+
+// WriteEfficiency returns the fraction of raw bandwidth available to
+// posted-write payload when transfers are cut into MaxPayload-sized
+// TLPs. For a 256-byte payload this is about 0.88.
+func (p LinkParams) WriteEfficiency() float64 {
+	mp := float64(p.MaxPayload)
+	return mp / (mp + tlpOverhead) * (1 - dllpTax)
+}
+
+// ReadEfficiency returns the payload fraction for reads: each
+// MaxReadReq-byte request costs one payload-less request TLP upstream
+// and ceil(MaxReadReq/RCB) completion TLPs downstream, each completion
+// carrying its own header.
+func (p LinkParams) ReadEfficiency() float64 {
+	completions := (p.MaxReadReq + p.RCB - 1) / p.RCB
+	payload := float64(p.MaxReadReq)
+	wire := payload + float64(completions*tlpOverhead)
+	return payload / wire * (1 - dllpTax)
+}
+
+// EffectiveWriteRate is RawRate derated by WriteEfficiency.
+func (p LinkParams) EffectiveWriteRate() (topology.Rate, error) {
+	raw, err := p.RawRate()
+	if err != nil {
+		return 0, err
+	}
+	return topology.Rate(float64(raw) * p.WriteEfficiency()), nil
+}
+
+// EffectiveReadRate is RawRate derated by ReadEfficiency.
+func (p LinkParams) EffectiveReadRate() (topology.Rate, error) {
+	raw, err := p.RawRate()
+	if err != nil {
+		return 0, err
+	}
+	return topology.Rate(float64(raw) * p.ReadEfficiency()), nil
+}
+
+// ReadWindowLimit returns the throughput ceiling from a finite
+// outstanding-read window: a requester with `outstanding` read
+// requests of MaxReadReq bytes in flight over a round-trip latency rtt
+// can at most stream outstanding*MaxReadReq bytes per rtt. This is the
+// mechanism behind "RDMA loopback traffic can exhaust the PCIe
+// bandwidth": loopback doubles the PCIe crossings and halves the
+// effective window.
+func (p LinkParams) ReadWindowLimit(outstanding int, rtt simtime.Duration) (topology.Rate, error) {
+	if outstanding <= 0 {
+		return 0, fmt.Errorf("pcie: non-positive outstanding window %d", outstanding)
+	}
+	if rtt <= 0 {
+		return 0, fmt.Errorf("pcie: non-positive rtt %v", rtt)
+	}
+	bytes := float64(outstanding * p.MaxReadReq)
+	return topology.Rate(bytes / rtt.Seconds()), nil
+}
+
+// TLPCount returns how many TLPs a posted write of n bytes produces.
+func (p LinkParams) TLPCount(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	mp := int64(p.MaxPayload)
+	return (n + mp - 1) / mp
+}
+
+// WireBytes returns the on-wire byte cost of writing n payload bytes,
+// including per-TLP overhead (excluding the DLLP tax, which is a rate
+// effect rather than a per-transfer one).
+func (p LinkParams) WireBytes(n int64) int64 {
+	return n + p.TLPCount(n)*tlpOverhead
+}

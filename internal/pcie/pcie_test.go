@@ -1,0 +1,179 @@
+package pcie
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestRawRates(t *testing.T) {
+	// Gen3 x16: 8 GT/s * 16 * 128/130 = 126.03 Gb/s.
+	p := LinkParams{Gen: Gen3, Lanes: 16, MaxPayload: 256, MaxReadReq: 512, RCB: 128}
+	raw, err := p.RawRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := raw.GbpsValue(); math.Abs(g-126.03) > 0.1 {
+		t.Fatalf("Gen3 x16 raw %v Gb/s, want ~126", g)
+	}
+	// Gen4 x16 doubles it; this is the "~256 Gbps" of Figure 1.
+	p.Gen = Gen4
+	raw, _ = p.RawRate()
+	if g := raw.GbpsValue(); math.Abs(g-252.06) > 0.2 {
+		t.Fatalf("Gen4 x16 raw %v Gb/s, want ~252", g)
+	}
+	p.Gen = Gen5
+	raw, _ = p.RawRate()
+	if g := raw.GbpsValue(); math.Abs(g-504.1) > 0.5 {
+		t.Fatalf("Gen5 x16 raw %v Gb/s, want ~504", g)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := DefaultGen4x16()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []LinkParams{
+		{Gen: 2, Lanes: 16, MaxPayload: 256, MaxReadReq: 512, RCB: 128},
+		{Gen: Gen4, Lanes: 3, MaxPayload: 256, MaxReadReq: 512, RCB: 128},
+		{Gen: Gen4, Lanes: 16, MaxPayload: 100, MaxReadReq: 512, RCB: 128},
+		{Gen: Gen4, Lanes: 16, MaxPayload: 256, MaxReadReq: 128, RCB: 128},
+		{Gen: Gen4, Lanes: 16, MaxPayload: 256, MaxReadReq: 512, RCB: 32},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d validated: %+v", i, c)
+		}
+	}
+}
+
+func TestWriteEfficiencyAnchors(t *testing.T) {
+	p := DefaultGen4x16()
+	eff := p.WriteEfficiency()
+	// 256/(256+20) * 0.95 = 0.881.
+	if math.Abs(eff-0.881) > 0.005 {
+		t.Fatalf("256B write efficiency %v, want ~0.881", eff)
+	}
+	p.MaxPayload = 128
+	if e := p.WriteEfficiency(); e >= eff {
+		t.Fatalf("smaller payload efficiency %v not below %v", e, eff)
+	}
+	p.MaxPayload = 512
+	if e := p.WriteEfficiency(); e <= eff {
+		t.Fatalf("larger payload efficiency %v not above %v", e, eff)
+	}
+}
+
+func TestReadBelowWriteEfficiency(t *testing.T) {
+	p := DefaultGen4x16()
+	if p.ReadEfficiency() >= p.WriteEfficiency() {
+		t.Fatalf("read efficiency %v should be below write %v (per-RCB completion headers)",
+			p.ReadEfficiency(), p.WriteEfficiency())
+	}
+}
+
+func TestEffectiveRatesMatchFigure1(t *testing.T) {
+	// Effective Gen4 x16 write bandwidth should land in the paper's
+	// PCIe envelope (~256 Gb/s raw, ~28 GB/s effective).
+	p := DefaultGen4x16()
+	w, err := p.EffectiveWriteRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := w.GBpsValue(); g < 25 || g > 30 {
+		t.Fatalf("effective write rate %v GB/s, want 25-30", g)
+	}
+	r, err := p.EffectiveReadRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= w {
+		t.Fatal("read rate above write rate")
+	}
+}
+
+func TestReadWindowLimit(t *testing.T) {
+	p := DefaultGen4x16()
+	// 32 outstanding 512B reads over 1us RTT = 16.384 GB/s.
+	lim, err := p.ReadWindowLimit(32, simtime.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := lim.GBpsValue(); math.Abs(g-16.384) > 0.01 {
+		t.Fatalf("window limit %v GB/s, want 16.384", g)
+	}
+	// Longer RTT lowers the ceiling (the loopback effect).
+	lim2, _ := p.ReadWindowLimit(32, 2*simtime.Microsecond)
+	if lim2 >= lim {
+		t.Fatal("doubling RTT did not lower window limit")
+	}
+	if _, err := p.ReadWindowLimit(0, simtime.Microsecond); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := p.ReadWindowLimit(1, 0); err == nil {
+		t.Fatal("zero rtt accepted")
+	}
+}
+
+func TestTLPCountAndWireBytes(t *testing.T) {
+	p := DefaultGen4x16()
+	if n := p.TLPCount(0); n != 0 {
+		t.Fatalf("TLPCount(0) = %d", n)
+	}
+	if n := p.TLPCount(1); n != 1 {
+		t.Fatalf("TLPCount(1) = %d", n)
+	}
+	if n := p.TLPCount(256); n != 1 {
+		t.Fatalf("TLPCount(256) = %d", n)
+	}
+	if n := p.TLPCount(257); n != 2 {
+		t.Fatalf("TLPCount(257) = %d", n)
+	}
+	if w := p.WireBytes(256); w != 256+20 {
+		t.Fatalf("WireBytes(256) = %d, want 276", w)
+	}
+}
+
+// Property: wire bytes are monotone in payload and overhead fraction
+// shrinks as payload grows.
+func TestPropertyWireBytesMonotone(t *testing.T) {
+	p := DefaultGen4x16()
+	f := func(a, b uint16) bool {
+		x, y := int64(a)+1, int64(b)+1
+		if x > y {
+			x, y = y, x
+		}
+		return p.WireBytes(x) <= p.WireBytes(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: efficiency is always in (0,1) for valid configurations.
+func TestPropertyEfficiencyBounded(t *testing.T) {
+	payloads := []int{128, 256, 512, 1024}
+	reqs := []int{512, 1024, 2048, 4096}
+	rcbs := []int{64, 128}
+	for _, mp := range payloads {
+		for _, rr := range reqs {
+			if rr < mp {
+				continue
+			}
+			for _, rcb := range rcbs {
+				p := LinkParams{Gen: Gen4, Lanes: 16, MaxPayload: mp, MaxReadReq: rr, RCB: rcb}
+				if err := p.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				for _, e := range []float64{p.WriteEfficiency(), p.ReadEfficiency()} {
+					if e <= 0 || e >= 1 {
+						t.Fatalf("efficiency %v out of (0,1) for %+v", e, p)
+					}
+				}
+			}
+		}
+	}
+}

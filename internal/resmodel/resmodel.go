@@ -1,0 +1,199 @@
+// Package resmodel provides the resource models the paper's
+// performance-target interpreter chooses between (§3.2 Q1): the pipe
+// model (a point-to-point bandwidth guarantee along a specific
+// pathway) and the hose model (a per-endpoint aggregate guarantee,
+// provisioned for the worst-case traffic matrix under fixed shortest-
+// path routing). Both compile to Reservations — per-link bandwidth
+// requirements — which the scheduler places and the arbiter enforces.
+package resmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Model names a resource model.
+type Model string
+
+// The two models the paper discusses.
+const (
+	ModelPipe Model = "pipe"
+	ModelHose Model = "hose"
+)
+
+// Reservation is a set of per-directed-link bandwidth requirements.
+type Reservation struct {
+	Links map[topology.LinkID]topology.Rate
+}
+
+// NewReservation returns an empty reservation.
+func NewReservation() Reservation {
+	return Reservation{Links: make(map[topology.LinkID]topology.Rate)}
+}
+
+// Add accumulates a requirement on one link.
+func (r Reservation) Add(link topology.LinkID, rate topology.Rate) {
+	r.Links[link] += rate
+}
+
+// Rate returns the reserved rate on a link (zero if none).
+func (r Reservation) Rate(link topology.LinkID) topology.Rate { return r.Links[link] }
+
+// Merge accumulates another reservation into this one.
+func (r Reservation) Merge(other Reservation) {
+	for l, v := range other.Links {
+		r.Links[l] += v
+	}
+}
+
+// Clone returns an independent copy.
+func (r Reservation) Clone() Reservation {
+	out := NewReservation()
+	for l, v := range r.Links {
+		out.Links[l] = v
+	}
+	return out
+}
+
+// Total returns the sum of all per-link requirements (a rough size
+// metric; links are counted individually).
+func (r Reservation) Total() topology.Rate {
+	var sum topology.Rate
+	for _, v := range r.Links {
+		sum += v
+	}
+	return sum
+}
+
+// LinkIDs returns the reserved links in sorted order.
+func (r Reservation) LinkIDs() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(r.Links))
+	for l := range r.Links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddPipe reserves rate on every link of a path — the pipe model's
+// compilation.
+func (r Reservation) AddPipe(path topology.Path, rate topology.Rate) {
+	for _, l := range path.Links {
+		r.Add(l.ID, rate)
+	}
+}
+
+// Violation reports one link whose requirement exceeds available
+// capacity.
+type Violation struct {
+	Link topology.LinkID
+	Need topology.Rate
+	Have topology.Rate
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: need %v, have %v", v.Link, v.Need, v.Have)
+}
+
+// CheckFit verifies the reservation fits within the free capacity map
+// (effective capacity minus already-reserved). It returns all
+// violations, sorted by link; an empty slice means admissible.
+func CheckFit(r Reservation, free map[topology.LinkID]topology.Rate) []Violation {
+	var out []Violation
+	for _, l := range r.LinkIDs() {
+		need := r.Links[l]
+		have, ok := free[l]
+		if !ok || need > have {
+			out = append(out, Violation{Link: l, Need: need, Have: have})
+		}
+	}
+	return out
+}
+
+// HoseDemand is a per-endpoint aggregate guarantee: the endpoint may
+// send up to Egress and receive up to Ingress regardless of the
+// destination mix.
+type HoseDemand struct {
+	Endpoint topology.CompID
+	Egress   topology.Rate
+	Ingress  topology.Rate
+}
+
+// ProvisionHose compiles a set of hose demands into a per-link
+// reservation under fixed shortest-path routing. For each directed
+// link, the worst-case load is bounded by
+//
+//	min( sum of egress over sources routed through it,
+//	     sum of ingress over destinations routed through it )
+//
+// — the classic hose-model provisioning bound (Duffield et al.),
+// applied to the intra-host topology.
+func ProvisionHose(topo *topology.Topology, demands []HoseDemand) (Reservation, error) {
+	if len(demands) < 2 {
+		return Reservation{}, fmt.Errorf("resmodel: hose provisioning needs >= 2 endpoints")
+	}
+	seen := make(map[topology.CompID]bool)
+	for _, d := range demands {
+		if topo.Component(d.Endpoint) == nil {
+			return Reservation{}, fmt.Errorf("resmodel: unknown endpoint %q", d.Endpoint)
+		}
+		if d.Egress < 0 || d.Ingress < 0 {
+			return Reservation{}, fmt.Errorf("resmodel: negative hose rate for %q", d.Endpoint)
+		}
+		if seen[d.Endpoint] {
+			return Reservation{}, fmt.Errorf("resmodel: duplicate endpoint %q", d.Endpoint)
+		}
+		seen[d.Endpoint] = true
+	}
+	type sets struct {
+		srcs map[topology.CompID]bool
+		dsts map[topology.CompID]bool
+	}
+	perLink := make(map[topology.LinkID]*sets)
+	for _, a := range demands {
+		for _, b := range demands {
+			if a.Endpoint == b.Endpoint {
+				continue
+			}
+			p, err := topo.ShortestPath(a.Endpoint, b.Endpoint)
+			if err != nil {
+				return Reservation{}, fmt.Errorf("resmodel: no path %s -> %s: %w", a.Endpoint, b.Endpoint, err)
+			}
+			for _, l := range p.Links {
+				s := perLink[l.ID]
+				if s == nil {
+					s = &sets{srcs: make(map[topology.CompID]bool), dsts: make(map[topology.CompID]bool)}
+					perLink[l.ID] = s
+				}
+				s.srcs[a.Endpoint] = true
+				s.dsts[b.Endpoint] = true
+			}
+		}
+	}
+	eg := make(map[topology.CompID]topology.Rate, len(demands))
+	in := make(map[topology.CompID]topology.Rate, len(demands))
+	for _, d := range demands {
+		eg[d.Endpoint] = d.Egress
+		in[d.Endpoint] = d.Ingress
+	}
+	res := NewReservation()
+	for l, s := range perLink {
+		var egSum, inSum topology.Rate
+		for e := range s.srcs {
+			egSum += eg[e]
+		}
+		for e := range s.dsts {
+			inSum += in[e]
+		}
+		need := egSum
+		if inSum < need {
+			need = inSum
+		}
+		if need > 0 {
+			res.Links[l] = need
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,191 @@
+package resmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestReservationBasics(t *testing.T) {
+	r := NewReservation()
+	r.Add("a->b", 10)
+	r.Add("a->b", 5)
+	if r.Rate("a->b") != 15 {
+		t.Fatalf("accumulated rate %v", r.Rate("a->b"))
+	}
+	if r.Rate("x->y") != 0 {
+		t.Fatal("absent link nonzero")
+	}
+	other := NewReservation()
+	other.Add("a->b", 1)
+	other.Add("c->d", 2)
+	r.Merge(other)
+	if r.Rate("a->b") != 16 || r.Rate("c->d") != 2 {
+		t.Fatalf("merge wrong: %v", r.Links)
+	}
+	cl := r.Clone()
+	cl.Add("a->b", 100)
+	if r.Rate("a->b") != 16 {
+		t.Fatal("clone aliases original")
+	}
+	if r.Total() != 18 {
+		t.Fatalf("total %v", r.Total())
+	}
+	ids := r.LinkIDs()
+	if len(ids) != 2 || ids[0] != "a->b" || ids[1] != "c->d" {
+		t.Fatalf("LinkIDs %v", ids)
+	}
+}
+
+func TestAddPipe(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	p, err := topo.ShortestPath("gpu0", "socket0.dimm0_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReservation()
+	r.AddPipe(p, 100)
+	if len(r.Links) != p.Hops() {
+		t.Fatalf("pipe reserved %d links, path has %d", len(r.Links), p.Hops())
+	}
+	for _, l := range p.Links {
+		if r.Rate(l.ID) != 100 {
+			t.Fatalf("link %s reserved %v", l.ID, r.Rate(l.ID))
+		}
+	}
+}
+
+func TestCheckFit(t *testing.T) {
+	r := NewReservation()
+	r.Add("a->b", 10)
+	r.Add("c->d", 20)
+	free := map[topology.LinkID]topology.Rate{"a->b": 15, "c->d": 20}
+	if v := CheckFit(r, free); len(v) != 0 {
+		t.Fatalf("fitting reservation violated: %v", v)
+	}
+	free["c->d"] = 19
+	v := CheckFit(r, free)
+	if len(v) != 1 || v[0].Link != "c->d" || v[0].Need != 20 || v[0].Have != 19 {
+		t.Fatalf("violations %v", v)
+	}
+	// Unknown link is a violation.
+	r.Add("zz->qq", 1)
+	if v := CheckFit(r, free); len(v) != 2 {
+		t.Fatalf("missing-link violation not reported: %v", v)
+	}
+	if v[0].String() == "" {
+		t.Fatal("violation string empty")
+	}
+}
+
+func TestProvisionHoseValidation(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	if _, err := ProvisionHose(topo, []HoseDemand{{Endpoint: "gpu0", Egress: 1}}); err == nil {
+		t.Fatal("single endpoint accepted")
+	}
+	if _, err := ProvisionHose(topo, []HoseDemand{
+		{Endpoint: "gpu0", Egress: 1}, {Endpoint: "nope", Egress: 1},
+	}); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+	if _, err := ProvisionHose(topo, []HoseDemand{
+		{Endpoint: "gpu0", Egress: -1}, {Endpoint: "gpu1", Egress: 1},
+	}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := ProvisionHose(topo, []HoseDemand{
+		{Endpoint: "gpu0", Egress: 1}, {Endpoint: "gpu0", Egress: 1},
+	}); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+}
+
+func TestProvisionHoseTwoEndpoints(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	res, err := ProvisionHose(topo, []HoseDemand{
+		{Endpoint: "gpu0", Egress: topology.GBps(10), Ingress: topology.GBps(10)},
+		{Endpoint: "nic0", Egress: topology.GBps(4), Ingress: topology.GBps(4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the gpu0 -> nic0 path, worst-case load = min(gpu egress 10,
+	// nic ingress 4) = 4 GB/s.
+	p, _ := topo.ShortestPath("gpu0", "nic0")
+	for _, l := range p.Links {
+		if res.Rate(l.ID) != topology.GBps(4) {
+			t.Fatalf("link %s reserved %v, want 4GB/s", l.ID, res.Rate(l.ID))
+		}
+	}
+	// Reverse direction: min(nic egress 4, gpu ingress 10) = 4.
+	rp, _ := topo.ShortestPath("nic0", "gpu0")
+	for _, l := range rp.Links {
+		if res.Rate(l.ID) != topology.GBps(4) {
+			t.Fatalf("reverse link %s reserved %v", l.ID, res.Rate(l.ID))
+		}
+	}
+}
+
+func TestProvisionHoseSharedLinkBound(t *testing.T) {
+	// Three endpoints on one switch: the shared upstream link's
+	// requirement is bounded by the ingress sum of the far side, not
+	// the (larger) egress sum of the near side.
+	topo := topology.TwoSocketServer()
+	res, err := ProvisionHose(topo, []HoseDemand{
+		{Endpoint: "nic0", Egress: topology.GBps(10), Ingress: topology.GBps(2)},
+		{Endpoint: "ssd0", Egress: topology.GBps(10), Ingress: topology.GBps(2)},
+		{Endpoint: "gpu0", Egress: topology.GBps(3), Ingress: topology.GBps(3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pcieswitch0 -> rootport0 carries nic0+ssd0 egress (20) toward
+	// gpu0 whose ingress is only 3: requirement must be 3.
+	up := topology.LinkID("pcieswitch0->socket0.rootport0")
+	if res.Rate(up) != topology.GBps(3) {
+		t.Fatalf("shared upstream reserved %v, want min(20,3)=3GB/s", res.Rate(up))
+	}
+}
+
+func TestProvisionHoseZeroRatesYieldNoReservation(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	res, err := ProvisionHose(topo, []HoseDemand{
+		{Endpoint: "gpu0"}, {Endpoint: "nic0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Links) != 0 {
+		t.Fatalf("zero hoses reserved %d links", len(res.Links))
+	}
+}
+
+// Property: hose reservations never exceed the total egress of all
+// endpoints on any link, and are symmetric for symmetric demands.
+func TestPropertyHoseBounded(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	eps := []topology.CompID{"gpu0", "gpu1", "nic0", "nic1", "ssd0"}
+	f := func(rates [5]uint8) bool {
+		demands := make([]HoseDemand, len(eps))
+		var totalEg topology.Rate
+		for i, e := range eps {
+			r := topology.Rate(rates[i]) * 1e8
+			demands[i] = HoseDemand{Endpoint: e, Egress: r, Ingress: r}
+			totalEg += r
+		}
+		res, err := ProvisionHose(topo, demands)
+		if err != nil {
+			return false
+		}
+		for _, v := range res.Links {
+			if v > totalEg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,384 @@
+// Package scenario runs declarative incident drills against a managed
+// host: a JSON spec names a topology preset, the tenants to admit, the
+// workloads and faults to inject on a timeline, and the assertions
+// that must hold afterwards. Operators use drills to rehearse the
+// §3.1/§3.2 incidents (is a silent switch degradation detected within
+// X? does the KV tail stay below Y under the antagonist?) and to keep
+// them passing as the stack evolves — regression tests for the
+// management plane itself.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/arbiter"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/intent"
+	"repro/internal/monitor"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Spec is the on-disk drill description.
+type Spec struct {
+	Name       string `json:"name"`
+	Preset     string `json:"preset"`
+	Seed       int64  `json:"seed"`
+	DurationUs int64  `json:"duration_us"`
+	// ArbiterMode optionally overrides the arbiter: "strict" or
+	// "work-conserving" (the default).
+	ArbiterMode string `json:"arbiter_mode,omitempty"`
+
+	Tenants   []TenantSpec   `json:"tenants,omitempty"`
+	Workloads []WorkloadSpec `json:"workloads,omitempty"`
+	Faults    []FaultSpec    `json:"faults,omitempty"`
+	Asserts   []AssertSpec   `json:"asserts,omitempty"`
+}
+
+// TenantSpec admits one tenant before the clock starts.
+type TenantSpec struct {
+	Tenant  string       `json:"tenant"`
+	Targets []TargetSpec `json:"targets"`
+}
+
+// TargetSpec is one intent target.
+type TargetSpec struct {
+	Src      string  `json:"src"`
+	Dst      string  `json:"dst"`
+	RateGbps float64 `json:"rate_gbps"`
+}
+
+// WorkloadSpec starts a workload at a point on the timeline.
+type WorkloadSpec struct {
+	// Kind: "kv", "ml", "loopback", "scan".
+	Kind   string `json:"kind"`
+	Tenant string `json:"tenant"`
+	AtUs   int64  `json:"at_us"`
+	// Optional endpoints; defaults follow the workload package.
+	Src string `json:"src,omitempty"`
+	Dst string `json:"dst,omitempty"`
+}
+
+// FaultSpec injects a fault at a point on the timeline.
+type FaultSpec struct {
+	// Kind: "degrade", "fail", "restore", "config".
+	Kind string `json:"kind"`
+	AtUs int64  `json:"at_us"`
+	Link string `json:"link,omitempty"`
+	// Degradation parameters.
+	LossFrac float64 `json:"loss_frac,omitempty"`
+	ExtraUs  int64   `json:"extra_us,omitempty"`
+	// Config parameters.
+	Component string `json:"component,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Value     string `json:"value,omitempty"`
+}
+
+// AssertSpec is one post-run check.
+type AssertSpec struct {
+	// Kind: "detected_within_us", "no_detection", "top_suspect",
+	// "p99_below_us", "p99_above_us", "drift_alert",
+	// "tenant_rate_at_least_gbps".
+	Kind string `json:"kind"`
+	// WithinUs for detected_within_us (measured from the first fault).
+	WithinUs int64 `json:"within_us,omitempty"`
+	// Link for top_suspect.
+	Link string `json:"link,omitempty"`
+	// Tenant + ValueUs for the p99 checks; Tenant + Gbps for rate.
+	Tenant  string  `json:"tenant,omitempty"`
+	ValueUs float64 `json:"value_us,omitempty"`
+	Gbps    float64 `json:"gbps,omitempty"`
+}
+
+// Load parses and validates a spec.
+func Load(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if s.Name == "" {
+		return Spec{}, fmt.Errorf("scenario: needs a name")
+	}
+	if _, ok := topology.Presets[s.Preset]; !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown preset %q", s.Preset)
+	}
+	if s.DurationUs <= 0 {
+		return Spec{}, fmt.Errorf("scenario: duration_us must be positive")
+	}
+	switch s.ArbiterMode {
+	case "", string(arbiter.Strict), string(arbiter.WorkConserving):
+	default:
+		return Spec{}, fmt.Errorf("scenario: unknown arbiter mode %q", s.ArbiterMode)
+	}
+	for i, w := range s.Workloads {
+		switch w.Kind {
+		case "kv", "ml", "loopback", "scan":
+		default:
+			return Spec{}, fmt.Errorf("scenario: workload %d has unknown kind %q", i, w.Kind)
+		}
+		if w.Tenant == "" {
+			return Spec{}, fmt.Errorf("scenario: workload %d needs a tenant", i)
+		}
+	}
+	for i, f := range s.Faults {
+		switch f.Kind {
+		case "degrade", "fail", "restore":
+			if f.Link == "" {
+				return Spec{}, fmt.Errorf("scenario: fault %d needs a link", i)
+			}
+		case "config":
+			if f.Component == "" || f.Key == "" {
+				return Spec{}, fmt.Errorf("scenario: fault %d needs component and key", i)
+			}
+		default:
+			return Spec{}, fmt.Errorf("scenario: fault %d has unknown kind %q", i, f.Kind)
+		}
+	}
+	for i, a := range s.Asserts {
+		switch a.Kind {
+		case "detected_within_us", "no_detection", "top_suspect",
+			"p99_below_us", "p99_above_us", "drift_alert",
+			"tenant_rate_at_least_gbps":
+		default:
+			return Spec{}, fmt.Errorf("scenario: assert %d has unknown kind %q", i, a.Kind)
+		}
+	}
+	return s, nil
+}
+
+// CheckResult is one assertion's outcome.
+type CheckResult struct {
+	Assert AssertSpec
+	Passed bool
+	Detail string
+}
+
+// Result is a completed drill.
+type Result struct {
+	Name     string
+	Passed   bool
+	Checks   []CheckResult
+	Timeline []string
+}
+
+// Run executes a drill and evaluates its assertions.
+func Run(spec Spec) (Result, error) {
+	opts := core.DefaultOptions()
+	opts.Seed = spec.Seed
+	if spec.ArbiterMode != "" {
+		opts.Arbiter.Mode = arbiter.Mode(spec.ArbiterMode)
+	}
+	build := topology.Presets[spec.Preset]
+	mgr, err := core.New(build(), opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := mgr.Start(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Name: spec.Name}
+	logf := func(format string, args ...any) {
+		res.Timeline = append(res.Timeline,
+			fmt.Sprintf("t=%-12v %s", mgr.Engine().Now(), fmt.Sprintf(format, args...)))
+	}
+
+	for _, ts := range spec.Tenants {
+		targets := make([]intent.Target, len(ts.Targets))
+		for i, tg := range ts.Targets {
+			targets[i] = intent.Target{
+				Src: topology.CompID(tg.Src), Dst: topology.CompID(tg.Dst),
+				Rate: topology.Gbps(tg.RateGbps),
+			}
+		}
+		if _, err := mgr.Admit(fabric.TenantID(ts.Tenant), targets); err != nil {
+			return Result{}, fmt.Errorf("scenario: admit %q: %w", ts.Tenant, err)
+		}
+		logf("admitted tenant %s (%d targets)", ts.Tenant, len(targets))
+	}
+
+	kvs := make(map[string]*workload.KVClient)
+	engine := mgr.Engine()
+	var startErr error
+	for _, w := range spec.Workloads {
+		w := w
+		engine.Schedule(simtime.Time(w.AtUs)*simtime.Time(simtime.Microsecond), func() {
+			if err := startWorkload(mgr, w, kvs); err != nil && startErr == nil {
+				startErr = err
+				return
+			}
+			logf("started %s workload for tenant %s", w.Kind, w.Tenant)
+		})
+	}
+	var firstFault simtime.Time = -1
+	for _, fs := range spec.Faults {
+		fs := fs
+		engine.Schedule(simtime.Time(fs.AtUs)*simtime.Time(simtime.Microsecond), func() {
+			if err := applyFault(mgr, fs); err != nil && startErr == nil {
+				startErr = err
+				return
+			}
+			if firstFault < 0 && fs.Kind != "restore" {
+				firstFault = engine.Now()
+			}
+			logf("fault %s %s%s", fs.Kind, fs.Link, fs.Component)
+		})
+	}
+	mgr.RunFor(simtime.Duration(spec.DurationUs) * simtime.Microsecond)
+	if startErr != nil {
+		return Result{}, startErr
+	}
+
+	res.Passed = true
+	for _, a := range spec.Asserts {
+		c := evaluate(mgr, a, kvs, firstFault)
+		if !c.Passed {
+			res.Passed = false
+		}
+		res.Checks = append(res.Checks, c)
+	}
+	mgr.Stop()
+	return res, nil
+}
+
+func startWorkload(mgr *core.Manager, w WorkloadSpec, kvs map[string]*workload.KVClient) error {
+	fab := mgr.Fabric()
+	tenant := fabric.TenantID(w.Tenant)
+	switch w.Kind {
+	case "kv":
+		cfg := workload.DefaultKVConfig(tenant)
+		if w.Src != "" {
+			cfg.Client = topology.CompID(w.Src)
+		}
+		if w.Dst != "" {
+			cfg.Server = topology.CompID(w.Dst)
+		}
+		kv, err := workload.StartKV(fab, cfg)
+		if err != nil {
+			return err
+		}
+		kvs[w.Tenant] = kv
+		return nil
+	case "ml":
+		cfg := workload.DefaultMLConfig(tenant)
+		if w.Src != "" {
+			cfg.Memory = topology.CompID(w.Src)
+		}
+		if w.Dst != "" {
+			cfg.GPU = topology.CompID(w.Dst)
+		}
+		_, err := workload.StartML(fab, cfg)
+		return err
+	case "loopback":
+		nic, dimm := topology.CompID("nic0"), topology.CompID("socket0.dimm0_0")
+		if w.Src != "" {
+			nic = topology.CompID(w.Src)
+		}
+		if w.Dst != "" {
+			dimm = topology.CompID(w.Dst)
+		}
+		_, err := workload.StartLoopback(fab, tenant, nic, dimm)
+		return err
+	case "scan":
+		ssd, dimm := topology.CompID("ssd0"), topology.CompID("socket0.dimm0_0")
+		if w.Src != "" {
+			ssd = topology.CompID(w.Src)
+		}
+		if w.Dst != "" {
+			dimm = topology.CompID(w.Dst)
+		}
+		_, err := workload.StartScan(fab, tenant, ssd, dimm, 4<<20)
+		return err
+	}
+	return fmt.Errorf("scenario: unknown workload kind %q", w.Kind)
+}
+
+func applyFault(mgr *core.Manager, f FaultSpec) error {
+	fab := mgr.Fabric()
+	switch f.Kind {
+	case "degrade":
+		return fab.DegradeLink(topology.LinkID(f.Link), f.LossFrac,
+			simtime.Duration(f.ExtraUs)*simtime.Microsecond)
+	case "fail":
+		return fab.FailLink(topology.LinkID(f.Link))
+	case "restore":
+		return fab.RestoreLink(topology.LinkID(f.Link))
+	case "config":
+		c := mgr.Topology().Component(topology.CompID(f.Component))
+		if c == nil {
+			return fmt.Errorf("scenario: unknown component %q", f.Component)
+		}
+		c.SetConfig(f.Key, f.Value)
+		return nil
+	}
+	return fmt.Errorf("scenario: unknown fault kind %q", f.Kind)
+}
+
+func evaluate(mgr *core.Manager, a AssertSpec, kvs map[string]*workload.KVClient, firstFault simtime.Time) CheckResult {
+	c := CheckResult{Assert: a}
+	switch a.Kind {
+	case "detected_within_us":
+		dets := mgr.Anomaly().Detections()
+		if len(dets) == 0 {
+			c.Detail = "no detections"
+			return c
+		}
+		if firstFault < 0 {
+			c.Detail = "no fault was injected"
+			return c
+		}
+		lat := dets[0].At.Sub(firstFault)
+		c.Passed = lat <= simtime.Duration(a.WithinUs)*simtime.Microsecond
+		c.Detail = fmt.Sprintf("detected after %v", lat)
+	case "no_detection":
+		n := len(mgr.Anomaly().Detections())
+		c.Passed = n == 0
+		c.Detail = fmt.Sprintf("%d detections", n)
+	case "top_suspect":
+		dets := mgr.Anomaly().Detections()
+		if len(dets) == 0 || len(dets[0].Suspects) == 0 {
+			c.Detail = "no suspects"
+			return c
+		}
+		top := dets[0].Suspects[0].Link
+		rev := mgr.Topology().Link(topology.LinkID(a.Link))
+		c.Passed = top == topology.LinkID(a.Link) || (rev != nil && top == rev.Reverse)
+		c.Detail = fmt.Sprintf("top suspect %s", top)
+	case "p99_below_us", "p99_above_us":
+		kv, ok := kvs[a.Tenant]
+		if !ok {
+			c.Detail = fmt.Sprintf("no kv workload for tenant %q", a.Tenant)
+			return c
+		}
+		p99 := kv.Latency().Percentile(99)
+		bound := simtime.Duration(a.ValueUs * float64(simtime.Microsecond))
+		if a.Kind == "p99_below_us" {
+			c.Passed = p99 <= bound
+		} else {
+			c.Passed = p99 > bound
+		}
+		c.Detail = fmt.Sprintf("p99 = %v", p99)
+	case "drift_alert":
+		n := len(mgr.Monitor().AlertsOfKind(monitor.AlertConfigDrift))
+		c.Passed = n > 0
+		c.Detail = fmt.Sprintf("%d drift alerts", n)
+	case "tenant_rate_at_least_gbps":
+		usage := mgr.Fabric().TenantUsage(fabric.TenantID(a.Tenant))
+		var max topology.Rate
+		for _, r := range usage {
+			if r > max {
+				max = r
+			}
+		}
+		c.Passed = max >= topology.Gbps(a.Gbps)
+		c.Detail = fmt.Sprintf("peak class rate %v", max)
+	default:
+		c.Detail = "unknown assert"
+	}
+	return c
+}

@@ -1,0 +1,201 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const degradeDrill = `{
+  "name": "silent-switch-degradation",
+  "preset": "two-socket",
+  "seed": 42,
+  "duration_us": 6000,
+  "workloads": [
+    {"kind": "kv", "tenant": "kv", "at_us": 0}
+  ],
+  "faults": [
+    {"kind": "degrade", "link": "pcieswitch0->nic0", "at_us": 3000, "loss_frac": 0.2, "extra_us": 10}
+  ],
+  "asserts": [
+    {"kind": "detected_within_us", "within_us": 1000},
+    {"kind": "top_suspect", "link": "pcieswitch0->nic0"}
+  ]
+}`
+
+func TestLoadValidation(t *testing.T) {
+	if _, err := Load(strings.NewReader(degradeDrill)); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		`{`,
+		`{"name":"", "preset":"two-socket", "duration_us":1}`,
+		`{"name":"x", "preset":"warp", "duration_us":1}`,
+		`{"name":"x", "preset":"two-socket", "duration_us":0}`,
+		`{"name":"x", "preset":"two-socket", "duration_us":1, "workloads":[{"kind":"quantum","tenant":"t"}]}`,
+		`{"name":"x", "preset":"two-socket", "duration_us":1, "workloads":[{"kind":"kv","tenant":""}]}`,
+		`{"name":"x", "preset":"two-socket", "duration_us":1, "faults":[{"kind":"degrade"}]}`,
+		`{"name":"x", "preset":"two-socket", "duration_us":1, "faults":[{"kind":"config"}]}`,
+		`{"name":"x", "preset":"two-socket", "duration_us":1, "faults":[{"kind":"meteor","link":"l"}]}`,
+		`{"name":"x", "preset":"two-socket", "duration_us":1, "asserts":[{"kind":"vibes"}]}`,
+		`{"name":"x", "preset":"two-socket", "duration_us":1, "bogus": 1}`,
+	}
+	for i, src := range bad {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestRunDegradeDrillPasses(t *testing.T) {
+	spec, err := Load(strings.NewReader(degradeDrill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("drill failed: %+v", res.Checks)
+	}
+	if len(res.Checks) != 2 {
+		t.Fatalf("checks: %d", len(res.Checks))
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("empty timeline")
+	}
+}
+
+func TestRunIsolationDrill(t *testing.T) {
+	const drill = `{
+	  "name": "kv-guarantee-under-antagonists",
+	  "preset": "two-socket",
+	  "seed": 42,
+	  "duration_us": 3000,
+	  "tenants": [
+	    {"tenant": "kv", "targets": [
+	      {"src": "nic0", "dst": "socket0.dimm0_0", "rate_gbps": 80},
+	      {"src": "socket0.dimm0_0", "dst": "nic0", "rate_gbps": 80}
+	    ]}
+	  ],
+	  "workloads": [
+	    {"kind": "kv", "tenant": "kv", "at_us": 0},
+	    {"kind": "ml", "tenant": "ml", "at_us": 200},
+	    {"kind": "loopback", "tenant": "evil", "at_us": 400}
+	  ],
+	  "asserts": [
+	    {"kind": "p99_below_us", "tenant": "kv", "value_us": 31},
+	    {"kind": "tenant_rate_at_least_gbps", "tenant": "evil", "gbps": 50},
+	    {"kind": "no_detection"}
+	  ]
+	}`
+	spec, err := Load(strings.NewReader(drill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Checks {
+		if !c.Passed {
+			t.Errorf("check %s failed: %s", c.Assert.Kind, c.Detail)
+		}
+	}
+}
+
+func TestRunConfigDriftDrill(t *testing.T) {
+	const drill = `{
+	  "name": "ddio-flip",
+	  "preset": "two-socket",
+	  "seed": 1,
+	  "duration_us": 2000,
+	  "faults": [
+	    {"kind": "config", "component": "socket0.llc", "key": "ddio", "value": "off", "at_us": 500}
+	  ],
+	  "asserts": [
+	    {"kind": "drift_alert"}
+	  ]
+	}`
+	spec, err := Load(strings.NewReader(drill))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("drill failed: %+v", res.Checks)
+	}
+}
+
+func TestRunFailingAssertReported(t *testing.T) {
+	const drill = `{
+	  "name": "impossible",
+	  "preset": "two-socket",
+	  "seed": 1,
+	  "duration_us": 1000,
+	  "asserts": [
+	    {"kind": "drift_alert"}
+	  ]
+	}`
+	spec, _ := Load(strings.NewReader(drill))
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("drill with unmet assert passed")
+	}
+}
+
+func TestRunBadAdmission(t *testing.T) {
+	const drill = `{
+	  "name": "over-ask",
+	  "preset": "two-socket",
+	  "seed": 1,
+	  "duration_us": 1000,
+	  "tenants": [
+	    {"tenant": "greedy", "targets": [{"src": "gpu0", "dst": "nic0", "rate_gbps": 9999}]}
+	  ]
+	}`
+	spec, _ := Load(strings.NewReader(drill))
+	if _, err := Run(spec); err == nil {
+		t.Fatal("infeasible admission accepted")
+	}
+}
+
+func TestRunBadFaultLink(t *testing.T) {
+	const drill = `{
+	  "name": "bad-link",
+	  "preset": "two-socket",
+	  "seed": 1,
+	  "duration_us": 1000,
+	  "faults": [{"kind": "fail", "link": "no->where", "at_us": 100}]
+	}`
+	spec, _ := Load(strings.NewReader(drill))
+	if _, err := Run(spec); err == nil {
+		t.Fatal("unknown fault link accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	spec, _ := Load(strings.NewReader(degradeDrill))
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Checks) != len(b.Checks) {
+		t.Fatal("nondeterministic checks")
+	}
+	for i := range a.Checks {
+		if a.Checks[i].Detail != b.Checks[i].Detail {
+			t.Fatalf("nondeterministic detail: %q vs %q", a.Checks[i].Detail, b.Checks[i].Detail)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package sched implements the paper's topology-aware resource
+// scheduler (§3.2): given compiled requirements (candidate pathways
+// per intent) and the fabric's current headroom, it chooses pathways
+// that maximize overall admission and efficiency. A naive baseline
+// (always the shortest path, ignoring load) is included for the E9
+// ablation — it is what a topology-oblivious allocator would do.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/intent"
+	"repro/internal/resmodel"
+	"repro/internal/topology"
+)
+
+// Usage is the scheduler's view of the fabric: effective capacity and
+// remaining unreserved headroom per directed link.
+type Usage struct {
+	Capacity map[topology.LinkID]topology.Rate
+	Free     map[topology.LinkID]topology.Rate
+}
+
+// CloneFree returns a mutable copy of the free map.
+func (u Usage) CloneFree() map[topology.LinkID]topology.Rate {
+	out := make(map[topology.LinkID]topology.Rate, len(u.Free))
+	for k, v := range u.Free {
+		out[k] = v
+	}
+	return out
+}
+
+// PathShare is one leg of a split placement.
+type PathShare struct {
+	Path topology.Path
+	Rate topology.Rate
+}
+
+// Assignment is the scheduling outcome for one requirement.
+type Assignment struct {
+	Req intent.Requirement
+	// Admitted reports whether the requirement was placed.
+	Admitted bool
+	// Reason explains a rejection.
+	Reason string
+	// Path is the chosen (primary) pathway (pipe model).
+	Path topology.Path
+	// Splits is non-empty when the rate was striped across several
+	// pathways because no single one had the headroom; Path is then
+	// the first (largest) leg.
+	Splits []PathShare
+	// Reservation is the per-link allocation this assignment consumes.
+	Reservation resmodel.Reservation
+}
+
+// Scheduler places compiled requirements.
+type Scheduler interface {
+	// Name identifies the strategy.
+	Name() string
+	// Schedule places the batch against the usage snapshot. The
+	// returned assignments parallel the input order. Implementations
+	// must not mutate usage.
+	Schedule(reqs []intent.Requirement, usage Usage) []Assignment
+}
+
+// New returns a scheduler by name: "topology-aware" or "naive".
+func New(name string) (Scheduler, error) {
+	switch name {
+	case "topology-aware", "":
+		return TopologyAware{}, nil
+	case "naive":
+		return Naive{}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown scheduler %q", name)
+}
+
+// order returns the indices of reqs in placement order: largest rate
+// first (hardest to place), ties broken by tenant then description,
+// so scheduling is deterministic regardless of input order.
+func order(reqs []intent.Requirement) []int {
+	idx := make([]int, len(reqs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := reqs[idx[a]], reqs[idx[b]]
+		if ra.Target.Rate != rb.Target.Rate {
+			return ra.Target.Rate > rb.Target.Rate
+		}
+		if ra.Target.Tenant != rb.Target.Tenant {
+			return ra.Target.Tenant < rb.Target.Tenant
+		}
+		return ra.Target.String() < rb.Target.String()
+	})
+	return idx
+}
+
+// fits reports whether rate is available on every link of p.
+func fits(p topology.Path, rate topology.Rate, free map[topology.LinkID]topology.Rate) bool {
+	for _, l := range p.Links {
+		if free[l.ID] < rate {
+			return false
+		}
+	}
+	return true
+}
+
+func reserve(p topology.Path, rate topology.Rate, free map[topology.LinkID]topology.Rate) resmodel.Reservation {
+	res := resmodel.NewReservation()
+	res.AddPipe(p, rate)
+	for _, l := range p.Links {
+		free[l.ID] -= rate
+	}
+	return res
+}
+
+// scheduleHose admits or rejects a hose requirement wholesale.
+func scheduleHose(req intent.Requirement, free map[topology.LinkID]topology.Rate) Assignment {
+	freeView := make(map[topology.LinkID]topology.Rate, len(req.HoseReservation.Links))
+	for l := range req.HoseReservation.Links {
+		freeView[l] = free[l]
+	}
+	if v := resmodel.CheckFit(req.HoseReservation, freeView); len(v) != 0 {
+		return Assignment{Req: req, Reason: fmt.Sprintf("hose does not fit: %v", v[0])}
+	}
+	for l, r := range req.HoseReservation.Links {
+		free[l] -= r
+	}
+	return Assignment{Req: req, Admitted: true, Reservation: req.HoseReservation.Clone()}
+}
+
+// TopologyAware chooses, among the candidates that fit, the pathway
+// that minimizes the resulting maximum link utilization — spreading
+// load across the "several pathways" the paper describes.
+type TopologyAware struct{}
+
+// Name implements Scheduler.
+func (TopologyAware) Name() string { return "topology-aware" }
+
+// Schedule implements Scheduler.
+func (TopologyAware) Schedule(reqs []intent.Requirement, usage Usage) []Assignment {
+	free := usage.CloneFree()
+	out := make([]Assignment, len(reqs))
+	for _, i := range order(reqs) {
+		req := reqs[i]
+		if req.Target.Model == resmodel.ModelHose {
+			out[i] = scheduleHose(req, free)
+			continue
+		}
+		bestIdx := -1
+		bestScore := 2.0 // utilizations are <= 1
+		for ci, p := range req.Candidates {
+			if !fits(p, req.Target.Rate, free) {
+				continue
+			}
+			score := 0.0
+			for _, l := range p.Links {
+				cap := usage.Capacity[l.ID]
+				if cap <= 0 {
+					continue
+				}
+				util := float64(cap-free[l.ID]+req.Target.Rate) / float64(cap)
+				if util > score {
+					score = util
+				}
+			}
+			if score < bestScore {
+				bestScore = score
+				bestIdx = ci
+			}
+		}
+		if bestIdx < 0 {
+			// No single pathway fits: try striping the rate across
+			// several candidates — the multi-path placement §3.2's
+			// "several GPU-SSD pathways" invites.
+			if a, ok := trySplit(req, free); ok {
+				out[i] = a
+				continue
+			}
+			out[i] = Assignment{Req: req, Reason: "no candidate pathway (or split) has headroom"}
+			continue
+		}
+		p := req.Candidates[bestIdx]
+		out[i] = Assignment{Req: req, Admitted: true, Path: p,
+			Reservation: reserve(p, req.Target.Rate, free)}
+	}
+	return out
+}
+
+// trySplit stripes a pipe's rate across candidates greedily: each
+// candidate (in latency order) takes as much as its current headroom
+// allows, headroom being re-evaluated as earlier legs consume shared
+// links. Admission succeeds only if the full rate is covered — the
+// guarantee is all-or-nothing even when striped.
+func trySplit(req intent.Requirement, free map[topology.LinkID]topology.Rate) (Assignment, bool) {
+	type leg struct {
+		path topology.Path
+		rate topology.Rate
+	}
+	scratch := make(map[topology.LinkID]topology.Rate, len(free))
+	for k, v := range free {
+		scratch[k] = v
+	}
+	remaining := req.Target.Rate
+	var legs []leg
+	for _, p := range req.Candidates {
+		if remaining <= 0 {
+			break
+		}
+		head := topology.Rate(-1)
+		for _, l := range p.Links {
+			if head < 0 || scratch[l.ID] < head {
+				head = scratch[l.ID]
+			}
+		}
+		if head <= 0 {
+			continue
+		}
+		take := head
+		if take > remaining {
+			take = remaining
+		}
+		for _, l := range p.Links {
+			scratch[l.ID] -= take
+		}
+		legs = append(legs, leg{path: p, rate: take})
+		remaining -= take
+	}
+	if remaining > 0 || len(legs) < 2 {
+		return Assignment{}, false
+	}
+	res := resmodel.NewReservation()
+	a := Assignment{Req: req, Admitted: true}
+	for _, lg := range legs {
+		res.AddPipe(lg.path, lg.rate)
+		a.Splits = append(a.Splits, PathShare{Path: lg.path, Rate: lg.rate})
+	}
+	a.Path = legs[0].path
+	a.Reservation = res
+	for k, v := range scratch {
+		free[k] = v
+	}
+	return a, true
+}
+
+// Naive always takes the first (lowest-latency) candidate and admits
+// only if it happens to fit — no load awareness, no alternatives.
+type Naive struct{}
+
+// Name implements Scheduler.
+func (Naive) Name() string { return "naive" }
+
+// Schedule implements Scheduler.
+func (Naive) Schedule(reqs []intent.Requirement, usage Usage) []Assignment {
+	free := usage.CloneFree()
+	out := make([]Assignment, len(reqs))
+	for _, i := range order(reqs) {
+		req := reqs[i]
+		if req.Target.Model == resmodel.ModelHose {
+			out[i] = scheduleHose(req, free)
+			continue
+		}
+		if len(req.Candidates) == 0 {
+			out[i] = Assignment{Req: req, Reason: "no candidates"}
+			continue
+		}
+		p := req.Candidates[0]
+		if !fits(p, req.Target.Rate, free) {
+			out[i] = Assignment{Req: req, Reason: "shortest pathway has no headroom"}
+			continue
+		}
+		out[i] = Assignment{Req: req, Admitted: true, Path: p,
+			Reservation: reserve(p, req.Target.Rate, free)}
+	}
+	return out
+}
+
+// Summary aggregates a batch outcome.
+type Summary struct {
+	Admitted, Rejected int
+	// MaxUtilization is the highest post-placement link utilization.
+	MaxUtilization float64
+}
+
+// Summarize computes batch statistics for a set of assignments against
+// the pre-scheduling usage snapshot.
+func Summarize(assignments []Assignment, usage Usage) Summary {
+	s := Summary{}
+	used := make(map[topology.LinkID]topology.Rate)
+	for l, cap := range usage.Capacity {
+		used[l] = cap - usage.Free[l]
+	}
+	for _, a := range assignments {
+		if !a.Admitted {
+			s.Rejected++
+			continue
+		}
+		s.Admitted++
+		for l, r := range a.Reservation.Links {
+			used[l] += r
+		}
+	}
+	for l, u := range used {
+		cap := usage.Capacity[l]
+		if cap > 0 {
+			util := float64(u) / float64(cap)
+			if util > s.MaxUtilization {
+				s.MaxUtilization = util
+			}
+		}
+	}
+	return s
+}

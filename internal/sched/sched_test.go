@@ -1,0 +1,311 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/intent"
+	"repro/internal/resmodel"
+	"repro/internal/topology"
+)
+
+// usageFor builds a Usage with full headroom on every link.
+func usageFor(topo *topology.Topology) Usage {
+	u := Usage{
+		Capacity: make(map[topology.LinkID]topology.Rate),
+		Free:     make(map[topology.LinkID]topology.Rate),
+	}
+	for _, l := range topo.Links() {
+		u.Capacity[l.ID] = l.Capacity
+		u.Free[l.ID] = l.Capacity
+	}
+	return u
+}
+
+func compile(t *testing.T, topo *topology.Topology, targets ...intent.Target) []intent.Requirement {
+	t.Helper()
+	in, err := intent.New(topo, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := in.CompileAll(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"topology-aware", "naive", ""} {
+		s, err := New(name)
+		if err != nil || s == nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestSingleRequirementAdmitted(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	reqs := compile(t, topo, intent.Target{
+		Tenant: "a", Src: "gpu0", Dst: "nic0", Rate: topology.GBps(10),
+	})
+	for _, s := range []Scheduler{TopologyAware{}, Naive{}} {
+		out := s.Schedule(reqs, usageFor(topo))
+		if len(out) != 1 || !out[0].Admitted {
+			t.Fatalf("%s: %+v", s.Name(), out)
+		}
+		if out[0].Path.Hops() == 0 || len(out[0].Reservation.Links) == 0 {
+			t.Fatalf("%s: empty path or reservation", s.Name())
+		}
+	}
+}
+
+func TestTopologyAwareSpreadsAcrossMemory(t *testing.T) {
+	topo := topology.DGXStyle()
+	// Four GPUs on socket 0 each want a 16 GB/s pipe to socket-0
+	// memory. A DRAM channel is 60 GB/s: naive stacks everything on
+	// the same lowest-latency DIMM (2 fit); topology-aware spreads
+	// across the socket's channels and admits all four.
+	var targets []intent.Target
+	for i := 0; i < 4; i++ {
+		targets = append(targets, intent.Target{
+			Tenant: "ml", Src: topology.CompID(fmt.Sprintf("gpu%d", i)),
+			Dst: "memory:socket0", Rate: topology.GBps(16),
+		})
+	}
+	reqs := compile(t, topo, targets...)
+	usage := usageFor(topo)
+	ta := TopologyAware{}.Schedule(reqs, usage)
+	nv := Naive{}.Schedule(reqs, usage)
+	taSum := Summarize(ta, usage)
+	nvSum := Summarize(nv, usage)
+	if taSum.Admitted <= nvSum.Admitted {
+		t.Fatalf("topology-aware admitted %d, naive %d — expected strictly more",
+			taSum.Admitted, nvSum.Admitted)
+	}
+	// Distinct destinations used by topology-aware.
+	dsts := make(map[topology.CompID]bool)
+	for _, a := range ta {
+		if a.Admitted {
+			dsts[a.Path.Dst()] = true
+		}
+	}
+	if len(dsts) < 2 {
+		t.Fatalf("topology-aware used only %d destinations", len(dsts))
+	}
+}
+
+func TestAdmissionControlRejectsOverload(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	// gpu0's own PCIe link is 32 GB/s; three 20 GB/s pipes cannot all
+	// fit through it no matter the destination.
+	var targets []intent.Target
+	for i := 0; i < 3; i++ {
+		targets = append(targets, intent.Target{
+			Tenant: "ml", Src: "gpu0", Dst: intent.AnyMemory, Rate: topology.GBps(20),
+		})
+	}
+	reqs := compile(t, topo, targets...)
+	usage := usageFor(topo)
+	out := TopologyAware{}.Schedule(reqs, usage)
+	sum := Summarize(out, usage)
+	if sum.Admitted != 1 || sum.Rejected != 2 {
+		t.Fatalf("admitted %d rejected %d, want 1/2", sum.Admitted, sum.Rejected)
+	}
+	for _, a := range out {
+		if !a.Admitted && a.Reason == "" {
+			t.Fatal("rejection without reason")
+		}
+	}
+}
+
+func TestScheduleDoesNotMutateUsage(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	reqs := compile(t, topo, intent.Target{
+		Tenant: "a", Src: "gpu0", Dst: "nic0", Rate: topology.GBps(10),
+	})
+	usage := usageFor(topo)
+	before := usage.CloneFree()
+	_ = TopologyAware{}.Schedule(reqs, usage)
+	for l, v := range before {
+		if usage.Free[l] != v {
+			t.Fatalf("Schedule mutated usage at %s", l)
+		}
+	}
+}
+
+func TestHoseScheduling(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	reqs := compile(t, topo, intent.Target{
+		Tenant: "dist", Model: resmodel.ModelHose,
+		Hoses: []resmodel.HoseDemand{
+			{Endpoint: "gpu0", Egress: topology.GBps(5), Ingress: topology.GBps(5)},
+			{Endpoint: "gpu1", Egress: topology.GBps(5), Ingress: topology.GBps(5)},
+		},
+	})
+	usage := usageFor(topo)
+	out := TopologyAware{}.Schedule(reqs, usage)
+	if !out[0].Admitted {
+		t.Fatalf("hose rejected: %s", out[0].Reason)
+	}
+	if len(out[0].Reservation.Links) == 0 {
+		t.Fatal("hose admitted with empty reservation")
+	}
+	// Drain headroom on the UPI link; a hose spanning sockets must be
+	// rejected.
+	usage.Free["cpu0->cpu1"] = 0
+	out = TopologyAware{}.Schedule(reqs, usage)
+	if out[0].Admitted {
+		t.Fatal("hose admitted without UPI headroom")
+	}
+}
+
+func TestDeterministicAcrossInputOrder(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	a := intent.Target{Tenant: "a", Src: "gpu0", Dst: intent.AnyMemory, Rate: topology.GBps(20)}
+	b := intent.Target{Tenant: "b", Src: "ssd0", Dst: intent.AnyMemory, Rate: topology.GBps(10)}
+	r1 := compile(t, topo, a, b)
+	r2 := compile(t, topo, b, a)
+	usage := usageFor(topo)
+	o1 := TopologyAware{}.Schedule(r1, usage)
+	o2 := TopologyAware{}.Schedule(r2, usage)
+	// Same tenant must land on the same path regardless of order.
+	find := func(out []Assignment, tenant string) Assignment {
+		for _, x := range out {
+			if string(x.Req.Target.Tenant) == tenant {
+				return x
+			}
+		}
+		t.Fatalf("tenant %s missing", tenant)
+		return Assignment{}
+	}
+	for _, tn := range []string{"a", "b"} {
+		p1, p2 := find(o1, tn).Path.String(), find(o2, tn).Path.String()
+		if p1 != p2 {
+			t.Fatalf("tenant %s path depends on input order: %s vs %s", tn, p1, p2)
+		}
+	}
+}
+
+func TestLargestFirstPlacement(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	// One big pipe and one small pipe compete; placing the small one
+	// first could strand the big one. Largest-first admits both when
+	// possible.
+	targets := []intent.Target{
+		{Tenant: "small", Src: "nic0", Dst: "memory:socket0", Rate: topology.GBps(10)},
+		{Tenant: "big", Src: "gpu0", Dst: "memory:socket0", Rate: topology.GBps(30)},
+	}
+	reqs := compile(t, topo, targets...)
+	out := TopologyAware{}.Schedule(reqs, usageFor(topo))
+	for _, a := range out {
+		if !a.Admitted {
+			t.Fatalf("%s rejected: %s", a.Req.Target.Tenant, a.Reason)
+		}
+	}
+}
+
+func TestMultiPathSplitting(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	// A 40 GB/s gpu0->memory pipe compiles (the candidate bottlenecks
+	// sum past 40) but every pathway shares the gpu's 32 GB/s PCIe
+	// link, so even striped placement must reject it.
+	reqs := compile(t, topo, intent.Target{
+		Tenant: "a", Src: "gpu0", Dst: intent.AnyMemory, Rate: topology.GBps(40),
+	})
+	out := TopologyAware{}.Schedule(reqs, usageFor(topo))
+	if out[0].Admitted {
+		t.Fatal("pipe beyond the source link capacity admitted")
+	}
+	// An 80 GB/s cpu0->memory pipe exceeds any single DRAM channel
+	// (60 GB/s) but fits striped across two channels.
+	reqs = compile(t, topo, intent.Target{
+		Tenant: "a", Src: "cpu0", Dst: "memory:socket0", Rate: topology.GBps(80),
+	})
+	usage := usageFor(topo)
+	out = TopologyAware{}.Schedule(reqs, usage)
+	if !out[0].Admitted {
+		t.Fatalf("splittable pipe rejected: %s", out[0].Reason)
+	}
+	if len(out[0].Splits) < 2 {
+		t.Fatalf("splits = %d, want >= 2", len(out[0].Splits))
+	}
+	var total topology.Rate
+	dsts := make(map[topology.CompID]bool)
+	for _, s := range out[0].Splits {
+		total += s.Rate
+		dsts[s.Path.Dst()] = true
+	}
+	if total != topology.GBps(80) {
+		t.Fatalf("split legs sum to %v, want 80GB/s", total)
+	}
+	if len(dsts) < 2 {
+		t.Fatalf("split used %d distinct destinations", len(dsts))
+	}
+	// Reservation covers every leg.
+	if out[0].Reservation.Total() <= 0 {
+		t.Fatal("empty split reservation")
+	}
+	// The scratch headroom was committed: a second identical pipe
+	// still fits (socket memory aggregate is 240 GB/s), but a third
+	// cannot — the cpu's 180 GB/s mesh link gates at 2x80.
+	u2 := sched2Usage(usage, out[0])
+	out2 := TopologyAware{}.Schedule(reqs, u2)
+	if !out2[0].Admitted {
+		t.Fatalf("second striped pipe rejected: %s", out2[0].Reason)
+	}
+	u3 := sched2Usage(u2, out2[0])
+	out3 := TopologyAware{}.Schedule(reqs, u3)
+	if out3[0].Admitted {
+		t.Fatal("third 80GB/s striped pipe admitted beyond the mesh link")
+	}
+}
+
+// sched2Usage applies an assignment's reservation to a usage snapshot.
+func sched2Usage(u Usage, a Assignment) Usage {
+	out := Usage{Capacity: u.Capacity, Free: u.CloneFree()}
+	for l, r := range a.Reservation.Links {
+		out.Free[l] -= r
+	}
+	return out
+}
+
+func TestSummarizeUtilization(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	reqs := compile(t, topo, intent.Target{
+		Tenant: "a", Src: "gpu0", Dst: "nic0", Rate: topology.GBps(16),
+	})
+	usage := usageFor(topo)
+	out := TopologyAware{}.Schedule(reqs, usage)
+	sum := Summarize(out, usage)
+	// 16 of 32 GB/s on the PCIe links = 0.5 max utilization.
+	if sum.MaxUtilization < 0.49 || sum.MaxUtilization > 0.51 {
+		t.Fatalf("max utilization %v, want ~0.5", sum.MaxUtilization)
+	}
+}
+
+func BenchmarkTopologyAware20Pipes(b *testing.B) {
+	topo := topology.DGXStyle()
+	in, _ := intent.New(topo, 3, nil)
+	var targets []intent.Target
+	for i := 0; i < 20; i++ {
+		targets = append(targets, intent.Target{
+			Tenant: fabric.TenantID("t" + string(rune('a'+i%4))),
+			Src:    topology.CompID(fmt.Sprintf("gpu%d", i%8)),
+			Dst:    intent.AnyMemory, Rate: topology.GBps(5),
+		})
+	}
+	reqs, err := in.CompileAll(targets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	usage := usageFor(topo)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopologyAware{}.Schedule(reqs, usage)
+	}
+}

@@ -1,0 +1,374 @@
+package simtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("new engine at %v, want 0", e.Now())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestNowDuringEvent(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.Schedule(77, func() { at = e.Now() })
+	e.Run()
+	if at != 77 {
+		t.Fatalf("Now() inside event = %v, want 77", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling nil func did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestAfter(t *testing.T) {
+	e := NewEngine(1)
+	var fired Time
+	e.Schedule(100, func() {
+		e.After(50, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 150 {
+		t.Fatalf("After(50) from t=100 fired at %v, want 150", fired)
+	}
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	h := e.Schedule(10, func() { ran = true })
+	if !h.Pending() {
+		t.Fatal("handle not pending before run")
+	}
+	if !h.Cancel() {
+		t.Fatal("first cancel returned false")
+	}
+	if h.Cancel() {
+		t.Fatal("second cancel returned true")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if h.Pending() {
+		t.Fatal("canceled handle still pending")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(10, func() { count++ })
+	e.Schedule(20, func() { count++ })
+	e.Schedule(30, func() { count++ })
+	e.RunUntil(25)
+	if count != 2 {
+		t.Fatalf("ran %d events by t=25, want 2", count)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock at %v after RunUntil(25), want 25", e.Now())
+	}
+	e.RunUntil(30)
+	if count != 3 {
+		t.Fatalf("ran %d events by t=30, want 3", count)
+	}
+}
+
+func TestRunUntilInclusive(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(25, func() { ran = true })
+	e.RunUntil(25)
+	if !ran {
+		t.Fatal("event at horizon not run by RunUntil")
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine(1)
+	e.RunFor(100)
+	e.RunFor(50)
+	if e.Now() != 150 {
+		t.Fatalf("clock at %v after RunFor(100)+RunFor(50), want 150", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(10, func() { count++; e.Stop() })
+	e.Schedule(20, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("Stop() did not halt run: ran %d events", count)
+	}
+	// A later Run resumes.
+	e.Run()
+	if count != 2 {
+		t.Fatalf("resumed run processed %d total, want 2", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	var fires []Time
+	tk := e.Every(10, func() { fires = append(fires, e.Now()) })
+	e.RunUntil(35)
+	tk.Stop()
+	e.RunUntil(100)
+	want := []Time{10, 20, 30}
+	if len(fires) != len(want) {
+		t.Fatalf("ticker fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("ticker fired at %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tk *Ticker
+	tk = e.Every(5, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(1000)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after self-stop at 3, want 3", count)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-period ticker did not panic")
+		}
+	}()
+	e.Every(0, func() {})
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Schedule(10, func() {
+		order = append(order, "a")
+		e.Schedule(15, func() { order = append(order, "b") })
+	})
+	e.Schedule(20, func() { order = append(order, "c") })
+	e.Run()
+	want := "abc"
+	got := ""
+	for _, s := range order {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("order %q, want %q", got, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var out []int64
+		for i := 0; i < 100; i++ {
+			e.After(Duration(e.Rand().Intn(1000)), func() {
+				out = append(out, int64(e.Now()), e.Rand().Int63n(1<<30))
+			})
+		}
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("different lengths for same seed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if Microsecond != 1000 {
+		t.Fatalf("Microsecond = %d ns, want 1000", Microsecond)
+	}
+	if Second.Seconds() != 1.0 {
+		t.Fatalf("Second.Seconds() = %v, want 1", Second.Seconds())
+	}
+	if (5 * Microsecond).Micros() != 5.0 {
+		t.Fatalf("Micros() = %v, want 5", (5 * Microsecond).Micros())
+	}
+	if Time(1500).Sub(Time(500)) != 1000 {
+		t.Fatalf("Sub wrong")
+	}
+	if Time(100).Add(50) != 150 {
+		t.Fatalf("Add wrong")
+	}
+}
+
+// Property: for any set of scheduled times, execution order is the
+// sorted order of those times.
+func TestPropertyExecutionIsSorted(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(7)
+		var got []Time
+		for _, d := range delays {
+			at := Time(d)
+			e.Schedule(at, func() { got = append(got, at) })
+		}
+		e.Run()
+		if len(got) != len(delays) {
+			return false
+		}
+		want := make([]Time, len(delays))
+		for i, d := range delays {
+			want[i] = Time(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling a random subset runs exactly the complement.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(n uint8, mask uint64) bool {
+		count := int(n%64) + 1
+		e := NewEngine(3)
+		ran := make([]bool, count)
+		handles := make([]EventHandle, count)
+		for i := 0; i < count; i++ {
+			i := i
+			handles[i] = e.Schedule(Time(i*10), func() { ran[i] = true })
+		}
+		for i := 0; i < count; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				handles[i].Cancel()
+			}
+		}
+		e.Run()
+		for i := 0; i < count; i++ {
+			canceled := mask&(1<<uint(i)) != 0
+			if ran[i] == canceled {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Duration(rng.Intn(1000)+1), func() {})
+		if e.Pending() > 1024 {
+			e.RunFor(500)
+		}
+	}
+	e.Run()
+}

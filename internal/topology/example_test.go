@@ -1,0 +1,57 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Building a custom host and routing across it.
+func Example() {
+	t := topology.New("demo")
+	t.MustAddComponent("cpu0", topology.KindCPU, 0)
+	t.MustAddComponent("socket0.llc", topology.KindLLC, 0)
+	t.MustAddComponent("socket0.rootport0", topology.KindRootPort, 0)
+	t.MustAddComponent("nic0", topology.KindNIC, 0)
+	t.MustAddLink(topology.LinkSpec{A: "cpu0", B: "socket0.llc",
+		Class: topology.ClassIntraSocket, Capacity: topology.GBps(150), BaseLatency: 5})
+	t.MustAddLink(topology.LinkSpec{A: "socket0.rootport0", B: "socket0.llc",
+		Class: topology.ClassIntraSocket, Capacity: topology.GBps(110), BaseLatency: 25})
+	t.MustAddLink(topology.LinkSpec{A: "socket0.rootport0", B: "nic0",
+		Class: topology.ClassPCIeDown, Capacity: topology.GBps(32), BaseLatency: 60})
+	if err := t.Validate(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	p, _ := t.ShortestPath("cpu0", "nic0")
+	fmt.Println(p)
+	fmt.Println(p.BaseLatency(), p.BottleneckCapacity())
+	// Output:
+	// cpu0 -> socket0.llc -> socket0.rootport0 -> nic0
+	// 90ns 32.0GB/s
+}
+
+// The Figure 1 presets ship ready to use.
+func ExampleTwoSocketServer() {
+	t := topology.TwoSocketServer()
+	fmt.Println(t.Name, t.NumComponents(), "components")
+	p, _ := t.ShortestPath("gpu0", "socket1.dimm0_0")
+	for _, class := range p.Classes() {
+		fmt.Println(class)
+	}
+	// Output:
+	// two-socket 29 components
+	// pcie-down
+	// intra-socket
+	// inter-socket
+}
+
+// Figure 1's published envelopes are queryable.
+func ExamplePaperEnvelope() {
+	env := topology.PaperEnvelope(topology.ClassInterSocket)
+	fmt.Println(env.Contains(topology.GBps(40), 150))
+	fmt.Println(env.Contains(topology.GBps(500), 150))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,122 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// jsonTopology is the on-disk host description format, so operators
+// can manage hosts beyond the built-in presets (every data center has
+// more SKUs than any preset list).
+type jsonTopology struct {
+	Name       string          `json:"name"`
+	Components []jsonComponent `json:"components"`
+	Links      []jsonLink      `json:"links"`
+}
+
+type jsonComponent struct {
+	ID     string            `json:"id"`
+	Kind   string            `json:"kind"`
+	Socket int               `json:"socket"`
+	Config map[string]string `json:"config,omitempty"`
+}
+
+type jsonLink struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	Class     string  `json:"class"`
+	GBps      float64 `json:"gbps"`
+	LatencyNs int64   `json:"latency_ns"`
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+var classByName = func() map[string]LinkClass {
+	m := make(map[string]LinkClass, len(classNames))
+	for c, n := range classNames {
+		m[n] = c
+	}
+	return m
+}()
+
+// MarshalJSON encodes the topology in the host description format.
+// Bidirectional link pairs are emitted once.
+func (t *Topology) MarshalJSON() ([]byte, error) {
+	out := jsonTopology{Name: t.Name}
+	for _, c := range t.Components() {
+		out.Components = append(out.Components, jsonComponent{
+			ID: string(c.ID), Kind: c.Kind.String(), Socket: c.Socket, Config: c.Config,
+		})
+	}
+	done := make(map[LinkID]bool)
+	var links []*Link
+	for _, l := range t.Links() {
+		if done[l.ID] || done[l.Reverse] {
+			continue
+		}
+		done[l.ID], done[l.Reverse] = true, true
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+	for _, l := range links {
+		out.Links = append(out.Links, jsonLink{
+			A: string(l.From), B: string(l.To), Class: l.Class.String(),
+			GBps: l.Capacity.GBpsValue(), LatencyNs: int64(l.BaseLatency),
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// FromJSON decodes a host description and validates the resulting
+// topology.
+func FromJSON(r io.Reader) (*Topology, error) {
+	var in jsonTopology
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	if in.Name == "" {
+		return nil, fmt.Errorf("topology: host description needs a name")
+	}
+	t := New(in.Name)
+	for _, c := range in.Components {
+		kind, ok := kindByName[c.Kind]
+		if !ok {
+			return nil, fmt.Errorf("topology: component %q has unknown kind %q", c.ID, c.Kind)
+		}
+		comp, err := t.AddComponent(CompID(c.ID), kind, c.Socket)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range c.Config {
+			comp.SetConfig(k, v)
+		}
+	}
+	for _, l := range in.Links {
+		class, ok := classByName[l.Class]
+		if !ok {
+			return nil, fmt.Errorf("topology: link %s-%s has unknown class %q", l.A, l.B, l.Class)
+		}
+		if _, _, err := t.AddLink(LinkSpec{
+			A: CompID(l.A), B: CompID(l.B), Class: class,
+			Capacity: GBps(l.GBps), BaseLatency: simtime.Duration(l.LatencyNs),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,135 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripPresets(t *testing.T) {
+	for name, build := range Presets {
+		orig := build()
+		data, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		got, err := FromJSON(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if got.Name != orig.Name {
+			t.Fatalf("%s: name %q", name, got.Name)
+		}
+		if got.NumComponents() != orig.NumComponents() || got.NumLinks() != orig.NumLinks() {
+			t.Fatalf("%s: size mismatch %d/%d vs %d/%d", name,
+				got.NumComponents(), got.NumLinks(), orig.NumComponents(), orig.NumLinks())
+		}
+		for _, l := range orig.Links() {
+			gl := got.Link(l.ID)
+			if gl == nil {
+				t.Fatalf("%s: link %s lost", name, l.ID)
+			}
+			if gl.Class != l.Class || gl.Capacity != l.Capacity || gl.BaseLatency != l.BaseLatency {
+				t.Fatalf("%s: link %s changed: %+v vs %+v", name, l.ID, gl, l)
+			}
+		}
+		for _, c := range orig.Components() {
+			gc := got.Component(c.ID)
+			if gc == nil || gc.Kind != c.Kind || gc.Socket != c.Socket {
+				t.Fatalf("%s: component %s changed", name, c.ID)
+			}
+			for k, v := range c.Config {
+				if gv, ok := gc.ConfigValue(k); !ok || gv != v {
+					t.Fatalf("%s: %s config %s lost", name, c.ID, k)
+				}
+			}
+		}
+	}
+}
+
+func TestFromJSONCustomHost(t *testing.T) {
+	src := `{
+	  "name": "lab-box",
+	  "components": [
+	    {"id": "cpu0", "kind": "cpu", "socket": 0},
+	    {"id": "socket0.llc", "kind": "llc", "socket": 0, "config": {"ddio": "on"}},
+	    {"id": "socket0.memctrl0", "kind": "memctrl", "socket": 0},
+	    {"id": "socket0.dimm0_0", "kind": "dimm", "socket": 0},
+	    {"id": "fpga0", "kind": "fpga", "socket": 0},
+	    {"id": "socket0.rootport0", "kind": "rootport", "socket": 0}
+	  ],
+	  "links": [
+	    {"a": "cpu0", "b": "socket0.llc", "class": "intra-socket", "gbps": 150, "latency_ns": 8},
+	    {"a": "socket0.llc", "b": "socket0.memctrl0", "class": "intra-socket", "gbps": 110, "latency_ns": 20},
+	    {"a": "socket0.memctrl0", "b": "socket0.dimm0_0", "class": "intra-socket", "gbps": 55, "latency_ns": 45},
+	    {"a": "socket0.rootport0", "b": "socket0.llc", "class": "intra-socket", "gbps": 100, "latency_ns": 25},
+	    {"a": "socket0.rootport0", "b": "fpga0", "class": "pcie-down", "gbps": 32, "latency_ns": 70}
+	  ]
+	}`
+	topo, err := FromJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Name != "lab-box" || topo.NumComponents() != 6 || topo.NumLinks() != 10 {
+		t.Fatalf("custom host: %s %d/%d", topo.Name, topo.NumComponents(), topo.NumLinks())
+	}
+	if v, _ := topo.Component("socket0.llc").ConfigValue(ConfigDDIO); v != "on" {
+		t.Fatal("config lost")
+	}
+	if _, err := topo.ShortestPath("fpga0", "socket0.dimm0_0"); err != nil {
+		t.Fatalf("custom host not routable: %v", err)
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"garbage", `{{{`},
+		{"no name", `{"components":[{"id":"a","kind":"cpu","socket":0}],"links":[]}`},
+		{"unknown kind", `{"name":"x","components":[{"id":"a","kind":"quantum","socket":0}]}`},
+		{"unknown class", `{"name":"x","components":[{"id":"a","kind":"cpu","socket":0},{"id":"b","kind":"llc","socket":0}],"links":[{"a":"a","b":"b","class":"warp","gbps":1,"latency_ns":1}]}`},
+		{"bad link", `{"name":"x","components":[{"id":"a","kind":"cpu","socket":0}],"links":[{"a":"a","b":"zz","class":"intra-socket","gbps":1,"latency_ns":1}]}`},
+		{"disconnected", `{"name":"x","components":[{"id":"a","kind":"cpu","socket":0},{"id":"b","kind":"llc","socket":0}],"links":[]}`},
+		{"unknown field", `{"name":"x","bogus":1,"components":[],"links":[]}`},
+	}
+	for _, c := range cases {
+		if _, err := FromJSON(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCXLExpandedHost(t *testing.T) {
+	topo := CXLExpandedHost()
+	cxl := topo.Component("cxlmem0")
+	if cxl == nil || cxl.Kind != KindCXLMem || cxl.Socket != 0 {
+		t.Fatalf("cxlmem0: %+v", cxl)
+	}
+	p, err := topo.ShortestPath("cpu0", "cxlmem0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §2 figure: ~150ns from CPU to device memory.
+	if p.BaseLatency() != 150 {
+		t.Fatalf("cpu->cxl latency %v, want 150ns", p.BaseLatency())
+	}
+	// CXL memory must be closer than remote-socket DRAM and much
+	// closer than a PCIe hop.
+	remote, _ := topo.ShortestPath("cpu0", "socket1.dimm0_0")
+	if p.BaseLatency() >= remote.BaseLatency() {
+		t.Fatalf("cxl %v not below remote DRAM %v", p.BaseLatency(), remote.BaseLatency())
+	}
+	// No transit through the expander.
+	if _, err := topo.ShortestPath("gpu0", "cxlmem0"); err != nil {
+		t.Fatalf("gpu -> cxl unroutable: %v", err)
+	}
+	env := PaperEnvelope(ClassCXL)
+	for _, l := range topo.Links() {
+		if l.Class == ClassCXL && !env.Contains(l.Capacity, l.BaseLatency) {
+			t.Fatalf("cxl link %s outside envelope", l.ID)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// LinkClass is one of the five intra-host/inter-host link classes from
+// Figure 1 of the paper.
+type LinkClass int
+
+const (
+	// ClassInterSocket is link (1): the inter-socket connect (Intel
+	// UPI/QPI, AMD Infinity Fabric). 20-72 GB/s, 130-220 ns.
+	ClassInterSocket LinkClass = iota
+	// ClassIntraSocket is link (2): intra-socket connects — the on-die
+	// mesh, memory bus, and LLC paths. 100-200 GB/s, 2-110 ns.
+	ClassIntraSocket
+	// ClassPCIeUp is link (3): a PCIe switch upstream link (x16).
+	// ~256 Gb/s, 30-120 ns.
+	ClassPCIeUp
+	// ClassPCIeDown is link (4): a PCIe switch downstream link (x16).
+	// ~256 Gb/s, 30-120 ns.
+	ClassPCIeDown
+	// ClassInterHost is link (5): the inter-host network (Ethernet /
+	// InfiniBand). ~200 Gb/s, <2 us.
+	ClassInterHost
+	// ClassCXL is a Compute Express Link connection: cache-coherent
+	// device-to-host-memory access. Not part of Figure 1's table; §2
+	// cites ~150 ns device-to-host-memory latency, and CXL 2.0 x16
+	// delivers PCIe-5.0-class bandwidth.
+	ClassCXL
+)
+
+var classNames = map[LinkClass]string{
+	ClassInterSocket: "inter-socket",
+	ClassIntraSocket: "intra-socket",
+	ClassPCIeUp:      "pcie-up",
+	ClassPCIeDown:    "pcie-down",
+	ClassInterHost:   "inter-host",
+	ClassCXL:         "cxl",
+}
+
+func (c LinkClass) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// FigureRef returns the paper's Figure 1 item number for the class,
+// 1 through 5.
+func (c LinkClass) FigureRef() int { return int(c) + 1 }
+
+// Envelope is an order-of-magnitude capacity/latency range for a link
+// class, as published in Figure 1.
+type Envelope struct {
+	MinCapacity, MaxCapacity Rate             // bytes/second
+	MinLatency, MaxLatency   simtime.Duration // one-way base latency
+}
+
+// Contains reports whether a measured (capacity, latency) point falls
+// inside the envelope.
+func (e Envelope) Contains(cap Rate, lat simtime.Duration) bool {
+	return cap >= e.MinCapacity && cap <= e.MaxCapacity &&
+		lat >= e.MinLatency && lat <= e.MaxLatency
+}
+
+// PaperEnvelope returns Figure 1's published range for a link class.
+func PaperEnvelope(c LinkClass) Envelope {
+	switch c {
+	case ClassInterSocket:
+		return Envelope{GBps(20), GBps(72), 130, 220}
+	case ClassIntraSocket:
+		return Envelope{GBps(100), GBps(200), 2, 110}
+	case ClassPCIeUp, ClassPCIeDown:
+		// "~256 Gbps": accept a generous neighborhood of the nominal
+		// value (PCIe 4.0 x16 raw 256 Gb/s, ~28-32 GB/s effective).
+		return Envelope{Gbps(180), Gbps(290), 30, 120}
+	case ClassInterHost:
+		// "~200 Gbps", latency "<2us".
+		return Envelope{Gbps(100), Gbps(220), 200, 2 * simtime.Microsecond}
+	case ClassCXL:
+		// Not in Figure 1; envelope from §2's "~150ns from device to
+		// host memory" and CXL 2.0 x16 link rates.
+		return Envelope{GBps(25), GBps(80), 50, 250}
+	}
+	panic(fmt.Sprintf("topology: unknown link class %v", c))
+}
+
+// LinkID names one direction of a link, e.g. "nic0->pcieswitch0".
+type LinkID string
+
+// Link is one direction of a fabric connection between two components.
+// Links are unidirectional so that full-duplex fabrics (PCIe, UPI) are
+// modeled with independent capacity per direction; AddLink creates both
+// directions.
+type Link struct {
+	ID   LinkID
+	From CompID
+	To   CompID
+	// Class determines which Figure 1 envelope the link belongs to.
+	Class LinkClass
+	// Capacity is the maximum data rate in bytes per second.
+	Capacity Rate
+	// BaseLatency is the uncongested one-way traversal latency,
+	// including the processing delay of the downstream component
+	// (e.g. PCIe switch forwarding).
+	BaseLatency simtime.Duration
+
+	// Reverse is the ID of the opposite-direction link.
+	Reverse LinkID
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("%s [%s, %s, %s]", l.ID, l.Class, l.Capacity, l.BaseLatency)
+}
+
+// linkIDFor builds the canonical directed-link identifier.
+func linkIDFor(from, to CompID) LinkID {
+	return LinkID(string(from) + "->" + string(to))
+}

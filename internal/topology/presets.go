@@ -1,0 +1,248 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Preset capacities and latencies. All values sit inside the Figure 1
+// envelopes; they correspond to a PCIe 4.0, Cascade-Lake/EPYC-class
+// server with 200 Gb/s NICs.
+const (
+	meshLatency    = 5 * simtime.Nanosecond   // CPU <-> LLC on-die mesh hop
+	llcMemLatency  = 15 * simtime.Nanosecond  // LLC <-> memory controller
+	dramLatency    = 45 * simtime.Nanosecond  // memory controller <-> DIMM
+	iioLatency     = 25 * simtime.Nanosecond  // root port <-> LLC (IIO block)
+	upiLatency     = 150 * simtime.Nanosecond // socket <-> socket
+	pcieUpLatency  = 75 * simtime.Nanosecond  // root port <-> switch
+	pcieDnLatency  = 75 * simtime.Nanosecond  // switch <-> device
+	rpDirectLat    = 60 * simtime.Nanosecond  // root port <-> device (no switch)
+	netHopLatency  = 1000 * simtime.Nanosecond
+	meshCapacity   = 180e9 // B/s, CPU <-> LLC
+	llcMemCapacity = 120e9 // B/s, LLC <-> memory controller
+	dimmCapacity   = 60e9  // B/s per DIMM channel pair
+	iioCapacity    = 110e9 // B/s, root port into the mesh
+	upiCapacity    = 40e9  // B/s per direction
+	pcieCapacity   = 32e9  // B/s, x16 PCIe 4.0 (256 Gb/s)
+	netCapacity    = 25e9  // B/s, 200 Gb/s NIC
+)
+
+// socketSpec controls how buildSocket fleshes out one CPU socket.
+type socketSpec struct {
+	memCtrls     int
+	dimmsPerCtrl int
+	rootPorts    int
+}
+
+// buildSocket adds a socket's compute/memory complex: cpu, llc,
+// memory controllers with DIMMs, and root ports hanging off the LLC.
+func buildSocket(t *Topology, socket int, spec socketSpec) {
+	cpu := CompID(fmt.Sprintf("cpu%d", socket))
+	llc := CompID(fmt.Sprintf("socket%d.llc", socket))
+	t.MustAddComponent(cpu, KindCPU, socket)
+	c := t.MustAddComponent(llc, KindLLC, socket)
+	c.SetConfig(ConfigDDIO, "on")
+	t.MustAddLink(LinkSpec{A: cpu, B: llc, Class: ClassIntraSocket,
+		Capacity: meshCapacity, BaseLatency: meshLatency})
+	for m := 0; m < spec.memCtrls; m++ {
+		mc := CompID(fmt.Sprintf("socket%d.memctrl%d", socket, m))
+		t.MustAddComponent(mc, KindMemCtrl, socket)
+		t.MustAddLink(LinkSpec{A: llc, B: mc, Class: ClassIntraSocket,
+			Capacity: llcMemCapacity, BaseLatency: llcMemLatency})
+		for d := 0; d < spec.dimmsPerCtrl; d++ {
+			dimm := CompID(fmt.Sprintf("socket%d.dimm%d_%d", socket, m, d))
+			t.MustAddComponent(dimm, KindDIMM, socket)
+			t.MustAddLink(LinkSpec{A: mc, B: dimm, Class: ClassIntraSocket,
+				Capacity: dimmCapacity, BaseLatency: dramLatency})
+		}
+	}
+	for r := 0; r < spec.rootPorts; r++ {
+		rp := CompID(fmt.Sprintf("socket%d.rootport%d", socket, r))
+		c := t.MustAddComponent(rp, KindRootPort, socket)
+		// Presets default to IOMMU passthrough so the base fabric
+		// latencies match Figure 1; experiments flip this knob to
+		// "translate" to measure the translation cost.
+		c.SetConfig(ConfigIOMMU, "passthrough")
+		c.SetConfig(ConfigMaxPayload, "256")
+		t.MustAddLink(LinkSpec{A: rp, B: llc, Class: ClassIntraSocket,
+			Capacity: iioCapacity, BaseLatency: iioLatency})
+	}
+}
+
+func rootPortID(socket, port int) CompID {
+	return CompID(fmt.Sprintf("socket%d.rootport%d", socket, port))
+}
+
+// addSwitch attaches a PCIe switch under a root port and returns its ID.
+func addSwitch(t *Topology, name CompID, socket int, rp CompID) CompID {
+	t.MustAddComponent(name, KindPCIeSwitch, socket)
+	t.MustAddLink(LinkSpec{A: rp, B: name, Class: ClassPCIeUp,
+		Capacity: pcieCapacity, BaseLatency: pcieUpLatency})
+	return name
+}
+
+// addDevice attaches an endpoint device under a parent (switch or root
+// port), choosing the PCIe link class by the parent kind.
+func addDevice(t *Topology, id CompID, kind Kind, socket int, parent CompID) {
+	c := t.MustAddComponent(id, kind, socket)
+	c.SetConfig(ConfigNUMA, "local")
+	class := ClassPCIeDown
+	lat := pcieDnLatency
+	if t.Component(parent).Kind == KindRootPort {
+		lat = rpDirectLat
+	}
+	t.MustAddLink(LinkSpec{A: parent, B: id, Class: class,
+		Capacity: pcieCapacity, BaseLatency: lat})
+}
+
+// connectExternal adds the "external" node and one inter-host link per
+// NIC, so end-to-end paths can traverse link class (5).
+func connectExternal(t *Topology) {
+	t.MustAddComponent("external0", KindExternal, -1)
+	for _, nic := range t.ComponentsOfKind(KindNIC) {
+		t.MustAddLink(LinkSpec{A: nic.ID, B: "external0", Class: ClassInterHost,
+			Capacity: netCapacity, BaseLatency: netHopLatency})
+	}
+}
+
+// MinimalHost is a single-socket host with one NIC, one GPU, one SSD
+// behind a switch, and one memory channel. It is the smallest topology
+// that still exercises every link class, intended for unit tests.
+func MinimalHost() *Topology {
+	t := New("minimal")
+	buildSocket(t, 0, socketSpec{memCtrls: 1, dimmsPerCtrl: 1, rootPorts: 2})
+	sw := addSwitch(t, "pcieswitch0", 0, rootPortID(0, 0))
+	addDevice(t, "nic0", KindNIC, 0, sw)
+	addDevice(t, "ssd0", KindSSD, 0, sw)
+	addDevice(t, "gpu0", KindGPU, 0, rootPortID(0, 1))
+	connectExternal(t)
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TwoSocketServer reproduces the Figure 1 example topology: two
+// sockets joined by an inter-socket connect, each socket with two
+// memory controllers (two DIMMs each), two root ports, a PCIe switch
+// carrying a NIC and an SSD, and a directly-attached GPU. The external
+// node models the far end of the inter-host network.
+func TwoSocketServer() *Topology {
+	t := New("two-socket")
+	for s := 0; s < 2; s++ {
+		buildSocket(t, s, socketSpec{memCtrls: 2, dimmsPerCtrl: 2, rootPorts: 2})
+		sw := addSwitch(t, CompID(fmt.Sprintf("pcieswitch%d", s)), s, rootPortID(s, 0))
+		addDevice(t, CompID(fmt.Sprintf("nic%d", s)), KindNIC, s, sw)
+		addDevice(t, CompID(fmt.Sprintf("ssd%d", s)), KindSSD, s, sw)
+		addDevice(t, CompID(fmt.Sprintf("gpu%d", s)), KindGPU, s, rootPortID(s, 1))
+	}
+	t.MustAddLink(LinkSpec{A: "cpu0", B: "cpu1", Class: ClassInterSocket,
+		Capacity: upiCapacity, BaseLatency: upiLatency})
+	connectExternal(t)
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DGXStyle models a DGX-class accelerator server: two sockets, four
+// PCIe switches, eight GPUs, eight NICs and four NVMe SSDs, with two
+// memory controllers per socket. This is the topology the paper's
+// introduction motivates (NVIDIA DGX with eight InfiniBand adapters
+// and eight GPUs).
+func DGXStyle() *Topology {
+	t := New("dgx-style")
+	for s := 0; s < 2; s++ {
+		buildSocket(t, s, socketSpec{memCtrls: 2, dimmsPerCtrl: 2, rootPorts: 2})
+		for p := 0; p < 2; p++ {
+			swi := s*2 + p
+			sw := addSwitch(t, CompID(fmt.Sprintf("pcieswitch%d", swi)), s, rootPortID(s, p))
+			for g := 0; g < 2; g++ {
+				addDevice(t, CompID(fmt.Sprintf("gpu%d", swi*2+g)), KindGPU, s, sw)
+				addDevice(t, CompID(fmt.Sprintf("nic%d", swi*2+g)), KindNIC, s, sw)
+			}
+			addDevice(t, CompID(fmt.Sprintf("ssd%d", swi)), KindSSD, s, sw)
+		}
+	}
+	t.MustAddLink(LinkSpec{A: "cpu0", B: "cpu1", Class: ClassInterSocket,
+		Capacity: upiCapacity, BaseLatency: upiLatency})
+	connectExternal(t)
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// CXL parameters, calibrated to §2's "~150ns from device to host
+// memory": a cxl.mem expander is one coherent hop off the LLC (mesh
+// 5ns + link 145ns = 150ns from the CPU); a cxl.cache accelerator
+// reaches host DRAM in link 90ns + LLC-to-DIMM 60ns = 150ns.
+const (
+	cxlMemLatency   = 145 * simtime.Nanosecond
+	cxlCacheLatency = 90 * simtime.Nanosecond
+	cxlCapacity     = 50e9 // B/s, CXL 2.0 x16 class
+)
+
+// CXLExpandedHost is the two-socket server with two CXL additions on
+// socket 0 — the emerging-protocol configuration §2 discusses:
+// "cxlmem0", a cxl.mem memory expander (schedulable memory: the
+// interpreter's memory pseudo-destinations include it), and
+// "cxlgpu0", a cxl.cache accelerator that reaches host DRAM
+// coherently, without PCIe DMA or IOMMU translation.
+func CXLExpandedHost() *Topology {
+	t := TwoSocketServer()
+	t.Name = "cxl-expanded"
+	mem := t.MustAddComponent("cxlmem0", KindCXLMem, 0)
+	mem.SetConfig(ConfigNUMA, "local")
+	t.MustAddLink(LinkSpec{A: "socket0.llc", B: "cxlmem0", Class: ClassCXL,
+		Capacity: cxlCapacity, BaseLatency: cxlMemLatency})
+	gpu := t.MustAddComponent("cxlgpu0", KindGPU, 0)
+	gpu.SetConfig(ConfigNUMA, "local")
+	t.MustAddLink(LinkSpec{A: "socket0.llc", B: "cxlgpu0", Class: ClassCXL,
+		Capacity: cxlCapacity, BaseLatency: cxlCacheLatency})
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Presets maps preset names to constructors, for CLI tools.
+var Presets = map[string]func() *Topology{
+	"minimal":      MinimalHost,
+	"two-socket":   TwoSocketServer,
+	"dgx-style":    DGXStyle,
+	"cxl-expanded": CXLExpandedHost,
+}
+
+// PresetNames returns the sorted preset names.
+func PresetNames() []string {
+	names := make([]string, 0, len(Presets))
+	for n := range Presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RepresentativeLink returns, for a topology built by a preset in this
+// package, a canonical link of each class for envelope measurements
+// (experiment E1). The intra-socket representative is the LLC-to-memory
+// path entry (cpu -> llc), whose capacity reflects the aggregate
+// intra-socket connect rather than a single DRAM channel.
+func RepresentativeLink(t *Topology, class LinkClass) (*Link, error) {
+	for _, l := range t.Links() {
+		if l.Class != class {
+			continue
+		}
+		if class == ClassIntraSocket {
+			if t.Component(l.From).Kind == KindCPU && t.Component(l.To).Kind == KindLLC {
+				return l, nil
+			}
+			continue
+		}
+		return l, nil
+	}
+	return nil, fmt.Errorf("topology: no %v link in %q", class, t.Name)
+}

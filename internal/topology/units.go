@@ -1,0 +1,49 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Rate is a data rate in bytes per second. Fabric capacities and flow
+// throughputs throughout the repository use this type.
+type Rate float64
+
+// GBps returns a rate of n gigabytes per second (decimal giga).
+func GBps(n float64) Rate { return Rate(n * 1e9) }
+
+// Gbps returns a rate of n gigabits per second.
+func Gbps(n float64) Rate { return Rate(n * 1e9 / 8) }
+
+// MBps returns a rate of n megabytes per second.
+func MBps(n float64) Rate { return Rate(n * 1e6) }
+
+// GBpsValue returns the rate in gigabytes per second.
+func (r Rate) GBpsValue() float64 { return float64(r) / 1e9 }
+
+// GbpsValue returns the rate in gigabits per second.
+func (r Rate) GbpsValue() float64 { return float64(r) * 8 / 1e9 }
+
+func (r Rate) String() string {
+	switch {
+	case r >= 1e9:
+		return fmt.Sprintf("%.1fGB/s", float64(r)/1e9)
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fMB/s", float64(r)/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fKB/s", float64(r)/1e3)
+	}
+	return fmt.Sprintf("%.0fB/s", float64(r))
+}
+
+// TimeToSend returns the serialization time for bytes at rate r.
+// A non-positive rate yields a very large duration rather than a panic,
+// so callers treat zero-rate links as effectively stalled.
+func (r Rate) TimeToSend(bytes int64) simtime.Duration {
+	if r <= 0 {
+		return simtime.Duration(1<<62 - 1)
+	}
+	sec := float64(bytes) / float64(r)
+	return simtime.Duration(sec * float64(simtime.Second))
+}

@@ -1,0 +1,120 @@
+package vnet
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/resmodel"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func TestBuildView(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	p, err := topo.ShortestPath("gpu0", "nic0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resmodel.NewReservation()
+	res.AddPipe(p, topology.GBps(16))
+	v, err := Build(topo, "kv", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.HostName != "two-socket" || v.Topo.Name != "kv@two-socket" {
+		t.Fatalf("names: %q, %q", v.HostName, v.Topo.Name)
+	}
+	// Guaranteed links show the allocation as capacity.
+	for _, l := range p.Links {
+		if !v.Guaranteed(l.ID) {
+			t.Fatalf("link %s not marked guaranteed", l.ID)
+		}
+		c, err := v.Capacity(l.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != topology.GBps(16) {
+			t.Fatalf("virtual capacity %v, want 16GB/s", c)
+		}
+	}
+	// The tenant's illusion: the path bottleneck is its allocation.
+	vp, err := v.Topo.ShortestPath("gpu0", "nic0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.PathCapacity(vp) != topology.GBps(16) {
+		t.Fatalf("virtual path capacity %v", v.PathCapacity(vp))
+	}
+	// Unreserved links keep physical capacity and are best-effort.
+	other, _ := topo.ShortestPath("gpu1", "nic1")
+	if v.Guaranteed(other.Links[0].ID) {
+		t.Fatal("unreserved link marked guaranteed")
+	}
+	c, _ := v.Capacity(other.Links[0].ID)
+	if c != other.Links[0].Capacity {
+		t.Fatalf("unreserved virtual capacity %v != physical %v", c, other.Links[0].Capacity)
+	}
+}
+
+func TestBuildDoesNotAliasPhysical(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	p, _ := topo.ShortestPath("gpu0", "nic0")
+	orig := p.Links[0].Capacity
+	res := resmodel.NewReservation()
+	res.AddPipe(p, 1)
+	v, err := Build(topo, "kv", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v
+	if topo.Link(p.Links[0].ID).Capacity != orig {
+		t.Fatal("Build mutated physical topology")
+	}
+}
+
+func TestUsageReportTenantScoped(t *testing.T) {
+	topo := topology.TwoSocketServer()
+	e := simtime.NewEngine(1)
+	fab := fabric.New(topo, e, fabric.Config{PCIeEfficiency: 1})
+	p, _ := topo.ShortestPath("gpu0", "nic0")
+	res := resmodel.NewReservation()
+	res.AddPipe(p, topology.GBps(10))
+	v, err := Build(topo, "kv", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// kv uses 5 GB/s of its 10; a neighbor floods the same links.
+	_ = fab.AddFlow(&fabric.Flow{Tenant: "kv", Path: p, Demand: topology.GBps(5)})
+	_ = fab.AddFlow(&fabric.Flow{Tenant: "noisy", Path: p})
+	e.RunFor(1000)
+	rep := v.UsageReport(fab)
+	if len(rep) != p.Hops() {
+		t.Fatalf("report covers %d links, want %d", len(rep), p.Hops())
+	}
+	for _, lu := range rep {
+		if lu.Allocated != topology.GBps(10) {
+			t.Fatalf("allocation %v", lu.Allocated)
+		}
+		if lu.Used != topology.GBps(5) {
+			t.Fatalf("used %v, want kv's own 5GB/s only", lu.Used)
+		}
+		if lu.Utilization != 0.5 {
+			t.Fatalf("virtual utilization %v, want 0.5", lu.Utilization)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	topo := topology.MinimalHost()
+	if _, err := Build(topo, "", resmodel.NewReservation()); err == nil {
+		t.Fatal("empty tenant accepted")
+	}
+	bad := resmodel.NewReservation()
+	bad.Add("zz->qq", 1)
+	if _, err := Build(topo, "kv", bad); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+	if _, err := (&View{Topo: topo}).Capacity("zz->qq"); err == nil {
+		t.Fatal("unknown link capacity query accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// StorageScan is a sequential-read tenant: an unending sweep from an
+// NVMe SSD into host memory (analytics scan, backup, or index build).
+type StorageScan struct {
+	fab     *fabric.Fabric
+	tenant  fabric.TenantID
+	path    topology.Path
+	chunk   int64
+	bytes   uint64
+	started simtime.Time
+	stopped bool
+	current *fabric.Flow
+}
+
+// StartScan begins a scan from ssd into dimm in chunkBytes reads.
+func StartScan(fab *fabric.Fabric, tenant fabric.TenantID, ssd, dimm topology.CompID, chunkBytes int64) (*StorageScan, error) {
+	if chunkBytes <= 0 {
+		return nil, fmt.Errorf("workload: scan chunk must be positive")
+	}
+	path, err := fab.Topology().ShortestPath(ssd, dimm)
+	if err != nil {
+		return nil, err
+	}
+	s := &StorageScan{fab: fab, tenant: tenant, path: path, chunk: chunkBytes,
+		started: fab.Engine().Now()}
+	if err := s.next(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *StorageScan) next() error {
+	if s.stopped {
+		return nil
+	}
+	fl := &fabric.Flow{
+		Tenant: s.tenant, Path: s.path, Size: s.chunk,
+		OnComplete: func(simtime.Time) {
+			s.bytes += uint64(s.chunk)
+			s.current = nil
+			_ = s.next()
+		},
+	}
+	if err := s.fab.AddFlow(fl); err != nil {
+		return err
+	}
+	s.current = fl
+	return nil
+}
+
+// Stop ends the scan.
+func (s *StorageScan) Stop() {
+	s.stopped = true
+	if s.current != nil {
+		s.fab.RemoveFlow(s.current)
+		s.current = nil
+	}
+}
+
+// Throughput returns the scan's average bandwidth.
+func (s *StorageScan) Throughput() topology.Rate {
+	el := s.fab.Engine().Now().Sub(s.started).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return topology.Rate(float64(s.bytes) / el)
+}
+
+// RDMALoopback is the antagonist from Kong et al. [31]: loopback RDMA
+// traffic that crosses the NIC's PCIe link in both directions at once
+// and can exhaust it — a single buggy or malicious tenant saturating
+// an intra-host fabric other tenants depend on.
+type RDMALoopback struct {
+	fab   *fabric.Fabric
+	flows []*fabric.Flow
+}
+
+// StartLoopback installs greedy NIC->memory and memory->NIC flows for
+// the given tenant.
+func StartLoopback(fab *fabric.Fabric, tenant fabric.TenantID, nic, dimm topology.CompID) (*RDMALoopback, error) {
+	out, err := fab.Topology().ShortestPath(nic, dimm)
+	if err != nil {
+		return nil, err
+	}
+	back, err := fab.Topology().ShortestPath(dimm, nic)
+	if err != nil {
+		return nil, err
+	}
+	l := &RDMALoopback{fab: fab}
+	for _, p := range []topology.Path{out, back} {
+		fl := &fabric.Flow{Tenant: tenant, Path: p}
+		if err := fab.AddFlow(fl); err != nil {
+			l.Stop()
+			return nil, err
+		}
+		l.flows = append(l.flows, fl)
+	}
+	return l, nil
+}
+
+// Stop removes the loopback flows.
+func (l *RDMALoopback) Stop() {
+	for _, fl := range l.flows {
+		l.fab.RemoveFlow(fl)
+	}
+	l.flows = nil
+}
+
+// Rate returns the loopback's current aggregate rate.
+func (l *RDMALoopback) Rate() topology.Rate {
+	var sum topology.Rate
+	for _, fl := range l.flows {
+		sum += fl.Rate()
+	}
+	return sum
+}

@@ -1,0 +1,93 @@
+// Package workload provides the application models the paper's
+// motivation section describes sharing an intra-host network: a
+// latency-sensitive remote key-value store, a bandwidth-hungry ML
+// training job, a storage scan, and the RDMA-loopback antagonist of
+// Kong et al. [31] that exhausts PCIe bandwidth. Each drives the
+// fabric simulator as a tenant and records its own application-level
+// metrics, so interference and isolation are measured where the paper
+// cares: at the application.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Histogram records latency samples and reports percentiles. It keeps
+// raw samples (simulation scale makes this affordable) so percentiles
+// are exact.
+type Histogram struct {
+	samples []simtime.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d simtime.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() { h.samples = h.samples[:0]; h.sorted = false }
+
+func (h *Histogram) sortOnce() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank, or zero with no samples.
+func (h *Histogram) Percentile(p float64) simtime.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		p = 0.001
+	}
+	if p > 100 {
+		p = 100
+	}
+	h.sortOnce()
+	rank := int(p/100*float64(len(h.samples))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return h.samples[rank]
+}
+
+// Mean returns the average sample, or zero with no samples.
+func (h *Histogram) Mean() simtime.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum simtime.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / simtime.Duration(len(h.samples))
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() simtime.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortOnce()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary formats p50/p99/max for reports.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("p50=%v p99=%v max=%v (n=%d)",
+		h.Percentile(50), h.Percentile(99), h.Max(), h.Count())
+}

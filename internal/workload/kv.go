@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// KVConfig describes a remote key-value store tenant: clients on the
+// far side of the inter-host network issue small GETs that traverse
+// the NIC, the PCIe fabric and the memory bus — the paper's canonical
+// latency-sensitive co-location victim.
+type KVConfig struct {
+	Tenant fabric.TenantID
+	// Client is the requesting side, usually "external0".
+	Client topology.CompID
+	// Server is the memory the store serves from, e.g. a DIMM.
+	Server topology.CompID
+	// Outstanding is the closed-loop depth (concurrent requests).
+	Outstanding int
+	// ReqBytes/RespBytes size a GET: small request, value-sized
+	// response.
+	ReqBytes, RespBytes int64
+	// ThinkTime between a completion and the next request.
+	ThinkTime simtime.Duration
+	// ModelBandwidth couples the request stream to fabric load: the
+	// client maintains shadow flows whose demand tracks its measured
+	// request rate x message sizes, so driving the store harder
+	// consumes real bandwidth (and inflates everyone's latency,
+	// including its own). Without it the client is a pure latency
+	// probe.
+	ModelBandwidth bool
+}
+
+// DefaultKVConfig returns a 4-deep closed loop of 64 B requests with
+// 4 KiB responses, 1 us think time, and bandwidth coupling on.
+func DefaultKVConfig(tenant fabric.TenantID) KVConfig {
+	return KVConfig{
+		Tenant: tenant, Client: "external0", Server: "socket0.dimm0_0",
+		Outstanding: 4, ReqBytes: 64, RespBytes: 4096,
+		ThinkTime:      simtime.Microsecond,
+		ModelBandwidth: true,
+	}
+}
+
+// KVClient is a running key-value workload.
+type KVClient struct {
+	fab     *fabric.Fabric
+	cfg     KVConfig
+	lat     Histogram
+	sent    uint64
+	lost    uint64
+	done    uint64
+	stopped bool
+
+	reqFlow, respFlow *fabric.Flow
+	ticker            *simtime.Ticker
+	windowStartDone   uint64
+}
+
+// StartKV validates the configuration and begins the closed loop.
+func StartKV(fab *fabric.Fabric, cfg KVConfig) (*KVClient, error) {
+	if cfg.Outstanding <= 0 {
+		return nil, fmt.Errorf("workload: kv outstanding must be positive")
+	}
+	if cfg.ReqBytes < 0 || cfg.RespBytes < 0 || cfg.ThinkTime < 0 {
+		return nil, fmt.Errorf("workload: negative kv parameter")
+	}
+	if fab.Topology().Component(cfg.Client) == nil || fab.Topology().Component(cfg.Server) == nil {
+		return nil, fmt.Errorf("workload: unknown kv endpoint")
+	}
+	k := &KVClient{fab: fab, cfg: cfg}
+	if cfg.ModelBandwidth {
+		if err := k.installShadow(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Outstanding; i++ {
+		k.sendOne()
+	}
+	return k, nil
+}
+
+// installShadow creates the bandwidth-coupling flows and the ticker
+// that retunes their demand to the measured request rate.
+func (k *KVClient) installShadow() error {
+	topo := k.fab.Topology()
+	reqPath, err := topo.ShortestPath(k.cfg.Client, k.cfg.Server)
+	if err != nil {
+		return err
+	}
+	respPath, err := topo.ShortestPath(k.cfg.Server, k.cfg.Client)
+	if err != nil {
+		return err
+	}
+	k.reqFlow = &fabric.Flow{Tenant: k.cfg.Tenant, Path: reqPath, Demand: 1}
+	k.respFlow = &fabric.Flow{Tenant: k.cfg.Tenant, Path: respPath, Demand: 1}
+	if err := k.fab.AddFlow(k.reqFlow); err != nil {
+		return err
+	}
+	if err := k.fab.AddFlow(k.respFlow); err != nil {
+		k.fab.RemoveFlow(k.reqFlow)
+		return err
+	}
+	const window = 50 * simtime.Microsecond
+	k.ticker = k.fab.Engine().Every(window, func() {
+		completed := k.done - k.windowStartDone
+		k.windowStartDone = k.done
+		perSec := float64(completed) / window.Seconds()
+		req := topology.Rate(perSec * float64(k.cfg.ReqBytes))
+		resp := topology.Rate(perSec * float64(k.cfg.RespBytes))
+		if req < 1 {
+			req = 1
+		}
+		if resp < 1 {
+			resp = 1
+		}
+		_ = k.fab.SetDemand(k.reqFlow, req)
+		_ = k.fab.SetDemand(k.respFlow, resp)
+	})
+	return nil
+}
+
+func (k *KVClient) sendOne() {
+	if k.stopped {
+		return
+	}
+	k.sent++
+	err := k.fab.SendTransaction(fabric.TxOptions{
+		Tenant: k.cfg.Tenant,
+		Src:    k.cfg.Client, Dst: k.cfg.Server,
+		ReqBytes: k.cfg.ReqBytes, RespBytes: k.cfg.RespBytes,
+	}, k.onDone)
+	if err != nil {
+		k.lost++
+		k.rearm()
+	}
+}
+
+func (k *KVClient) onDone(r fabric.TxRecord) {
+	k.done++
+	if r.Lost {
+		k.lost++
+	} else {
+		k.lat.Add(r.RTT)
+	}
+	k.rearm()
+}
+
+func (k *KVClient) rearm() {
+	if k.stopped {
+		return
+	}
+	if k.cfg.ThinkTime > 0 {
+		k.fab.Engine().After(k.cfg.ThinkTime, k.sendOne)
+	} else {
+		k.sendOne()
+	}
+}
+
+// Stop ends the loop; in-flight requests still complete but no new
+// ones are issued. Shadow flows are removed immediately.
+func (k *KVClient) Stop() {
+	k.stopped = true
+	if k.ticker != nil {
+		k.ticker.Stop()
+		k.ticker = nil
+	}
+	if k.reqFlow != nil {
+		k.fab.RemoveFlow(k.reqFlow)
+		k.fab.RemoveFlow(k.respFlow)
+		k.reqFlow, k.respFlow = nil, nil
+	}
+}
+
+// Latency returns the client's latency histogram.
+func (k *KVClient) Latency() *Histogram { return &k.lat }
+
+// Sent and Lost return request counters.
+func (k *KVClient) Sent() uint64 { return k.sent }
+
+// Lost returns the number of failed requests.
+func (k *KVClient) Lost() uint64 { return k.lost }

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// MLConfig describes a machine-learning training tenant: an unending
+// sequence of training steps, each of which stages a batch from host
+// memory into the GPU over the PCIe fabric and the memory bus — the
+// paper's canonical bandwidth-hungry co-location aggressor.
+type MLConfig struct {
+	Tenant fabric.TenantID
+	// GPU is the accelerator.
+	GPU topology.CompID
+	// Memory is the DIMM training data is staged from.
+	Memory topology.CompID
+	// BatchBytes per training step.
+	BatchBytes int64
+	// ComputeTime models the GPU-bound portion of a step between
+	// transfers (zero = transfer-bound, maximum fabric pressure).
+	ComputeTime simtime.Duration
+	// Path optionally pins the transfer path (a managed tenant uses
+	// its scheduler-assigned pathway).
+	Path topology.Path
+}
+
+// DefaultMLConfig returns a transfer-bound trainer loading 64 MiB
+// batches from socket-0 memory into gpu0.
+func DefaultMLConfig(tenant fabric.TenantID) MLConfig {
+	return MLConfig{
+		Tenant: tenant, GPU: "gpu0", Memory: "socket0.dimm0_0",
+		BatchBytes: 64 << 20,
+	}
+}
+
+// MLTrainer is a running training workload.
+type MLTrainer struct {
+	fab     *fabric.Fabric
+	cfg     MLConfig
+	path    topology.Path
+	steps   uint64
+	bytes   uint64
+	started simtime.Time
+	stopped bool
+	current *fabric.Flow
+}
+
+// StartML begins the training loop.
+func StartML(fab *fabric.Fabric, cfg MLConfig) (*MLTrainer, error) {
+	if cfg.BatchBytes <= 0 {
+		return nil, fmt.Errorf("workload: ml batch must be positive")
+	}
+	if cfg.ComputeTime < 0 {
+		return nil, fmt.Errorf("workload: negative compute time")
+	}
+	path := cfg.Path
+	if path.Hops() == 0 {
+		p, err := fab.Topology().ShortestPath(cfg.Memory, cfg.GPU)
+		if err != nil {
+			return nil, err
+		}
+		path = p
+	}
+	m := &MLTrainer{fab: fab, cfg: cfg, path: path, started: fab.Engine().Now()}
+	if err := m.startStep(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *MLTrainer) startStep() error {
+	if m.stopped {
+		return nil
+	}
+	fl := &fabric.Flow{
+		Tenant: m.cfg.Tenant,
+		Path:   m.path,
+		Size:   m.cfg.BatchBytes,
+		OnComplete: func(simtime.Time) {
+			m.steps++
+			m.bytes += uint64(m.cfg.BatchBytes)
+			m.current = nil
+			if m.cfg.ComputeTime > 0 {
+				m.fab.Engine().After(m.cfg.ComputeTime, func() { _ = m.startStep() })
+			} else {
+				_ = m.startStep()
+			}
+		},
+	}
+	if err := m.fab.AddFlow(fl); err != nil {
+		return err
+	}
+	m.current = fl
+	return nil
+}
+
+// Stop ends the loop and cancels the in-flight transfer.
+func (m *MLTrainer) Stop() {
+	m.stopped = true
+	if m.current != nil {
+		m.fab.RemoveFlow(m.current)
+		m.current = nil
+	}
+}
+
+// Steps returns completed training steps.
+func (m *MLTrainer) Steps() uint64 { return m.steps }
+
+// Throughput returns the average staging bandwidth since start,
+// including the in-flight batch's partial progress.
+func (m *MLTrainer) Throughput() topology.Rate {
+	el := m.fab.Engine().Now().Sub(m.started).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	bytes := float64(m.bytes)
+	if m.current != nil {
+		bytes += float64(m.cfg.BatchBytes - m.current.Remaining())
+	}
+	return topology.Rate(bytes / el)
+}
+
+// Path returns the pathway the trainer stages over.
+func (m *MLTrainer) Path() topology.Path { return m.path }

@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fabric"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func newFab(t *testing.T) (*fabric.Fabric, *simtime.Engine) {
+	t.Helper()
+	e := simtime.NewEngine(77)
+	fab := fabric.New(topology.TwoSocketServer(), e, fabric.DefaultConfig())
+	return fab, e
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram nonzero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(simtime.Duration(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if p := h.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := h.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if h.Max() != 100 || h.Mean() != 50 {
+		t.Fatalf("max %v mean %v", h.Max(), h.Mean())
+	}
+	if h.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropertyHistogramMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Add(simtime.Duration(v))
+		}
+		prev := simtime.Duration(-1)
+		for p := 1.0; p <= 100; p += 7 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Percentile(100) == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKVZeroThinkTime(t *testing.T) {
+	fab, e := newFab(t)
+	cfg := DefaultKVConfig("kv")
+	cfg.ThinkTime = 0
+	cfg.Outstanding = 2
+	kv, err := StartKV(fab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(200 * simtime.Microsecond)
+	if kv.Sent() < 10 {
+		t.Fatalf("zero-think loop sent only %d", kv.Sent())
+	}
+	kv.Stop()
+	e.RunFor(simtime.Millisecond)
+	if fab.Flows() != 0 {
+		t.Fatal("shadow flows left after Stop")
+	}
+}
+
+func TestKVBandwidthCoupling(t *testing.T) {
+	fab, e := newFab(t)
+	cfg := DefaultKVConfig("kv")
+	cfg.ThinkTime = 0
+	cfg.Outstanding = 64
+	kv, err := StartKV(fab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(simtime.Millisecond)
+	// The request stream must consume real bandwidth: the KV tenant
+	// shows up in fabric usage at a rate consistent with its
+	// completion rate x message size.
+	usage := fab.TenantUsage("kv")
+	var peak topology.Rate
+	for _, r := range usage {
+		if r > peak {
+			peak = r
+		}
+	}
+	if peak < topology.GBps(1) {
+		t.Fatalf("64-deep KV stream consumes only %v", peak)
+	}
+	// Uncoupled clients stay invisible.
+	kv.Stop()
+	cfg2 := DefaultKVConfig("probe")
+	cfg2.ModelBandwidth = false
+	probe, err := StartKV(fab, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(simtime.Millisecond)
+	if len(fab.TenantUsage("probe")) != 0 {
+		t.Fatal("uncoupled client consumed bandwidth")
+	}
+	probe.Stop()
+}
+
+func TestHistogramEdgePercentiles(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	if h.Percentile(-5) != 10 || h.Percentile(250) != 10 {
+		t.Fatal("clamping wrong")
+	}
+	h.Add(20)
+	h.Add(30)
+	if h.Percentile(0.0001) != 10 {
+		t.Fatalf("tiny percentile %v", h.Percentile(0.0001))
+	}
+}
+
+func TestKVClientRecordsLatency(t *testing.T) {
+	fab, e := newFab(t)
+	kv, err := StartKV(fab, DefaultKVConfig("kv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(simtime.Millisecond)
+	kv.Stop()
+	if kv.Sent() == 0 {
+		t.Fatal("no requests sent")
+	}
+	if kv.Latency().Count() == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	if kv.Lost() != 0 {
+		t.Fatalf("lost %d on healthy fabric", kv.Lost())
+	}
+	// Closed loop: sent is bounded by outstanding * (time/rtt-ish),
+	// and after Stop no new requests appear.
+	sent := kv.Sent()
+	e.RunFor(simtime.Millisecond)
+	if kv.Sent() != sent {
+		t.Fatal("requests after Stop")
+	}
+}
+
+func TestKVValidation(t *testing.T) {
+	fab, _ := newFab(t)
+	bad := DefaultKVConfig("kv")
+	bad.Outstanding = 0
+	if _, err := StartKV(fab, bad); err == nil {
+		t.Fatal("zero outstanding accepted")
+	}
+	bad = DefaultKVConfig("kv")
+	bad.Server = "nope"
+	if _, err := StartKV(fab, bad); err == nil {
+		t.Fatal("unknown server accepted")
+	}
+}
+
+func TestKVLatencyDegradesUnderContention(t *testing.T) {
+	fab, e := newFab(t)
+	kv, err := StartKV(fab, DefaultKVConfig("kv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(simtime.Millisecond)
+	solo := kv.Latency().Percentile(99)
+	kv.Latency().Reset()
+	// Saturate the shared PCIe path.
+	lb, err := StartLoopback(fab, "evil", "nic0", "socket0.dimm0_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(simtime.Millisecond)
+	contended := kv.Latency().Percentile(99)
+	if contended <= solo {
+		t.Fatalf("contended p99 %v not above solo %v", contended, solo)
+	}
+	lb.Stop()
+	kv.Stop()
+}
+
+func TestMLTrainerMakesSteps(t *testing.T) {
+	fab, e := newFab(t)
+	cfg := DefaultMLConfig("ml")
+	cfg.BatchBytes = 1 << 20
+	ml, err := StartML(fab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(simtime.Millisecond)
+	if ml.Steps() == 0 {
+		t.Fatal("no training steps completed")
+	}
+	if ml.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if ml.Path().Hops() == 0 {
+		t.Fatal("no path")
+	}
+	steps := ml.Steps()
+	ml.Stop()
+	e.RunFor(simtime.Millisecond)
+	if ml.Steps() != steps {
+		t.Fatal("steps after Stop")
+	}
+	if fab.Flows() != 0 {
+		t.Fatal("trainer left flows behind")
+	}
+}
+
+func TestMLComputeTimeSlowsSteps(t *testing.T) {
+	fab, e := newFab(t)
+	fast, _ := StartML(fab, MLConfig{Tenant: "a", GPU: "gpu0", Memory: "socket0.dimm0_0", BatchBytes: 1 << 20})
+	slow, _ := StartML(fab, MLConfig{Tenant: "b", GPU: "gpu1", Memory: "socket1.dimm0_0", BatchBytes: 1 << 20,
+		ComputeTime: 200 * simtime.Microsecond})
+	e.RunFor(2 * simtime.Millisecond)
+	if slow.Steps() >= fast.Steps() {
+		t.Fatalf("compute-bound trainer (%d steps) not slower than transfer-bound (%d)",
+			slow.Steps(), fast.Steps())
+	}
+	fast.Stop()
+	slow.Stop()
+}
+
+func TestMLValidation(t *testing.T) {
+	fab, _ := newFab(t)
+	if _, err := StartML(fab, MLConfig{Tenant: "x", GPU: "gpu0", Memory: "socket0.dimm0_0", BatchBytes: 0}); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if _, err := StartML(fab, MLConfig{Tenant: "x", GPU: "nope", Memory: "socket0.dimm0_0", BatchBytes: 1}); err == nil {
+		t.Fatal("unknown gpu accepted")
+	}
+}
+
+func TestStorageScan(t *testing.T) {
+	fab, e := newFab(t)
+	sc, err := StartScan(fab, "scan", "ssd0", "socket0.dimm0_0", 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(simtime.Millisecond)
+	if sc.Throughput() <= 0 {
+		t.Fatal("scan made no progress")
+	}
+	sc.Stop()
+	if fab.Flows() != 0 {
+		t.Fatal("scan left flows")
+	}
+	if _, err := StartScan(fab, "scan", "ssd0", "socket0.dimm0_0", 0); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+}
+
+func TestRDMALoopbackExhaustsPCIe(t *testing.T) {
+	fab, e := newFab(t)
+	lb, err := StartLoopback(fab, "evil", "nic0", "socket0.dimm0_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(100 * simtime.Microsecond)
+	// Both directions of the NIC's PCIe link should be saturated.
+	fwd, _ := fab.Utilization("pcieswitch0->nic0")
+	rev, _ := fab.Utilization("nic0->pcieswitch0")
+	if fwd < 0.99 || rev < 0.99 {
+		t.Fatalf("loopback utilization fwd=%v rev=%v, want ~1", fwd, rev)
+	}
+	if lb.Rate() <= 0 {
+		t.Fatal("loopback rate zero")
+	}
+	lb.Stop()
+	if fab.Flows() != 0 {
+		t.Fatal("loopback left flows")
+	}
+}
