@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet fmt test race bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints unformatted files; fail loudly if there are any.
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# The full gate: formatting, static analysis, build, and the race-enabled
+# test suite. CI and pre-commit should run this.
+check: fmt vet build race
+
+clean:
+	$(GO) clean ./...
+	rm -f ihnetd ihdiag ihbench

@@ -7,6 +7,10 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/topology"
 )
 
 // Each benchmark regenerates one experiment table (the reproduction's
@@ -156,4 +160,49 @@ func BenchmarkE13_LoadLatencyCurve(b *testing.B) {
 	tab := benchExperiment(b, "E13")
 	b.ReportMetric(durMetric(tab, "1", 4), "managed-lowload-p50-ns")
 	b.ReportMetric(durMetric(tab, "1", 2), "unmanaged-lowload-p50-ns")
+}
+
+// obsHotPathLoop drives the fabric's instrumented hot path: one sized
+// flow added, run to completion (AddFlow -> recompute -> completion
+// event -> fireCompletions), b.N times. This is the loop the obs
+// package must not tax.
+func obsHotPathLoop(b *testing.B, o *obs.Obs) {
+	e := simtime.NewEngine(1)
+	topo := topology.TwoSocketServer()
+	fab := fabric.New(topo, e, fabric.DefaultConfig())
+	fab.SetObs(o)
+	path, err := topo.ShortestPath("nic0", "socket0.dimm0_0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl := &fabric.Flow{Tenant: "bench", Path: path, Size: 1 << 16}
+		if err := fab.AddFlow(fl); err != nil {
+			b.Fatal(err)
+		}
+		e.Run()
+		if !fl.Completed() {
+			b.Fatal("flow did not complete")
+		}
+	}
+}
+
+// BenchmarkObsFabricHotPath measures the observability tax on the
+// fabric hot path in three configurations. The tracing-enabled vs
+// tracing-disabled gap is the cost this PR promises stays under 5%;
+// compare with `go test -bench ObsFabricHotPath -count 10 | benchstat`.
+func BenchmarkObsFabricHotPath(b *testing.B) {
+	b.Run("uninstrumented", func(b *testing.B) {
+		obsHotPathLoop(b, nil)
+	})
+	b.Run("tracing-disabled", func(b *testing.B) {
+		o := obs.New(8192)
+		o.Tracer.SetEnabled(false)
+		obsHotPathLoop(b, o)
+	})
+	b.Run("tracing-enabled", func(b *testing.B) {
+		obsHotPathLoop(b, obs.New(8192))
+	})
 }

@@ -3,10 +3,17 @@
 // chosen fault into a fresh host, extracts the live telemetry
 // features, and prints the classifier's verdict with its evidence.
 //
+// The trace subcommand instead records a whole managed DES run —
+// admissions, flow lifecycle, arbiter cap changes, heartbeats,
+// detections — and exports it as Chrome trace_event JSON for
+// about://tracing or Perfetto (ui.perfetto.dev).
+//
 // Usage:
 //
 //	ihdiag -inject link-degradation
 //	ihdiag -inject ddio-thrash -train 10
+//	ihdiag trace --chrome out.json
+//	ihdiag trace --chrome out.json -degrade pcieswitch0->nic0 -duration 5ms
 package main
 
 import (
@@ -25,6 +32,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
+		return
+	}
 	var names []string
 	for _, l := range diagml.AllLabels {
 		names = append(names, string(l))

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/intent"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// runTrace implements `ihdiag trace`: drive a managed host through a
+// representative scenario (tenant admission, contention, optionally a
+// mid-run fault), then export the manager's event ring as a Chrome
+// trace_event file that about://tracing and Perfetto load directly.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("ihdiag trace", flag.ExitOnError)
+	chrome := fs.String("chrome", "", "write Chrome trace_event JSON to this file")
+	preset := fs.String("preset", "two-socket",
+		"topology preset: "+strings.Join(topology.PresetNames(), ", "))
+	seed := fs.Int64("seed", 1, "simulation seed")
+	duration := fs.Duration("duration", 3*time.Millisecond, "virtual time to simulate")
+	degrade := fs.String("degrade", "socket0.rootport0->pcieswitch0",
+		"directed link to silently degrade mid-run (empty = healthy run)")
+	events := fs.Int("events", 1<<16, "event ring capacity for the run")
+	fs.Parse(args)
+	if *chrome == "" {
+		fmt.Fprintln(os.Stderr, "ihdiag trace: --chrome <file> is required")
+		fs.Usage()
+		os.Exit(1)
+	}
+
+	build, ok := topology.Presets[*preset]
+	if !ok {
+		fatalf("unknown preset %q (have %s)", *preset, strings.Join(topology.PresetNames(), ", "))
+	}
+	opts := core.DefaultOptions()
+	opts.Seed = *seed
+	opts.TraceCapacity = *events
+	mgr, err := core.New(build(), opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := mgr.Start(); err != nil {
+		fatalf("%v", err)
+	}
+
+	// A representative workload: a guaranteed tenant, a greedy
+	// bystander on the same pathway, and sized transfers completing
+	// throughout, so the trace shows admission, arbitration,
+	// heartbeats, rate recomputations and flow lifecycle together.
+	if _, err := mgr.Admit("kv", []intent.Target{
+		{Src: "nic0", Dst: "memory:socket0", Rate: topology.GBps(10)},
+	}); err != nil {
+		fatalf("admit: %v", err)
+	}
+	path := mgr.Tenant("kv").Assignments[0].Path
+	fab := mgr.Fabric()
+	if err := fab.AddFlow(&fabric.Flow{Tenant: "kv", Path: path}); err != nil {
+		fatalf("%v", err)
+	}
+	if err := fab.AddFlow(&fabric.Flow{Tenant: "evil", Path: path}); err != nil {
+		fatalf("%v", err)
+	}
+	// A stream of sized transfers so flow-done events appear.
+	var pump func(simtime.Time)
+	pump = func(simtime.Time) {
+		_ = fab.AddFlow(&fabric.Flow{
+			Tenant: "batch", Path: path, Size: 1 << 20, OnComplete: pump,
+		})
+	}
+	pump(0)
+
+	third := simtime.Duration(duration.Nanoseconds() / 3)
+	mgr.RunFor(third)
+	if *degrade != "" {
+		if err := fab.DegradeLink(topology.LinkID(*degrade), 0.5, 20*simtime.Microsecond); err != nil {
+			fatalf("degrade: %v", err)
+		}
+	}
+	mgr.RunFor(third)
+	if err := mgr.Evict("kv"); err != nil {
+		fatalf("evict: %v", err)
+	}
+	mgr.RunFor(third)
+	mgr.Stop()
+
+	tr := mgr.Obs().Tracer
+	f, err := os.Create(*chrome)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	snapshot := tr.Snapshot()
+	if err := obs.WriteChromeTrace(f, snapshot); err != nil {
+		f.Close()
+		fatalf("export: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %d events (%d recorded, %d dropped) covering %v of virtual time to %s\n",
+		len(snapshot), tr.Total(), tr.Dropped(), mgr.Engine().Now(), *chrome)
+	fmt.Println("open in about://tracing (Chrome) or https://ui.perfetto.dev")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ihdiag trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,25 +1,37 @@
 // Command ihnetd is the manageable intra-host network daemon: it runs
 // the full manager (monitor + anomaly platform + arbiter) over a
-// simulated host and serves the JSON control plane of internal/httpapi.
+// simulated host and serves the JSON control plane of internal/httpapi,
+// plus the observability surface: Prometheus metrics at /metrics, the
+// event trace at /api/trace/events, liveness at /api/healthz, and Go
+// profiling at /debug/pprof/.
 //
 // Virtual time advances continuously by default (1 ms of virtual time
 // per 10 ms of wall time); pass -autoadvance=0 to drive time only via
 // POST /api/advance for fully deterministic interaction.
 //
+// SIGINT/SIGTERM shut the daemon down gracefully: the auto-advance
+// loop drains first (no advance is cut off mid-event), then the HTTP
+// server finishes in-flight requests under a timeout.
+//
 // Usage:
 //
 //	ihnetd -addr :8080 -preset two-socket
 //	curl localhost:8080/api/report
+//	curl localhost:8080/metrics
 //	curl -X POST localhost:8080/api/tenants -d '{"tenant":"kv","targets":[{"src":"nic0","dst":"memory:socket0","rate_gbps":80}]}'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -35,7 +47,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	auto := flag.Duration("autoadvance", time.Millisecond,
 		"virtual time advanced per 10ms of wall time (0 = manual only)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second,
+		"grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
 	build, ok := topology.Presets[*preset]
 	if !ok {
@@ -52,15 +67,51 @@ func main() {
 		log.Fatalf("ihnetd: %v", err)
 	}
 	srv := httpapi.New(mgr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Auto-advance loop: drains on shutdown so no advance is cut off
+	// mid-event; advanceDone closes once the last advance returns.
+	advanceDone := make(chan struct{})
 	if *auto > 0 {
 		go func() {
+			defer close(advanceDone)
 			ticker := time.NewTicker(10 * time.Millisecond)
 			defer ticker.Stop()
-			for range ticker.C {
-				srv.Advance(simtime.Duration(*auto))
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					srv.Advance(simtime.Duration(*auto))
+				}
 			}
 		}()
+	} else {
+		close(advanceDone)
 	}
-	log.Printf("ihnetd: managing %q host on %s (auto-advance %v/10ms)", *preset, *addr, *auto)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("ihnetd: managing %q host on %s (auto-advance %v/10ms; metrics at /metrics, pprof at /debug/pprof/)",
+		*preset, *addr, *auto)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("ihnetd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+	log.Printf("ihnetd: signal received, draining (timeout %v)", *shutdownTimeout)
+	<-advanceDone
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("ihnetd: shutdown: %v", err)
+	}
+	mgr.Stop()
+	log.Printf("ihnetd: stopped at virtual time %v after %d events",
+		mgr.Engine().Now(), mgr.Engine().Processed)
 }

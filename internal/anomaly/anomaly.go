@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/topology"
 )
@@ -153,6 +154,29 @@ type Platform struct {
 	links      map[topology.LinkID]*linkWindow
 	detections []Detection
 	probesSent uint64
+
+	// Observability (nil when unattached).
+	tracer      *obs.Tracer
+	mProbes     *obs.Counter
+	mRounds     *obs.Counter
+	mDetections *obs.Counter
+}
+
+// SetObs attaches an observability substrate. Each heartbeat round
+// emits one trace event (per-probe events would dominate the ring);
+// every detection emits one carrying its top suspect.
+func (p *Platform) SetObs(o *obs.Obs) {
+	if o == nil {
+		p.tracer, p.mProbes, p.mRounds, p.mDetections = nil, nil, nil, nil
+		return
+	}
+	p.tracer = o.Tracer
+	p.mProbes = o.Registry.Counter("ihnet_anomaly_probes_total",
+		"Heartbeat probes sent across the mesh.")
+	p.mRounds = o.Registry.Counter("ihnet_anomaly_rounds_total",
+		"Completed heartbeat rounds.")
+	p.mDetections = o.Registry.Counter("ihnet_anomaly_detections_total",
+		"Anomaly incidents detected (lost or inflated heartbeats).")
 }
 
 // New builds a platform probing the given pairs. Paths are resolved
@@ -198,6 +222,14 @@ func (p *Platform) Stop() {
 // period, so results land before the next round).
 func (p *Platform) roundFn() {
 	p.round++
+	p.mRounds.Inc()
+	p.mProbes.Add(uint64(len(p.pairs)))
+	if p.tracer.Enabled() {
+		p.tracer.Emit(obs.Event{
+			Kind: obs.KindHeartbeat, Virtual: p.fab.Engine().Now(),
+			Value: float64(len(p.pairs)),
+		})
+	}
 	p.slot = (p.slot + 1) % p.cfg.WindowRounds
 	for _, lw := range p.links {
 		lw.bad[p.slot] = 0
@@ -247,12 +279,28 @@ func (p *Platform) onResult(ps *pairState, r fabric.TxRecord) {
 	ps.consecBad++
 	if ps.consecBad >= p.cfg.ConsecutiveBad && !ps.alerted {
 		ps.alerted = true
-		p.detections = append(p.detections, Detection{
+		d := Detection{
 			At:       p.fab.Engine().Now(),
 			Pair:     ps.pair,
 			Lost:     r.Lost,
 			Suspects: p.Suspects(),
-		})
+		}
+		p.detections = append(p.detections, d)
+		p.mDetections.Inc()
+		if p.tracer.Enabled() {
+			detail := "degraded"
+			if d.Lost {
+				detail = "lost"
+			}
+			if len(d.Suspects) > 0 {
+				detail += "; top suspect " + string(d.Suspects[0].Link)
+			}
+			p.tracer.Emit(obs.Event{
+				Kind: obs.KindAnomalyDetect, Virtual: d.At,
+				Subject: d.Pair.String(), Detail: detail,
+				Value: float64(len(d.Suspects)),
+			})
+		}
 	}
 }
 

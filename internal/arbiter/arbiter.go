@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/resmodel"
 	"repro/internal/simtime"
 	"repro/internal/topology"
@@ -80,6 +81,33 @@ type Arbiter struct {
 	ticker    *simtime.Ticker
 	// Adjustments counts re-arbitration passes (Q3 overhead metric).
 	adjustments uint64
+
+	// Observability (nil when unattached).
+	tracer         *obs.Tracer
+	mAdjustments   *obs.Counter
+	mCapsSet       *obs.Counter
+	mCapsCleared   *obs.Counter
+	mInstalledCaps *obs.Gauge
+}
+
+// SetObs attaches an observability substrate. Cap-change trace events
+// are emitted only on transitions (a 50 us work-conserving loop
+// refreshes every cap every pass; tracing the steady state would just
+// flood the ring).
+func (a *Arbiter) SetObs(o *obs.Obs) {
+	if o == nil {
+		a.tracer, a.mAdjustments, a.mCapsSet, a.mCapsCleared, a.mInstalledCaps = nil, nil, nil, nil, nil
+		return
+	}
+	a.tracer = o.Tracer
+	a.mAdjustments = o.Registry.Counter("ihnet_arbiter_adjustments_total",
+		"Re-arbitration passes (each recomputes every cap on reserved links).")
+	a.mCapsSet = o.Registry.Counter("ihnet_arbiter_caps_set_total",
+		"Per-(link,tenant) rate caps installed or refreshed.")
+	a.mCapsCleared = o.Registry.Counter("ihnet_arbiter_caps_cleared_total",
+		"Per-(link,tenant) rate caps removed.")
+	a.mInstalledCaps = o.Registry.Gauge("ihnet_arbiter_caps_installed",
+		"Per-(link,tenant) rate caps currently installed.")
 }
 
 // New builds an arbiter. Call Start to begin the adjustment loop.
@@ -222,6 +250,7 @@ func (a *Arbiter) apply() {
 
 func (a *Arbiter) applyLocked() {
 	a.adjustments++
+	a.mAdjustments.Inc()
 	desired := make(map[topology.LinkID]map[fabric.TenantID]topology.Rate)
 	setCap := func(link topology.LinkID, t fabric.TenantID, r topology.Rate) {
 		m := desired[link]
@@ -231,6 +260,15 @@ func (a *Arbiter) applyLocked() {
 		}
 		m[t] = r
 		_ = a.fab.SetTenantCap(link, t, r)
+		a.mCapsSet.Inc()
+		if a.tracer.Enabled() {
+			if prev, ok := a.installed[link][t]; !ok || prev != r {
+				a.tracer.Emit(obs.Event{
+					Kind: obs.KindCapSet, Virtual: a.fab.Engine().Now(),
+					Subject: string(link) + "/" + string(t), Value: float64(r),
+				})
+			}
+		}
 	}
 	for _, link := range a.reservedLinks() {
 		capacity, err := a.fab.EffectiveCapacity(link)
@@ -326,8 +364,22 @@ func (a *Arbiter) applyLocked() {
 		for t := range prev {
 			if _, ok := desired[link][t]; !ok {
 				_ = a.fab.ClearTenantCap(link, t)
+				a.mCapsCleared.Inc()
+				if a.tracer.Enabled() {
+					a.tracer.Emit(obs.Event{
+						Kind: obs.KindCapClear, Virtual: a.fab.Engine().Now(),
+						Subject: string(link) + "/" + string(t),
+					})
+				}
 			}
 		}
 	}
 	a.installed = desired
+	if a.mInstalledCaps != nil {
+		n := 0
+		for _, m := range desired {
+			n += len(m)
+		}
+		a.mInstalledCaps.Set(float64(n))
+	}
 }

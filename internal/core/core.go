@@ -17,6 +17,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/intent"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/resmodel"
 	"repro/internal/sched"
 	"repro/internal/simtime"
@@ -53,6 +54,11 @@ type Options struct {
 	// history queries of the HTTP API.
 	EnableTelemetry bool
 	Telemetry       telemetry.PipelineConfig
+	// TraceCapacity bounds the observability event ring (flow
+	// lifecycle, cap changes, scheduler decisions, detections). Zero
+	// means the default (8192); negative disables event tracing.
+	// Metrics are always on — their hot-path cost is a few atomics.
+	TraceCapacity int
 }
 
 // DefaultOptions returns the configuration used across experiments.
@@ -75,6 +81,7 @@ func DefaultOptions() Options {
 			Collector:     "cpu0",
 			StoreCapacity: 1 << 16,
 		},
+		TraceCapacity: 8192,
 	}
 }
 
@@ -100,9 +107,15 @@ type Manager struct {
 	scheduler sched.Scheduler
 	arb       *arbiter.Arbiter
 	pipeline  *telemetry.Pipeline
+	obsv      *obs.Obs
 
 	tenants map[fabric.TenantID]*Tenant
 	started bool
+
+	// Cached self-observability handles.
+	mAdmissions *obs.Counter
+	mRejections *obs.Counter
+	mEvictions  *obs.Counter
 }
 
 // New assembles a manager over the given topology.
@@ -150,12 +163,38 @@ func New(topo *topology.Topology, opts Options) (*Manager, error) {
 			return nil, err
 		}
 	}
-	return &Manager{
+	// Self-observability: one registry + event ring threaded through
+	// every subsystem. The fabric, arbiter, platform and scheduler all
+	// record into it; the HTTP API and the CLIs export it.
+	traceCap := opts.TraceCapacity
+	if traceCap == 0 {
+		traceCap = 8192
+	}
+	o := obs.New(traceCap)
+	fab.SetObs(o)
+	arb.SetObs(o)
+	platform.SetObs(o)
+	scheduler = sched.Instrument(scheduler, o, engine)
+	m := &Manager{
 		opts: opts, engine: engine, topo: topo, fab: fab,
 		mon: mon, platform: platform, bank: bank, ddio: ddio,
 		interp: interp, scheduler: scheduler, arb: arb, pipeline: pipeline,
+		obsv:    o,
 		tenants: make(map[fabric.TenantID]*Tenant),
-	}, nil
+		mAdmissions: o.Registry.Counter("ihnet_core_admissions_total",
+			"Tenants admitted through compile -> schedule -> arbitrate."),
+		mRejections: o.Registry.Counter("ihnet_core_rejections_total",
+			"Tenant admissions rejected at any pipeline stage."),
+		mEvictions: o.Registry.Counter("ihnet_core_evictions_total",
+			"Tenants evicted."),
+	}
+	o.Registry.GaugeFunc("ihnet_trace_events_total",
+		"Events ever recorded by the observability tracer.",
+		func() float64 { return float64(o.Tracer.Total()) })
+	o.Registry.GaugeFunc("ihnet_trace_events_dropped",
+		"Trace events overwritten by ring wraparound.",
+		func() float64 { return float64(o.Tracer.Dropped()) })
+	return m, nil
 }
 
 // Start arms the monitoring sweep, the arbiter loop and (when enabled)
@@ -231,6 +270,10 @@ func (m *Manager) Scheduler() sched.Scheduler { return m.scheduler }
 // disabled. Its ring store backs history queries.
 func (m *Manager) Telemetry() *telemetry.Pipeline { return m.pipeline }
 
+// Obs returns the manager's self-observability substrate (metrics
+// registry + event tracer). Never nil.
+func (m *Manager) Obs() *obs.Obs { return m.obsv }
+
 // RunFor advances virtual time.
 func (m *Manager) RunFor(d simtime.Duration) { m.engine.RunFor(d) }
 
@@ -257,6 +300,7 @@ func (m *Manager) Admit(tenant fabric.TenantID, targets []intent.Target) (*vnet.
 	// Compile.
 	reqs, err := m.interp.CompileAll(targets)
 	if err != nil {
+		m.mRejections.Inc()
 		return nil, fmt.Errorf("core: compile: %w", err)
 	}
 	// Schedule against current headroom.
@@ -265,21 +309,33 @@ func (m *Manager) Admit(tenant fabric.TenantID, targets []intent.Target) (*vnet.
 	merged := resmodel.NewReservation()
 	for _, a := range assignments {
 		if !a.Admitted {
+			m.mRejections.Inc()
 			return nil, fmt.Errorf("core: admission failed for %s: %s", a.Req.Target, a.Reason)
 		}
 		merged.Merge(a.Reservation)
 	}
 	// Arbitrate.
 	if err := m.arb.Install(tenant, merged); err != nil {
+		m.mRejections.Inc()
 		return nil, fmt.Errorf("core: arbitrate: %w", err)
 	}
 	view, err := vnet.Build(m.topo, tenant, merged)
 	if err != nil {
 		m.arb.Remove(tenant)
+		m.mRejections.Inc()
 		return nil, err
 	}
 	m.tenants[tenant] = &Tenant{
 		ID: tenant, Targets: targets, Assignments: assignments, View: view,
+	}
+	m.mAdmissions.Inc()
+	if m.obsv.Tracer.Enabled() {
+		m.obsv.Tracer.Emit(obs.Event{
+			Kind: obs.KindFlowAdmit, Virtual: m.engine.Now(),
+			Subject: string(tenant),
+			Detail:  fmt.Sprintf("%d target(s) admitted", len(targets)),
+			Value:   float64(len(targets)),
+		})
 	}
 	return view, nil
 }
@@ -291,6 +347,13 @@ func (m *Manager) Evict(tenant fabric.TenantID) error {
 	}
 	m.arb.Remove(tenant)
 	delete(m.tenants, tenant)
+	m.mEvictions.Inc()
+	if m.obsv.Tracer.Enabled() {
+		m.obsv.Tracer.Emit(obs.Event{
+			Kind: obs.KindTenantEvict, Virtual: m.engine.Now(),
+			Subject: string(tenant),
+		})
+	}
 	return nil
 }
 

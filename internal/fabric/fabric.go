@@ -107,6 +107,9 @@ type Fabric struct {
 
 	// sniffers receive a copy of every transaction record (ihsniff).
 	sniffers []func(TxRecord)
+
+	// met holds cached observability handles; nil when unattached.
+	met *fabricMetrics
 }
 
 // New creates a fabric over the given topology, driven by the engine's

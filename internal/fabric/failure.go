@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/topology"
 )
@@ -18,6 +19,15 @@ func (f *Fabric) FailLink(id topology.LinkID) error {
 	}
 	if !ls.failed {
 		ls.failed = true
+		if f.met != nil {
+			f.met.linkFails.Inc()
+			if f.met.tracer.Enabled() {
+				f.met.tracer.Emit(obs.Event{
+					Kind: obs.KindLinkFail, Virtual: f.engine.Now(),
+					Subject: string(id),
+				})
+			}
+		}
 		f.markDirty()
 	}
 	return nil
@@ -56,6 +66,16 @@ func (f *Fabric) DegradeLink(id topology.LinkID, lossFrac float64, extraLatency 
 	ls.degradeFrac = lossFrac
 	ls.extraLatency = extraLatency
 	ls.capacity = topology.Rate(float64(f.baseEffectiveCapacity(ls.link)) * (1 - lossFrac))
+	if f.met != nil {
+		f.met.linkDegrades.Inc()
+		if f.met.tracer.Enabled() {
+			f.met.tracer.Emit(obs.Event{
+				Kind: obs.KindLinkDegrade, Virtual: f.engine.Now(),
+				Subject: string(id), Value: lossFrac,
+				Detail: "extra latency " + extraLatency.String(),
+			})
+		}
+	}
 	f.markDirty()
 	return nil
 }

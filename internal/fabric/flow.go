@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/topology"
 )
@@ -98,6 +99,11 @@ func (f *Fabric) AddFlow(fl *Flow) error {
 	for _, l := range fl.Path.Links {
 		f.links[l.ID].flows[fl] = struct{}{}
 	}
+	if f.met != nil {
+		f.met.flowsStarted.Inc()
+		f.met.flowsActive.Set(float64(len(f.flows)))
+		f.traceFlow(obs.KindFlowStart, fl)
+	}
 	f.markDirty()
 	return nil
 }
@@ -114,6 +120,11 @@ func (f *Fabric) RemoveFlow(fl *Flow) {
 	delete(f.flows, fl.ID)
 	for _, l := range fl.Path.Links {
 		delete(f.links[l.ID].flows, fl)
+	}
+	if f.met != nil {
+		f.met.flowsRemoved.Inc()
+		f.met.flowsActive.Set(float64(len(f.flows)))
+		f.traceFlow(obs.KindFlowRemove, fl)
 	}
 	f.markDirty()
 }
@@ -177,7 +188,7 @@ func (f *Fabric) recomputeIfDirty() {
 	for f.dirty {
 		f.dirty = false
 		f.settleAccounting()
-		f.computeRates()
+		f.observedComputeRates()
 		f.fireCompletions()
 		if f.dirty {
 			continue
@@ -242,6 +253,11 @@ func (f *Fabric) fireCompletions() {
 		delete(f.flows, fl.ID)
 		for _, l := range fl.Path.Links {
 			delete(f.links[l.ID].flows, fl)
+		}
+		if f.met != nil {
+			f.met.flowsCompleted.Inc()
+			f.met.flowsActive.Set(float64(len(f.flows)))
+			f.traceFlow(obs.KindFlowDone, fl)
 		}
 		f.dirty = true
 		if fl.OnComplete != nil {

@@ -1,0 +1,99 @@
+package fabric
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fabricMetrics caches the fabric's metric handles so hot-path updates
+// are single atomic operations with no registry lookups.
+type fabricMetrics struct {
+	tracer *obs.Tracer
+
+	flowsStarted   *obs.Counter
+	flowsCompleted *obs.Counter
+	flowsRemoved   *obs.Counter
+	flowsActive    *obs.Gauge
+	txSent         *obs.Counter
+	txCompleted    *obs.Counter
+	txLost         *obs.Counter
+	recomputes     *obs.Counter
+	recomputeNs    *obs.Histogram
+	linkFails      *obs.Counter
+	linkDegrades   *obs.Counter
+}
+
+// SetObs attaches an observability substrate to the fabric. Pass nil
+// to detach (instrumentation reverts to no-ops). Metric handles are
+// resolved once here; the simulation hot path then pays one pointer
+// check plus atomic updates per event.
+func (f *Fabric) SetObs(o *obs.Obs) {
+	if o == nil {
+		f.met = nil
+		return
+	}
+	r := o.Registry
+	f.met = &fabricMetrics{
+		tracer: o.Tracer,
+		flowsStarted: r.Counter("ihnet_fabric_flows_started_total",
+			"Flows installed on the fabric."),
+		flowsCompleted: r.Counter("ihnet_fabric_flows_completed_total",
+			"Sized flows that finished their transfer."),
+		flowsRemoved: r.Counter("ihnet_fabric_flows_removed_total",
+			"Flows removed before completion."),
+		flowsActive: r.Gauge("ihnet_fabric_flows_active",
+			"Flows currently installed on the fabric."),
+		txSent: r.Counter("ihnet_fabric_tx_sent_total",
+			"Transactions injected (DMA, RDMA verbs, probes, heartbeats)."),
+		txCompleted: r.Counter("ihnet_fabric_tx_completed_total",
+			"Transactions delivered end to end."),
+		txLost: r.Counter("ihnet_fabric_tx_lost_total",
+			"Transactions lost at a failed link."),
+		recomputes: r.Counter("ihnet_fabric_recompute_total",
+			"Global weighted max-min rate recomputations."),
+		recomputeNs: r.Histogram("ihnet_fabric_recompute_duration_ns",
+			"Wall-clock cost of one max-min recomputation, nanoseconds."),
+		linkFails: r.Counter("ihnet_fabric_link_failures_total",
+			"Hard link failures injected."),
+		linkDegrades: r.Counter("ihnet_fabric_link_degradations_total",
+			"Silent link degradations injected."),
+	}
+}
+
+// observedComputeRates wraps computeRates with counter, wall-clock
+// histogram and trace instrumentation.
+func (f *Fabric) observedComputeRates() {
+	if f.met == nil {
+		f.computeRates()
+		return
+	}
+	start := time.Now()
+	f.computeRates()
+	elapsed := time.Since(start)
+	f.met.recomputes.Inc()
+	f.met.recomputeNs.Observe(float64(elapsed.Nanoseconds()))
+	if f.met.tracer.Enabled() {
+		f.met.tracer.Emit(obs.Event{
+			Kind:    obs.KindRateRecompute,
+			Virtual: f.engine.Now(),
+			Value:   float64(len(f.flows)),
+			WallDur: elapsed,
+		})
+	}
+}
+
+// traceFlow emits one flow lifecycle event.
+func (f *Fabric) traceFlow(kind obs.EventKind, fl *Flow) {
+	if f.met == nil || !f.met.tracer.Enabled() {
+		return
+	}
+	f.met.tracer.Emit(obs.Event{
+		Kind:    kind,
+		Virtual: f.engine.Now(),
+		Subject: "flow:" + strconv.FormatUint(uint64(fl.ID), 10),
+		Detail:  string(fl.Tenant) + " " + fl.Path.String(),
+		Value:   float64(fl.rate),
+	})
+}

@@ -90,6 +90,9 @@ func (f *Fabric) SendTransaction(opts TxOptions, cb func(TxRecord)) error {
 	}
 	f.recomputeIfDirty()
 	f.txStats.Sent++
+	if f.met != nil {
+		f.met.txSent.Inc()
+	}
 	f.nextID++
 	rec := TxRecord{
 		ID: f.nextID, Tenant: opts.Tenant,
@@ -103,8 +106,14 @@ func (f *Fabric) SendTransaction(opts TxOptions, cb func(TxRecord)) error {
 		r.RTT = r.Done.Sub(r.Sent)
 		if r.Lost {
 			f.txStats.Lost++
+			if f.met != nil {
+				f.met.txLost.Inc()
+			}
 		} else {
 			f.txStats.Completed++
+			if f.met != nil {
+				f.met.txCompleted.Inc()
+			}
 		}
 		f.emitRecord(r)
 		if cb != nil {

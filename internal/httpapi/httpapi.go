@@ -15,15 +15,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
 	"repro/internal/intent"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
@@ -31,12 +36,13 @@ import (
 
 // Server wraps a manager with an HTTP control plane.
 type Server struct {
-	mu  sync.Mutex
-	mgr *core.Manager
+	mu      sync.Mutex
+	mgr     *core.Manager
+	started time.Time
 }
 
 // New builds a server over the manager.
-func New(mgr *core.Manager) *Server { return &Server{mgr: mgr} }
+func New(mgr *core.Manager) *Server { return &Server{mgr: mgr, started: time.Now()} }
 
 // Advance moves virtual time forward by d under the server's lock.
 // The daemon's auto-advance loop uses it; tests may too.
@@ -64,6 +70,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/tenants/{id}/verify", s.locked(s.getVerify))
 	mux.HandleFunc("GET /api/tenants/{id}/usage", s.locked(s.getTenantUsage))
 	mux.HandleFunc("GET /api/experiments/{id}", s.getExperiment) // self-contained
+	// Observability. /metrics and /api/trace/events deliberately skip
+	// the server lock: the registry reads through the same atomics the
+	// writers use and the tracer takes its own short mutex, so scrapes
+	// never stall the simulation (and a wedged simulation never hides
+	// the evidence).
+	mux.HandleFunc("GET /metrics", s.getMetrics)
+	mux.HandleFunc("GET /api/trace/events", s.getTraceEvents)
+	mux.HandleFunc("GET /api/healthz", s.locked(s.getHealthz))
+	// Profiling: the pprof mux entries, reachable without the server
+	// lock for the same reason.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -470,6 +491,100 @@ func (s *Server) getTelemetry(w http.ResponseWriter, r *http.Request) {
 		"dropped":           pl.Store().Dropped(),
 		"points_per_second": o.PointsPerSecond,
 		"spool_bps":         float64(o.SpoolRate),
+	})
+}
+
+// getMetrics renders the observability registry in Prometheus text
+// exposition format. Lock-free with respect to the simulation.
+func (s *Server) getMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.mgr.Obs().Registry.WritePrometheus(w)
+}
+
+type traceEventDTO struct {
+	Seq       uint64  `json:"seq"`
+	VirtualNs int64   `json:"virtual_ns"`
+	WallNs    int64   `json:"wall_ns"`
+	Kind      string  `json:"kind"`
+	Subject   string  `json:"subject,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	WallDurNs int64   `json:"wall_dur_ns,omitempty"`
+}
+
+// getTraceEvents dumps the event ring as JSON, oldest first. Query
+// params: kind= filters by event kind name, limit= keeps only the
+// newest N matching events.
+func (s *Server) getTraceEvents(w http.ResponseWriter, r *http.Request) {
+	tr := s.mgr.Obs().Tracer
+	q := r.URL.Query()
+	var kindFilter obs.EventKind
+	if v := q.Get("kind"); v != "" {
+		kindFilter = obs.KindByName(v)
+		if kindFilter == obs.KindUnknown {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown event kind %q", v))
+			return
+		}
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	events := tr.Snapshot()
+	out := make([]traceEventDTO, 0, len(events))
+	for _, ev := range events {
+		if kindFilter != obs.KindUnknown && ev.Kind != kindFilter {
+			continue
+		}
+		out = append(out, traceEventDTO{
+			Seq: ev.Seq, VirtualNs: int64(ev.Virtual), WallNs: ev.Wall,
+			Kind: ev.Kind.String(), Subject: ev.Subject, Detail: ev.Detail,
+			Value: ev.Value, WallDurNs: int64(ev.WallDur),
+		})
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events":  out,
+		"total":   tr.Total(),
+		"dropped": tr.Dropped(),
+	})
+}
+
+// getHealthz reports liveness: build info, uptime, the virtual clock,
+// and coarse observability counts. Runs under the server lock because
+// it reads simulation state.
+func (s *Server) getHealthz(w http.ResponseWriter, _ *http.Request) {
+	o := s.mgr.Obs()
+	goVersion := runtime.Version()
+	module, vcsRev := "", ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		module = bi.Main.Path
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				vcsRev = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "ok",
+		"go_version":       goVersion,
+		"module":           module,
+		"vcs_revision":     vcsRev,
+		"uptime_seconds":   time.Since(s.started).Seconds(),
+		"virtual_time_ns":  int64(s.mgr.Engine().Now()),
+		"events_processed": s.mgr.Engine().Processed,
+		"metric_count":     o.Registry.MetricCount(),
+		"trace_events":     o.Tracer.Total(),
+		"trace_dropped":    o.Tracer.Dropped(),
+		"active_flows":     s.mgr.Fabric().Flows(),
+		"tenants":          len(s.mgr.Tenants()),
 	})
 }
 

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Chrome trace_event export: renders a tracer snapshot in the Trace
+// Event Format understood by about://tracing and Perfetto. Virtual
+// time maps to the trace timestamp axis (microseconds), so the
+// rendered timeline is the simulated host's timeline; each event's
+// wall-clock stamp rides along in args. Event kinds are grouped onto
+// named threads (fabric, arbiter, scheduler, anomaly, manager) so the
+// viewer separates the subsystems into rows.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeThread maps an event kind to a synthetic thread id and name.
+func chromeThread(k EventKind) (int, string) {
+	switch k {
+	case KindFlowStart, KindFlowDone, KindFlowRemove, KindRateRecompute:
+		return 1, "fabric"
+	case KindCapSet, KindCapClear:
+		return 2, "arbiter"
+	case KindSchedDecision:
+		return 3, "scheduler"
+	case KindAnomalyDetect, KindHeartbeat:
+		return 4, "anomaly"
+	case KindLinkFail, KindLinkDegrade:
+		return 5, "faults"
+	default:
+		return 6, "manager"
+	}
+}
+
+// WriteChromeTrace renders events as Chrome trace_event JSON. Events
+// with a measured WallDur become complete ("X") slices whose duration
+// is the wall cost scaled onto the virtual axis 1:1 in microseconds;
+// everything else is an instant ("i") event.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Phase: "M", PID: 1,
+			Args: map[string]any{"name": "ihnet"}},
+	}}
+	seen := make(map[int]bool)
+	for _, ev := range events {
+		tid, tname := chromeThread(ev.Kind)
+		if !seen[tid] {
+			seen[tid] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": tname},
+			})
+		}
+		args := map[string]any{
+			"seq":     ev.Seq,
+			"wall_ns": ev.Wall,
+		}
+		if ev.Subject != "" {
+			args["subject"] = ev.Subject
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		if ev.Value != 0 {
+			args["value"] = ev.Value
+		}
+		name := ev.Kind.String()
+		if ev.Subject != "" {
+			name += " " + ev.Subject
+		}
+		ce := chromeEvent{
+			Name: name, Cat: ev.Kind.String(),
+			TS: float64(ev.Virtual) / 1e3, PID: 1, TID: tid, Args: args,
+		}
+		if ev.WallDur > 0 {
+			ce.Phase = "X"
+			ce.Dur = float64(ev.WallDur) / float64(time.Microsecond)
+			args["wall_dur_ns"] = int64(ev.WallDur)
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram bucket geometry: values in [2^e, 2^(e+1)) are split into
+// subBuckets linear slots, so every bucket's width is at most 1/subBuckets
+// of its lower bound and quantile estimates carry a bounded relative
+// error of 1/subBuckets (6.25%). One underflow bucket holds values
+// below 1 and one overflow bucket holds values at or beyond 2^(maxExp+1).
+const (
+	subBuckets = 16
+	maxExp     = 62
+	numBuckets = 1 + (maxExp+1)*subBuckets + 1
+)
+
+// Histogram is a log-linear histogram of non-negative observations
+// (typically latencies in nanoseconds). Observe is lock-free: one
+// atomic add on the bucket slot, one on the count, and a CAS loop on
+// the sum. Readers see a consistent-enough view for monitoring (each
+// field is individually atomic).
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v float64) int {
+	if v < 1 || math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return numBuckets - 1
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	e := exp - 1               // floor(log2(v))
+	if e > maxExp {
+		return numBuckets - 1
+	}
+	// Position within the octave, in [1, 2).
+	sub := int((frac*2 - 1) * subBuckets)
+	if sub >= subBuckets {
+		sub = subBuckets - 1
+	}
+	return 1 + e*subBuckets + sub
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i; the last
+// bucket's bound is +Inf.
+func bucketUpper(i int) float64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= numBuckets-1 {
+		return math.Inf(1)
+	}
+	i--
+	e := i / subBuckets
+	sub := i % subBuckets
+	return math.Ldexp(1+float64(sub+1)/subBuckets, e)
+}
+
+// bucketLower returns the lower bound of bucket i.
+func bucketLower(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= numBuckets-1 {
+		return math.Ldexp(1, maxExp+1)
+	}
+	i--
+	e := i / subBuckets
+	sub := i % subBuckets
+	return math.Ldexp(1+float64(sub)/subBuckets, e)
+}
+
+// Observe records one value. Negative and NaN values count in the
+// lowest bucket with a zero sum contribution.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by locating the
+// bucket holding the target rank and interpolating linearly within it.
+// The estimate's relative error is bounded by the bucket geometry:
+// at most 1/subBuckets for values >= 1. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := bucketLower(i), bucketUpper(i)
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			// Interpolate the rank's position inside this bucket.
+			frac := float64(target-cum) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return bucketLower(numBuckets - 1)
+}
+
+// writePrometheus renders the histogram as cumulative le-labelled
+// buckets (only octaves with observations are emitted; cumulative
+// counts stay correct), then _sum and _count.
+func (h *Histogram) writePrometheus(b *strings.Builder, name string) {
+	var cum uint64
+	for i := 0; i < numBuckets-1; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, fmtFloat(bucketUpper(i)), cum)
+	}
+	cum += h.buckets[numBuckets-1].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, fmtFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count %d\n", name, cum)
+}

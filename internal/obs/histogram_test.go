@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBucketGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := math.Exp(rng.Float64() * 40) // log-uniform over ~17 decades
+		idx := bucketIndex(v)
+		lo, hi := bucketLower(idx), bucketUpper(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %g landed in bucket %d [%g, %g]", v, idx, lo, hi)
+		}
+		// Relative width bound: (hi-lo)/lo <= 1/subBuckets for v >= 1.
+		if v >= 1 && !math.IsInf(hi, 1) && (hi-lo)/lo > 1.0/subBuckets+1e-9 {
+			t.Fatalf("bucket %d too wide: [%g, %g]", idx, lo, hi)
+		}
+	}
+	// Bounds are monotone across the whole range.
+	for i := 1; i < numBuckets; i++ {
+		if bucketUpper(i-1) > bucketLower(i)+1e-9 {
+			t.Fatalf("bucket bounds not monotone at %d", i)
+		}
+	}
+	if bucketIndex(0) != 0 || bucketIndex(0.5) != 0 {
+		t.Error("sub-1 values must land in the underflow bucket")
+	}
+	if bucketIndex(math.Inf(1)) != numBuckets-1 {
+		t.Error("+Inf must land in the overflow bucket")
+	}
+}
+
+// TestQuantileAccuracy checks the estimation bound the geometry
+// promises: relative error at most 1/subBuckets against the exact
+// empirical quantile, across distributions.
+func TestQuantileAccuracy(t *testing.T) {
+	const n = 50000
+	const tolerance = 1.0/subBuckets + 0.001
+	distributions := map[string]func(*rand.Rand) float64{
+		"uniform":     func(r *rand.Rand) float64 { return 1 + r.Float64()*1e6 },
+		"exponential": func(r *rand.Rand) float64 { return 100 * r.ExpFloat64() },
+		"log-normal":  func(r *rand.Rand) float64 { return math.Exp(10 + 2*r.NormFloat64()) },
+	}
+	for name, gen := range distributions {
+		rng := rand.New(rand.NewSource(7))
+		h := NewHistogram()
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = gen(rng)
+			h.Observe(vals[i])
+		}
+		sort.Float64s(vals)
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			exact := vals[int(math.Ceil(q*float64(n)))-1]
+			got := h.Quantile(q)
+			relErr := math.Abs(got-exact) / exact
+			if relErr > tolerance {
+				t.Errorf("%s q%g: got %g, exact %g, rel err %.4f > %.4f",
+					name, q, got, exact, relErr, tolerance)
+			}
+		}
+		if h.Count() != n {
+			t.Errorf("%s: count %d, want %d", name, h.Count(), n)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(-5)          // clamps to 0
+	h.Observe(math.NaN())  // clamps to 0
+	h.Observe(math.Inf(1)) // overflow bucket
+	if h.Count() != 3 {
+		t.Errorf("count %d, want 3", h.Count())
+	}
+	if q := h.Quantile(0.1); q > 1 {
+		t.Errorf("q0.1 = %g, want within underflow bucket", q)
+	}
+	h2 := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h2.Observe(1000)
+	}
+	if got := h2.Quantile(0.5); math.Abs(got-1000)/1000 > 1.0/subBuckets {
+		t.Errorf("constant stream q0.5 = %g, want ~1000", got)
+	}
+	if got := h2.Mean(); got != 1000 {
+		t.Errorf("mean %g, want 1000", got)
+	}
+}

@@ -1,0 +1,41 @@
+// Package obs is the system's self-observability substrate: a
+// concurrency-safe metrics registry (counters, gauges, log-linear
+// latency histograms) with near-zero-allocation hot-path updates, and
+// a bounded ring-buffer tracer recording typed events stamped with
+// both virtual (simulation) and wall time.
+//
+// The paper's thesis is that the intra-host network is unmanageable
+// because it is unobservable; obs applies the same standard to our own
+// manager and simulator. Where internal/telemetry models the
+// *simulated* host's telemetry pipeline (with its deliberate fidelity
+// limits), obs measures the *real* process: how long a max-min
+// recompute actually takes on the CPU, how many arbiter passes ran,
+// what the scheduler decided and when. Exporters turn both halves into
+// standard tooling formats: Prometheus text exposition for scrapes,
+// JSON event dumps for the control plane, and Chrome trace_event JSON
+// so a whole DES run can be inspected in about://tracing or Perfetto.
+//
+// Metric writers (the single-threaded simulation) and readers (HTTP
+// scrapes on arbitrary goroutines) never share a lock: counters and
+// gauges are single atomics, histogram buckets are atomic slots, and
+// the tracer takes a short private mutex per event. A nil *Obs is
+// valid everywhere and records nothing, so instrumented packages need
+// no configuration to stay silent.
+package obs
+
+// Obs bundles the two halves of the observability substrate. The
+// manager creates one and threads it through every subsystem.
+type Obs struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// New returns an Obs with an empty registry and a tracer holding up to
+// traceCapacity events (a non-positive capacity disables tracing).
+func New(traceCapacity int) *Obs {
+	o := &Obs{Registry: NewRegistry()}
+	if traceCapacity > 0 {
+		o.Tracer = NewTracer(traceCapacity)
+	}
+	return o
+}

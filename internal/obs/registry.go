@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe
+// for concurrent use; Inc and Add are single atomic instructions.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down, stored as float64 bits in
+// one atomic word.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add shifts the gauge by delta (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// metric is the registry's view of one named exposition family.
+type metric struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", "histogram"
+	// exactly one of these is set:
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+	vec     *CounterVec
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Registration takes a lock; updates through the
+// returned handles do not. Registering the same name twice returns the
+// original handle, so packages can idempotently resolve metrics.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) register(name, help, typ string) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.typ != typ {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, m.typ))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, typ: typ}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter registers (or fetches) a counter. A nil registry returns a
+// working but unexported counter, so instrumentation never nil-checks.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	m := r.register(name, help, "counter")
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	m := r.register(name, help, "gauge")
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+// fn runs on the scraping goroutine and must be safe to call
+// concurrently with the rest of the system (read atomics or take your
+// own lock; do not touch single-threaded simulation state).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	m := r.register(name, help, "gauge")
+	m.gaugeFn = fn
+}
+
+// Histogram registers (or fetches) a log-linear histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return NewHistogram()
+	}
+	m := r.register(name, help, "histogram")
+	if m.hist == nil {
+		m.hist = NewHistogram()
+	}
+	return m.hist
+}
+
+// CounterVec is a family of counters keyed by one label value.
+// Resolving a child takes a lock; callers should cache the returned
+// *Counter for hot paths.
+type CounterVec struct {
+	label    string
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label value.
+func (cv *CounterVec) With(value string) *Counter {
+	if cv == nil {
+		return &Counter{}
+	}
+	cv.mu.RLock()
+	c, ok := cv.children[value]
+	cv.mu.RUnlock()
+	if ok {
+		return c
+	}
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	if c, ok := cv.children[value]; ok {
+		return c
+	}
+	c = &Counter{}
+	cv.children[value] = c
+	return c
+}
+
+// CounterVec registers (or fetches) a counter family keyed by label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return &CounterVec{label: label, children: make(map[string]*Counter)}
+	}
+	m := r.register(name, help, "counter")
+	if m.vec == nil {
+		m.vec = &CounterVec{label: label, children: make(map[string]*Counter)}
+	}
+	return m.vec
+}
+
+// MetricCount returns the number of registered exposition families.
+func (r *Registry) MetricCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.metrics)
+}
+
+// fmtFloat renders a float the way Prometheus clients do.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4), names sorted for stable output.
+// It is safe to call concurrently with metric updates: values are read
+// through the same atomics the writers use.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	ms := make([]*metric, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		ms = append(ms, r.metrics[n])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, m := range ms {
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case m.gaugeFn != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, fmtFloat(m.gaugeFn()))
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, fmtFloat(m.gauge.Value()))
+		case m.vec != nil:
+			m.vec.mu.RLock()
+			vals := make([]string, 0, len(m.vec.children))
+			for v := range m.vec.children {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n",
+					m.name, m.vec.label, escapeLabel(v), m.vec.children[v].Value())
+			}
+			m.vec.mu.RUnlock()
+		case m.hist != nil:
+			m.hist.writePrometheus(&b, m.name)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from parallel writers
+// while a reader scrapes continuously; run under -race this is the
+// package's central safety claim, and the final counts must be exact.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_level", "level")
+	h := r.Histogram("test_latency_ns", "latency")
+	vec := r.CounterVec("test_by_kind_total", "by kind", "kind")
+
+	const writers = 8
+	const perWriter = 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent scraper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			// Half the writers resolve handles themselves to exercise
+			// registration races.
+			kind := vec.With([]string{"a", "b"}[w%2])
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%1000 + 1))
+				kind.Inc()
+				r.Counter("test_ops_total", "ops").Inc()
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got, want := c.Value(), uint64(2*writers*perWriter); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := g.Value(), float64(writers*perWriter); got != want {
+		t.Errorf("gauge = %v, want %v", got, want)
+	}
+	if got, want := h.Count(), uint64(writers*perWriter); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got, want := vec.With("a").Value()+vec.With("b").Value(), uint64(writers*perWriter); got != want {
+		t.Errorf("vec total = %d, want %d", got, want)
+	}
+}
+
+func TestRegistryIdempotentAndNilSafe(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type-conflicting registration did not panic")
+		}
+	}()
+	// Nil registry and nil handles must be inert, not crash.
+	var nilReg *Registry
+	nilReg.Counter("y_total", "y").Inc()
+	nilReg.Gauge("z", "z").Set(1)
+	nilReg.Histogram("h", "h").Observe(1)
+	nilReg.GaugeFunc("f", "f", func() float64 { return 0 })
+	if err := nilReg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry write: %v", err)
+	}
+	var nilC *Counter
+	nilC.Inc()
+	r.Gauge("x_total", "now a gauge") // must panic: registered as counter
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bbb_total", "help for bbb").Add(7)
+	r.Gauge("aaa_level", "help for aaa").Set(2.5)
+	r.GaugeFunc("ccc_fn", "computed", func() float64 { return 42 })
+	vec := r.CounterVec("ddd_total", "labelled", "outcome")
+	vec.With("ok").Add(3)
+	vec.With(`we"ird`).Inc()
+	h := r.Histogram("eee_ns", "hist")
+	h.Observe(1.5)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP bbb_total help for bbb",
+		"# TYPE bbb_total counter",
+		"bbb_total 7",
+		"# TYPE aaa_level gauge",
+		"aaa_level 2.5",
+		"ccc_fn 42",
+		`ddd_total{outcome="ok"} 3`,
+		`ddd_total{outcome="we\"ird"} 1`,
+		"# TYPE eee_ns histogram",
+		`eee_ns_bucket{le="+Inf"} 2`,
+		"eee_ns_sum 101.5",
+		"eee_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Families are sorted by name.
+	if strings.Index(out, "aaa_level") > strings.Index(out, "bbb_total") {
+		t.Error("exposition not sorted by metric name")
+	}
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// EventKind is the type of a traced event.
+type EventKind uint8
+
+// Event taxonomy. Subjects are free-form identifiers scoped by kind
+// (flow ID, link ID, tenant, heartbeat pair).
+const (
+	KindUnknown EventKind = iota
+	// KindFlowAdmit marks a tenant admission through the manager's
+	// compile -> schedule -> arbitrate pipeline.
+	KindFlowAdmit
+	// KindFlowStart marks a flow installed on the fabric.
+	KindFlowStart
+	// KindFlowDone marks a sized flow completing.
+	KindFlowDone
+	// KindFlowRemove marks a flow removed before completion.
+	KindFlowRemove
+	// KindRateRecompute marks one global max-min rate recomputation;
+	// Value is the number of active flows, WallDur the CPU cost.
+	KindRateRecompute
+	// KindCapSet marks the arbiter installing or changing a
+	// per-(link,tenant) rate cap; Value is the cap in bytes/second.
+	KindCapSet
+	// KindCapClear marks the arbiter clearing a cap.
+	KindCapClear
+	// KindSchedDecision marks one scheduler pathway decision; Detail
+	// carries the chosen pathway or the rejection reason.
+	KindSchedDecision
+	// KindAnomalyDetect marks an anomaly detection incident.
+	KindAnomalyDetect
+	// KindHeartbeat marks one heartbeat round; Value is probes sent.
+	KindHeartbeat
+	// KindLinkFail marks a hard link failure injection.
+	KindLinkFail
+	// KindLinkDegrade marks a silent link degradation injection.
+	KindLinkDegrade
+	// KindTenantEvict marks a tenant eviction.
+	KindTenantEvict
+)
+
+var kindNames = [...]string{
+	KindUnknown:       "unknown",
+	KindFlowAdmit:     "flow-admit",
+	KindFlowStart:     "flow-start",
+	KindFlowDone:      "flow-done",
+	KindFlowRemove:    "flow-remove",
+	KindRateRecompute: "rate-recompute",
+	KindCapSet:        "cap-set",
+	KindCapClear:      "cap-clear",
+	KindSchedDecision: "sched-decision",
+	KindAnomalyDetect: "anomaly-detect",
+	KindHeartbeat:     "heartbeat",
+	KindLinkFail:      "link-fail",
+	KindLinkDegrade:   "link-degrade",
+	KindTenantEvict:   "tenant-evict",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindByName resolves an event-kind name ("flow-start"); KindUnknown
+// when unrecognized.
+func KindByName(s string) EventKind {
+	for k, n := range kindNames {
+		if n == s {
+			return EventKind(k)
+		}
+	}
+	return KindUnknown
+}
+
+// Event is one traced occurrence, stamped with both clocks: Virtual is
+// the simulation instant it models, Wall the process time it was
+// recorded (unix nanoseconds) — the pairing that lets a trace answer
+// both "what did the simulated host do" and "what did it cost us".
+type Event struct {
+	Seq     uint64
+	Virtual simtime.Time
+	Wall    int64
+	Kind    EventKind
+	Subject string
+	Detail  string
+	// Value is kind-specific (rate, probe count, flow count).
+	Value float64
+	// WallDur is the real CPU cost of the traced operation, for
+	// kinds that measure one (e.g. rate recomputations).
+	WallDur time.Duration
+}
+
+// Tracer is a bounded ring buffer of events. Emission takes one short
+// mutex; when the buffer is full the oldest events are overwritten
+// (Dropped counts them). Disabled tracers cost one atomic load per
+// call site.
+type Tracer struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	buf     []Event
+	total   uint64 // events ever emitted
+}
+
+// NewTracer returns an enabled tracer retaining up to capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	t := &Tracer{buf: make([]Event, capacity)}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether Emit records anything. Hot paths should
+// check it before building event strings.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetEnabled toggles recording.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Emit records one event. Nil tracers and disabled tracers are no-ops.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	ev.Wall = time.Now().UnixNano()
+	t.mu.Lock()
+	ev.Seq = t.total
+	t.buf[t.total%uint64(len(t.buf))] = ev
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of events ever emitted.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events have been overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.total - uint64(len(t.buf))
+}
+
+// Capacity returns the ring size.
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Snapshot returns the retained events, oldest first.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	capacity := uint64(len(t.buf))
+	if n > capacity {
+		out := make([]Event, 0, capacity)
+		start := n % capacity // oldest retained slot
+		out = append(out, t.buf[start:]...)
+		out = append(out, t.buf[:start]...)
+		return out
+	}
+	out := make([]Event, n)
+	copy(out, t.buf[:n])
+	return out
+}

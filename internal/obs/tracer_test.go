@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestTracerWraparoundAndOrdering(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 20; i++ {
+		tr.Emit(Event{Kind: KindFlowStart, Virtual: simtime.Time(i * 100)})
+	}
+	if got := tr.Total(); got != 20 {
+		t.Errorf("Total = %d, want 20", got)
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Errorf("Dropped = %d, want 12", got)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("Snapshot len = %d, want 8", len(snap))
+	}
+	for i, ev := range snap {
+		wantSeq := uint64(12 + i)
+		if ev.Seq != wantSeq {
+			t.Errorf("snap[%d].Seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.Virtual != simtime.Time(int64(wantSeq)*100) {
+			t.Errorf("snap[%d].Virtual = %v, want %v", i, ev.Virtual, wantSeq*100)
+		}
+	}
+}
+
+func TestTracerUnderCapacity(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: KindHeartbeat})
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 5 || tr.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want 5/0", len(snap), tr.Dropped())
+	}
+	for i, ev := range snap {
+		if ev.Seq != uint64(i) {
+			t.Errorf("snap[%d].Seq = %d", i, ev.Seq)
+		}
+		if ev.Wall == 0 {
+			t.Errorf("snap[%d] missing wall stamp", i)
+		}
+	}
+}
+
+func TestTracerDisabledAndNil(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(false)
+	if tr.Enabled() {
+		t.Error("Enabled after SetEnabled(false)")
+	}
+	tr.Emit(Event{Kind: KindFlowStart})
+	if tr.Total() != 0 {
+		t.Error("disabled tracer recorded an event")
+	}
+	var nilT *Tracer
+	nilT.Emit(Event{}) // must not crash
+	if nilT.Enabled() || nilT.Total() != 0 || nilT.Snapshot() != nil {
+		t.Error("nil tracer not inert")
+	}
+}
+
+// TestTracerConcurrency: parallel emitters with concurrent snapshots,
+// meaningful under -race.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Emit(Event{Kind: KindRateRecompute, Value: float64(i)})
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			snap := tr.Snapshot()
+			for j := 1; j < len(snap); j++ {
+				if snap[j].Seq != snap[j-1].Seq+1 {
+					t.Errorf("snapshot not contiguous at %d", j)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.Total() != 4000 {
+		t.Errorf("Total = %d, want 4000", tr.Total())
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := KindFlowAdmit; k <= KindTenantEvict; k++ {
+		if got := KindByName(k.String()); got != k {
+			t.Errorf("KindByName(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if KindByName("nope") != KindUnknown {
+		t.Error("unknown name must map to KindUnknown")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(Event{Kind: KindFlowStart, Virtual: 1000, Subject: "flow:1", Detail: "kv"})
+	tr.Emit(Event{Kind: KindRateRecompute, Virtual: 2000, Value: 3, WallDur: 1500})
+	tr.Emit(Event{Kind: KindAnomalyDetect, Virtual: 3000, Subject: "a~b"})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var instants, slices, metas int
+	threads := map[string]bool{}
+	for _, ev := range out.TraceEvents {
+		switch ev["ph"] {
+		case "i":
+			instants++
+		case "X":
+			slices++
+			if ev["dur"].(float64) <= 0 {
+				t.Error("complete event without duration")
+			}
+		case "M":
+			metas++
+			if ev["name"] == "thread_name" {
+				threads[ev["args"].(map[string]any)["name"].(string)] = true
+			}
+		}
+	}
+	if instants != 2 || slices != 1 {
+		t.Errorf("instants=%d slices=%d, want 2/1", instants, slices)
+	}
+	for _, want := range []string{"fabric", "anomaly"} {
+		if !threads[want] {
+			t.Errorf("missing thread metadata for %q", want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/intent"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// Clock is the minimal virtual-time source the instrumented scheduler
+// stamps decisions with; *simtime.Engine satisfies it.
+type Clock interface {
+	Now() simtime.Time
+}
+
+// Instrumented wraps any Scheduler, recording every pathway decision
+// as metrics (admitted/rejected counters per strategy) and trace
+// events carrying the chosen pathway or the rejection reason.
+type Instrumented struct {
+	inner    Scheduler
+	clock    Clock
+	tracer   *obs.Tracer
+	admitted *obs.Counter
+	rejected *obs.Counter
+	split    *obs.Counter
+}
+
+// Instrument wraps s with observability. A nil o returns s unchanged.
+func Instrument(s Scheduler, o *obs.Obs, clock Clock) Scheduler {
+	if o == nil {
+		return s
+	}
+	vec := o.Registry.CounterVec("ihnet_sched_decisions_total",
+		"Scheduler pathway decisions by outcome.", "outcome")
+	return &Instrumented{
+		inner:    s,
+		clock:    clock,
+		tracer:   o.Tracer,
+		admitted: vec.With("admitted"),
+		rejected: vec.With("rejected"),
+		split: o.Registry.Counter("ihnet_sched_splits_total",
+			"Admissions that striped a rate across several pathways."),
+	}
+}
+
+// Name implements Scheduler.
+func (s *Instrumented) Name() string { return s.inner.Name() }
+
+// Unwrap returns the underlying strategy.
+func (s *Instrumented) Unwrap() Scheduler { return s.inner }
+
+// Schedule implements Scheduler, delegating and recording outcomes.
+func (s *Instrumented) Schedule(reqs []intent.Requirement, usage Usage) []Assignment {
+	out := s.inner.Schedule(reqs, usage)
+	var now simtime.Time
+	if s.clock != nil {
+		now = s.clock.Now()
+	}
+	for _, a := range out {
+		detail := a.Reason
+		if a.Admitted {
+			s.admitted.Inc()
+			detail = a.Path.String()
+			if len(a.Splits) > 0 {
+				s.split.Inc()
+				detail = fmt.Sprintf("striped over %d pathways", len(a.Splits))
+			}
+		} else {
+			s.rejected.Inc()
+		}
+		if s.tracer.Enabled() {
+			s.tracer.Emit(obs.Event{
+				Kind:    obs.KindSchedDecision,
+				Virtual: now,
+				Subject: string(a.Req.Target.Tenant),
+				Detail:  a.Req.Target.String() + ": " + detail,
+				Value:   float64(a.Req.Target.Rate),
+			})
+		}
+	}
+	return out
+}
