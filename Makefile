@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench check clean
+.PHONY: all build vet fmt test race bench bench-smoke check clean
 
 all: check
 
@@ -25,6 +25,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Quick sanity pass over the two benchmarks that guard the hot paths:
+# the observability tax on fabric scheduling and the snapshot
+# round-trip (export + encode + decode + replay + verify).
+bench-smoke:
+	$(GO) test -bench BenchmarkObsFabricHotPath -benchtime 1x -run '^$$' .
+	$(GO) test -bench BenchmarkSnapshotRoundTrip -benchtime 1x -run '^$$' ./internal/snap
 
 # The full gate: formatting, static analysis, build, and the race-enabled
 # test suite. CI and pre-commit should run this.

@@ -14,10 +14,14 @@ import (
 	"os"
 	"time"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/experiments"
 )
 
 func main() {
+	if cli.MaybeVersion("ihbench", os.Args[1:]) {
+		return
+	}
 	run := flag.String("run", "all", "experiment id (E1..E10) or 'all'")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	flag.Parse()

@@ -23,6 +23,10 @@
 //	perf <src> <dst> [tenant]      bandwidth probe via the daemon
 //	advance <micros>               move virtual time forward
 //	experiment <id>                run one experiment (E1..E12) server-side
+//	snapshot [file]                checkpoint daemon state (default snapshot.json)
+//	restore <file>                 roll the daemon back to a snapshot
+//	journal [file]                 download the command journal (default stdout)
+//	version                        print build information
 package main
 
 import (
@@ -35,9 +39,14 @@ import (
 	"net/url"
 	"os"
 	"strconv"
+
+	"repro/cmd/internal/cli"
 )
 
 func main() {
+	if cli.MaybeVersion("ihctl", os.Args[1:]) {
+		return
+	}
 	addr := flag.String("addr", "127.0.0.1:8080", "ihnetd address")
 	flag.Parse()
 	args := flag.Args()
@@ -136,8 +145,45 @@ func (c client) dispatch(args []string) error {
 			return err
 		}
 		return c.get("/api/experiments/"+url.PathEscape(rest[0]), prettyExperiment)
+	case "snapshot":
+		out := "snapshot.json"
+		if len(rest) == 1 {
+			out = rest[0]
+		} else if len(rest) > 1 {
+			return fmt.Errorf("usage: ihctl snapshot [file]")
+		}
+		return c.post("/api/snapshot", nil, toFile(out, "snapshot"))
+	case "restore":
+		if err := need(1, "<file>"); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		return c.postRaw("/api/restore", data, prettyJSON)
+	case "journal":
+		if len(rest) > 1 {
+			return fmt.Errorf("usage: ihctl journal [file]")
+		}
+		if len(rest) == 1 {
+			return c.get("/api/journal", toFile(rest[0], "journal"))
+		}
+		return c.get("/api/journal", prettyJSON)
 	}
 	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// toFile renders a response body by writing it to a file, reporting
+// what landed where.
+func toFile(path, what string) func([]byte) error {
+	return func(data []byte) error {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes) to %s\n", what, len(data), path)
+		return nil
+	}
 }
 
 func (c client) get(path string, render func([]byte) error) error {
@@ -153,6 +199,10 @@ func (c client) post(path string, body any, render func([]byte) error) error {
 	if err != nil {
 		return err
 	}
+	return c.postRaw(path, data, render)
+}
+
+func (c client) postRaw(path string, data []byte, render func([]byte) error) error {
 	resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(data))
 	if err != nil {
 		return err

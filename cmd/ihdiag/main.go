@@ -8,12 +8,20 @@
 // detections — and exports it as Chrome trace_event JSON for
 // about://tracing or Perfetto (ui.perfetto.dev).
 //
+// The replay subcommand is the determinism-regression gate: it replays
+// a command journal (or the journal inside a snapshot, or a scenario
+// drill converted to one) twice and exits non-zero if the rolling
+// state hashes ever disagree or the snapshot fails verification.
+//
 // Usage:
 //
 //	ihdiag -inject link-degradation
 //	ihdiag -inject ddio-thrash -train 10
 //	ihdiag trace --chrome out.json
 //	ihdiag trace --chrome out.json -degrade pcieswitch0->nic0 -duration 5ms
+//	ihdiag replay -preset two-socket journal.json
+//	ihdiag replay snapshot.json
+//	ihdiag replay -scenario scenarios/colocation-guarantee.json
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/anomaly"
 	"repro/internal/cachesim"
 	"repro/internal/diagml"
@@ -32,8 +41,15 @@ import (
 )
 
 func main() {
+	if cli.MaybeVersion("ihdiag", os.Args[1:]) {
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		runTrace(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		runReplay(os.Args[2:])
 		return
 	}
 	var names []string

@@ -9,6 +9,12 @@
 // per 10 ms of wall time); pass -autoadvance=0 to drive time only via
 // POST /api/advance for fully deterministic interaction.
 //
+// Every mutating command is recorded through internal/snap, so the
+// daemon's state can be checkpointed (POST /api/snapshot), rolled back
+// (POST /api/restore), downloaded as a replayable command journal
+// (GET /api/journal), or resumed at startup from a snapshot file via
+// -restore.
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: the auto-advance
 // loop drains first (no advance is cut off mid-event), then the HTTP
 // server finishes in-flight requests under a timeout.
@@ -34,13 +40,18 @@ import (
 	"syscall"
 	"time"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/core"
 	"repro/internal/httpapi"
 	"repro/internal/simtime"
+	"repro/internal/snap"
 	"repro/internal/topology"
 )
 
 func main() {
+	if cli.MaybeVersion("ihnetd", os.Args[1:]) {
+		return
+	}
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	preset := flag.String("preset", "two-socket",
 		"topology preset: "+strings.Join(topology.PresetNames(), ", "))
@@ -49,24 +60,38 @@ func main() {
 		"virtual time advanced per 10ms of wall time (0 = manual only)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second,
 		"grace period for in-flight requests on SIGINT/SIGTERM")
+	restore := flag.String("restore", "",
+		"snapshot file to resume from (its config overrides -preset/-seed)")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	build, ok := topology.Presets[*preset]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ihnetd: unknown preset %q\n", *preset)
-		os.Exit(1)
+	var sess *snap.Session
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			log.Fatalf("ihnetd: %v", err)
+		}
+		sess, err = snap.Restore(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("ihnetd: restore %s: %v", *restore, err)
+		}
+		log.Printf("ihnetd: restored %s: %d journal entries replayed to t=%v",
+			*restore, sess.Journal().Len(), sess.Now())
+	} else {
+		if _, ok := topology.Presets[*preset]; !ok {
+			fmt.Fprintf(os.Stderr, "ihnetd: unknown preset %q\n", *preset)
+			os.Exit(1)
+		}
+		opts := core.DefaultOptions()
+		opts.Seed = *seed
+		var err error
+		sess, err = snap.NewSession(snap.Config{Preset: *preset, Options: opts})
+		if err != nil {
+			log.Fatalf("ihnetd: %v", err)
+		}
 	}
-	opts := core.DefaultOptions()
-	opts.Seed = *seed
-	mgr, err := core.New(build(), opts)
-	if err != nil {
-		log.Fatalf("ihnetd: %v", err)
-	}
-	if err := mgr.Start(); err != nil {
-		log.Fatalf("ihnetd: %v", err)
-	}
-	srv := httpapi.New(mgr)
+	srv := httpapi.NewWithSession(sess)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -111,6 +136,8 @@ func main() {
 	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("ihnetd: shutdown: %v", err)
 	}
+	// Re-read the manager: a POST /api/restore may have swapped it.
+	mgr := srv.Manager()
 	mgr.Stop()
 	log.Printf("ihnetd: stopped at virtual time %v after %d events",
 		mgr.Engine().Now(), mgr.Engine().Processed)

@@ -22,6 +22,9 @@ import (
 )
 
 func main() {
+	if cli.MaybeVersion("ihperf", os.Args[1:]) {
+		return
+	}
 	var common cli.Common
 	common.Register()
 	src := flag.String("src", "gpu0", "traffic source component")

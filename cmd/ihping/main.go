@@ -19,6 +19,9 @@ import (
 )
 
 func main() {
+	if cli.MaybeVersion("ihping", os.Args[1:]) {
+		return
+	}
 	var common cli.Common
 	common.Register()
 	src := flag.String("src", "gpu0", "probe source component")

@@ -16,10 +16,14 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/scenario"
 )
 
 func main() {
+	if cli.MaybeVersion("ihscenario", os.Args[1:]) {
+		return
+	}
 	verbose := flag.Bool("v", false, "print the drill timeline")
 	flag.Parse()
 	if flag.NArg() == 0 {

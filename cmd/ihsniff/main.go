@@ -23,6 +23,9 @@ import (
 )
 
 func main() {
+	if cli.MaybeVersion("ihsniff", os.Args[1:]) {
+		return
+	}
 	var common cli.Common
 	common.Register()
 	dur := flag.Duration("duration", time.Millisecond, "capture window (virtual time)")

@@ -13,11 +13,15 @@ import (
 	"os"
 	"strings"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/memsys"
 	"repro/internal/topology"
 )
 
 func main() {
+	if cli.MaybeVersion("ihtopo", os.Args[1:]) {
+		return
+	}
 	preset := flag.String("preset", "two-socket", "topology preset: "+strings.Join(topology.PresetNames(), ", "))
 	hostFile := flag.String("hostfile", "", "JSON host description to inspect instead of a preset")
 	showLinks := flag.Bool("links", false, "list every directed link")

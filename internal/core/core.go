@@ -274,6 +274,11 @@ func (m *Manager) Telemetry() *telemetry.Pipeline { return m.pipeline }
 // registry + event tracer). Never nil.
 func (m *Manager) Obs() *obs.Obs { return m.obsv }
 
+// Options returns the configuration the manager was built with.
+// Checkpoint tooling (internal/snap) persists it so a restored host is
+// reconstructed with bit-identical behaviour.
+func (m *Manager) Options() Options { return m.opts }
+
 // RunFor advances virtual time.
 func (m *Manager) RunFor(d simtime.Duration) { m.engine.RunFor(d) }
 

@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/obs"
 	"repro/internal/simtime"
@@ -200,12 +201,18 @@ func (f *Fabric) recomputeIfDirty() {
 // settleAccounting accrues per-link byte counts at current rates since
 // each link's last update, and advances sized-flow progress. It is
 // safe to call at any time; it never changes rates.
+//
+// Flows are accumulated in ID order, never map order: float addition
+// is not associative, so a map-ordered sum would leave ULP-level
+// differences between two otherwise identical runs — exactly the kind
+// of silent nondeterminism the snap divergence checker exists to
+// catch.
 func (f *Fabric) settleAccounting() {
 	now := f.engine.Now()
 	for _, ls := range f.links {
 		dt := now.Sub(ls.lastUpdate).Seconds()
-		if dt > 0 {
-			for fl := range ls.flows {
+		if dt > 0 && len(ls.flows) > 0 {
+			for _, fl := range sortedFlowSet(ls.flows) {
 				b := float64(fl.rate) * dt
 				ls.totalBytes += b
 				ls.tenantBytes[fl.Tenant] += b
@@ -225,6 +232,16 @@ func (f *Fabric) settleAccounting() {
 		}
 		fl.mark = now
 	}
+}
+
+// sortedFlowSet returns the members of a flow set ordered by ID.
+func sortedFlowSet(set map[*Flow]struct{}) []*Flow {
+	out := make([]*Flow, 0, len(set))
+	for fl := range set {
+		out = append(out, fl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // fireCompletions completes every sized flow whose remaining bytes
@@ -267,9 +284,18 @@ func (f *Fabric) fireCompletions() {
 }
 
 // armCompletions (re)schedules the completion event of every active
-// sized flow according to its current rate.
+// sized flow according to its current rate. Flows are visited in ID
+// order: each After() call allocates an engine sequence number, and
+// sequence numbers decide execution order between same-instant events,
+// so the visit order is part of the simulation's deterministic state.
 func (f *Fabric) armCompletions() {
-	for _, fl := range f.flows {
+	ids := make([]FlowID, 0, len(f.flows))
+	for id := range f.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fl := f.flows[id]
 		if fl.Size == 0 || fl.completed {
 			continue
 		}

@@ -1,8 +1,10 @@
 package fabric
 
 import (
+	"math"
 	"sort"
 
+	"repro/internal/simtime"
 	"repro/internal/topology"
 )
 
@@ -64,6 +66,64 @@ func (f *Fabric) AllLinkStats() []LinkStats {
 	for _, ls := range f.sortedLinkStates() {
 		s, _ := f.LinkStatsFor(ls.link.ID)
 		out = append(out, s)
+	}
+	return out
+}
+
+// FlowStats is a settled snapshot of one active flow — the fabric's
+// half of the state-capture contract with internal/snap: everything
+// externally observable about a flow, without its OnComplete closure
+// (closures are why snapshots restore by replay, not by decoding).
+type FlowStats struct {
+	ID     FlowID
+	Tenant TenantID
+	// Links is the flow's path as directed link IDs, in hop order.
+	Links []topology.LinkID
+	// Demand and Rate are the offered and currently allocated rates.
+	Demand topology.Rate
+	Rate   topology.Rate
+	Weight float64
+	// SizeBytes is zero for persistent flows; RemainingBytes is the
+	// ceiling of the bytes left for sized flows.
+	SizeBytes      int64
+	RemainingBytes int64
+	Started        simtime.Time
+}
+
+// AllFlowStats returns settled snapshots of every active flow, ordered
+// by flow ID.
+func (f *Fabric) AllFlowStats() []FlowStats {
+	f.recomputeIfDirty()
+	f.settleAccounting()
+	ids := make([]FlowID, 0, len(f.flows))
+	for id := range f.flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]FlowStats, 0, len(ids))
+	for _, id := range ids {
+		fl := f.flows[id]
+		links := make([]topology.LinkID, 0, len(fl.Path.Links))
+		for _, l := range fl.Path.Links {
+			links = append(links, l.ID)
+		}
+		out = append(out, FlowStats{
+			ID: fl.ID, Tenant: fl.Tenant, Links: links,
+			Demand: fl.Demand, Rate: fl.rate, Weight: fl.Weight,
+			SizeBytes:      fl.Size,
+			RemainingBytes: int64(math.Ceil(fl.remaining)),
+			Started:        fl.started,
+		})
+	}
+	return out
+}
+
+// TenantWeights returns every explicitly set tenant weight, for state
+// export. Tenants without an entry implicitly weigh 1.
+func (f *Fabric) TenantWeights() map[TenantID]float64 {
+	out := make(map[TenantID]float64, len(f.tenantWeight))
+	for t, w := range f.tenantWeight {
+		out[t] = w
 	}
 	return out
 }

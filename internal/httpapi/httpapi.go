@@ -5,10 +5,18 @@
 // anomaly detections, and run diagnostics, all against the simulated
 // host driven by explicit virtual-time advancement.
 //
-// The simulation engine is single-threaded; a mutex serializes every
-// handler, and virtual time moves only via POST /api/advance (or the
-// daemon's optional auto-advance loop), so API interactions are
-// deterministic and replayable.
+// The simulation engine is single-threaded; an RWMutex serializes the
+// handlers — mutating endpoints (and "reads" that settle lazy fabric
+// accounting) take the write lock, immutable reads share the read lock
+// — and virtual time moves only via POST /api/advance (or the daemon's
+// optional auto-advance loop), so API interactions are deterministic
+// and replayable.
+//
+// When the server is built over a snap.Session (NewWithSession), every
+// mutating command is journaled, and three more endpoints appear:
+// POST /api/snapshot (checkpoint), POST /api/restore (replace the live
+// host with one rebuilt from a snapshot), and GET /api/journal (the
+// recorded command log, ready for `ihdiag replay`).
 package httpapi
 
 import (
@@ -30,36 +38,65 @@ import (
 	"repro/internal/intent"
 	"repro/internal/obs"
 	"repro/internal/simtime"
+	"repro/internal/snap"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
+	"repro/internal/vnet"
 )
 
 // Server wraps a manager with an HTTP control plane.
 type Server struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	mgr     *core.Manager
+	sess    *snap.Session // nil when journaling is not wired in
 	started time.Time
 }
 
-// New builds a server over the manager.
+// New builds a server over a bare manager. Commands are not journaled
+// and the snapshot endpoints report an error.
 func New(mgr *core.Manager) *Server { return &Server{mgr: mgr, started: time.Now()} }
+
+// NewWithSession builds a server over a recording session: every
+// mutating API command lands in the session's journal and the
+// snapshot/restore/journal endpoints are live.
+func NewWithSession(sess *snap.Session) *Server {
+	return &Server{mgr: sess.Manager(), sess: sess, started: time.Now()}
+}
+
+// Manager returns the manager the server is currently backed by. A
+// successful POST /api/restore swaps it, so callers holding on to the
+// manager across requests (the daemon's shutdown path) must re-read it
+// here instead of caching the pointer.
+func (s *Server) Manager() *core.Manager {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mgr
+}
 
 // Advance moves virtual time forward by d under the server's lock.
 // The daemon's auto-advance loop uses it; tests may too.
 func (s *Server) Advance(d simtime.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.sess != nil {
+		_ = s.sess.Advance(d)
+		return
+	}
 	s.mgr.RunFor(d)
 }
 
 // Handler returns the API mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/topology", s.locked(s.getTopology))
+	// Read-lock endpoints touch only immutable or copy-on-read state.
+	// The rest take the write lock: they either mutate outright or are
+	// "reads" that settle lazy fabric accounting (report, usage,
+	// verify, telemetry) — see rlocked.
+	mux.HandleFunc("GET /api/topology", s.rlocked(s.getTopology))
 	mux.HandleFunc("GET /api/report", s.locked(s.getReport))
-	mux.HandleFunc("GET /api/alerts", s.locked(s.getAlerts))
-	mux.HandleFunc("GET /api/detections", s.locked(s.getDetections))
-	mux.HandleFunc("GET /api/tenants", s.locked(s.getTenants))
+	mux.HandleFunc("GET /api/alerts", s.rlocked(s.getAlerts))
+	mux.HandleFunc("GET /api/detections", s.rlocked(s.getDetections))
+	mux.HandleFunc("GET /api/tenants", s.rlocked(s.getTenants))
 	mux.HandleFunc("POST /api/tenants", s.locked(s.postTenant))
 	mux.HandleFunc("DELETE /api/tenants/{id}", s.locked(s.deleteTenant))
 	mux.HandleFunc("POST /api/advance", s.locked(s.postAdvance))
@@ -70,6 +107,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/tenants/{id}/verify", s.locked(s.getVerify))
 	mux.HandleFunc("GET /api/tenants/{id}/usage", s.locked(s.getTenantUsage))
 	mux.HandleFunc("GET /api/experiments/{id}", s.getExperiment) // self-contained
+	// Checkpoint/restore and the command journal (404 unless the
+	// server was built with NewWithSession). Snapshot takes the write
+	// lock: exporting state settles fabric accounting.
+	mux.HandleFunc("POST /api/snapshot", s.locked(s.postSnapshot))
+	mux.HandleFunc("POST /api/restore", s.locked(s.postRestore))
+	mux.HandleFunc("GET /api/journal", s.rlocked(s.getJournal))
 	// Observability. /metrics and /api/trace/events deliberately skip
 	// the server lock: the registry reads through the same atomics the
 	// writers use and the tracer takes its own short mutex, so scrapes
@@ -77,7 +120,7 @@ func (s *Server) Handler() http.Handler {
 	// the evidence).
 	mux.HandleFunc("GET /metrics", s.getMetrics)
 	mux.HandleFunc("GET /api/trace/events", s.getTraceEvents)
-	mux.HandleFunc("GET /api/healthz", s.locked(s.getHealthz))
+	mux.HandleFunc("GET /api/healthz", s.rlocked(s.getHealthz))
 	// Profiling: the pprof mux entries, reachable without the server
 	// lock for the same reason.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -92,6 +135,19 @@ func (s *Server) locked(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
+		h(w, r)
+	}
+}
+
+// rlocked shares the lock between concurrent readers. Only endpoints
+// that never mutate simulation state qualify — note that several
+// "read" endpoints do NOT: UsageReport, tenant usage, verification and
+// telemetry all trigger the fabric's lazy settleAccounting, which
+// writes. Those stay on the write lock.
+func (s *Server) rlocked(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 		h(w, r)
 	}
 }
@@ -253,7 +309,13 @@ func (s *Server) postTenant(w http.ResponseWriter, r *http.Request) {
 			MaxLatency: simtime.Duration(t.MaxLatNs),
 		})
 	}
-	view, err := s.mgr.Admit(fabric.TenantID(req.Tenant), targets)
+	var view *vnet.View
+	var err error
+	if s.sess != nil {
+		view, err = s.sess.Admit(req.Tenant, targets)
+	} else {
+		view, err = s.mgr.Admit(fabric.TenantID(req.Tenant), targets)
+	}
 	if err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -268,7 +330,13 @@ func (s *Server) postTenant(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) deleteTenant(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := s.mgr.Evict(fabric.TenantID(id)); err != nil {
+	var err error
+	if s.sess != nil {
+		err = s.sess.Evict(id)
+	} else {
+		err = s.mgr.Evict(fabric.TenantID(id))
+	}
+	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
@@ -303,7 +371,14 @@ func (s *Server) postAdvance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("micros must be in (0, 1e7]"))
 		return
 	}
-	s.mgr.RunFor(simtime.Duration(req.Micros) * simtime.Microsecond)
+	if s.sess != nil {
+		if err := s.sess.Advance(simtime.Duration(req.Micros) * simtime.Microsecond); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	} else {
+		s.mgr.RunFor(simtime.Duration(req.Micros) * simtime.Microsecond)
+	}
 	writeJSON(w, http.StatusOK, map[string]int64{"virtual_time_ns": int64(s.mgr.Engine().Now())})
 }
 
@@ -311,19 +386,27 @@ func (s *Server) getPing(w http.ResponseWriter, r *http.Request) {
 	src := topology.CompID(r.URL.Query().Get("src"))
 	dst := topology.CompID(r.URL.Query().Get("dst"))
 	var rep diag.PingReport
-	done := false
-	_, err := diag.StartPing(s.mgr.Fabric(), src, dst, diag.DefaultPingOptions(),
-		func(pr diag.PingReport) { rep, done = pr, true })
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	for i := 0; i < 1000 && !done; i++ {
-		s.mgr.RunFor(10 * simtime.Microsecond)
-	}
-	if !done {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("ping did not complete"))
-		return
+	if s.sess != nil {
+		var err error
+		if rep, err = s.sess.Ping(string(src), string(dst)); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		done := false
+		_, err := diag.StartPing(s.mgr.Fabric(), src, dst, diag.DefaultPingOptions(),
+			func(pr diag.PingReport) { rep, done = pr, true })
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		for i := 0; i < 1000 && !done; i++ {
+			s.mgr.RunFor(10 * simtime.Microsecond)
+		}
+		if !done {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("ping did not complete"))
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"report": rep.String(),
@@ -338,19 +421,27 @@ func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
 	src := topology.CompID(r.URL.Query().Get("src"))
 	dst := topology.CompID(r.URL.Query().Get("dst"))
 	var rep diag.TraceReport
-	done := false
-	_, err := diag.StartTrace(s.mgr.Fabric(), src, dst, 64,
-		func(tr diag.TraceReport) { rep, done = tr, true })
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	for i := 0; i < 1000 && !done; i++ {
-		s.mgr.RunFor(10 * simtime.Microsecond)
-	}
-	if !done {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("trace did not complete"))
-		return
+	if s.sess != nil {
+		var err error
+		if rep, err = s.sess.Trace(string(src), string(dst)); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		done := false
+		_, err := diag.StartTrace(s.mgr.Fabric(), src, dst, 64,
+			func(tr diag.TraceReport) { rep, done = tr, true })
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		for i := 0; i < 1000 && !done; i++ {
+			s.mgr.RunFor(10 * simtime.Microsecond)
+		}
+		if !done {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("trace did not complete"))
+			return
+		}
 	}
 	type hopDTO struct {
 		Link  string `json:"link"`
@@ -371,20 +462,28 @@ func (s *Server) getPerf(w http.ResponseWriter, r *http.Request) {
 	dst := topology.CompID(r.URL.Query().Get("dst"))
 	tenant := fabric.TenantID(r.URL.Query().Get("tenant"))
 	var rep diag.PerfReport
-	done := false
-	_, err := diag.StartPerf(s.mgr.Fabric(), src, dst, diag.PerfOptions{
-		Duration: 200 * simtime.Microsecond, Tenant: tenant,
-	}, func(pr diag.PerfReport) { rep, done = pr, true })
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	for i := 0; i < 1000 && !done; i++ {
-		s.mgr.RunFor(10 * simtime.Microsecond)
-	}
-	if !done {
-		writeErr(w, http.StatusInternalServerError, fmt.Errorf("perf did not complete"))
-		return
+	if s.sess != nil {
+		var err error
+		if rep, err = s.sess.Perf(string(src), string(dst), string(tenant)); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		done := false
+		_, err := diag.StartPerf(s.mgr.Fabric(), src, dst, diag.PerfOptions{
+			Duration: 200 * simtime.Microsecond, Tenant: tenant,
+		}, func(pr diag.PerfReport) { rep, done = pr, true })
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		for i := 0; i < 1000 && !done; i++ {
+			s.mgr.RunFor(10 * simtime.Microsecond)
+		}
+		if !done {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("perf did not complete"))
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"report":            rep.String(),
@@ -586,6 +685,63 @@ func (s *Server) getHealthz(w http.ResponseWriter, _ *http.Request) {
 		"active_flows":     s.mgr.Fabric().Flows(),
 		"tenants":          len(s.mgr.Tenants()),
 	})
+}
+
+// errNoSession is returned by the checkpoint endpoints on servers
+// built with New instead of NewWithSession.
+var errNoSession = fmt.Errorf("journaling not enabled: server was started without a snap session")
+
+// postSnapshot writes a checkpoint of the live session as the response
+// body — a complete ihnet-snapshot document the client can save and
+// later POST to /api/restore or feed to `ihdiag replay`.
+func (s *Server) postSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.sess == nil {
+		writeErr(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="ihnet-snapshot.json"`)
+	if err := s.sess.Snapshot(w); err != nil {
+		// Headers are gone; the truncated body will fail checksum
+		// verification client-side, which is the protection we want.
+		fmt.Fprintf(w, "\n{\"error\": %q}\n", err.Error())
+	}
+}
+
+// postRestore replaces the live session with one rebuilt from the
+// posted snapshot. The swap is atomic under the write lock: until the
+// replayed state verifies against the recorded hash, the old session
+// keeps serving.
+func (s *Server) postRestore(w http.ResponseWriter, r *http.Request) {
+	if s.sess == nil {
+		writeErr(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	restored, err := snap.Restore(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.sess.Manager().Stop()
+	s.sess = restored
+	s.mgr = restored.Manager()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"restored":        true,
+		"virtual_time_ns": int64(restored.Now()),
+		"journal_entries": restored.Journal().Len(),
+		"state_hash":      snap.StateHash(restored.Manager()),
+	})
+}
+
+// getJournal serves the recorded command log.
+func (s *Server) getJournal(w http.ResponseWriter, _ *http.Request) {
+	if s.sess == nil {
+		writeErr(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	j := s.sess.Journal()
+	w.Header().Set("Content-Type", "application/json")
+	_ = j.Encode(w)
 }
 
 func (s *Server) getExperiment(w http.ResponseWriter, r *http.Request) {

@@ -159,10 +159,19 @@ func (m *Monitor) sweep() {
 		m.above[st.Link] = isAbove
 	}
 	// Config drift: compare against baseline and then adopt changes
-	// (each drift alerts once).
+	// (each drift alerts once). Keys are visited in sorted order so
+	// multiple drifts caught by one sweep always alert identically —
+	// alert history is part of the deterministic state the snap
+	// divergence checker hashes.
 	for _, c := range m.fab.Topology().Components() {
 		base := m.baseline[c.ID]
-		for k, v := range c.Config {
+		keys := make([]string, 0, len(c.Config))
+		for k := range c.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := c.Config[k]
 			old, had := base[k]
 			if !had || old != v {
 				oldVal := old

@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/snap"
+)
+
+func loadSpecs(t *testing.T) map[string]Spec {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no scenario specs found")
+	}
+	specs := make(map[string]Spec, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := Load(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		specs[filepath.Base(p)] = spec
+	}
+	return specs
+}
+
+// TestScenariosAreDeterministic runs every shipped drill twice with
+// its own seed and requires bit-identical results — assertion
+// outcomes, details, and the full timeline log.
+func TestScenariosAreDeterministic(t *testing.T) {
+	for name, spec := range loadSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			first, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Fatalf("two runs of %s differ:\n first: %+v\nsecond: %+v", name, first, second)
+			}
+		})
+	}
+}
+
+// TestScenarioJournalsReplayDeterministically converts every shipped
+// drill to a snap journal and runs the divergence checker over it —
+// the determinism-regression harness applied to real inputs.
+func TestScenarioJournalsReplayDeterministically(t *testing.T) {
+	for name, spec := range loadSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			cfg, j := ToJournal(spec)
+			if err := j.Validate(); err != nil {
+				t.Fatalf("converted journal invalid: %v", err)
+			}
+			div, err := snap.CheckDeterminism(cfg, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if div != nil {
+				t.Fatalf("scenario journal diverges: %v", div)
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"sort"
+
+	"repro/internal/arbiter"
+	"repro/internal/core"
+	"repro/internal/snap"
+	"repro/internal/topology"
+)
+
+// ToJournal converts a drill spec into a snap reconstruction config
+// and command journal: admissions at time zero, timeline operations in
+// schedule order, and a final advance to the drill's duration. A drill
+// on disk thereby doubles as a determinism-regression input — `ihdiag
+// replay` and snap.CheckDeterminism consume the result directly.
+//
+// The journal reproduces the drill's commands, not its event
+// interleaving: Run schedules timeline callbacks inside the engine
+// while replay applies them between RunUntil calls, so the two paths
+// allocate event sequence numbers differently. Determinism claims are
+// therefore always replay-vs-replay or run-vs-run, never across.
+func ToJournal(spec Spec) (snap.Config, snap.Journal) {
+	opts := core.DefaultOptions()
+	opts.Seed = spec.Seed
+	if spec.ArbiterMode != "" {
+		opts.Arbiter.Mode = arbiter.Mode(spec.ArbiterMode)
+	}
+	cfg := snap.Config{Preset: spec.Preset, Options: opts}
+
+	var j snap.Journal
+	add := func(e snap.Entry) {
+		e.Seq = uint64(len(j.Entries))
+		j.Entries = append(j.Entries, e)
+	}
+
+	for _, ts := range spec.Tenants {
+		e := snap.Entry{Kind: snap.KindAdmit, Tenant: ts.Tenant}
+		for _, tg := range ts.Targets {
+			e.Targets = append(e.Targets, snap.Target{
+				Src: tg.Src, Dst: tg.Dst,
+				// Same conversion Run uses, for identical floats.
+				RateBps: float64(topology.Gbps(tg.RateGbps)),
+			})
+		}
+		add(e)
+	}
+
+	// Merge workloads and faults into one timeline. Run schedules all
+	// workloads before all faults, so ties on at_us keep that order
+	// (stable sort over workloads-first input).
+	type op struct {
+		atUs int64
+		e    snap.Entry
+	}
+	var ops []op
+	for _, w := range spec.Workloads {
+		ops = append(ops, op{w.AtUs, snap.Entry{
+			Kind: snap.KindWorkload, Workload: w.Kind,
+			Tenant: w.Tenant, Src: w.Src, Dst: w.Dst,
+		}})
+	}
+	for _, f := range spec.Faults {
+		var e snap.Entry
+		switch f.Kind {
+		case "degrade":
+			e = snap.Entry{Kind: snap.KindDegrade, Link: f.Link,
+				LossFrac: f.LossFrac, ExtraNs: f.ExtraUs * 1000}
+		case "fail":
+			e = snap.Entry{Kind: snap.KindFail, Link: f.Link}
+		case "restore":
+			e = snap.Entry{Kind: snap.KindRestoreLink, Link: f.Link}
+		case "config":
+			e = snap.Entry{Kind: snap.KindSetConfig,
+				Component: f.Component, Key: f.Key, Value: f.Value}
+		default:
+			continue // Load already rejected unknown kinds
+		}
+		ops = append(ops, op{f.AtUs, e})
+	}
+	sort.SliceStable(ops, func(i, k int) bool { return ops[i].atUs < ops[k].atUs })
+	var lastNs int64
+	for _, o := range ops {
+		o.e.AtNs = o.atUs * 1000
+		if o.e.AtNs > lastNs {
+			lastNs = o.e.AtNs
+		}
+		add(o.e)
+	}
+
+	if durNs := spec.DurationUs * 1000; durNs > lastNs {
+		add(snap.Entry{AtNs: lastNs, Kind: snap.KindAdvance, ToNs: durNs})
+	}
+	return cfg, j
+}

@@ -13,6 +13,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -253,3 +254,38 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending returns the number of events waiting in the queue, including
 // canceled events not yet discarded.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// Seq returns the number of events ever scheduled. Together with Now
+// and Processed it fingerprints the engine's position in a run: two
+// executions that agree on (Now, Processed, Seq) have scheduled and
+// consumed the same event stream.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// PendingEvent describes one live queue entry without exposing its
+// callback. The (At, Seq) pairs identify the queue's future exactly —
+// checkpoint/replay tooling hashes them to compare engine states.
+type PendingEvent struct {
+	At  Time
+	Seq uint64
+}
+
+// PendingEvents returns the live (non-canceled) queue entries sorted
+// by execution order. Callbacks are deliberately absent: closures
+// cannot be serialized, which is why snapshots are reconstructed by
+// replay rather than by dumping the heap.
+func (e *Engine) PendingEvents() []PendingEvent {
+	out := make([]PendingEvent, 0, len(e.queue))
+	for _, ev := range e.queue {
+		if ev.canceled {
+			continue
+		}
+		out = append(out, PendingEvent{At: ev.at, Seq: ev.seq})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

@@ -1,0 +1,231 @@
+package snap
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// StateExport is the canonical, deterministic serialization of a
+// managed host's externally observable state: the engine's position,
+// every link and flow of the fabric, installed caps, admitted tenants
+// with their reservations, and the monitor/anomaly histories. Two runs
+// are considered identical exactly when their exports are bit-equal;
+// StateHash condenses that to one comparable string.
+//
+// Accumulated byte counters are rounded to whole bytes before export:
+// accrual is settled in pieces whose float rounding depends on where
+// observations (snapshots, monitor sweeps) happened to land, and those
+// ULP-scale artifacts are measurement noise, not state divergence.
+type StateExport struct {
+	VirtualTimeNs   int64           `json:"virtual_time_ns"`
+	EventsProcessed uint64          `json:"events_processed"`
+	EventsScheduled uint64          `json:"events_scheduled"`
+	PendingEvents   []PendingExport `json:"pending_events,omitempty"`
+	Links           []LinkExport    `json:"links"`
+	Flows           []FlowExport    `json:"flows,omitempty"`
+	TenantWeights   []WeightExport  `json:"tenant_weights,omitempty"`
+	Tenants         []TenantExport  `json:"tenants,omitempty"`
+	MonitorSweeps   uint64          `json:"monitor_sweeps"`
+	Alerts          []AlertExport   `json:"alerts,omitempty"`
+	AnomalyRounds   int             `json:"anomaly_rounds"`
+	ProbesSent      uint64          `json:"probes_sent"`
+	Detections      []DetectExport  `json:"detections,omitempty"`
+	Suspects        []SuspectExport `json:"suspects,omitempty"`
+}
+
+// PendingExport is one live event-queue entry.
+type PendingExport struct {
+	AtNs int64  `json:"at_ns"`
+	Seq  uint64 `json:"seq"`
+}
+
+// RateExport is one (tenant, rate) or (tenant, bytes) pair.
+type RateExport struct {
+	Tenant string  `json:"tenant"`
+	Value  float64 `json:"value"`
+}
+
+// WeightExport is one explicitly set tenant weight.
+type WeightExport struct {
+	Tenant string  `json:"tenant"`
+	Weight float64 `json:"weight"`
+}
+
+// LinkExport is one directed link's state.
+type LinkExport struct {
+	ID          string       `json:"id"`
+	CapacityBps float64      `json:"capacity_bps"`
+	RateBps     float64      `json:"rate_bps"`
+	Failed      bool         `json:"failed,omitempty"`
+	DegradeFrac float64      `json:"degrade_frac,omitempty"`
+	ExtraLatNs  int64        `json:"extra_latency_ns,omitempty"`
+	TotalBytes  float64      `json:"total_bytes"`
+	TenantBytes []RateExport `json:"tenant_bytes,omitempty"`
+	Caps        []RateExport `json:"caps,omitempty"`
+	Flows       int          `json:"flows"`
+}
+
+// FlowExport is one active flow.
+type FlowExport struct {
+	ID             uint64   `json:"id"`
+	Tenant         string   `json:"tenant"`
+	Links          []string `json:"links"`
+	DemandBps      float64  `json:"demand_bps"`
+	RateBps        float64  `json:"rate_bps"`
+	Weight         float64  `json:"weight"`
+	SizeBytes      int64    `json:"size_bytes,omitempty"`
+	RemainingBytes int64    `json:"remaining_bytes,omitempty"`
+	StartedNs      int64    `json:"started_ns"`
+}
+
+// TenantExport is one admitted tenant with its reservation.
+type TenantExport struct {
+	ID       string       `json:"id"`
+	Targets  []Target     `json:"targets"`
+	Reserved []RateExport `json:"reserved"` // Tenant field holds the link ID
+}
+
+// AlertExport is one monitor alert.
+type AlertExport struct {
+	AtNs        int64   `json:"at_ns"`
+	Kind        string  `json:"kind"`
+	Link        string  `json:"link,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
+	Component   string  `json:"component,omitempty"`
+	Key         string  `json:"key,omitempty"`
+	Old         string  `json:"old,omitempty"`
+	New         string  `json:"new,omitempty"`
+}
+
+// SuspectExport is one localization verdict.
+type SuspectExport struct {
+	Link  string  `json:"link"`
+	Score float64 `json:"score"`
+}
+
+// DetectExport is one anomaly detection.
+type DetectExport struct {
+	AtNs     int64           `json:"at_ns"`
+	Pair     string          `json:"pair"`
+	Lost     bool            `json:"lost,omitempty"`
+	Suspects []SuspectExport `json:"suspects,omitempty"`
+}
+
+// Export captures the manager's state deterministically. It settles
+// fabric accounting as a side effect (like any observation of the
+// fabric); the rounded byte counters make that invisible to hashing.
+func Export(m *core.Manager) StateExport {
+	eng := m.Engine()
+	fab := m.Fabric()
+	out := StateExport{
+		VirtualTimeNs:   int64(eng.Now()),
+		EventsProcessed: eng.Processed,
+		EventsScheduled: eng.Seq(),
+		MonitorSweeps:   m.Monitor().Sweeps(),
+		AnomalyRounds:   m.Anomaly().Rounds(),
+		ProbesSent:      m.Anomaly().ProbesSent(),
+	}
+	for _, pe := range eng.PendingEvents() {
+		out.PendingEvents = append(out.PendingEvents, PendingExport{AtNs: int64(pe.At), Seq: pe.Seq})
+	}
+	for _, st := range fab.AllLinkStats() {
+		frac, extra := fab.LinkDegraded(st.Link)
+		le := LinkExport{
+			ID:          string(st.Link),
+			CapacityBps: float64(st.Capacity),
+			RateBps:     float64(st.CurrentRate),
+			Failed:      st.Failed,
+			DegradeFrac: frac,
+			ExtraLatNs:  int64(extra),
+			TotalBytes:  math.Round(st.TotalBytes),
+			Flows:       st.Flows,
+		}
+		for t, b := range st.TenantBytes {
+			if rounded := math.Round(b); rounded != 0 {
+				le.TenantBytes = append(le.TenantBytes, RateExport{Tenant: string(t), Value: rounded})
+			}
+		}
+		sortRates(le.TenantBytes)
+		for t, c := range fab.CapsOn(st.Link) {
+			le.Caps = append(le.Caps, RateExport{Tenant: string(t), Value: float64(c)})
+		}
+		sortRates(le.Caps)
+		out.Links = append(out.Links, le)
+	}
+	for _, fs := range fab.AllFlowStats() {
+		fe := FlowExport{
+			ID: uint64(fs.ID), Tenant: string(fs.Tenant),
+			DemandBps: float64(fs.Demand), RateBps: float64(fs.Rate),
+			Weight: fs.Weight, SizeBytes: fs.SizeBytes,
+			RemainingBytes: fs.RemainingBytes, StartedNs: int64(fs.Started),
+		}
+		for _, l := range fs.Links {
+			fe.Links = append(fe.Links, string(l))
+		}
+		out.Flows = append(out.Flows, fe)
+	}
+	for t, w := range fab.TenantWeights() {
+		out.TenantWeights = append(out.TenantWeights, WeightExport{Tenant: string(t), Weight: w})
+	}
+	sort.Slice(out.TenantWeights, func(i, j int) bool {
+		return out.TenantWeights[i].Tenant < out.TenantWeights[j].Tenant
+	})
+	for _, t := range m.Tenants() {
+		te := TenantExport{ID: string(t.ID)}
+		for _, tg := range t.Targets {
+			te.Targets = append(te.Targets, Target{
+				Src: string(tg.Src), Dst: string(tg.Dst),
+				RateBps: float64(tg.Rate), MaxLatencyNs: int64(tg.MaxLatency),
+			})
+		}
+		for l, r := range t.View.Reservation.Links {
+			te.Reserved = append(te.Reserved, RateExport{Tenant: string(l), Value: float64(r)})
+		}
+		sortRates(te.Reserved)
+		out.Tenants = append(out.Tenants, te)
+	}
+	for _, a := range m.Monitor().Alerts() {
+		out.Alerts = append(out.Alerts, AlertExport{
+			AtNs: int64(a.At), Kind: string(a.Kind), Link: string(a.Link),
+			Utilization: a.Utilization, Component: string(a.Component),
+			Key: a.Key, Old: a.Old, New: a.New,
+		})
+	}
+	for _, d := range m.Anomaly().Detections() {
+		de := DetectExport{AtNs: int64(d.At), Pair: d.Pair.String(), Lost: d.Lost}
+		for _, su := range d.Suspects {
+			de.Suspects = append(de.Suspects, SuspectExport{Link: string(su.Link), Score: su.Score})
+		}
+		out.Detections = append(out.Detections, de)
+	}
+	for _, su := range m.Anomaly().Suspects() {
+		out.Suspects = append(out.Suspects, SuspectExport{Link: string(su.Link), Score: su.Score})
+	}
+	return out
+}
+
+func sortRates(rs []RateExport) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Tenant < rs[j].Tenant })
+}
+
+// Hash condenses an export to a hex SHA-256 over its canonical JSON
+// encoding (fixed field order, sorted slices, no maps).
+func (e StateExport) Hash() string {
+	data, err := json.Marshal(e)
+	if err != nil {
+		// Export is plain data; Marshal cannot fail. Panic loudly
+		// rather than silently hashing nothing.
+		panic("snap: marshal state export: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// StateHash is the rolling state hash of a live manager: the
+// foundation of both restore verification and divergence checking.
+func StateHash(m *core.Manager) string { return Export(m).Hash() }

@@ -1,0 +1,193 @@
+// Package snap gives the manageable intra-host network durable,
+// deterministic state: checkpoint/restore, record-replay, and a
+// divergence checker that turns "the simulation is deterministic" from
+// an assumption into a tested invariant.
+//
+// The design exploits the one property the whole repository is built
+// on: a run is a pure function of (topology, options, command stream).
+// Event callbacks are closures and cannot be serialized, so a snapshot
+// does not dump the event heap. Instead it captures the inputs — the
+// configuration and the append-only journal of every command applied
+// from outside the event loop — plus a checksummed export of the
+// resulting state. Restore replays the journal against a fresh host
+// and refuses to hand the session back unless the replayed state hash
+// matches the recorded one bit for bit.
+//
+// Three layers:
+//
+//   - Journal: the append-only command log (admits, evictions, fault
+//     injections, config changes, workload starts, diagnostic probes,
+//     time advancement).
+//   - Session: a live manager that records every command it applies.
+//     Snapshot/Restore serialize and reconstruct it.
+//   - Replay/CheckDeterminism: re-execute a journal (twice) with
+//     rolling state hashes and report the first divergent entry.
+package snap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EntryKind names one journaled command.
+type EntryKind string
+
+// Journal entry kinds.
+const (
+	// KindAdvance moves virtual time to ToNs (RunUntil semantics).
+	KindAdvance EntryKind = "advance"
+	// KindAdmit runs compile -> schedule -> arbitrate for a tenant.
+	KindAdmit EntryKind = "admit"
+	// KindEvict releases a tenant's guarantees.
+	KindEvict EntryKind = "evict"
+	// KindDegrade silently degrades a directed link.
+	KindDegrade EntryKind = "degrade"
+	// KindFail hard-fails a directed link.
+	KindFail EntryKind = "fail"
+	// KindRestoreLink clears failure and degradation on a link.
+	KindRestoreLink EntryKind = "restore-link"
+	// KindSetConfig changes one component configuration key.
+	KindSetConfig EntryKind = "set-config"
+	// KindWorkload starts a workload generator.
+	KindWorkload EntryKind = "workload"
+	// KindPing / KindTrace / KindPerf run a diagnostic probe, driving
+	// virtual time until it completes (bounded). Probes inject real
+	// traffic, so they must be journaled to keep replay faithful.
+	KindPing  EntryKind = "ping"
+	KindTrace EntryKind = "trace"
+	KindPerf  EntryKind = "perf"
+)
+
+// Target is one intent target in journal form. Rates are stored in
+// exact bits per second so the admit replays with identical floats.
+type Target struct {
+	Src          string  `json:"src"`
+	Dst          string  `json:"dst"`
+	RateBps      float64 `json:"rate_bps"`
+	MaxLatencyNs int64   `json:"max_latency_ns,omitempty"`
+}
+
+// Entry is one journaled command. AtNs is the virtual time at which
+// the command was issued; replay advances the clock there before
+// re-applying it. Fields beyond Kind are populated per kind.
+type Entry struct {
+	Seq  uint64    `json:"seq"`
+	AtNs int64     `json:"at_ns"`
+	Kind EntryKind `json:"kind"`
+
+	// KindAdvance.
+	ToNs int64 `json:"to_ns,omitempty"`
+	// KindAdmit / KindEvict / KindWorkload / KindPerf.
+	Tenant string `json:"tenant,omitempty"`
+	// KindAdmit.
+	Targets []Target `json:"targets,omitempty"`
+	// KindDegrade / KindFail / KindRestoreLink.
+	Link     string  `json:"link,omitempty"`
+	LossFrac float64 `json:"loss_frac,omitempty"`
+	ExtraNs  int64   `json:"extra_ns,omitempty"`
+	// KindSetConfig.
+	Component string `json:"component,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Value     string `json:"value,omitempty"`
+	// KindWorkload: one of "kv", "ml", "loopback", "scan".
+	Workload string `json:"workload,omitempty"`
+	// KindWorkload / probes: optional endpoints.
+	Src string `json:"src,omitempty"`
+	Dst string `json:"dst,omitempty"`
+}
+
+// Journal is an append-only command log. The zero value is ready to
+// use.
+type Journal struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Len returns the number of journaled commands.
+func (j Journal) Len() int { return len(j.Entries) }
+
+// append adds e with the next sequence number. Consecutive advances
+// coalesce: RunUntil(t1) followed by RunUntil(t2) with no command in
+// between is indistinguishable from RunUntil(t2), so extending the
+// previous advance keeps long-running daemons' journals compact
+// without changing replay semantics.
+func (j *Journal) append(e Entry) {
+	if e.Kind == KindAdvance && len(j.Entries) > 0 {
+		if last := &j.Entries[len(j.Entries)-1]; last.Kind == KindAdvance {
+			if e.ToNs > last.ToNs {
+				last.ToNs = e.ToNs
+			}
+			return
+		}
+	}
+	e.Seq = uint64(len(j.Entries))
+	j.Entries = append(j.Entries, e)
+}
+
+// Validate checks structural invariants: sequence numbers are dense,
+// timestamps never go backwards, and every entry has a known kind with
+// its required fields.
+func (j *Journal) Validate() error {
+	var last int64
+	for i, e := range j.Entries {
+		if e.Seq != uint64(i) {
+			return fmt.Errorf("snap: entry %d has seq %d", i, e.Seq)
+		}
+		if e.AtNs < last {
+			return fmt.Errorf("snap: entry %d at %dns before predecessor at %dns", i, e.AtNs, last)
+		}
+		last = e.AtNs
+		switch e.Kind {
+		case KindAdvance:
+			if e.ToNs < e.AtNs {
+				return fmt.Errorf("snap: entry %d advances backwards (%d -> %d)", i, e.AtNs, e.ToNs)
+			}
+		case KindAdmit:
+			if e.Tenant == "" || len(e.Targets) == 0 {
+				return fmt.Errorf("snap: entry %d admit needs tenant and targets", i)
+			}
+		case KindEvict:
+			if e.Tenant == "" {
+				return fmt.Errorf("snap: entry %d evict needs a tenant", i)
+			}
+		case KindDegrade, KindFail, KindRestoreLink:
+			if e.Link == "" {
+				return fmt.Errorf("snap: entry %d %s needs a link", i, e.Kind)
+			}
+		case KindSetConfig:
+			if e.Component == "" || e.Key == "" {
+				return fmt.Errorf("snap: entry %d set-config needs component and key", i)
+			}
+		case KindWorkload:
+			if e.Workload == "" || e.Tenant == "" {
+				return fmt.Errorf("snap: entry %d workload needs kind and tenant", i)
+			}
+		case KindPing, KindTrace, KindPerf:
+			if e.Src == "" || e.Dst == "" {
+				return fmt.Errorf("snap: entry %d %s needs src and dst", i, e.Kind)
+			}
+		default:
+			return fmt.Errorf("snap: entry %d has unknown kind %q", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// Encode serializes the journal as indented JSON.
+func (j *Journal) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// ReadJournal parses and validates a journal.
+func ReadJournal(r io.Reader) (Journal, error) {
+	var j Journal
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return Journal{}, fmt.Errorf("snap: decode journal: %w", err)
+	}
+	if err := j.Validate(); err != nil {
+		return Journal{}, err
+	}
+	return j, nil
+}

@@ -1,0 +1,117 @@
+package snap
+
+import (
+	"fmt"
+)
+
+// Replay builds a fresh session from cfg and re-executes every journal
+// entry through the same apply path the live session used. The
+// returned session is live and continues journaling from where the
+// input left off.
+//
+// Entries whose live application failed were never journaled, so
+// replay treats any application error as fatal: it means the journal
+// and the code disagree about what is possible.
+func Replay(cfg Config, j Journal) (*Session, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range j.Entries {
+		if err := s.replayEntry(e); err != nil {
+			return nil, fmt.Errorf("snap: replay entry %d (%s at %dns): %w", e.Seq, e.Kind, e.AtNs, err)
+		}
+	}
+	return s, nil
+}
+
+// HashPoint is the state hash observed immediately after one journal
+// entry was applied.
+type HashPoint struct {
+	Seq  uint64 `json:"seq"`
+	AtNs int64  `json:"at_ns"`
+	Kind string `json:"kind"`
+	Hash string `json:"hash"`
+}
+
+// ReplayTrace replays a journal and records the rolling state hash
+// after every entry. Index i of the trace corresponds to journal entry
+// i; one extra leading point (Seq = 0, Kind "init") captures the state
+// before any entry ran.
+func ReplayTrace(cfg Config, j Journal) ([]HashPoint, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	trace := make([]HashPoint, 0, len(j.Entries)+1)
+	trace = append(trace, HashPoint{Kind: "init", Hash: StateHash(s.mgr)})
+	for _, e := range j.Entries {
+		if err := s.replayEntry(e); err != nil {
+			return nil, fmt.Errorf("snap: replay entry %d (%s at %dns): %w", e.Seq, e.Kind, e.AtNs, err)
+		}
+		trace = append(trace, HashPoint{Seq: e.Seq, AtNs: e.AtNs, Kind: string(e.Kind), Hash: StateHash(s.mgr)})
+	}
+	return trace, nil
+}
+
+// Divergence describes the first point where two replays of the same
+// journal disagreed.
+type Divergence struct {
+	// Point is the trace index that differed (0 = initial state,
+	// i>0 = after journal entry i-1).
+	Point int
+	// Entry is the journal entry after which the hashes split, when
+	// Point > 0.
+	Entry Entry
+	// FirstHash and SecondHash are the disagreeing rolling hashes.
+	FirstHash, SecondHash string
+}
+
+func (d *Divergence) Error() string {
+	if d.Point == 0 {
+		return fmt.Sprintf("snap: initial states diverge (%s vs %s)", short(d.FirstHash), short(d.SecondHash))
+	}
+	return fmt.Sprintf("snap: divergence after entry %d (%s at %dns): %s vs %s",
+		d.Entry.Seq, d.Entry.Kind, d.Entry.AtNs, short(d.FirstHash), short(d.SecondHash))
+}
+
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// CheckDeterminism replays the journal twice against fresh hosts and
+// compares the rolling hash traces. It returns nil when the traces
+// agree everywhere — the determinism regression gate — and a
+// *Divergence (which is also an error) at the first disagreement.
+func CheckDeterminism(cfg Config, j Journal) (*Divergence, error) {
+	first, err := ReplayTrace(cfg, j)
+	if err != nil {
+		return nil, fmt.Errorf("snap: first replay: %w", err)
+	}
+	second, err := ReplayTrace(cfg, j)
+	if err != nil {
+		return nil, fmt.Errorf("snap: second replay: %w", err)
+	}
+	if len(first) != len(second) {
+		return nil, fmt.Errorf("snap: replay traces have different lengths (%d vs %d)", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Hash != second[i].Hash {
+			d := &Divergence{Point: i, FirstHash: first[i].Hash, SecondHash: second[i].Hash}
+			if i > 0 {
+				d.Entry = j.Entries[i-1]
+			}
+			return d, nil
+		}
+	}
+	return nil, nil
+}

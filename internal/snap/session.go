@@ -1,0 +1,444 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/fabric"
+	"repro/internal/intent"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+	"repro/internal/vnet"
+	"repro/internal/workload"
+)
+
+// Config identifies everything needed to reconstruct a host from
+// scratch: the topology (a preset name, or an embedded description for
+// custom hosts) and the full manager options, seed included.
+type Config struct {
+	// Preset names a topology.Presets entry. Takes precedence over
+	// Topology when both are set.
+	Preset string `json:"preset,omitempty"`
+	// Topology is a topology.FromJSON document for non-preset hosts.
+	Topology json.RawMessage `json:"topology,omitempty"`
+	// Options is the manager configuration; equal options and equal
+	// journals give bit-identical runs.
+	Options core.Options `json:"options"`
+}
+
+// buildTopology resolves the config to a concrete topology.
+func (c Config) buildTopology() (*topology.Topology, error) {
+	if c.Preset != "" {
+		build, ok := topology.Presets[c.Preset]
+		if !ok {
+			return nil, fmt.Errorf("snap: unknown preset %q", c.Preset)
+		}
+		return build(), nil
+	}
+	if len(c.Topology) > 0 {
+		return topology.FromJSON(bytes.NewReader(c.Topology))
+	}
+	return nil, fmt.Errorf("snap: config names neither a preset nor a topology")
+}
+
+// Session is a running manager whose externally issued commands are
+// recorded into an append-only journal, making the whole run
+// reproducible: Snapshot captures it, Restore and Replay rebuild it.
+type Session struct {
+	cfg     Config
+	mgr     *core.Manager
+	journal Journal
+	kvs     map[string]*workload.KVClient
+
+	// Snapshot observability, registered on the manager's registry.
+	mSnapshots     *obs.Counter
+	mRestores      *obs.Counter
+	mSnapshotBytes *obs.Gauge
+	hEncodeSeconds *obs.Histogram
+	hDecodeSeconds *obs.Histogram
+}
+
+// NewSession builds and starts a managed host from the config with an
+// empty journal.
+func NewSession(cfg Config) (*Session, error) {
+	topo, err := cfg.buildTopology()
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := core.New(topo, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.Start(); err != nil {
+		return nil, err
+	}
+	s := &Session{cfg: cfg, mgr: mgr, kvs: make(map[string]*workload.KVClient)}
+	reg := mgr.Obs().Registry
+	s.mSnapshots = reg.Counter("ihnet_snap_snapshots_total",
+		"Snapshots encoded from this session.")
+	s.mRestores = reg.Counter("ihnet_snap_restores_total",
+		"Times this session was reconstructed from a snapshot.")
+	s.mSnapshotBytes = reg.Gauge("ihnet_snap_snapshot_bytes",
+		"Size of the most recent encoded snapshot.")
+	s.hEncodeSeconds = reg.Histogram("ihnet_snap_encode_seconds",
+		"Wall-clock time to export state and encode a snapshot.")
+	s.hDecodeSeconds = reg.Histogram("ihnet_snap_decode_seconds",
+		"Wall-clock time to decode, replay and verify a snapshot.")
+	return s, nil
+}
+
+// Manager returns the underlying live manager. Callers must not
+// mutate simulation state through it directly — unjournaled commands
+// make the session unreproducible; use the Session methods.
+func (s *Session) Manager() *core.Manager { return s.mgr }
+
+// Config returns the reconstruction config.
+func (s *Session) Config() Config { return s.cfg }
+
+// Journal returns the recorded command log.
+func (s *Session) Journal() Journal { return s.journal }
+
+// Now returns the session's virtual time.
+func (s *Session) Now() simtime.Time { return s.mgr.Engine().Now() }
+
+// KV returns the KV workload client started for a tenant, or nil.
+func (s *Session) KV(tenant string) *workload.KVClient { return s.kvs[tenant] }
+
+// entry returns a journal entry stamped with the current virtual time.
+func (s *Session) entry(kind EntryKind) Entry {
+	return Entry{AtNs: int64(s.mgr.Engine().Now()), Kind: kind}
+}
+
+// Advance moves virtual time forward by d, journaled.
+func (s *Session) Advance(d simtime.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("snap: negative advance")
+	}
+	return s.AdvanceTo(s.mgr.Engine().Now().Add(d))
+}
+
+// AdvanceTo moves virtual time to t (RunUntil semantics), journaled.
+func (s *Session) AdvanceTo(t simtime.Time) error {
+	e := s.entry(KindAdvance)
+	e.ToNs = int64(t)
+	if err := s.apply(e); err != nil {
+		return err
+	}
+	s.journal.append(e)
+	return nil
+}
+
+// Admit journals and runs the compile -> schedule -> arbitrate
+// pipeline for one tenant, returning the admitted tenant's virtual
+// view. Failed admissions are not journaled: admission is
+// all-or-nothing, so a rejection leaves no state to reproduce.
+func (s *Session) Admit(tenant string, targets []intent.Target) (*vnet.View, error) {
+	e := s.entry(KindAdmit)
+	e.Tenant = tenant
+	e.Targets = make([]Target, len(targets))
+	for i, t := range targets {
+		e.Targets[i] = Target{
+			Src: string(t.Src), Dst: string(t.Dst),
+			RateBps: float64(t.Rate), MaxLatencyNs: int64(t.MaxLatency),
+		}
+	}
+	if err := s.apply(e); err != nil {
+		return nil, err
+	}
+	s.journal.append(e)
+	return s.mgr.Tenant(fabric.TenantID(tenant)).View, nil
+}
+
+// Evict journals and releases a tenant.
+func (s *Session) Evict(tenant string) error {
+	e := s.entry(KindEvict)
+	e.Tenant = tenant
+	if err := s.apply(e); err != nil {
+		return err
+	}
+	s.journal.append(e)
+	return nil
+}
+
+// DegradeLink journals and injects a silent link degradation.
+func (s *Session) DegradeLink(link string, lossFrac float64, extra simtime.Duration) error {
+	e := s.entry(KindDegrade)
+	e.Link, e.LossFrac, e.ExtraNs = link, lossFrac, int64(extra)
+	if err := s.apply(e); err != nil {
+		return err
+	}
+	s.journal.append(e)
+	return nil
+}
+
+// FailLink journals and hard-fails a directed link.
+func (s *Session) FailLink(link string) error {
+	e := s.entry(KindFail)
+	e.Link = link
+	if err := s.apply(e); err != nil {
+		return err
+	}
+	s.journal.append(e)
+	return nil
+}
+
+// RestoreLink journals and heals a directed link.
+func (s *Session) RestoreLink(link string) error {
+	e := s.entry(KindRestoreLink)
+	e.Link = link
+	if err := s.apply(e); err != nil {
+		return err
+	}
+	s.journal.append(e)
+	return nil
+}
+
+// SetComponentConfig journals and applies one configuration change —
+// the silent-reconfiguration fault the monitor's drift detector
+// watches for.
+func (s *Session) SetComponentConfig(component, key, value string) error {
+	e := s.entry(KindSetConfig)
+	e.Component, e.Key, e.Value = component, key, value
+	if err := s.apply(e); err != nil {
+		return err
+	}
+	s.journal.append(e)
+	return nil
+}
+
+// StartWorkload journals and starts a workload generator: kind is one
+// of "kv", "ml", "loopback", "scan". Src/dst are optional overrides
+// with workload-specific meaning (kv: client/server, ml: memory/GPU,
+// loopback: NIC/DIMM, scan: SSD/DIMM).
+func (s *Session) StartWorkload(kind, tenant, src, dst string) error {
+	e := s.entry(KindWorkload)
+	e.Workload, e.Tenant, e.Src, e.Dst = kind, tenant, src, dst
+	if err := s.apply(e); err != nil {
+		return err
+	}
+	s.journal.append(e)
+	return nil
+}
+
+// probeBudget bounds how far a diagnostic probe may drive virtual
+// time: 1000 slices of 10 us, matching the HTTP API's historical
+// behaviour.
+const (
+	probeSlices = 1000
+	probeSlice  = 10 * simtime.Microsecond
+)
+
+// Ping journals and runs an intra-host ping, advancing virtual time
+// until the probe completes (bounded). The time advancement is part of
+// the entry's replay semantics.
+func (s *Session) Ping(src, dst string) (diag.PingReport, error) {
+	e := s.entry(KindPing)
+	e.Src, e.Dst = src, dst
+	var rep diag.PingReport
+	done := false
+	_, err := diag.StartPing(s.mgr.Fabric(), topology.CompID(src), topology.CompID(dst),
+		diag.DefaultPingOptions(), func(pr diag.PingReport) { rep, done = pr, true })
+	if err != nil {
+		return diag.PingReport{}, err
+	}
+	s.journal.append(e) // probe traffic is in flight: journal even on timeout
+	for i := 0; i < probeSlices && !done; i++ {
+		s.mgr.RunFor(probeSlice)
+	}
+	if !done {
+		return diag.PingReport{}, fmt.Errorf("snap: ping %s->%s did not complete", src, dst)
+	}
+	return rep, nil
+}
+
+// Trace journals and runs an intra-host traceroute (see Ping for the
+// time-advancement contract).
+func (s *Session) Trace(src, dst string) (diag.TraceReport, error) {
+	e := s.entry(KindTrace)
+	e.Src, e.Dst = src, dst
+	var rep diag.TraceReport
+	done := false
+	_, err := diag.StartTrace(s.mgr.Fabric(), topology.CompID(src), topology.CompID(dst), 64,
+		func(tr diag.TraceReport) { rep, done = tr, true })
+	if err != nil {
+		return diag.TraceReport{}, err
+	}
+	s.journal.append(e)
+	for i := 0; i < probeSlices && !done; i++ {
+		s.mgr.RunFor(probeSlice)
+	}
+	if !done {
+		return diag.TraceReport{}, fmt.Errorf("snap: trace %s->%s did not complete", src, dst)
+	}
+	return rep, nil
+}
+
+// Perf journals and runs an intra-host bandwidth probe (see Ping for
+// the time-advancement contract).
+func (s *Session) Perf(src, dst, tenant string) (diag.PerfReport, error) {
+	e := s.entry(KindPerf)
+	e.Src, e.Dst, e.Tenant = src, dst, tenant
+	var rep diag.PerfReport
+	done := false
+	_, err := diag.StartPerf(s.mgr.Fabric(), topology.CompID(src), topology.CompID(dst),
+		diag.PerfOptions{Duration: 200 * simtime.Microsecond, Tenant: fabric.TenantID(tenant)},
+		func(pr diag.PerfReport) { rep, done = pr, true })
+	if err != nil {
+		return diag.PerfReport{}, err
+	}
+	s.journal.append(e)
+	for i := 0; i < probeSlices && !done; i++ {
+		s.mgr.RunFor(probeSlice)
+	}
+	if !done {
+		return diag.PerfReport{}, fmt.Errorf("snap: perf %s->%s did not complete", src, dst)
+	}
+	return rep, nil
+}
+
+// replayEntry re-executes one journaled command: advance the clock to
+// the entry's issue time, apply it through the shared path, and record
+// it so the rebuilt session continues journaling seamlessly.
+func (s *Session) replayEntry(e Entry) error {
+	if at := simtime.Time(e.AtNs); at > s.mgr.Engine().Now() {
+		s.mgr.Engine().RunUntil(at)
+	}
+	if err := s.apply(e); err != nil {
+		return err
+	}
+	s.journal.append(e)
+	return nil
+}
+
+// apply executes one entry against the live manager without recording
+// it. It is the single execution path shared by the live command
+// methods and by Replay, which is what makes record and replay agree.
+func (s *Session) apply(e Entry) error {
+	fab := s.mgr.Fabric()
+	switch e.Kind {
+	case KindAdvance:
+		s.mgr.Engine().RunUntil(simtime.Time(e.ToNs))
+		return nil
+	case KindAdmit:
+		targets := make([]intent.Target, len(e.Targets))
+		for i, t := range e.Targets {
+			targets[i] = intent.Target{
+				Tenant: fabric.TenantID(e.Tenant),
+				Src:    topology.CompID(t.Src), Dst: topology.CompID(t.Dst),
+				Rate:       topology.Rate(t.RateBps),
+				MaxLatency: simtime.Duration(t.MaxLatencyNs),
+			}
+		}
+		_, err := s.mgr.Admit(fabric.TenantID(e.Tenant), targets)
+		return err
+	case KindEvict:
+		return s.mgr.Evict(fabric.TenantID(e.Tenant))
+	case KindDegrade:
+		return fab.DegradeLink(topology.LinkID(e.Link), e.LossFrac, simtime.Duration(e.ExtraNs))
+	case KindFail:
+		return fab.FailLink(topology.LinkID(e.Link))
+	case KindRestoreLink:
+		return fab.RestoreLink(topology.LinkID(e.Link))
+	case KindSetConfig:
+		c := s.mgr.Topology().Component(topology.CompID(e.Component))
+		if c == nil {
+			return fmt.Errorf("snap: unknown component %q", e.Component)
+		}
+		c.SetConfig(e.Key, e.Value)
+		return nil
+	case KindWorkload:
+		return s.applyWorkload(e)
+	case KindPing, KindTrace, KindPerf:
+		return s.applyProbe(e)
+	}
+	return fmt.Errorf("snap: unknown entry kind %q", e.Kind)
+}
+
+// applyWorkload starts the journaled workload, mirroring the scenario
+// runner's defaults so drills and journals agree on semantics.
+func (s *Session) applyWorkload(e Entry) error {
+	fab := s.mgr.Fabric()
+	tenant := fabric.TenantID(e.Tenant)
+	switch e.Workload {
+	case "kv":
+		cfg := workload.DefaultKVConfig(tenant)
+		if e.Src != "" {
+			cfg.Client = topology.CompID(e.Src)
+		}
+		if e.Dst != "" {
+			cfg.Server = topology.CompID(e.Dst)
+		}
+		kv, err := workload.StartKV(fab, cfg)
+		if err != nil {
+			return err
+		}
+		s.kvs[e.Tenant] = kv
+		return nil
+	case "ml":
+		cfg := workload.DefaultMLConfig(tenant)
+		if e.Src != "" {
+			cfg.Memory = topology.CompID(e.Src)
+		}
+		if e.Dst != "" {
+			cfg.GPU = topology.CompID(e.Dst)
+		}
+		_, err := workload.StartML(fab, cfg)
+		return err
+	case "loopback":
+		nic, dimm := topology.CompID("nic0"), topology.CompID("socket0.dimm0_0")
+		if e.Src != "" {
+			nic = topology.CompID(e.Src)
+		}
+		if e.Dst != "" {
+			dimm = topology.CompID(e.Dst)
+		}
+		_, err := workload.StartLoopback(fab, tenant, nic, dimm)
+		return err
+	case "scan":
+		ssd, dimm := topology.CompID("ssd0"), topology.CompID("socket0.dimm0_0")
+		if e.Src != "" {
+			ssd = topology.CompID(e.Src)
+		}
+		if e.Dst != "" {
+			dimm = topology.CompID(e.Dst)
+		}
+		_, err := workload.StartScan(fab, tenant, ssd, dimm, 4<<20)
+		return err
+	}
+	return fmt.Errorf("snap: unknown workload kind %q", e.Workload)
+}
+
+// applyProbe re-runs a journaled diagnostic probe: start it, then
+// advance bounded slices until done — the exact procedure the live
+// Ping/Trace/Perf methods perform.
+func (s *Session) applyProbe(e Entry) error {
+	fab := s.mgr.Fabric()
+	src, dst := topology.CompID(e.Src), topology.CompID(e.Dst)
+	done := false
+	var err error
+	switch e.Kind {
+	case KindPing:
+		_, err = diag.StartPing(fab, src, dst, diag.DefaultPingOptions(),
+			func(diag.PingReport) { done = true })
+	case KindTrace:
+		_, err = diag.StartTrace(fab, src, dst, 64,
+			func(diag.TraceReport) { done = true })
+	case KindPerf:
+		_, err = diag.StartPerf(fab, src, dst,
+			diag.PerfOptions{Duration: 200 * simtime.Microsecond, Tenant: fabric.TenantID(e.Tenant)},
+			func(diag.PerfReport) { done = true })
+	}
+	if err != nil {
+		return err
+	}
+	for i := 0; i < probeSlices && !done; i++ {
+		s.mgr.RunFor(probeSlice)
+	}
+	// A probe that timed out live times out identically here; the
+	// advanced time is what matters for determinism.
+	return nil
+}
