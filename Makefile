@@ -7,8 +7,11 @@ all: check
 build:
 	$(GO) build ./...
 
+# ./... already spans the module; ./cmd/... is pinned explicitly so
+# narrowing the first pattern can never silently drop the CLIs.
 vet:
 	$(GO) vet ./...
+	$(GO) vet ./cmd/...
 
 # gofmt -l prints unformatted files; fail loudly if there are any.
 fmt:
@@ -26,12 +29,14 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-# Quick sanity pass over the two benchmarks that guard the hot paths:
-# the observability tax on fabric scheduling and the snapshot
-# round-trip (export + encode + decode + replay + verify).
+# Quick sanity pass over the benchmarks that guard the hot paths: the
+# observability tax on fabric scheduling, the snapshot round-trip
+# (export + encode + decode + replay + verify), and the fleet runner's
+# serial-vs-parallel speedup at 64 hosts.
 bench-smoke:
 	$(GO) test -bench BenchmarkObsFabricHotPath -benchtime 1x -run '^$$' .
 	$(GO) test -bench BenchmarkSnapshotRoundTrip -benchtime 1x -run '^$$' ./internal/snap
+	$(GO) test -bench 'BenchmarkFleetRunFor/hosts=64' -benchtime 1x -run '^$$' ./internal/fleet
 
 # The full gate: formatting, static analysis, build, and the race-enabled
 # test suite. CI and pre-commit should run this.

@@ -1,13 +1,15 @@
 // Command ihctl is the operator's client for the ihnetd control
 // plane: inspect topology and usage, admit/evict/verify tenants, read
-// alerts and detections, run diagnostics, and advance virtual time —
-// all over the daemon's JSON API.
+// alerts and detections, run diagnostics, advance virtual time, and —
+// against a fleet daemon — place, migrate, and rebalance tenants
+// across hosts. All traffic goes through internal/apiclient and the
+// versioned /api/v1/ surface.
 //
 // Usage:
 //
 //	ihctl [-addr host:port] <command> [args]
 //
-// Commands:
+// Single-host commands:
 //
 //	topology                       summarize the host
 //	report                         per-link utilization + per-tenant usage
@@ -26,21 +28,36 @@
 //	snapshot [file]                checkpoint daemon state (default snapshot.json)
 //	restore <file>                 roll the daemon back to a snapshot
 //	journal [file]                 download the command journal (default stdout)
+//
+// Fleet commands (ihnetd -hosts-dir):
+//
+//	hosts                          list fleet hosts with pressure and clocks
+//	fleet-report                   fleet-wide placement + utilization summary
+//	fleet-advance <micros>         advance all hosts to a shared barrier
+//	place <tenant> <src> <dst> <gbps>   admit on the least-pressured host
+//	fleet-evict <tenant>           evict wherever the tenant runs
+//	migrate <tenant> <host>        move the tenant to the named host
+//	rebalance                      evacuate tenants off anomalous links
+//	host-snapshot <host> [file]    checkpoint one fleet host
+//	host-journal <host> [file]     download one fleet host's journal
+//
 //	version                        print build information
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"repro/cmd/internal/cli"
+	"repro/internal/apiclient"
 )
 
 func main() {
@@ -54,16 +71,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ihctl: need a command (see -h)")
 		os.Exit(2)
 	}
-	c := client{base: "http://" + *addr}
+	// Ctrl-C cancels the in-flight request; the daemon sees the
+	// disconnect and aborts server-side work at the next slice.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	c := command{api: apiclient.New(*addr), ctx: ctx}
 	if err := c.dispatch(args); err != nil {
 		fmt.Fprintf(os.Stderr, "ihctl: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-type client struct{ base string }
+type command struct {
+	api *apiclient.Client
+	ctx context.Context
+}
 
-func (c client) dispatch(args []string) error {
+// get fetches a v1 path and renders the raw response body.
+func (c command) get(path string, render func([]byte) error) error {
+	var data []byte
+	if err := c.api.Get(c.ctx, path, &data); err != nil {
+		return err
+	}
+	return render(data)
+}
+
+func (c command) post(path string, body any, render func([]byte) error) error {
+	var data []byte
+	if err := c.api.Post(c.ctx, path, body, &data); err != nil {
+		return err
+	}
+	return render(data)
+}
+
+func (c command) delete(path string, render func([]byte) error) error {
+	var data []byte
+	if err := c.api.Delete(c.ctx, path, &data); err != nil {
+		return err
+	}
+	return render(data)
+}
+
+func admitBody(rest []string) (map[string]any, error) {
+	gbps, err := strconv.ParseFloat(rest[3], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad rate %q", rest[3])
+	}
+	return map[string]any{
+		"tenant": rest[0],
+		"targets": []map[string]any{
+			{"src": rest[1], "dst": rest[2], "rate_gbps": gbps},
+		},
+	}, nil
+}
+
+func (c command) dispatch(args []string) error {
 	cmd, rest := args[0], args[1:]
 	need := func(n int, usage string) error {
 		if len(rest) != n {
@@ -73,60 +135,54 @@ func (c client) dispatch(args []string) error {
 	}
 	switch cmd {
 	case "topology":
-		return c.get("/api/topology", prettyTopology)
+		return c.get("/topology", prettyTopology)
 	case "report":
-		return c.get("/api/report", prettyReport)
+		return c.get("/report", prettyReport)
 	case "alerts":
-		return c.get("/api/alerts", prettyJSON)
+		return c.get("/alerts", prettyJSON)
 	case "detections":
-		return c.get("/api/detections", prettyJSON)
+		return c.get("/detections", prettyJSON)
 	case "tenants":
-		return c.get("/api/tenants", prettyJSON)
+		return c.get("/tenants", prettyJSON)
 	case "admit":
 		if err := need(4, "<tenant> <src> <dst> <gbps>"); err != nil {
 			return err
 		}
-		gbps, err := strconv.ParseFloat(rest[3], 64)
+		body, err := admitBody(rest)
 		if err != nil {
-			return fmt.Errorf("bad rate %q", rest[3])
+			return err
 		}
-		body := map[string]any{
-			"tenant": rest[0],
-			"targets": []map[string]any{
-				{"src": rest[1], "dst": rest[2], "rate_gbps": gbps},
-			},
-		}
-		return c.post("/api/tenants", body, prettyJSON)
+		return c.post("/tenants", body, prettyJSON)
 	case "evict":
 		if err := need(1, "<tenant>"); err != nil {
 			return err
 		}
-		return c.delete("/api/tenants/"+url.PathEscape(rest[0]), prettyJSON)
+		return c.delete("/tenants/"+url.PathEscape(rest[0]), prettyJSON)
 	case "verify":
 		if err := need(1, "<tenant>"); err != nil {
 			return err
 		}
-		return c.get("/api/tenants/"+url.PathEscape(rest[0])+"/verify", prettyJSON)
+		return c.get("/tenants/"+url.PathEscape(rest[0])+"/verify", prettyJSON)
 	case "usage":
 		if err := need(1, "<tenant>"); err != nil {
 			return err
 		}
-		return c.get("/api/tenants/"+url.PathEscape(rest[0])+"/usage", prettyJSON)
+		return c.get("/tenants/"+url.PathEscape(rest[0])+"/usage", prettyJSON)
 	case "ping":
 		if err := need(2, "<src> <dst>"); err != nil {
 			return err
 		}
-		return c.get("/api/diag/ping?src="+url.QueryEscape(rest[0])+"&dst="+url.QueryEscape(rest[1]), prettyJSON)
+		return c.get("/diag/ping?src="+url.QueryEscape(rest[0])+"&dst="+url.QueryEscape(rest[1]), prettyJSON)
 	case "trace":
 		if err := need(2, "<src> <dst>"); err != nil {
 			return err
 		}
-		return c.get("/api/diag/trace?src="+url.QueryEscape(rest[0])+"&dst="+url.QueryEscape(rest[1]), prettyJSON)
+		return c.get("/diag/trace?src="+url.QueryEscape(rest[0])+"&dst="+url.QueryEscape(rest[1]), prettyJSON)
 	case "perf":
 		if len(rest) != 2 && len(rest) != 3 {
 			return fmt.Errorf("usage: ihctl perf <src> <dst> [tenant]")
 		}
-		u := "/api/diag/perf?src=" + url.QueryEscape(rest[0]) + "&dst=" + url.QueryEscape(rest[1])
+		u := "/diag/perf?src=" + url.QueryEscape(rest[0]) + "&dst=" + url.QueryEscape(rest[1])
 		if len(rest) == 3 {
 			u += "&tenant=" + url.QueryEscape(rest[2])
 		}
@@ -139,12 +195,12 @@ func (c client) dispatch(args []string) error {
 		if err != nil {
 			return fmt.Errorf("bad micros %q", rest[0])
 		}
-		return c.post("/api/advance", map[string]any{"micros": us}, prettyJSON)
+		return c.post("/advance", map[string]any{"micros": us}, prettyJSON)
 	case "experiment":
 		if err := need(1, "<id>"); err != nil {
 			return err
 		}
-		return c.get("/api/experiments/"+url.PathEscape(rest[0]), prettyExperiment)
+		return c.get("/experiments/"+url.PathEscape(rest[0]), prettyExperiment)
 	case "snapshot":
 		out := "snapshot.json"
 		if len(rest) == 1 {
@@ -152,7 +208,7 @@ func (c client) dispatch(args []string) error {
 		} else if len(rest) > 1 {
 			return fmt.Errorf("usage: ihctl snapshot [file]")
 		}
-		return c.post("/api/snapshot", nil, toFile(out, "snapshot"))
+		return c.post("/snapshot", nil, toFile(out, "snapshot"))
 	case "restore":
 		if err := need(1, "<file>"); err != nil {
 			return err
@@ -161,15 +217,74 @@ func (c client) dispatch(args []string) error {
 		if err != nil {
 			return err
 		}
-		return c.postRaw("/api/restore", data, prettyJSON)
+		var resp []byte
+		if err := c.api.PostRaw(c.ctx, "/restore", data, &resp); err != nil {
+			return err
+		}
+		return prettyJSON(resp)
 	case "journal":
 		if len(rest) > 1 {
 			return fmt.Errorf("usage: ihctl journal [file]")
 		}
 		if len(rest) == 1 {
-			return c.get("/api/journal", toFile(rest[0], "journal"))
+			return c.get("/journal", toFile(rest[0], "journal"))
 		}
-		return c.get("/api/journal", prettyJSON)
+		return c.get("/journal", prettyJSON)
+
+	// Fleet verbs.
+	case "hosts":
+		return c.get("/fleet/hosts", prettyHosts)
+	case "fleet-report":
+		return c.get("/fleet/report", prettyJSON)
+	case "fleet-advance":
+		if err := need(1, "<micros>"); err != nil {
+			return err
+		}
+		us, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad micros %q", rest[0])
+		}
+		return c.post("/fleet/advance", map[string]any{"micros": us}, prettyJSON)
+	case "place":
+		if err := need(4, "<tenant> <src> <dst> <gbps>"); err != nil {
+			return err
+		}
+		body, err := admitBody(rest)
+		if err != nil {
+			return err
+		}
+		return c.post("/fleet/tenants", body, prettyJSON)
+	case "fleet-evict":
+		if err := need(1, "<tenant>"); err != nil {
+			return err
+		}
+		return c.delete("/fleet/tenants/"+url.PathEscape(rest[0]), prettyJSON)
+	case "migrate":
+		if err := need(2, "<tenant> <host>"); err != nil {
+			return err
+		}
+		return c.post("/fleet/tenants/"+url.PathEscape(rest[0])+"/migrate",
+			map[string]any{"host": rest[1]}, prettyJSON)
+	case "rebalance":
+		return c.post("/fleet/rebalance", nil, prettyJSON)
+	case "host-snapshot":
+		if len(rest) != 1 && len(rest) != 2 {
+			return fmt.Errorf("usage: ihctl host-snapshot <host> [file]")
+		}
+		out := rest[0] + "-snapshot.json"
+		if len(rest) == 2 {
+			out = rest[1]
+		}
+		return c.post("/fleet/hosts/"+url.PathEscape(rest[0])+"/snapshot", nil, toFile(out, "snapshot"))
+	case "host-journal":
+		if len(rest) != 1 && len(rest) != 2 {
+			return fmt.Errorf("usage: ihctl host-journal <host> [file]")
+		}
+		path := "/fleet/hosts/" + url.PathEscape(rest[0]) + "/journal"
+		if len(rest) == 2 {
+			return c.get(path, toFile(rest[1], "journal"))
+		}
+		return c.get(path, prettyJSON)
 	}
 	return fmt.Errorf("unknown command %q", cmd)
 }
@@ -184,60 +299,6 @@ func toFile(path, what string) func([]byte) error {
 		fmt.Printf("wrote %s (%d bytes) to %s\n", what, len(data), path)
 		return nil
 	}
-}
-
-func (c client) get(path string, render func([]byte) error) error {
-	resp, err := http.Get(c.base + path)
-	if err != nil {
-		return err
-	}
-	return c.finish(resp, render)
-}
-
-func (c client) post(path string, body any, render func([]byte) error) error {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	return c.postRaw(path, data, render)
-}
-
-func (c client) postRaw(path string, data []byte, render func([]byte) error) error {
-	resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	return c.finish(resp, render)
-}
-
-func (c client) delete(path string, render func([]byte) error) error {
-	req, err := http.NewRequest(http.MethodDelete, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	return c.finish(resp, render)
-}
-
-func (c client) finish(resp *http.Response, render func([]byte) error) error {
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 400 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("%s", resp.Status)
-	}
-	return render(data)
 }
 
 func prettyJSON(data []byte) error {
@@ -309,6 +370,31 @@ func prettyReport(data []byte) error {
 	}
 	for t, usage := range r.Tenants {
 		fmt.Printf("tenant %s: %v\n", t, usage)
+	}
+	return nil
+}
+
+func prettyHosts(data []byte) error {
+	var hosts []struct {
+		Name          string  `json:"name"`
+		VirtualTimeNs int64   `json:"virtual_time_ns"`
+		Pressure      float64 `json:"pressure"`
+		Tenants       int     `json:"tenants"`
+		Detections    int     `json:"detections"`
+		Quarantined   string  `json:"quarantined"`
+	}
+	if err := json.Unmarshal(data, &hosts); err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %14s %9s %8s %11s  %s\n",
+		"HOST", "VTIME_NS", "PRESSURE", "TENANTS", "DETECTIONS", "STATUS")
+	for _, h := range hosts {
+		status := "ok"
+		if h.Quarantined != "" {
+			status = "quarantined: " + h.Quarantined
+		}
+		fmt.Printf("%-20s %14d %8.1f%% %8d %11d  %s\n",
+			h.Name, h.VirtualTimeNs, h.Pressure*100, h.Tenants, h.Detections, status)
 	}
 	return nil
 }

@@ -1,19 +1,28 @@
 // Command ihnetd is the manageable intra-host network daemon: it runs
 // the full manager (monitor + anomaly platform + arbiter) over a
-// simulated host and serves the JSON control plane of internal/httpapi,
-// plus the observability surface: Prometheus metrics at /metrics, the
-// event trace at /api/trace/events, liveness at /api/healthz, and Go
-// profiling at /debug/pprof/.
+// simulated host and serves the JSON control plane of internal/httpapi
+// under /api/v1/, plus the observability surface: Prometheus metrics
+// at /metrics, the event trace at /api/v1/trace/events, liveness at
+// /api/v1/healthz, and Go profiling at /debug/pprof/. Pre-v1 /api/...
+// paths answer with 308 redirects to their /api/v1/ successors.
 //
 // Virtual time advances continuously by default (1 ms of virtual time
 // per 10 ms of wall time); pass -autoadvance=0 to drive time only via
-// POST /api/advance for fully deterministic interaction.
+// POST /api/v1/advance for fully deterministic interaction.
 //
 // Every mutating command is recorded through internal/snap, so the
-// daemon's state can be checkpointed (POST /api/snapshot), rolled back
-// (POST /api/restore), downloaded as a replayable command journal
-// (GET /api/journal), or resumed at startup from a snapshot file via
-// -restore.
+// daemon's state can be checkpointed (POST /api/v1/snapshot), rolled
+// back (POST /api/v1/restore), downloaded as a replayable command
+// journal (GET /api/v1/journal), or resumed at startup from a snapshot
+// file via -restore.
+//
+// Fleet mode: -hosts-dir boots one recording host per *.json host spec
+// in the directory and serves the fleet control plane instead —
+// placement, migration, rebalancing, and per-host checkpoints under
+// /api/v1/fleet/. The hosts advance concurrently on the parallel
+// epoch-barrier runner (-fleet-workers goroutines, barriers every
+// -fleet-epoch of virtual time), so N hosts cost roughly N/workers of
+// one host's wall clock while staying bit-for-bit deterministic.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the auto-advance
 // loop drains first (no advance is cut off mid-event), then the HTTP
@@ -22,9 +31,12 @@
 // Usage:
 //
 //	ihnetd -addr :8080 -preset two-socket
-//	curl localhost:8080/api/report
+//	curl localhost:8080/api/v1/report
 //	curl localhost:8080/metrics
-//	curl -X POST localhost:8080/api/tenants -d '{"tenant":"kv","targets":[{"src":"nic0","dst":"memory:socket0","rate_gbps":80}]}'
+//	curl -X POST localhost:8080/api/v1/tenants -d '{"tenant":"kv","targets":[{"src":"nic0","dst":"memory:socket0","rate_gbps":80}]}'
+//
+//	ihnetd -addr :8080 -hosts-dir hosts/
+//	curl localhost:8080/api/v1/fleet/hosts
 package main
 
 import (
@@ -42,6 +54,7 @@ import (
 
 	"repro/cmd/internal/cli"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/httpapi"
 	"repro/internal/simtime"
 	"repro/internal/snap"
@@ -62,36 +75,83 @@ func main() {
 		"grace period for in-flight requests on SIGINT/SIGTERM")
 	restore := flag.String("restore", "",
 		"snapshot file to resume from (its config overrides -preset/-seed)")
+	hostsDir := flag.String("hosts-dir", "",
+		"directory of *.json host specs: boot a fleet instead of a single host")
+	fleetWorkers := flag.Int("fleet-workers", 0,
+		"fleet runner goroutines (0 = GOMAXPROCS)")
+	fleetEpoch := flag.Duration("fleet-epoch", time.Millisecond,
+		"virtual-time barrier interval between fleet epochs")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	var sess *snap.Session
-	if *restore != "" {
-		f, err := os.Open(*restore)
-		if err != nil {
-			log.Fatalf("ihnetd: %v", err)
-		}
-		sess, err = snap.Restore(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("ihnetd: restore %s: %v", *restore, err)
-		}
-		log.Printf("ihnetd: restored %s: %d journal entries replayed to t=%v",
-			*restore, sess.Journal().Len(), sess.Now())
-	} else {
-		if _, ok := topology.Presets[*preset]; !ok {
-			fmt.Fprintf(os.Stderr, "ihnetd: unknown preset %q\n", *preset)
-			os.Exit(1)
-		}
+	// handler/advance/stopHosts abstract over the two modes so the
+	// serving and shutdown machinery below is shared.
+	var handler http.Handler
+	var advance func(simtime.Duration)
+	var stopHosts func()
+
+	if *hostsDir != "" {
 		opts := core.DefaultOptions()
 		opts.Seed = *seed
-		var err error
-		sess, err = snap.NewSession(snap.Config{Preset: *preset, Options: opts})
+		fl, err := fleet.LoadDir(*hostsDir, opts)
 		if err != nil {
 			log.Fatalf("ihnetd: %v", err)
 		}
+		fsrv := httpapi.NewFleetServer(fl, fleet.RunnerConfig{
+			Workers: *fleetWorkers,
+			Epoch:   simtime.Duration(*fleetEpoch),
+		})
+		handler = fsrv.Handler()
+		advance = fsrv.Advance
+		stopHosts = func() {
+			for _, h := range fl.Hosts() {
+				h.Mgr.Stop()
+			}
+			log.Printf("ihnetd: stopped %d fleet hosts", len(fl.Hosts()))
+		}
+		log.Printf("ihnetd: managing fleet of %d hosts from %s on %s (workers=%d, epoch=%v, auto-advance %v/10ms)",
+			len(fl.Hosts()), *hostsDir, *addr, fsrv.Workers(), *fleetEpoch, *auto)
+	} else {
+		var sess *snap.Session
+		if *restore != "" {
+			f, err := os.Open(*restore)
+			if err != nil {
+				log.Fatalf("ihnetd: %v", err)
+			}
+			sess, err = snap.Restore(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("ihnetd: restore %s: %v", *restore, err)
+			}
+			log.Printf("ihnetd: restored %s: %d journal entries replayed to t=%v",
+				*restore, sess.Journal().Len(), sess.Now())
+		} else {
+			if _, ok := topology.Presets[*preset]; !ok {
+				fmt.Fprintf(os.Stderr, "ihnetd: unknown preset %q\n", *preset)
+				os.Exit(1)
+			}
+			opts := core.DefaultOptions()
+			opts.Seed = *seed
+			var err error
+			sess, err = snap.NewSession(snap.Config{Preset: *preset, Options: opts})
+			if err != nil {
+				log.Fatalf("ihnetd: %v", err)
+			}
+		}
+		srv := httpapi.NewWithSession(sess)
+		handler = srv.Handler()
+		advance = srv.Advance
+		stopHosts = func() {
+			// Re-read the manager: a POST /api/v1/restore may have
+			// swapped it.
+			mgr := srv.Manager()
+			mgr.Stop()
+			log.Printf("ihnetd: stopped at virtual time %v after %d events",
+				mgr.Engine().Now(), mgr.Engine().Processed)
+		}
+		log.Printf("ihnetd: managing %q host on %s (auto-advance %v/10ms; metrics at /metrics, pprof at /debug/pprof/)",
+			*preset, *addr, *auto)
 	}
-	srv := httpapi.NewWithSession(sess)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -109,7 +169,7 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-ticker.C:
-					srv.Advance(simtime.Duration(*auto))
+					advance(simtime.Duration(*auto))
 				}
 			}
 		}()
@@ -117,11 +177,9 @@ func main() {
 		close(advanceDone)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("ihnetd: managing %q host on %s (auto-advance %v/10ms; metrics at /metrics, pprof at /debug/pprof/)",
-		*preset, *addr, *auto)
 
 	select {
 	case err := <-errCh:
@@ -136,9 +194,5 @@ func main() {
 	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("ihnetd: shutdown: %v", err)
 	}
-	// Re-read the manager: a POST /api/restore may have swapped it.
-	mgr := srv.Manager()
-	mgr.Stop()
-	log.Printf("ihnetd: stopped at virtual time %v after %d events",
-		mgr.Engine().Now(), mgr.Engine().Processed)
+	stopHosts()
 }

@@ -1,0 +1,149 @@
+// Package apiclient is the typed Go client for the ihnetd control
+// plane. It speaks the v1 contract — every path under /api/v1/, the
+// single error envelope {"error":{"code","message"}} — and is the one
+// place client-side HTTP mechanics live: ihctl and tests build on it
+// instead of hand-rolling requests.
+//
+// Paths are given relative to the version prefix ("/topology", not
+// "/api/v1/topology"), so a client survives a future version bump by
+// changing one constant. Every call takes a context; cancel it and the
+// request aborts client-side while the server, which watches the same
+// disconnect, answers any later writes with its 499 envelope.
+package apiclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client calls one ihnetd daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New builds a client for the daemon at base ("http://host:port" or
+// just "host:port").
+func New(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient}
+}
+
+// Error is a non-2xx response decoded from the v1 envelope. Responses
+// from pre-envelope daemons (a bare {"error":"..."} or no JSON at all)
+// degrade to an Error with an empty Code.
+type Error struct {
+	Status  int    // HTTP status code
+	Code    string // typed envelope code ("conflict", "not_found", ...)
+	Message string
+}
+
+func (e *Error) Error() string {
+	switch {
+	case e.Code != "" && e.Message != "":
+		return fmt.Sprintf("%s: %s (http %d)", e.Code, e.Message, e.Status)
+	case e.Message != "":
+		return fmt.Sprintf("%s (http %d)", e.Message, e.Status)
+	default:
+		return fmt.Sprintf("http %d", e.Status)
+	}
+}
+
+// Get fetches path and decodes the response into out (see do for out's
+// accepted forms).
+func (c *Client) Get(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodGet, path, nil, out)
+}
+
+// Post sends in as a JSON body (nil means empty) and decodes the
+// response into out.
+func (c *Client) Post(ctx context.Context, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	return c.do(ctx, http.MethodPost, path, body, out)
+}
+
+// PostRaw sends a pre-encoded JSON body (a snapshot file, say) and
+// decodes the response into out.
+func (c *Client) PostRaw(ctx context.Context, path string, body []byte, out any) error {
+	return c.do(ctx, http.MethodPost, path, body, out)
+}
+
+// Delete issues a DELETE and decodes the response into out.
+func (c *Client) Delete(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodDelete, path, nil, out)
+}
+
+// do runs one request against the versioned API. out may be nil
+// (discard the body), *[]byte (the raw body — snapshots, journals), or
+// any JSON-decodable value.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+"/api/v1"+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return decodeError(resp.StatusCode, data)
+	}
+	switch dst := out.(type) {
+	case nil:
+		return nil
+	case *[]byte:
+		*dst = data
+		return nil
+	default:
+		return json.Unmarshal(data, out)
+	}
+}
+
+// decodeError turns an error body into *Error: the v1 envelope first,
+// the legacy flat {"error":"..."} shape second, status-only last.
+func decodeError(status int, data []byte) error {
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	e := &Error{Status: status}
+	if json.Unmarshal(data, &env) == nil && len(env.Error) > 0 {
+		var detail struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		}
+		if json.Unmarshal(env.Error, &detail) == nil && detail.Message != "" {
+			e.Code, e.Message = detail.Code, detail.Message
+			return e
+		}
+		var msg string
+		if json.Unmarshal(env.Error, &msg) == nil {
+			e.Message = msg
+		}
+	}
+	return e
+}

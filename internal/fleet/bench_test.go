@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intent"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// benchFleet builds n plain (non-recording) hosts with one admitted
+// tenant each, so every host-millisecond carries heartbeat, telemetry,
+// arbiter and monitor work.
+func benchFleet(b *testing.B, n int) *Fleet {
+	b.Helper()
+	f := New()
+	for i := 0; i < n; i++ {
+		opts := core.DefaultOptions()
+		opts.Seed = int64(i + 1)
+		m, err := core.New(topology.TwoSocketServer(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Start(); err != nil {
+			b.Fatal(err)
+		}
+		h, err := f.AddHost(fmt.Sprintf("host-%03d", i), m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Mgr.Admit("kv", []intent.Target{
+			{Src: "nic0", Dst: intent.AnyMemory, Rate: topology.GBps(8)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return f
+}
+
+// BenchmarkFleetRunFor measures one millisecond of fleet virtual time
+// per iteration: the serial host-by-host loop against the parallel
+// epoch-barrier runner. The serial/parallel ratio at a given host
+// count is the runner's speedup (the CI acceptance bar is >= 4x at 64
+// hosts on a multi-core runner).
+func BenchmarkFleetRunFor(b *testing.B) {
+	for _, hosts := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("hosts=%d/serial", hosts), func(b *testing.B) {
+			f := benchFleet(b, hosts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.RunFor(simtime.Millisecond)
+			}
+			b.ReportMetric(float64(hosts)*float64(b.N)/b.Elapsed().Seconds(), "host-ms/s")
+		})
+		b.Run(fmt.Sprintf("hosts=%d/parallel", hosts), func(b *testing.B) {
+			f := benchFleet(b, hosts)
+			r := NewRunner(f, RunnerConfig{Workers: runtime.GOMAXPROCS(0)})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.RunFor(context.Background(), simtime.Millisecond); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(hosts)*float64(b.N)/b.Elapsed().Seconds(), "host-ms/s")
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/intent"
 	"repro/internal/simtime"
+	"repro/internal/snap"
 	"repro/internal/topology"
 	"repro/internal/vnet"
 )
@@ -24,6 +25,44 @@ import (
 type Host struct {
 	Name string
 	Mgr  *core.Manager
+	// Sess, when non-nil, is the host's recording session. Fleet
+	// operations that mutate the host (admit, evict, time advancement)
+	// go through it so every host in a fleet daemon stays individually
+	// checkpointable and replayable.
+	Sess *snap.Session
+}
+
+// admit runs the admission pipeline on this host, journaled when the
+// host records.
+func (h *Host) admit(tenant fabric.TenantID, targets []intent.Target) (*vnet.View, error) {
+	if h.Sess != nil {
+		return h.Sess.Admit(string(tenant), targets)
+	}
+	return h.Mgr.Admit(tenant, targets)
+}
+
+// evict releases a tenant on this host, journaled when the host
+// records.
+func (h *Host) evict(tenant fabric.TenantID) error {
+	if h.Sess != nil {
+		return h.Sess.Evict(string(tenant))
+	}
+	return h.Mgr.Evict(tenant)
+}
+
+// advanceTo drives the host's clock to t (no-op if already there),
+// journaled when the host records.
+func (h *Host) advanceTo(t simtime.Time) error {
+	if h.Sess != nil {
+		if t <= h.Sess.Now() {
+			return nil
+		}
+		return h.Sess.AdvanceTo(t)
+	}
+	if eng := h.Mgr.Engine(); t > eng.Now() {
+		eng.RunUntil(t)
+	}
+	return nil
 }
 
 // Pressure is the host's reserved fraction of total fabric capacity —
@@ -65,6 +104,21 @@ func (f *Fleet) AddHost(name string, mgr *core.Manager) (*Host, error) {
 	return h, nil
 }
 
+// AddSession registers a recording host: mutating fleet operations on
+// it are journaled through the session, so it remains checkpointable
+// with internal/snap while under fleet management.
+func (f *Fleet) AddSession(name string, sess *snap.Session) (*Host, error) {
+	if sess == nil {
+		return nil, fmt.Errorf("fleet: host %q needs a session", name)
+	}
+	h, err := f.AddHost(name, sess.Manager())
+	if err != nil {
+		return nil, err
+	}
+	h.Sess = sess
+	return h, nil
+}
+
 // Hosts returns the fleet's hosts sorted by name.
 func (f *Fleet) Hosts() []*Host {
 	out := append([]*Host(nil), f.hosts...)
@@ -100,13 +154,49 @@ func (f *Fleet) Place(tenant fabric.TenantID, targets []intent.Target) (*vnet.Vi
 	sort.SliceStable(order, func(i, j int) bool { return order[i].Pressure() < order[j].Pressure() })
 	var lastErr error
 	for _, h := range order {
-		view, err := h.Mgr.Admit(tenant, cloneTargets(targets))
+		view, err := h.admit(tenant, cloneTargets(targets))
 		if err == nil {
 			return view, h, nil
 		}
 		lastErr = err
 	}
 	return nil, nil, fmt.Errorf("fleet: no host admitted %q: %w", tenant, lastErr)
+}
+
+// Evict releases a tenant wherever it is running in the fleet.
+func (f *Fleet) Evict(tenant fabric.TenantID) (*Host, error) {
+	h := f.Locate(tenant)
+	if h == nil {
+		return nil, fmt.Errorf("fleet: unknown tenant %q", tenant)
+	}
+	return h, h.evict(tenant)
+}
+
+// Migrate re-admits a tenant's intents on the named destination host
+// and evicts it from its current host — the reconfiguration-free
+// migration the virtual abstraction promises, journaled on both ends
+// when the hosts record.
+func (f *Fleet) Migrate(tenant fabric.TenantID, dstName string) (*vnet.View, error) {
+	src := f.Locate(tenant)
+	if src == nil {
+		return nil, fmt.Errorf("fleet: unknown tenant %q", tenant)
+	}
+	dst := f.Host(dstName)
+	if dst == nil {
+		return nil, fmt.Errorf("fleet: unknown host %q", dstName)
+	}
+	if dst == src {
+		return nil, fmt.Errorf("fleet: tenant %q is already on %q", tenant, dstName)
+	}
+	rec := src.Mgr.Tenant(tenant)
+	view, err := dst.admit(tenant, cloneTargets(rec.Targets))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: destination %q rejected %q: %w", dstName, tenant, err)
+	}
+	if err := src.evict(tenant); err != nil {
+		return nil, err
+	}
+	return view, nil
 }
 
 // cloneTargets copies the slice so per-host tenant-field fill-in does
@@ -192,7 +282,7 @@ func (f *Fleet) Rebalance() EvacuationReport {
 				if dst.Name == h.Name || unhealthy[dst.Name] {
 					continue
 				}
-				if _, err := h.Mgr.Migrate(tenant, dst.Mgr); err == nil {
+				if _, err := f.Migrate(tenant, dst.Name); err == nil {
 					rep.Moved[tenant] = dst.Name
 					moved = true
 					break

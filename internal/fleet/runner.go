@@ -1,0 +1,292 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+)
+
+// RunnerConfig tunes the parallel fleet execution engine.
+type RunnerConfig struct {
+	// Workers is the number of goroutines advancing hosts. Zero means
+	// GOMAXPROCS; one degenerates to the serial loop (useful as the
+	// baseline in benchmarks and determinism checks).
+	Workers int
+	// Epoch is the barrier interval: every host is advanced to the same
+	// virtual-time boundary before any host starts the next interval,
+	// so fleet-level reads (pressure, rebalance, migration) always
+	// observe hosts at one instant. Zero means 1ms.
+	Epoch simtime.Duration
+	// Registry receives the runner's metrics. Nil works (metrics are
+	// kept but not exported), matching the obs package's contract.
+	Registry *obs.Registry
+	// OnEpoch, when set, runs on the caller's goroutine after each
+	// barrier with every host parked at the same virtual time. This is
+	// the hook for fleet-level control decisions between epochs.
+	OnEpoch func(EpochStat)
+}
+
+// HostResult is one host's outcome for one epoch.
+type HostResult struct {
+	// Host is the host name; results are always in name order.
+	Host string
+	// Now is the host's virtual time after the epoch.
+	Now simtime.Time
+	// Wall is how long the advance took in wall-clock time — the
+	// straggler signal.
+	Wall time.Duration
+	// Err is non-nil when the host's simulation panicked or refused the
+	// advance. A failed host is quarantined: it is excluded from all
+	// subsequent epochs so one bad host cannot corrupt its siblings.
+	Err error
+}
+
+// EpochStat describes one completed epoch.
+type EpochStat struct {
+	// Index counts epochs within one RunFor call, starting at 0.
+	Index int
+	// Target is the virtual-time barrier every live host reached.
+	Target simtime.Time
+	// Results holds one entry per host that participated, sorted by
+	// host name. The ordering is deterministic by construction: results
+	// are merged by name-sorted index, never by completion order.
+	Results []HostResult
+}
+
+// RunReport summarizes one RunFor call.
+type RunReport struct {
+	// Epochs is the number of barriers crossed.
+	Epochs int
+	// Target is the virtual time the fleet was asked to reach.
+	Target simtime.Time
+	// HostsAdvanced counts host-epoch advances performed.
+	HostsAdvanced int
+	// Failed maps quarantined host names to the error that stopped
+	// them (including hosts quarantined in earlier RunFor calls).
+	Failed map[string]error
+	// Aborted is true when the context was canceled before Target; the
+	// fleet is left aligned at the last completed barrier, never
+	// mid-epoch.
+	Aborted bool
+}
+
+// Runner advances every host of a fleet concurrently, one goroutine
+// per worker with hosts sharded across workers, synchronized by epoch
+// barriers. Hosts are independent simulations, so running them on
+// different goroutines cannot change any host's results — the runner's
+// job is to preserve that determinism at the fleet level: barriers
+// keep all hosts at one virtual time between epochs, and per-epoch
+// results are merged in host-name order regardless of which worker
+// finished first.
+//
+// A Runner is not safe for concurrent use; callers (the HTTP fleet
+// server, the daemon's auto-advance loop) serialize RunFor calls.
+type Runner struct {
+	fleet   *Fleet
+	workers int
+	epoch   simtime.Duration
+	onEpoch func(EpochStat)
+	failed  map[string]error
+
+	mEpochs        *obs.Counter
+	mHostsAdvanced *obs.Counter
+	mHostFailures  *obs.Counter
+	mStragglers    *obs.Counter
+	hEpochSeconds  *obs.Histogram
+	hStragglerX    *obs.Histogram
+}
+
+// NewRunner builds a parallel runner over the fleet.
+func NewRunner(f *Fleet, cfg RunnerConfig) *Runner {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	epoch := cfg.Epoch
+	if epoch <= 0 {
+		epoch = simtime.Millisecond
+	}
+	reg := cfg.Registry
+	return &Runner{
+		fleet:   f,
+		workers: workers,
+		epoch:   epoch,
+		onEpoch: cfg.OnEpoch,
+		failed:  make(map[string]error),
+		mEpochs: reg.Counter("ihnet_fleet_epochs_total",
+			"Epoch barriers crossed by the fleet runner."),
+		mHostsAdvanced: reg.Counter("ihnet_fleet_hosts_advanced_total",
+			"Host-epoch advances performed by the fleet runner."),
+		mHostFailures: reg.Counter("ihnet_fleet_host_failures_total",
+			"Hosts quarantined after a mid-epoch failure."),
+		mStragglers: reg.Counter("ihnet_fleet_straggler_epochs_total",
+			"Epochs whose slowest host took more than twice the mean."),
+		hEpochSeconds: reg.Histogram("ihnet_fleet_epoch_duration_seconds",
+			"Wall-clock time per fleet epoch (all hosts to the barrier)."),
+		hStragglerX: reg.Histogram("ihnet_fleet_straggler_ratio",
+			"Slowest host's wall time over the epoch mean."),
+	}
+}
+
+// Workers returns the configured worker count.
+func (r *Runner) Workers() int { return r.workers }
+
+// Epoch returns the barrier interval.
+func (r *Runner) Epoch() simtime.Duration { return r.epoch }
+
+// Failed returns the quarantined hosts and why, keyed by name.
+func (r *Runner) Failed() map[string]error {
+	out := make(map[string]error, len(r.failed))
+	for k, v := range r.failed {
+		out[k] = v
+	}
+	return out
+}
+
+// Now returns the fleet's virtual time: the furthest live host's
+// clock. Between RunFor calls all live hosts agree on it (they parked
+// at the same barrier); quarantined hosts may lag behind.
+func (r *Runner) Now() simtime.Time {
+	var now simtime.Time
+	for _, h := range r.fleet.Hosts() {
+		if _, bad := r.failed[h.Name]; bad {
+			continue
+		}
+		if t := h.Mgr.Engine().Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// RunFor advances every live host by d, in epochs. Hosts whose clocks
+// lag the fleet (a freshly added host, a restored one) catch up at the
+// first barrier: each epoch drives every host to one shared absolute
+// target time. On context cancellation the run stops cleanly at the
+// last completed barrier — no host is left mid-epoch and no partial
+// results are merged.
+func (r *Runner) RunFor(ctx context.Context, d simtime.Duration) (RunReport, error) {
+	if d <= 0 {
+		return RunReport{}, fmt.Errorf("fleet: non-positive run duration %v", d)
+	}
+	start := r.Now()
+	target := start.Add(d)
+	rep := RunReport{Target: target}
+	for k := 0; ; k++ {
+		barrier := start.Add(simtime.Duration(k+1) * r.epoch)
+		if barrier > target {
+			barrier = target
+		}
+		if ctx != nil && ctx.Err() != nil {
+			rep.Aborted = true
+			break
+		}
+		results, live := r.runEpoch(barrier)
+		rep.Epochs++
+		rep.HostsAdvanced += live
+		r.mEpochs.Inc()
+		r.mHostsAdvanced.Add(uint64(live))
+		if r.onEpoch != nil {
+			r.onEpoch(EpochStat{Index: k, Target: barrier, Results: results})
+		}
+		if barrier == target {
+			break
+		}
+	}
+	rep.Failed = r.Failed()
+	if rep.Aborted && ctx != nil {
+		return rep, ctx.Err()
+	}
+	return rep, nil
+}
+
+// runEpoch drives every non-quarantined host to the barrier on the
+// worker pool and merges results by name-sorted index. It returns the
+// merged results and how many hosts advanced without error.
+func (r *Runner) runEpoch(barrier simtime.Time) ([]HostResult, int) {
+	all := r.fleet.Hosts() // name-sorted
+	live := all[:0:0]
+	for _, h := range all {
+		if _, bad := r.failed[h.Name]; !bad {
+			live = append(live, h)
+		}
+	}
+	results := make([]HostResult, len(live))
+	epochStart := time.Now()
+	if len(live) > 0 {
+		workers := min(r.workers, len(live))
+		if workers == 1 {
+			for i, h := range live {
+				results[i] = advanceHost(h, barrier)
+			}
+		} else {
+			// Workers pull host indices from a channel and write results
+			// into disjoint slots, so the merge is free of both locks and
+			// completion-order nondeterminism.
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range idx {
+						results[i] = advanceHost(live[i], barrier)
+					}
+				}()
+			}
+			for i := range live {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+		}
+	}
+	ok := 0
+	var slowest, total time.Duration
+	for _, res := range results {
+		if res.Err != nil {
+			r.failed[res.Host] = res.Err
+			r.mHostFailures.Inc()
+			continue
+		}
+		ok++
+		total += res.Wall
+		if res.Wall > slowest {
+			slowest = res.Wall
+		}
+	}
+	r.hEpochSeconds.Observe(time.Since(epochStart).Seconds())
+	if ok > 1 {
+		mean := total / time.Duration(ok)
+		if mean > 0 {
+			ratio := float64(slowest) / float64(mean)
+			r.hStragglerX.Observe(ratio)
+			if ratio > 2 {
+				r.mStragglers.Inc()
+			}
+		}
+	}
+	return results, ok
+}
+
+// advanceHost drives one host to the barrier, converting panics in the
+// host's simulation into a per-host error so one broken host cannot
+// take down the epoch (or the process).
+func advanceHost(h *Host, barrier simtime.Time) (res HostResult) {
+	res.Host = h.Name
+	t0 := time.Now()
+	defer func() {
+		res.Wall = time.Since(t0)
+		res.Now = h.Mgr.Engine().Now()
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("fleet: host %s failed mid-epoch: %v", h.Name, p)
+		}
+	}()
+	res.Err = h.advanceTo(barrier)
+	return res
+}

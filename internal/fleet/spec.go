@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/snap"
+)
+
+// LoadDir boots one recording host per *.json host-spec file in dir
+// (topology.FromJSON documents, e.g. hosts/lab-box.json) and returns
+// them as a fleet. Host names are the file base names; files are
+// processed in sorted order and host i gets seed opts.Seed+i, so a
+// directory of specs always yields the same fleet — the fleet-level
+// analogue of the per-host determinism contract.
+//
+// Every host is wrapped in a snap.Session whose config embeds the spec
+// document itself, so a per-host snapshot downloaded from the fleet
+// daemon is self-describing: `ihdiag replay` can verify it without
+// access to the original directory.
+func LoadDir(dir string, opts core.Options) (*Fleet, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fleet: no *.json host specs in %s", dir)
+	}
+	sort.Strings(files)
+	f := New()
+	for i, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		hostOpts := opts
+		hostOpts.Seed = opts.Seed + int64(i)
+		sess, err := snap.NewSession(snap.Config{Topology: data, Options: hostOpts})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: host spec %s: %w", name, err)
+		}
+		if _, err := f.AddSession(strings.TrimSuffix(name, ".json"), sess); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,142 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// APIPrefix is the versioned mount point of the control plane. Every
+// JSON endpoint lives under it; /metrics and /debug/pprof/ keep their
+// conventional unversioned paths.
+const APIPrefix = "/api/v1"
+
+// StatusClientClosedRequest reports that the client went away before
+// the server finished (nginx's 499 convention). Handlers that abort a
+// long operation on r.Context() cancellation return it instead of
+// writing a partial body.
+const StatusClientClosedRequest = 499
+
+// Error codes of the v1 envelope. Every non-2xx response carries
+// exactly one of these; the code is a stable, typed contract while
+// messages remain free-form.
+const (
+	CodeBadRequest  = "bad_request" // 400: malformed input
+	CodeNotFound    = "not_found"   // 404: no such resource or endpoint
+	CodeConflict    = "conflict"    // 409: admission/state conflict
+	CodeCanceled    = "canceled"    // 499: client closed the request
+	CodeInternal    = "internal"    // 500: operation failed server-side
+	CodeUnavailable = "unavailable" // 503: surface not enabled in this mode
+)
+
+// ErrorBody is the single typed error envelope of the v1 API:
+// {"error":{"code":"...","message":"..."}}.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the typed code and human-readable message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// codeForStatus maps an HTTP status to its envelope code; the mapping
+// is total so every error path speaks the same contract.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case StatusClientClosedRequest:
+		return CodeCanceled
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr renders err in the v1 envelope with the code implied by the
+// status.
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{
+		Code:    codeForStatus(status),
+		Message: err.Error(),
+	}})
+}
+
+// lockMode says which server lock a route runs under.
+type lockMode int
+
+const (
+	// lockNone routes read through their own synchronization (the obs
+	// registry's atomics, the tracer's mutex) and never block on the
+	// simulation.
+	lockNone lockMode = iota
+	// lockRead routes touch only immutable or copy-on-read state.
+	lockRead
+	// lockWrite routes mutate, or are "reads" that settle lazy fabric
+	// accounting.
+	lockWrite
+)
+
+// route is one row of a server's v1 route table. Pattern is the path
+// below APIPrefix (net/http ServeMux syntax, wildcards included); the
+// table is the single source of truth for Handler construction, the
+// completeness tests, and the README's API table.
+type route struct {
+	Method  string
+	Pattern string
+	Lock    lockMode
+	Handler http.HandlerFunc
+}
+
+// Path returns the route's full versioned path.
+func (rt route) Path() string { return APIPrefix + rt.Pattern }
+
+// mountRoutes registers the table on mux under APIPrefix, wrapping
+// each handler in the requested lock via wrap, and installs the legacy
+// /api/... 308 redirects plus envelope-speaking 404s for everything
+// else.
+func mountRoutes(mux *http.ServeMux, routes []route, wrap func(lockMode, http.HandlerFunc) http.HandlerFunc) {
+	for _, rt := range routes {
+		mux.HandleFunc(rt.Method+" "+rt.Path(), wrap(rt.Lock, rt.Handler))
+	}
+	mux.HandleFunc("/api/", legacyRedirect)
+	mux.HandleFunc("/", notFound)
+}
+
+// legacyRedirect preserves the pre-v1 surface: any /api/... path that
+// is not under /api/v1/ permanently redirects (308, method and body
+// preserved) to its /api/v1/... successor. Unknown /api/v1/ paths get
+// the envelope 404 instead of net/http's plain-text one. The legacy
+// paths are deprecated; see DESIGN.md for the removal window.
+func legacyRedirect(w http.ResponseWriter, r *http.Request) {
+	p := r.URL.Path
+	if p == APIPrefix || strings.HasPrefix(p, APIPrefix+"/") {
+		notFound(w, r)
+		return
+	}
+	target := APIPrefix + strings.TrimPrefix(p, "/api")
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+target+">; rel=\"successor-version\"")
+	http.Redirect(w, r, target, http.StatusPermanentRedirect)
+}
+
+func notFound(w http.ResponseWriter, r *http.Request) {
+	writeErr(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s %s", r.Method, r.URL.Path))
+}

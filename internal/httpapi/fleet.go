@@ -1,0 +1,350 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/fleet"
+	"repro/internal/intent"
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// FleetServer is the control plane of a multi-host daemon: one ihnetd
+// process managing N simulated hosts, advanced concurrently by the
+// fleet runner's epoch barriers. It speaks the same v1 contract as the
+// single-host Server — every endpoint under /api/v1/, the typed error
+// envelope, legacy /api/... 308 redirects, 499 on client abort — with
+// the fleet verbs (place, migrate, rebalance, per-host checkpointing)
+// layered on top.
+//
+// One RWMutex serializes the fleet: the runner is not safe for
+// concurrent use, and placement/migration decisions must observe hosts
+// parked at an epoch barrier, not mid-advance.
+type FleetServer struct {
+	mu      sync.RWMutex
+	fleet   *fleet.Fleet
+	runner  *fleet.Runner
+	reg     *obs.Registry
+	started time.Time
+}
+
+// NewFleetServer builds the fleet control plane. A nil cfg.Registry is
+// replaced with a fresh one so /metrics always has a surface to serve.
+func NewFleetServer(f *fleet.Fleet, cfg fleet.RunnerConfig) *FleetServer {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	return &FleetServer{
+		fleet:   f,
+		runner:  fleet.NewRunner(f, cfg),
+		reg:     cfg.Registry,
+		started: time.Now(),
+	}
+}
+
+// Fleet returns the underlying fleet (the daemon's shutdown path walks
+// it to stop every manager).
+func (s *FleetServer) Fleet() *fleet.Fleet { return s.fleet }
+
+// Workers returns the runner's resolved worker count (GOMAXPROCS when
+// the config left it zero).
+func (s *FleetServer) Workers() int { return s.runner.Workers() }
+
+// Advance moves the whole fleet forward by d under the server's lock —
+// the daemon's auto-advance loop drives this.
+func (s *FleetServer) Advance(d simtime.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.runner.RunFor(nil, d)
+}
+
+// apiRoutes is the fleet daemon's v1 route table. Everything that
+// touches simulation state (including "reads" that settle lazy fabric
+// accounting, like pressure and usage reports) takes the write lock;
+// only healthz, which reads clocks and counts, shares the read lock.
+func (s *FleetServer) apiRoutes() []route {
+	return []route{
+		{"GET", "/fleet/hosts", lockWrite, s.getHosts},
+		{"GET", "/fleet/report", lockWrite, s.getFleetReport},
+		{"POST", "/fleet/advance", lockWrite, s.postFleetAdvance},
+		{"POST", "/fleet/tenants", lockWrite, s.postPlace},
+		{"DELETE", "/fleet/tenants/{id}", lockWrite, s.deleteFleetTenant},
+		{"POST", "/fleet/tenants/{id}/migrate", lockWrite, s.postMigrate},
+		{"POST", "/fleet/rebalance", lockWrite, s.postRebalance},
+		{"POST", "/fleet/hosts/{host}/snapshot", lockWrite, s.postHostSnapshot},
+		{"GET", "/fleet/hosts/{host}/journal", lockRead, s.getHostJournal},
+		{"GET", "/healthz", lockRead, s.getFleetHealthz},
+	}
+}
+
+// Handler returns the fleet mux: the v1 table, legacy redirects, the
+// fleet runner's metrics at /metrics, and pprof.
+func (s *FleetServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mountRoutes(mux, s.apiRoutes(), s.wrap)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *FleetServer) wrap(lock lockMode, h http.HandlerFunc) http.HandlerFunc {
+	switch lock {
+	case lockRead:
+		return func(w http.ResponseWriter, r *http.Request) {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			if err := r.Context().Err(); err != nil {
+				writeErr(w, StatusClientClosedRequest, err)
+				return
+			}
+			h(w, r)
+		}
+	case lockWrite:
+		return func(w http.ResponseWriter, r *http.Request) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if err := r.Context().Err(); err != nil {
+				writeErr(w, StatusClientClosedRequest, err)
+				return
+			}
+			h(w, r)
+		}
+	}
+	return h
+}
+
+type fleetHostDTO struct {
+	Name          string  `json:"name"`
+	VirtualTimeNs int64   `json:"virtual_time_ns"`
+	Pressure      float64 `json:"pressure"`
+	Tenants       int     `json:"tenants"`
+	Detections    int     `json:"detections"`
+	Quarantined   string  `json:"quarantined,omitempty"`
+}
+
+func (s *FleetServer) hostDTOs() []fleetHostDTO {
+	failed := s.runner.Failed()
+	out := make([]fleetHostDTO, 0, len(s.fleet.Hosts()))
+	for _, h := range s.fleet.Hosts() {
+		d := fleetHostDTO{
+			Name:          h.Name,
+			VirtualTimeNs: int64(h.Mgr.Engine().Now()),
+			Pressure:      h.Pressure(),
+			Tenants:       len(h.Mgr.Tenants()),
+			Detections:    len(h.Mgr.Anomaly().Detections()),
+		}
+		if err := failed[h.Name]; err != nil {
+			d.Quarantined = err.Error()
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (s *FleetServer) getHosts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.hostDTOs())
+}
+
+func (s *FleetServer) getFleetReport(w http.ResponseWriter, _ *http.Request) {
+	type tenantDTO struct {
+		ID   string `json:"id"`
+		Host string `json:"host"`
+	}
+	tenants := []tenantDTO{}
+	for _, h := range s.fleet.Hosts() {
+		for _, rec := range h.Mgr.Tenants() {
+			tenants = append(tenants, tenantDTO{ID: string(rec.ID), Host: h.Name})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"virtual_time_ns": int64(s.runner.Now()),
+		"workers":         s.runner.Workers(),
+		"epoch_ns":        int64(s.runner.Epoch()),
+		"hosts":           s.hostDTOs(),
+		"tenants":         tenants,
+	})
+}
+
+// postFleetAdvance advances all live hosts to a shared barrier. The
+// request context flows into the runner: a client that disconnects
+// aborts the run at the next epoch barrier — the fleet is never left
+// mid-epoch — and gets the 499 envelope.
+func (s *FleetServer) postFleetAdvance(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Micros int64 `json:"micros"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Micros <= 0 || req.Micros > 10_000_000 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("micros must be in (0, 1e7]"))
+		return
+	}
+	rep, err := s.runner.RunFor(r.Context(), simtime.Duration(req.Micros)*simtime.Microsecond)
+	if rep.Aborted {
+		writeErr(w, StatusClientClosedRequest, err)
+		return
+	}
+	failed := make(map[string]string, len(rep.Failed))
+	for name, ferr := range rep.Failed {
+		failed[name] = ferr.Error()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"virtual_time_ns": int64(s.runner.Now()),
+		"epochs":          rep.Epochs,
+		"hosts_advanced":  rep.HostsAdvanced,
+		"failed":          failed,
+	})
+}
+
+// postPlace admits a tenant on the least-pressured host that accepts
+// it — the fleet-level counterpart of POST /api/v1/tenants.
+func (s *FleetServer) postPlace(w http.ResponseWriter, r *http.Request) {
+	var req admitDTO
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	targets := make([]intent.Target, 0, len(req.Targets))
+	for _, t := range req.Targets {
+		targets = append(targets, intent.Target{
+			Tenant: fabric.TenantID(req.Tenant),
+			Src:    topology.CompID(t.Src), Dst: topology.CompID(t.Dst),
+			Rate:       topology.Gbps(t.RateGbps),
+			MaxLatency: simtime.Duration(t.MaxLatNs),
+		})
+	}
+	view, host, err := s.fleet.Place(fabric.TenantID(req.Tenant), targets)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	out := viewDTO{Tenant: string(view.Tenant), Host: host.Name,
+		LinksBps: make(map[string]float64)}
+	for l, rate := range view.Reservation.Links {
+		out.LinksBps[string(l)] = float64(rate)
+	}
+	writeJSON(w, http.StatusCreated, out)
+}
+
+func (s *FleetServer) deleteFleetTenant(w http.ResponseWriter, r *http.Request) {
+	id := fabric.TenantID(r.PathValue("id"))
+	host, err := s.fleet.Evict(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"evicted": string(id), "host": host.Name,
+	})
+}
+
+// postMigrate re-admits the tenant on the named destination and evicts
+// it from its current host — the reconfiguration-free migration the
+// paper's virtual abstraction promises.
+func (s *FleetServer) postMigrate(w http.ResponseWriter, r *http.Request) {
+	id := fabric.TenantID(r.PathValue("id"))
+	var req struct {
+		Host string `json:"host"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Host == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("migrate needs a destination host"))
+		return
+	}
+	view, err := s.fleet.Migrate(id, req.Host)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	out := viewDTO{Tenant: string(view.Tenant), Host: req.Host,
+		LinksBps: make(map[string]float64)}
+	for l, rate := range view.Reservation.Links {
+		out.LinksBps[string(l)] = float64(rate)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *FleetServer) postRebalance(w http.ResponseWriter, _ *http.Request) {
+	rep := s.fleet.Rebalance()
+	moved := make(map[string]string, len(rep.Moved))
+	for tenant, host := range rep.Moved {
+		moved[string(tenant)] = host
+	}
+	failed := make([]string, 0, len(rep.Failed))
+	for _, tenant := range rep.Failed {
+		failed = append(failed, string(tenant))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"moved": moved, "failed": failed,
+	})
+}
+
+// postHostSnapshot checkpoints one host of the fleet. Fleet hosts
+// booted from -hosts-dir embed their spec document in the session
+// config, so the snapshot is self-describing: `ihdiag replay` can
+// verify it without the original directory.
+func (s *FleetServer) postHostSnapshot(w http.ResponseWriter, r *http.Request) {
+	h := s.fleet.Host(r.PathValue("host"))
+	if h == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown host %q", r.PathValue("host")))
+		return
+	}
+	if h.Sess == nil {
+		writeErr(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", h.Name+"-snapshot.json"))
+	if err := h.Sess.Snapshot(w); err != nil {
+		fmt.Fprintf(w, "\n{\"error\": %q}\n", err.Error())
+	}
+}
+
+func (s *FleetServer) getHostJournal(w http.ResponseWriter, r *http.Request) {
+	h := s.fleet.Host(r.PathValue("host"))
+	if h == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown host %q", r.PathValue("host")))
+		return
+	}
+	if h.Sess == nil {
+		writeErr(w, http.StatusNotFound, errNoSession)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	j := h.Sess.Journal()
+	_ = j.Encode(w)
+}
+
+func (s *FleetServer) getFleetHealthz(w http.ResponseWriter, _ *http.Request) {
+	quarantined := len(s.runner.Failed())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"mode":            "fleet",
+		"hosts":           len(s.fleet.Hosts()),
+		"quarantined":     quarantined,
+		"workers":         s.runner.Workers(),
+		"epoch_ns":        int64(s.runner.Epoch()),
+		"uptime_seconds":  time.Since(s.started).Seconds(),
+		"virtual_time_ns": int64(s.runner.Now()),
+	})
+}

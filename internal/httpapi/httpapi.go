@@ -5,18 +5,29 @@
 // anomaly detections, and run diagnostics, all against the simulated
 // host driven by explicit virtual-time advancement.
 //
+// Every JSON endpoint lives under the versioned prefix /api/v1/ and
+// every non-2xx response carries the single typed error envelope
+// {"error":{"code","message"}} (see envelope.go). The pre-v1 paths
+// (/api/...) remain as 308 Permanent Redirects to their /api/v1/
+// successors — method and body preserved — for one deprecation window;
+// DESIGN.md records the removal schedule. Handlers honor
+// r.Context(): a client that disconnects mid-operation gets a 499
+// envelope instead of a partial body, and long virtual-time advances
+// abort between slices.
+//
 // The simulation engine is single-threaded; an RWMutex serializes the
 // handlers — mutating endpoints (and "reads" that settle lazy fabric
 // accounting) take the write lock, immutable reads share the read lock
-// — and virtual time moves only via POST /api/advance (or the daemon's
-// optional auto-advance loop), so API interactions are deterministic
-// and replayable.
+// — and virtual time moves only via POST /api/v1/advance (or the
+// daemon's optional auto-advance loop), so API interactions are
+// deterministic and replayable.
 //
 // When the server is built over a snap.Session (NewWithSession), every
 // mutating command is journaled, and three more endpoints appear:
-// POST /api/snapshot (checkpoint), POST /api/restore (replace the live
-// host with one rebuilt from a snapshot), and GET /api/journal (the
-// recorded command log, ready for `ihdiag replay`).
+// POST /api/v1/snapshot (checkpoint), POST /api/v1/restore (replace
+// the live host with one rebuilt from a snapshot), and
+// GET /api/v1/journal (the recorded command log, ready for
+// `ihdiag replay`).
 package httpapi
 
 import (
@@ -85,44 +96,52 @@ func (s *Server) Advance(d simtime.Duration) {
 	s.mgr.RunFor(d)
 }
 
-// Handler returns the API mux.
+// apiRoutes is the server's v1 route table: the single source of
+// truth for Handler construction and for the route-completeness tests.
+// Patterns are paths below APIPrefix.
+//
+// Lock discipline: lockRead endpoints touch only immutable or
+// copy-on-read state. lockWrite endpoints either mutate outright or
+// are "reads" that settle lazy fabric accounting (report, usage,
+// verify, telemetry). lockNone endpoints (trace events, experiments)
+// synchronize on their own and never stall the simulation — a wedged
+// simulation never hides the evidence.
+func (s *Server) apiRoutes() []route {
+	return []route{
+		{"GET", "/topology", lockRead, s.getTopology},
+		{"GET", "/report", lockWrite, s.getReport},
+		{"GET", "/alerts", lockRead, s.getAlerts},
+		{"GET", "/detections", lockRead, s.getDetections},
+		{"GET", "/tenants", lockRead, s.getTenants},
+		{"POST", "/tenants", lockWrite, s.postTenant},
+		{"DELETE", "/tenants/{id}", lockWrite, s.deleteTenant},
+		{"POST", "/advance", lockWrite, s.postAdvance},
+		{"GET", "/diag/ping", lockWrite, s.getPing},
+		{"GET", "/diag/trace", lockWrite, s.getTrace},
+		{"GET", "/diag/perf", lockWrite, s.getPerf},
+		{"GET", "/telemetry", lockWrite, s.getTelemetry},
+		{"GET", "/tenants/{id}/verify", lockWrite, s.getVerify},
+		{"GET", "/tenants/{id}/usage", lockWrite, s.getTenantUsage},
+		{"GET", "/experiments/{id}", lockNone, s.getExperiment},
+		// Checkpoint/restore and the command journal (unavailable
+		// unless the server was built with NewWithSession). Snapshot
+		// takes the write lock: exporting state settles accounting.
+		{"POST", "/snapshot", lockWrite, s.postSnapshot},
+		{"POST", "/restore", lockWrite, s.postRestore},
+		{"GET", "/journal", lockRead, s.getJournal},
+		{"GET", "/trace/events", lockNone, s.getTraceEvents},
+		{"GET", "/healthz", lockRead, s.getHealthz},
+	}
+}
+
+// Handler returns the API mux: the v1 table under /api/v1/, legacy
+// /api/... 308 redirects, and the unversioned operational surface
+// (/metrics, /debug/pprof/) which skips the server lock — the registry
+// reads through the same atomics the writers use.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	// Read-lock endpoints touch only immutable or copy-on-read state.
-	// The rest take the write lock: they either mutate outright or are
-	// "reads" that settle lazy fabric accounting (report, usage,
-	// verify, telemetry) — see rlocked.
-	mux.HandleFunc("GET /api/topology", s.rlocked(s.getTopology))
-	mux.HandleFunc("GET /api/report", s.locked(s.getReport))
-	mux.HandleFunc("GET /api/alerts", s.rlocked(s.getAlerts))
-	mux.HandleFunc("GET /api/detections", s.rlocked(s.getDetections))
-	mux.HandleFunc("GET /api/tenants", s.rlocked(s.getTenants))
-	mux.HandleFunc("POST /api/tenants", s.locked(s.postTenant))
-	mux.HandleFunc("DELETE /api/tenants/{id}", s.locked(s.deleteTenant))
-	mux.HandleFunc("POST /api/advance", s.locked(s.postAdvance))
-	mux.HandleFunc("GET /api/diag/ping", s.locked(s.getPing))
-	mux.HandleFunc("GET /api/diag/trace", s.locked(s.getTrace))
-	mux.HandleFunc("GET /api/diag/perf", s.locked(s.getPerf))
-	mux.HandleFunc("GET /api/telemetry", s.locked(s.getTelemetry))
-	mux.HandleFunc("GET /api/tenants/{id}/verify", s.locked(s.getVerify))
-	mux.HandleFunc("GET /api/tenants/{id}/usage", s.locked(s.getTenantUsage))
-	mux.HandleFunc("GET /api/experiments/{id}", s.getExperiment) // self-contained
-	// Checkpoint/restore and the command journal (404 unless the
-	// server was built with NewWithSession). Snapshot takes the write
-	// lock: exporting state settles fabric accounting.
-	mux.HandleFunc("POST /api/snapshot", s.locked(s.postSnapshot))
-	mux.HandleFunc("POST /api/restore", s.locked(s.postRestore))
-	mux.HandleFunc("GET /api/journal", s.rlocked(s.getJournal))
-	// Observability. /metrics and /api/trace/events deliberately skip
-	// the server lock: the registry reads through the same atomics the
-	// writers use and the tracer takes its own short mutex, so scrapes
-	// never stall the simulation (and a wedged simulation never hides
-	// the evidence).
+	mountRoutes(mux, s.apiRoutes(), s.wrap)
 	mux.HandleFunc("GET /metrics", s.getMetrics)
-	mux.HandleFunc("GET /api/trace/events", s.getTraceEvents)
-	mux.HandleFunc("GET /api/healthz", s.rlocked(s.getHealthz))
-	// Profiling: the pprof mux entries, reachable without the server
-	// lock for the same reason.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -131,35 +150,34 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) locked(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		h(w, r)
+// wrap applies the route's lock mode. Both lock paths re-check the
+// request context after acquiring: a client that gave up while queued
+// behind a long advance gets the 499 envelope instead of a handler
+// run it will never read.
+func (s *Server) wrap(lock lockMode, h http.HandlerFunc) http.HandlerFunc {
+	switch lock {
+	case lockRead:
+		return func(w http.ResponseWriter, r *http.Request) {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			if err := r.Context().Err(); err != nil {
+				writeErr(w, StatusClientClosedRequest, err)
+				return
+			}
+			h(w, r)
+		}
+	case lockWrite:
+		return func(w http.ResponseWriter, r *http.Request) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if err := r.Context().Err(); err != nil {
+				writeErr(w, StatusClientClosedRequest, err)
+				return
+			}
+			h(w, r)
+		}
 	}
-}
-
-// rlocked shares the lock between concurrent readers. Only endpoints
-// that never mutate simulation state qualify — note that several
-// "read" endpoints do NOT: UsageReport, tenant usage, verification and
-// telemetry all trigger the fabric's lazy settleAccounting, which
-// writes. Those stay on the write lock.
-func (s *Server) rlocked(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		h(w, r)
-	}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	return h
 }
 
 // DTOs.
@@ -371,15 +389,40 @@ func (s *Server) postAdvance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("micros must be in (0, 1e7]"))
 		return
 	}
-	if s.sess != nil {
-		if err := s.sess.Advance(simtime.Duration(req.Micros) * simtime.Microsecond); err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+	// Advance in millisecond slices, checking for client cancellation
+	// between them: a long advance aborts with the 499 envelope
+	// instead of a partial body. Sliced session advances coalesce in
+	// the journal, so replay semantics are unchanged.
+	total := simtime.Duration(req.Micros) * simtime.Microsecond
+	for done := simtime.Duration(0); done < total; {
+		if err := r.Context().Err(); err != nil {
+			writeErr(w, StatusClientClosedRequest, err)
 			return
 		}
-	} else {
-		s.mgr.RunFor(simtime.Duration(req.Micros) * simtime.Microsecond)
+		step := min(simtime.Millisecond, total-done)
+		if s.sess != nil {
+			if err := s.sess.Advance(step); err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+		} else {
+			s.mgr.RunFor(step)
+		}
+		done += step
 	}
 	writeJSON(w, http.StatusOK, map[string]int64{"virtual_time_ns": int64(s.mgr.Engine().Now())})
+}
+
+// driveProbe advances virtual time in bounded slices until the probe
+// callback fires, aborting between slices when the client goes away.
+func (s *Server) driveProbe(r *http.Request, done *bool) error {
+	for i := 0; i < 1000 && !*done; i++ {
+		if err := r.Context().Err(); err != nil {
+			return err
+		}
+		s.mgr.RunFor(10 * simtime.Microsecond)
+	}
+	return nil
 }
 
 func (s *Server) getPing(w http.ResponseWriter, r *http.Request) {
@@ -400,8 +443,9 @@ func (s *Server) getPing(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		for i := 0; i < 1000 && !done; i++ {
-			s.mgr.RunFor(10 * simtime.Microsecond)
+		if err := s.driveProbe(r, &done); err != nil {
+			writeErr(w, StatusClientClosedRequest, err)
+			return
 		}
 		if !done {
 			writeErr(w, http.StatusInternalServerError, fmt.Errorf("ping did not complete"))
@@ -435,8 +479,9 @@ func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		for i := 0; i < 1000 && !done; i++ {
-			s.mgr.RunFor(10 * simtime.Microsecond)
+		if err := s.driveProbe(r, &done); err != nil {
+			writeErr(w, StatusClientClosedRequest, err)
+			return
 		}
 		if !done {
 			writeErr(w, http.StatusInternalServerError, fmt.Errorf("trace did not complete"))
@@ -477,8 +522,9 @@ func (s *Server) getPerf(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		for i := 0; i < 1000 && !done; i++ {
-			s.mgr.RunFor(10 * simtime.Microsecond)
+		if err := s.driveProbe(r, &done); err != nil {
+			writeErr(w, StatusClientClosedRequest, err)
+			return
 		}
 		if !done {
 			writeErr(w, http.StatusInternalServerError, fmt.Errorf("perf did not complete"))

@@ -151,11 +151,11 @@ func TestAdmitRejectedOverHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var e map[string]string
+	var e ErrorBody
 	_ = json.NewDecoder(resp.Body).Decode(&e)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict || e["error"] == "" {
-		t.Fatalf("status %d, err %q", resp.StatusCode, e["error"])
+	if resp.StatusCode != http.StatusConflict || e.Error.Code != CodeConflict || e.Error.Message == "" {
+		t.Fatalf("status %d, envelope %+v", resp.StatusCode, e)
 	}
 }
 

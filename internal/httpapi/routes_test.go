@@ -1,0 +1,170 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/topology"
+)
+
+// TestAllRoutesVersioned walks both route tables (single-host and
+// fleet) and asserts the v1 invariants: every JSON endpoint mounts
+// under /api/v1/, patterns are well-formed, and no method+path pair is
+// registered twice.
+func TestAllRoutesVersioned(t *testing.T) {
+	mgr, err := core.New(topology.TwoSocketServer(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := map[string][]route{
+		"host":  New(mgr).apiRoutes(),
+		"fleet": NewFleetServer(fleet.New(), fleet.RunnerConfig{}).apiRoutes(),
+	}
+	for name, routes := range tables {
+		if len(routes) == 0 {
+			t.Fatalf("%s: empty route table", name)
+		}
+		seen := make(map[string]bool)
+		for _, rt := range routes {
+			if !strings.HasPrefix(rt.Path(), APIPrefix+"/") {
+				t.Errorf("%s: route %s %s escapes the version prefix", name, rt.Method, rt.Path())
+			}
+			if !strings.HasPrefix(rt.Pattern, "/") || strings.HasSuffix(rt.Pattern, "/") {
+				t.Errorf("%s: malformed pattern %q", name, rt.Pattern)
+			}
+			key := rt.Method + " " + rt.Pattern
+			if seen[key] {
+				t.Errorf("%s: duplicate route %s", name, key)
+			}
+			seen[key] = true
+			if rt.Handler == nil {
+				t.Errorf("%s: route %s has no handler", name, key)
+			}
+		}
+	}
+}
+
+// TestLegacyRedirects hits the pre-v1 path of every wildcard-free
+// route with a non-following client and checks the 308 contract:
+// Location points at the /api/v1/ successor, the query survives, and
+// the deprecation headers are present.
+func TestLegacyRedirects(t *testing.T) {
+	s, ts := newServer(t)
+	noFollow := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	for _, rt := range s.apiRoutes() {
+		if strings.Contains(rt.Pattern, "{") {
+			continue
+		}
+		legacy := "/api" + rt.Pattern + "?probe=1"
+		req, err := http.NewRequest(rt.Method, ts.URL+legacy, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := noFollow.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("%s %s: status %d, want 308", rt.Method, legacy, resp.StatusCode)
+			continue
+		}
+		want := rt.Path() + "?probe=1"
+		if loc := resp.Header.Get("Location"); loc != want {
+			t.Errorf("%s %s: Location %q, want %q", rt.Method, legacy, loc, want)
+		}
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s %s: missing Deprecation header", rt.Method, legacy)
+		}
+	}
+}
+
+// TestLegacyRedirectResolves follows a legacy path end-to-end: the
+// default client traverses the 308 and lands on the live v1 handler.
+func TestLegacyRedirectResolves(t *testing.T) {
+	_, ts := newServer(t)
+	var topo struct {
+		Name string `json:"name"`
+	}
+	if code := getJSON(t, ts.URL+"/api/topology", &topo); code != http.StatusOK {
+		t.Fatalf("legacy /api/topology resolved with %d", code)
+	}
+	if topo.Name == "" {
+		t.Fatal("legacy redirect lost the response body")
+	}
+}
+
+func decodeEnvelope(t *testing.T, resp *http.Response) ErrorDetail {
+	t.Helper()
+	defer resp.Body.Close()
+	var e ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error response is not the v1 envelope: %v", err)
+	}
+	if e.Error.Code == "" || e.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %+v", e)
+	}
+	return e.Error
+}
+
+// TestErrorEnvelope checks that the typed envelope — and the right
+// code — comes back on each error class.
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := newServer(t)
+	cases := []struct {
+		method, path, body string
+		status             int
+		code               string
+	}{
+		{"POST", "/api/v1/advance", `{"micros":-5}`, http.StatusBadRequest, CodeBadRequest},
+		{"GET", "/api/v1/tenants/ghost/verify", "", http.StatusNotFound, CodeNotFound},
+		{"DELETE", "/api/v1/tenants/ghost", "", http.StatusNotFound, CodeNotFound},
+		{"POST", "/api/v1/snapshot", "", http.StatusNotFound, CodeNotFound}, // no session
+		{"GET", "/api/v1/no-such-endpoint", "", http.StatusNotFound, CodeNotFound},
+		{"GET", "/definitely-not-api", "", http.StatusNotFound, CodeNotFound},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.status)
+		}
+		if detail := decodeEnvelope(t, resp); detail.Code != tc.code {
+			t.Errorf("%s %s: code %q, want %q", tc.method, tc.path, detail.Code, tc.code)
+		}
+	}
+}
+
+// TestCanceledRequestGets499 drives the handler directly with an
+// already-canceled context: the lock wrapper must answer with the 499
+// envelope instead of running the handler.
+func TestCanceledRequestGets499(t *testing.T) {
+	s, _ := newServer(t)
+	h := s.Handler()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/api/v1/report", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status %d, want 499", rec.Code)
+	}
+	var e ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error.Code != CodeCanceled {
+		t.Fatalf("body %q, want canceled envelope", rec.Body.String())
+	}
+}
