@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-smoke check clean
+.PHONY: all build vet fmt test race bench bench-smoke bench-json check clean
 
 all: check
 
@@ -37,6 +37,18 @@ bench-smoke:
 	$(GO) test -bench BenchmarkObsFabricHotPath -benchtime 1x -run '^$$' .
 	$(GO) test -bench BenchmarkSnapshotRoundTrip -benchtime 1x -run '^$$' ./internal/snap
 	$(GO) test -bench 'BenchmarkFleetRunFor/hosts=64' -benchtime 1x -run '^$$' ./internal/fleet
+	$(GO) test -bench 'BenchmarkFabricFlowChurn/flows=1000$$' -benchtime 1x -benchmem -run '^$$' ./internal/fabric
+	$(GO) test -bench BenchmarkFabricRecomputeSteadyState -benchtime 1x -benchmem -run '^$$' ./internal/fabric
+
+# Benchmark trajectory gate: run the fabric hot-path benchmarks, fold
+# the results into BENCH_fabric.json (the committed baseline section is
+# preserved; current is overwritten), and fail if any allocation budget
+# is exceeded — most importantly, the steady-state recompute must stay
+# at 0 allocs/op. Timing numbers are recorded but not gated: they are
+# machine-dependent, allocation counts are not.
+bench-json:
+	$(GO) test -bench 'BenchmarkFabric(FlowChurn|RecomputeSteadyState)' -benchtime 100x -benchmem -run '^$$' ./internal/fabric \
+		| $(GO) run ./cmd/benchjson -out BENCH_fabric.json
 
 # The full gate: formatting, static analysis, build, and the race-enabled
 # test suite. CI and pre-commit should run this.

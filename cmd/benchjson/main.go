@@ -1,0 +1,176 @@
+// Command benchjson turns `go test -bench -benchmem` output into a
+// committed benchmark-trajectory file and enforces the fabric's
+// allocation budgets.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkFabric...' -benchmem -run '^$' ./internal/fabric | benchjson -out BENCH_fabric.json
+//
+// The output file keeps two sections: "baseline" (the numbers captured
+// when the file was first generated — for the fabric, the
+// pre-incremental-engine implementation) and "current" (overwritten on
+// every run). An existing baseline is never touched, so the file
+// records the perf trajectory across the optimization, not just the
+// latest numbers.
+//
+// Timing numbers are machine-dependent, so CI gates only on the
+// allocation counts, which are deterministic for a deterministic
+// simulator: if a benchmark listed in allocBudgets exceeds its budget,
+// benchjson exits non-zero and prints the violation.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// allocBudgets is the committed allocation budget, keyed by benchmark
+// name with the GOMAXPROCS suffix stripped. The steady-state recompute
+// budget is the whole point of the incremental engine: zero.
+var allocBudgets = map[string]int64{
+	"BenchmarkFabricRecomputeSteadyState":  0,
+	"BenchmarkFabricFlowChurn/flows=100":   64,
+	"BenchmarkFabricFlowChurn/flows=1000":  64,
+	"BenchmarkFabricFlowChurn/flows=10000": 64,
+}
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the committed benchmark-trajectory document.
+type File struct {
+	Schema       int               `json:"schema"`
+	BaselineNote string            `json:"baseline_note,omitempty"`
+	Baseline     map[string]Result `json:"baseline"`
+	Current      map[string]Result `json:"current"`
+	AllocBudgets map[string]int64  `json:"alloc_budgets"`
+}
+
+// gomaxprocsSuffix strips the trailing "-N" procs decoration Go
+// appends to benchmark names, so names are machine-independent keys.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts results from `go test -bench` output lines of
+// the form:
+//
+//	BenchmarkName-16  100  12345 ns/op  678 B/op  9 allocs/op
+func parseBench(lines []string) (map[string]Result, error) {
+	out := make(map[string]Result)
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				r.NsPerOp, err = strconv.ParseFloat(v, 64)
+			case "B/op":
+				r.BytesPerOp, err = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, err = strconv.ParseInt(v, 10, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad %s value %q in %q", unit, v, line)
+			}
+		}
+		out[name] = r
+	}
+	return out, nil
+}
+
+func run(out, note string) error {
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		lines = append(lines, line)
+		fmt.Println(line) // pass through so CI logs keep the raw output
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	current, err := parseBench(lines)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("benchjson: no benchmark results on stdin")
+	}
+
+	doc := File{Schema: 1, BaselineNote: note}
+	if raw, err := os.ReadFile(out); err == nil {
+		var prev File
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return fmt.Errorf("benchjson: existing %s is not valid: %w", out, err)
+		}
+		doc.Baseline = prev.Baseline
+		if prev.BaselineNote != "" {
+			doc.BaselineNote = prev.BaselineNote
+		}
+	}
+	if len(doc.Baseline) == 0 {
+		// First capture: the trajectory starts here.
+		doc.Baseline = current
+	}
+	doc.Current = current
+	doc.AllocBudgets = allocBudgets
+
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", out, len(current))
+
+	violations := 0
+	for name, budget := range allocBudgets {
+		r, ok := current[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: budgeted benchmark missing from input\n", name)
+			violations++
+			continue
+		}
+		if r.AllocsPerOp > budget {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %d allocs/op exceeds budget %d\n",
+				name, r.AllocsPerOp, budget)
+			violations++
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("benchjson: %d allocation budget violation(s)", violations)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: all allocation budgets met")
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_fabric.json", "trajectory file to write")
+	note := flag.String("note", "", "baseline annotation (kept from existing file if set there)")
+	flag.Parse()
+	if err := run(*out, *note); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

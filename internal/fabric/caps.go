@@ -20,6 +20,11 @@ func (f *Fabric) SetTenantCap(link topology.LinkID, tenant TenantID, cap topolog
 	if cap < 0 {
 		return fmt.Errorf("fabric: negative cap for %s on %s", tenant, link)
 	}
+	if _, existed := ls.caps[tenant]; !existed {
+		// A new (link, tenant) cap adds a constraint; a value change on
+		// an existing one is refreshed in place by computeRates.
+		f.scr.consValid = false
+	}
 	ls.caps[tenant] = cap
 	f.markDirty()
 	return nil
@@ -34,6 +39,7 @@ func (f *Fabric) ClearTenantCap(link topology.LinkID, tenant TenantID) error {
 	}
 	if _, ok := ls.caps[tenant]; ok {
 		delete(ls.caps, tenant)
+		f.scr.consValid = false
 		f.markDirty()
 	}
 	return nil
@@ -52,13 +58,14 @@ func (f *Fabric) TenantCap(link topology.LinkID, tenant TenantID) (topology.Rate
 // ClearAllCaps removes every per-tenant cap on every link.
 func (f *Fabric) ClearAllCaps() {
 	changed := false
-	for _, ls := range f.links {
+	for _, ls := range f.linkList {
 		if len(ls.caps) > 0 {
 			ls.caps = make(map[TenantID]topology.Rate)
 			changed = true
 		}
 	}
 	if changed {
+		f.scr.consValid = false
 		f.markDirty()
 	}
 }
@@ -87,7 +94,7 @@ func (f *Fabric) TenantWeight(tenant TenantID) float64 {
 // a measure of arbiter state size.
 func (f *Fabric) CapCount() int {
 	n := 0
-	for _, ls := range f.links {
+	for _, ls := range f.linkList {
 		n += len(ls.caps)
 	}
 	return n

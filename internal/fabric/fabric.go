@@ -12,9 +12,10 @@
 package fabric
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/simtime"
 	"repro/internal/topology"
@@ -73,7 +74,16 @@ type linkState struct {
 	failed       bool
 	degradeFrac  float64 // 0 = healthy, 0.5 = half capacity lost
 
-	flows map[*Flow]struct{}
+	// flows crossing this link, ordered by ascending flow ID. IDs are
+	// allocated monotonically, so installs append and removals splice;
+	// every hot-path walk (accounting, max-min membership, stats)
+	// iterates in ID order for free, with no per-event sorting.
+	flows []*Flow
+
+	// memberDirty records that the flow set changed since the last
+	// computeRates pass, so currentRate must be resummed even when no
+	// surviving member's rate moved.
+	memberDirty bool
 
 	// inboundRootPort marks links carrying device-initiated traffic
 	// into a root port; such links pay the IOMMU translation cost when
@@ -90,20 +100,49 @@ type linkState struct {
 	currentRate topology.Rate // sum of allocated flow rates
 }
 
+// removeFlow splices fl out of the link's ID-ordered flow slice.
+func (ls *linkState) removeFlow(fl *Flow) {
+	i, ok := slices.BinarySearchFunc(ls.flows, fl.ID,
+		func(a *Flow, id FlowID) int { return cmp.Compare(a.ID, id) })
+	if !ok {
+		return
+	}
+	copy(ls.flows[i:], ls.flows[i+1:])
+	ls.flows[len(ls.flows)-1] = nil
+	ls.flows = ls.flows[:len(ls.flows)-1]
+}
+
 // Fabric simulates the intra-host network of one host.
 type Fabric struct {
 	topo   *topology.Topology
 	engine *simtime.Engine
 	cfg    Config
 
-	links        map[topology.LinkID]*linkState
-	flows        map[FlowID]*Flow
+	links map[topology.LinkID]*linkState
+	// linkList holds the links ordered by ID. The topology is immutable,
+	// so this is built once in New and every deterministic link walk
+	// reuses it allocation-free.
+	linkList []*linkState
+	flows    map[FlowID]*Flow
+	// flowList holds the active flows ordered by ID. IDs are allocated
+	// monotonically, so AddFlow appends and removal splices; hot-path
+	// walks need no sorting and no map iteration.
+	flowList     []*Flow
 	tenantWeight map[TenantID]float64
 	nextID       uint64
 	dirty        bool // rates need recomputation
 	inRecompute  bool
 	batching     bool // Batch() open: defer recomputation
 	txStats      TransactionStats
+
+	// completionFn is the shared callback armed for every sized flow's
+	// completion event; allocated once so re-arming allocates nothing.
+	completionFn func()
+	// doneScratch is reused by fireCompletions between recomputes.
+	doneScratch []*Flow
+
+	// scr holds the reusable max-min solver buffers (see maxmin.go).
+	scr maxminScratch
 
 	// sniffers receive a copy of every transaction record (ihsniff).
 	sniffers []func(TxRecord)
@@ -144,11 +183,21 @@ func New(topo *topology.Topology, engine *simtime.Engine, cfg Config) *Fabric {
 			inboundRootPort: inbound,
 			link:            l,
 			capacity:        cap,
-			flows:           make(map[*Flow]struct{}),
 			caps:            make(map[TenantID]topology.Rate),
 			tenantBytes:     make(map[TenantID]float64),
 			lastUpdate:      engine.Now(),
 		}
+	}
+	f.linkList = make([]*linkState, 0, len(f.links))
+	for _, ls := range f.links {
+		f.linkList = append(f.linkList, ls)
+	}
+	slices.SortFunc(f.linkList, func(a, b *linkState) int {
+		return cmp.Compare(a.link.ID, b.link.ID)
+	})
+	f.completionFn = func() {
+		f.dirty = true
+		f.recomputeIfDirty()
 	}
 	return f
 }
@@ -171,15 +220,9 @@ func (f *Fabric) state(id topology.LinkID) (*linkState, error) {
 }
 
 // sortedLinkStates returns link states ordered by link ID for
-// deterministic iteration.
-func (f *Fabric) sortedLinkStates() []*linkState {
-	out := make([]*linkState, 0, len(f.links))
-	for _, ls := range f.links {
-		out = append(out, ls)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].link.ID < out[j].link.ID })
-	return out
-}
+// deterministic iteration. The list is built once at construction (the
+// topology is immutable) and must not be mutated by callers.
+func (f *Fabric) sortedLinkStates() []*linkState { return f.linkList }
 
 // Utilization returns the link's current utilization in [0,1]: the sum
 // of allocated flow rates divided by effective capacity. Failed links

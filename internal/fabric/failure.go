@@ -2,7 +2,6 @@ package fabric
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/obs"
 	"repro/internal/simtime"
@@ -108,14 +107,14 @@ func (f *Fabric) LinkDegraded(id topology.LinkID) (float64, simtime.Duration) {
 
 // UnhealthyLinks returns the sorted IDs of links that are failed or
 // degraded. Used by tests and by experiment harnesses to compare
-// detector output with ground truth.
+// detector output with ground truth. linkList is ID-ordered, so the
+// result is sorted by construction.
 func (f *Fabric) UnhealthyLinks() []topology.LinkID {
 	var out []topology.LinkID
-	for id, ls := range f.links {
+	for _, ls := range f.linkList {
 		if ls.failed || ls.degradeFrac > 0 || ls.extraLatency > 0 {
-			out = append(out, id)
+			out = append(out, ls.link.ID)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

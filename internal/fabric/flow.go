@@ -1,9 +1,10 @@
 package fabric
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/obs"
 	"repro/internal/simtime"
@@ -42,6 +43,7 @@ type Flow struct {
 	started   simtime.Time
 	completed bool
 	removed   bool
+	idx       int // dense index into the fabric's flowList, refreshed per recompute
 	doneEv    simtime.EventHandle
 	fabric    *Fabric
 }
@@ -97,9 +99,17 @@ func (f *Fabric) AddFlow(fl *Flow) error {
 	fl.mark = fl.started
 	fl.remaining = float64(fl.Size)
 	f.flows[fl.ID] = fl
+	// IDs are monotonic, so appending keeps both the fabric-wide and
+	// the per-link flow lists ID-ordered. The new flow carries rate 0
+	// until the next recompute, so no accounting settle is needed here:
+	// its contribution to any pending accrual window is zero.
+	f.flowList = append(f.flowList, fl)
 	for _, l := range fl.Path.Links {
-		f.links[l.ID].flows[fl] = struct{}{}
+		ls := f.links[l.ID]
+		ls.flows = append(ls.flows, fl)
+		ls.memberDirty = true
 	}
+	f.scr.consValid = false
 	if f.met != nil {
 		f.met.flowsStarted.Inc()
 		f.met.flowsActive.Set(float64(len(f.flows)))
@@ -109,19 +119,37 @@ func (f *Fabric) AddFlow(fl *Flow) error {
 	return nil
 }
 
+// detachFlow unhooks a flow from the fabric's indexes, settling each
+// traversed link's byte accounting first so the flow's contribution up
+// to now is accrued at its pre-removal rate.
+func (f *Fabric) detachFlow(fl *Flow, now simtime.Time) {
+	delete(f.flows, fl.ID)
+	if i, ok := slices.BinarySearchFunc(f.flowList, fl.ID,
+		func(a *Flow, id FlowID) int { return cmp.Compare(a.ID, id) }); ok {
+		copy(f.flowList[i:], f.flowList[i+1:])
+		f.flowList[len(f.flowList)-1] = nil
+		f.flowList = f.flowList[:len(f.flowList)-1]
+	}
+	for _, l := range fl.Path.Links {
+		ls := f.links[l.ID]
+		f.settleLink(ls, now)
+		ls.removeFlow(fl)
+		ls.memberDirty = true
+	}
+	f.scr.consValid = false
+}
+
 // RemoveFlow detaches a flow and recomputes rates. Removing a flow
 // twice or removing a completed sized flow is a no-op.
 func (f *Fabric) RemoveFlow(fl *Flow) {
 	if fl == nil || fl.fabric != f || fl.removed {
 		return
 	}
-	f.settleAccounting()
+	now := f.engine.Now()
+	f.settleFlowProgress(now)
 	fl.removed = true
 	fl.doneEv.Cancel()
-	delete(f.flows, fl.ID)
-	for _, l := range fl.Path.Links {
-		delete(f.links[l.ID].flows, fl)
-	}
+	f.detachFlow(fl, now)
 	if f.met != nil {
 		f.met.flowsRemoved.Inc()
 		f.met.flowsActive.Set(float64(len(f.flows)))
@@ -137,6 +165,12 @@ func (f *Fabric) SetDemand(fl *Flow, demand topology.Rate) error {
 	}
 	if demand < 0 {
 		return fmt.Errorf("fabric: negative demand")
+	}
+	// A demand constraint exists exactly for flows with Demand > 0, so
+	// crossing zero changes the constraint structure; a value change on
+	// an existing constraint is refreshed in place by computeRates.
+	if (fl.Demand > 0) != (demand > 0) {
+		f.scr.consValid = false
 	}
 	fl.Demand = demand
 	f.markDirty()
@@ -174,12 +208,13 @@ func (f *Fabric) Batch(fn func()) {
 	f.recomputeIfDirty()
 }
 
-// recomputeIfDirty settles accounting, recomputes max-min rates, fires
-// any completions that settling revealed, and re-arms completion
-// events. Completions can cascade (OnComplete may add or remove
-// flows); the loop runs until the state is clean. Re-entrant calls
-// (from callbacks) return immediately; the outermost invocation
-// finishes the job.
+// recomputeIfDirty settles sized-flow progress, recomputes max-min
+// rates (settling byte accounting on every link whose allocation is
+// about to change), fires any completions that settling revealed, and
+// re-arms completion events. Completions can cascade (OnComplete may
+// add or remove flows); the loop runs until the state is clean.
+// Re-entrant calls (from callbacks) return immediately; the outermost
+// invocation finishes the job.
 func (f *Fabric) recomputeIfDirty() {
 	if f.inRecompute || f.batching {
 		return
@@ -188,7 +223,7 @@ func (f *Fabric) recomputeIfDirty() {
 	defer func() { f.inRecompute = false }()
 	for f.dirty {
 		f.dirty = false
-		f.settleAccounting()
+		f.settleFlowProgress(f.engine.Now())
 		f.observedComputeRates()
 		f.fireCompletions()
 		if f.dirty {
@@ -198,29 +233,44 @@ func (f *Fabric) recomputeIfDirty() {
 	}
 }
 
-// settleAccounting accrues per-link byte counts at current rates since
-// each link's last update, and advances sized-flow progress. It is
-// safe to call at any time; it never changes rates.
-//
-// Flows are accumulated in ID order, never map order: float addition
-// is not associative, so a map-ordered sum would leave ULP-level
-// differences between two otherwise identical runs — exactly the kind
-// of silent nondeterminism the snap divergence checker exists to
-// catch.
+// settleAccounting brings every link's byte counters and every sized
+// flow's progress up to now. It is safe to call at any time; it never
+// changes rates. The recompute path does not use this full walk: it
+// settles lazily — only links whose rates or membership are about to
+// change — and leaves the rest to accrue in one piece when a reader
+// (stats, snapshot export) asks.
 func (f *Fabric) settleAccounting() {
 	now := f.engine.Now()
-	for _, ls := range f.links {
-		dt := now.Sub(ls.lastUpdate).Seconds()
-		if dt > 0 && len(ls.flows) > 0 {
-			for _, fl := range sortedFlowSet(ls.flows) {
-				b := float64(fl.rate) * dt
-				ls.totalBytes += b
-				ls.tenantBytes[fl.Tenant] += b
-			}
-		}
-		ls.lastUpdate = now
+	for _, ls := range f.linkList {
+		f.settleLink(ls, now)
 	}
-	for _, fl := range f.flows {
+	f.settleFlowProgress(now)
+}
+
+// settleLink accrues the link's per-link and per-tenant byte counts at
+// current rates since its last update. Flows are accumulated in ID
+// order, never map order: float addition is not associative, so an
+// unordered sum would leave ULP-level differences between two
+// otherwise identical runs — exactly the kind of silent nondeterminism
+// the snap divergence checker exists to catch.
+func (f *Fabric) settleLink(ls *linkState, now simtime.Time) {
+	dt := now.Sub(ls.lastUpdate).Seconds()
+	if dt > 0 {
+		for _, fl := range ls.flows {
+			b := float64(fl.rate) * dt
+			ls.totalBytes += b
+			ls.tenantBytes[fl.Tenant] += b
+		}
+	}
+	ls.lastUpdate = now
+}
+
+// settleFlowProgress advances every sized flow's remaining-byte count
+// at its current rate since its last mark. Per-flow updates are
+// independent, so ID-order iteration here is for cache locality, not
+// determinism.
+func (f *Fabric) settleFlowProgress(now simtime.Time) {
+	for _, fl := range f.flowList {
 		if fl.Size > 0 && !fl.completed {
 			dt := now.Sub(fl.mark).Seconds()
 			if dt > 0 {
@@ -234,32 +284,16 @@ func (f *Fabric) settleAccounting() {
 	}
 }
 
-// sortedFlowSet returns the members of a flow set ordered by ID.
-func sortedFlowSet(set map[*Flow]struct{}) []*Flow {
-	out := make([]*Flow, 0, len(set))
-	for fl := range set {
-		out = append(out, fl)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
 // fireCompletions completes every sized flow whose remaining bytes
 // reached zero. Completion removes the flow and invokes OnComplete,
 // which may mutate the flow set (dirty handling is in the caller).
+// flowList is ID-ordered, so completions fire in deterministic ID
+// order by construction.
 func (f *Fabric) fireCompletions() {
-	var done []*Flow
-	for _, fl := range f.flows {
+	done := f.doneScratch[:0]
+	for _, fl := range f.flowList {
 		if fl.Size > 0 && !fl.completed && fl.remaining <= 0 {
 			done = append(done, fl)
-		}
-	}
-	// Deterministic completion order.
-	for i := 0; i < len(done); i++ {
-		for j := i + 1; j < len(done); j++ {
-			if done[j].ID < done[i].ID {
-				done[i], done[j] = done[j], done[i]
-			}
 		}
 	}
 	now := f.engine.Now()
@@ -267,10 +301,7 @@ func (f *Fabric) fireCompletions() {
 		fl.completed = true
 		fl.removed = true
 		fl.doneEv.Cancel()
-		delete(f.flows, fl.ID)
-		for _, l := range fl.Path.Links {
-			delete(f.links[l.ID].flows, fl)
-		}
+		f.detachFlow(fl, now)
 		if f.met != nil {
 			f.met.flowsCompleted.Inc()
 			f.met.flowsActive.Set(float64(len(f.flows)))
@@ -281,35 +312,32 @@ func (f *Fabric) fireCompletions() {
 			fl.OnComplete(now)
 		}
 	}
+	for i := range done {
+		done[i] = nil // release for GC; the scratch slice is long-lived
+	}
+	f.doneScratch = done[:0]
 }
 
 // armCompletions (re)schedules the completion event of every active
 // sized flow according to its current rate. Flows are visited in ID
-// order: each After() call allocates an engine sequence number, and
-// sequence numbers decide execution order between same-instant events,
-// so the visit order is part of the simulation's deterministic state.
+// order: each (re)arm consumes an engine sequence number, and sequence
+// numbers decide execution order between same-instant events, so the
+// visit order is part of the simulation's deterministic state. The
+// event object itself is reused across re-arms (Engine.Reschedule), so
+// the steady state allocates nothing.
 func (f *Fabric) armCompletions() {
-	ids := make([]FlowID, 0, len(f.flows))
-	for id := range f.flows {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		fl := f.flows[id]
+	for _, fl := range f.flowList {
 		if fl.Size == 0 || fl.completed {
 			continue
 		}
-		fl.doneEv.Cancel()
 		if fl.rate <= 0 {
+			fl.doneEv.Cancel()
 			continue // stalled; re-armed by the next recompute
 		}
 		eta := fl.rate.TimeToSend(int64(math.Ceil(fl.remaining)))
 		if eta < 1 {
 			eta = 1
 		}
-		fl.doneEv = f.engine.After(eta, func() {
-			f.dirty = true
-			f.recomputeIfDirty()
-		})
+		fl.doneEv = f.engine.Reschedule(fl.doneEv, f.engine.Now().Add(eta), f.completionFn)
 	}
 }

@@ -2,10 +2,110 @@ package fabric
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/topology"
 )
+
+// constraintKind classifies a max-min constraint.
+type constraintKind uint8
+
+const (
+	// consLink caps the sum of all flows crossing one directed link at
+	// its effective capacity.
+	consLink constraintKind = iota
+	// consTenantCap caps one tenant's flows on one link at the rate the
+	// arbiter installed.
+	consTenantCap
+	// consDemand caps a single flow at its own offered rate.
+	consDemand
+)
+
+func (k constraintKind) String() string {
+	switch k {
+	case consLink:
+		return "link"
+	case consTenantCap:
+		return "cap"
+	case consDemand:
+		return "demand"
+	}
+	return "unknown"
+}
+
+// constraintKey is the typed identity of one constraint — what used to
+// be a string-concatenation hack. Only the fields relevant to Kind are
+// set: Link for consLink, Link+Tenant for consTenantCap, Flow for
+// consDemand.
+type constraintKey struct {
+	Kind   constraintKind
+	Link   topology.LinkID
+	Tenant TenantID
+	Flow   FlowID
+}
+
+// constraint is one capacity constraint of the progressive-filling
+// system. Member flows are not stored per constraint: link constraints
+// borrow the link's ID-ordered flow slice, tenant-cap constraints
+// index into the solver's shared member arena, and demand constraints
+// bind a single flow. That keeps the constraint system reconstruction
+// allocation-free in the steady state.
+type constraint struct {
+	kind     constraintKind
+	capacity float64
+	ls       *linkState // consLink, consTenantCap
+	tenant   TenantID   // consTenantCap
+	off, n   int        // consTenantCap: members in scratch.memberIdx[off : off+n]
+	fl       *Flow      // consDemand
+}
+
+// key returns the constraint's typed identity, for tests and debugging.
+func (c *constraint) key() constraintKey {
+	k := constraintKey{Kind: c.kind}
+	switch c.kind {
+	case consLink:
+		k.Link = c.ls.link.ID
+	case consTenantCap:
+		k.Link = c.ls.link.ID
+		k.Tenant = c.tenant
+	case consDemand:
+		k.Flow = c.fl.ID
+	}
+	return k
+}
+
+// maxminScratch holds the solver's reusable buffers. Per-flow arrays
+// are indexed by the dense flow index (Flow.idx, the flow's position
+// in the fabric's ID-ordered flowList), not by maps keyed on IDs — a
+// recompute in the steady state touches no allocator at all.
+type maxminScratch struct {
+	// cons is the constraint system, rebuilt only when consValid is
+	// false (flow membership, cap key-set, or demand-existence change);
+	// capacities are refreshed in place on every pass.
+	cons      []constraint
+	consValid bool
+	// memberIdx is the arena of dense flow indices backing tenant-cap
+	// constraint membership.
+	memberIdx []int32
+	// active holds the indices of constraints that still have unfrozen
+	// members, compacted as constraints exhaust so late filling rounds
+	// stop scanning spent constraints.
+	active []int32
+	// Per-flow state, indexed by Flow.idx.
+	frozen []bool
+	alloc  []float64
+	effW   []float64
+	// tenants is reused when ordering a link's cap key-set.
+	tenants []TenantID
+	// changed collects the links whose allocation moved this pass.
+	changed []*linkState
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
 
 // computeRates allocates a rate to every active flow under weighted
 // max-min fairness by progressive filling.
@@ -21,147 +121,234 @@ import (
 // its still-unfrozen member flows is smallest — and freezes those
 // members at their weighted fair share. Effective weight is the flow's
 // Weight times its tenant's global weight.
+//
+// The iteration order of every loop here is part of the simulation's
+// deterministic contract: float accumulation is not associative, so
+// constraint order and member order must be fixed (link ID, tenant ID,
+// flow ID) or two identical runs would drift apart at ULP scale.
 func (f *Fabric) computeRates() {
-	type constraint struct {
-		key     string
-		cap     float64
-		members []*Flow
-	}
-	var cons []*constraint
+	now := f.engine.Now()
+	s := &f.scr
+	n := len(f.flowList)
 
-	for _, ls := range f.sortedLinkStates() {
-		if len(ls.flows) == 0 {
-			ls.currentRate = 0
-			continue
-		}
-		members := make([]*Flow, 0, len(ls.flows))
-		for fl := range ls.flows {
-			members = append(members, fl)
-		}
-		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
-		capacity := float64(ls.capacity)
-		if ls.failed {
-			capacity = 0
-		}
-		cons = append(cons, &constraint{
-			key:     "link:" + string(ls.link.ID),
-			cap:     capacity,
-			members: members,
-		})
-		// Tenant caps on this link.
-		tenants := make([]TenantID, 0, len(ls.caps))
-		for t := range ls.caps {
-			tenants = append(tenants, t)
-		}
-		sort.Slice(tenants, func(i, j int) bool { return tenants[i] < tenants[j] })
-		for _, t := range tenants {
-			var tm []*Flow
-			for _, fl := range members {
-				if fl.Tenant == t {
-					tm = append(tm, fl)
-				}
-			}
-			if len(tm) == 0 {
-				continue
-			}
-			cons = append(cons, &constraint{
-				key:     "cap:" + string(ls.link.ID) + ":" + string(t),
-				cap:     float64(ls.caps[t]),
-				members: tm,
-			})
-		}
+	// Refresh the dense index; removals shift positions.
+	for i, fl := range f.flowList {
+		fl.idx = i
 	}
-	// Flow demands.
-	flowIDs := make([]FlowID, 0, len(f.flows))
-	for id := range f.flows {
-		flowIDs = append(flowIDs, id)
+	if cap(s.frozen) < n {
+		s.frozen = make([]bool, n)
 	}
-	sort.Slice(flowIDs, func(i, j int) bool { return flowIDs[i] < flowIDs[j] })
-	for _, id := range flowIDs {
-		fl := f.flows[id]
-		if fl.Demand > 0 {
-			cons = append(cons, &constraint{
-				key:     "demand:" + string(rune(0)) + itoaFlow(id),
-				cap:     float64(fl.Demand),
-				members: []*Flow{fl},
-			})
-		}
-	}
-
-	frozen := make(map[FlowID]bool, len(f.flows))
-	alloc := make(map[FlowID]float64, len(f.flows))
-	effWeight := func(fl *Flow) float64 {
+	s.frozen = s.frozen[:n]
+	s.alloc = growFloats(s.alloc, n)
+	s.effW = growFloats(s.effW, n)
+	for i, fl := range f.flowList {
+		s.frozen[i] = false
+		s.alloc[i] = 0
 		w := fl.Weight
 		if tw, ok := f.tenantWeight[fl.Tenant]; ok && tw > 0 {
 			w *= tw
 		}
-		return w
+		s.effW[i] = w
 	}
 
-	for len(frozen) < len(f.flows) {
+	if !s.consValid {
+		f.rebuildConstraints()
+	}
+	// Capacities can move without structural change (degradation,
+	// failure, cap value updates, demand updates); refresh in place.
+	for i := range s.cons {
+		c := &s.cons[i]
+		switch c.kind {
+		case consLink:
+			if c.ls.failed {
+				c.capacity = 0
+			} else {
+				c.capacity = float64(c.ls.capacity)
+			}
+		case consTenantCap:
+			c.capacity = float64(c.ls.caps[c.tenant])
+		case consDemand:
+			c.capacity = float64(c.fl.Demand)
+		}
+	}
+
+	// Progressive filling. Constraints whose members are all frozen are
+	// compacted out of the active list — freezing is monotone, so a
+	// spent constraint can never become the bottleneck again.
+	s.active = s.active[:0]
+	for i := range s.cons {
+		s.active = append(s.active, int32(i))
+	}
+	frozenCount := 0
+	for frozenCount < n {
 		bestShare := math.Inf(1)
-		var best *constraint
-		for _, c := range cons {
-			remaining := c.cap
+		bestIdx := -1
+		w := 0
+		for _, ci := range s.active {
+			c := &s.cons[ci]
+			remaining := c.capacity
 			aw := 0.0
-			for _, fl := range c.members {
-				if frozen[fl.ID] {
-					remaining -= alloc[fl.ID]
-				} else {
-					aw += effWeight(fl)
+			switch c.kind {
+			case consLink:
+				for _, fl := range c.ls.flows {
+					if s.frozen[fl.idx] {
+						remaining -= s.alloc[fl.idx]
+					} else {
+						aw += s.effW[fl.idx]
+					}
+				}
+			case consTenantCap:
+				for _, mi := range s.memberIdx[c.off : c.off+c.n] {
+					if s.frozen[mi] {
+						remaining -= s.alloc[mi]
+					} else {
+						aw += s.effW[mi]
+					}
+				}
+			case consDemand:
+				if !s.frozen[c.fl.idx] {
+					aw = s.effW[c.fl.idx]
 				}
 			}
 			if aw == 0 {
-				continue
+				continue // spent: drop from the active list
 			}
+			s.active[w] = ci
+			w++
 			share := remaining / aw
 			if share < 0 {
 				share = 0
 			}
 			if share < bestShare {
 				bestShare = share
-				best = c
+				bestIdx = int(ci)
 			}
 		}
-		if best == nil {
+		s.active = s.active[:w]
+		if bestIdx < 0 {
 			// No constraint covers the remaining flows; cannot happen
 			// because every flow crosses at least one link. Freeze at
 			// zero defensively rather than looping forever.
-			for id := range f.flows {
-				if !frozen[id] {
-					frozen[id] = true
-					alloc[id] = 0
+			for i := range s.frozen {
+				if !s.frozen[i] {
+					s.frozen[i] = true
+					s.alloc[i] = 0
 				}
 			}
 			break
 		}
-		for _, fl := range best.members {
-			if !frozen[fl.ID] {
-				frozen[fl.ID] = true
-				alloc[fl.ID] = bestShare * effWeight(fl)
+		c := &s.cons[bestIdx]
+		switch c.kind {
+		case consLink:
+			for _, fl := range c.ls.flows {
+				if !s.frozen[fl.idx] {
+					s.frozen[fl.idx] = true
+					s.alloc[fl.idx] = bestShare * s.effW[fl.idx]
+					frozenCount++
+				}
+			}
+		case consTenantCap:
+			for _, mi := range s.memberIdx[c.off : c.off+c.n] {
+				if !s.frozen[mi] {
+					s.frozen[mi] = true
+					s.alloc[mi] = bestShare * s.effW[mi]
+					frozenCount++
+				}
+			}
+		case consDemand:
+			if idx := c.fl.idx; !s.frozen[idx] {
+				s.frozen[idx] = true
+				s.alloc[idx] = bestShare * s.effW[idx]
+				frozenCount++
 			}
 		}
 	}
 
-	for id, fl := range f.flows {
-		fl.rate = topology.Rate(alloc[id])
+	// Settle byte accounting on every link whose allocation is about to
+	// move (at the old rates, up to now), then install the new rates
+	// and resum the affected links' current rate in flow-ID order.
+	s.changed = s.changed[:0]
+	for _, ls := range f.linkList {
+		changed := ls.memberDirty
+		if !changed {
+			for _, fl := range ls.flows {
+				if float64(fl.rate) != s.alloc[fl.idx] {
+					changed = true
+					break
+				}
+			}
+		}
+		if changed {
+			f.settleLink(ls, now)
+			s.changed = append(s.changed, ls)
+		}
 	}
-	for _, ls := range f.links {
+	for i, fl := range f.flowList {
+		fl.rate = topology.Rate(s.alloc[i])
+	}
+	for i, ls := range s.changed {
 		var sum topology.Rate
-		for fl := range ls.flows {
+		for _, fl := range ls.flows {
 			sum += fl.rate
 		}
 		ls.currentRate = sum
+		ls.memberDirty = false
+		s.changed[i] = nil // release for GC; the scratch slice is long-lived
 	}
+	s.changed = s.changed[:0]
 }
 
-func itoaFlow(id FlowID) string {
-	// Zero-padded so lexicographic order matches numeric order.
-	const digits = 20
-	var buf [digits]byte
-	for i := digits - 1; i >= 0; i-- {
-		buf[i] = byte('0' + id%10)
-		id /= 10
+// rebuildConstraints reconstructs the constraint system from scratch:
+// per link (in ID order) the link-capacity constraint followed by its
+// tenant-cap constraints (in tenant order), then per flow (in ID
+// order) its demand constraint. Buffers are reused; after warm-up a
+// rebuild allocates nothing.
+func (f *Fabric) rebuildConstraints() {
+	s := &f.scr
+	s.cons = s.cons[:0]
+	s.memberIdx = s.memberIdx[:0]
+	for _, ls := range f.linkList {
+		if len(ls.flows) == 0 {
+			continue
+		}
+		s.cons = append(s.cons, constraint{kind: consLink, ls: ls})
+		if len(ls.caps) == 0 {
+			continue
+		}
+		s.tenants = s.tenants[:0]
+		for t := range ls.caps {
+			s.tenants = append(s.tenants, t)
+		}
+		sortTenants(s.tenants)
+		for _, t := range s.tenants {
+			off := len(s.memberIdx)
+			for _, fl := range ls.flows {
+				if fl.Tenant == t {
+					s.memberIdx = append(s.memberIdx, int32(fl.idx))
+				}
+			}
+			if nm := len(s.memberIdx) - off; nm > 0 {
+				s.cons = append(s.cons, constraint{
+					kind: consTenantCap, ls: ls, tenant: t, off: off, n: nm,
+				})
+			}
+		}
 	}
-	return string(buf[:])
+	for _, fl := range f.flowList {
+		if fl.Demand > 0 {
+			s.cons = append(s.cons, constraint{kind: consDemand, fl: fl})
+		}
+	}
+	s.consValid = true
+}
+
+// sortTenants orders a small tenant slice in place (insertion sort: the
+// cap key-set of one link is tiny, and this avoids the closure
+// allocation of sort.Slice on the recompute path).
+func sortTenants(ts []TenantID) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
 }

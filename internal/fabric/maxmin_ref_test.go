@@ -1,0 +1,254 @@
+package fabric
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// referenceComputeRates is the pre-optimization progressive-filling
+// solver, kept verbatim (maps keyed by flow ID, string constraint
+// keys, per-call sorting) as the differential oracle for the
+// incremental engine. It reads the fabric's state but writes nothing;
+// it returns the allocation it would have installed.
+//
+// Both implementations order constraints and members identically (link
+// ID, tenant ID, flow ID) and perform float operations in the same
+// order, so the comparison below demands exact equality, not epsilon
+// closeness.
+func referenceComputeRates(f *Fabric) map[FlowID]float64 {
+	type constraint struct {
+		key     string
+		cap     float64
+		members []*Flow
+	}
+	var cons []*constraint
+
+	for _, ls := range f.sortedLinkStates() {
+		if len(ls.flows) == 0 {
+			continue
+		}
+		members := make([]*Flow, len(ls.flows))
+		copy(members, ls.flows)
+		sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+		capacity := float64(ls.capacity)
+		if ls.failed {
+			capacity = 0
+		}
+		cons = append(cons, &constraint{
+			key:     "link:" + string(ls.link.ID),
+			cap:     capacity,
+			members: members,
+		})
+		tenants := make([]TenantID, 0, len(ls.caps))
+		for t := range ls.caps {
+			tenants = append(tenants, t)
+		}
+		sort.Slice(tenants, func(i, j int) bool { return tenants[i] < tenants[j] })
+		for _, t := range tenants {
+			var tm []*Flow
+			for _, fl := range members {
+				if fl.Tenant == t {
+					tm = append(tm, fl)
+				}
+			}
+			if len(tm) == 0 {
+				continue
+			}
+			cons = append(cons, &constraint{
+				key:     "cap:" + string(ls.link.ID) + ":" + string(t),
+				cap:     float64(ls.caps[t]),
+				members: tm,
+			})
+		}
+	}
+	flowIDs := make([]FlowID, 0, len(f.flows))
+	for id := range f.flows {
+		flowIDs = append(flowIDs, id)
+	}
+	sort.Slice(flowIDs, func(i, j int) bool { return flowIDs[i] < flowIDs[j] })
+	for _, id := range flowIDs {
+		fl := f.flows[id]
+		if fl.Demand > 0 {
+			cons = append(cons, &constraint{
+				key:     "demand:" + string(rune(0)),
+				cap:     float64(fl.Demand),
+				members: []*Flow{fl},
+			})
+		}
+	}
+
+	frozen := make(map[FlowID]bool, len(f.flows))
+	alloc := make(map[FlowID]float64, len(f.flows))
+	effWeight := func(fl *Flow) float64 {
+		w := fl.Weight
+		if tw, ok := f.tenantWeight[fl.Tenant]; ok && tw > 0 {
+			w *= tw
+		}
+		return w
+	}
+
+	for len(frozen) < len(f.flows) {
+		bestShare := math.Inf(1)
+		var best *constraint
+		for _, c := range cons {
+			remaining := c.cap
+			aw := 0.0
+			for _, fl := range c.members {
+				if frozen[fl.ID] {
+					remaining -= alloc[fl.ID]
+				} else {
+					aw += effWeight(fl)
+				}
+			}
+			if aw == 0 {
+				continue
+			}
+			share := remaining / aw
+			if share < 0 {
+				share = 0
+			}
+			if share < bestShare {
+				bestShare = share
+				best = c
+			}
+		}
+		if best == nil {
+			for id := range f.flows {
+				if !frozen[id] {
+					frozen[id] = true
+					alloc[id] = 0
+				}
+			}
+			break
+		}
+		for _, fl := range best.members {
+			if !frozen[fl.ID] {
+				frozen[fl.ID] = true
+				alloc[fl.ID] = bestShare * effWeight(fl)
+			}
+		}
+	}
+	return alloc
+}
+
+// compareWithReference recomputes via the live incremental path and
+// demands bit-exact agreement with the reference solver on every flow.
+func compareWithReference(t *testing.T, f *Fabric, context string) {
+	t.Helper()
+	f.recomputeIfDirty()
+	want := referenceComputeRates(f)
+	for _, fl := range f.flowList {
+		if got := float64(fl.rate); got != want[fl.ID] {
+			t.Fatalf("%s: flow %d rate %v, reference %v (diff %g)",
+				context, fl.ID, got, want[fl.ID], got-want[fl.ID])
+		}
+	}
+	if len(want) != len(f.flowList) {
+		t.Fatalf("%s: reference allocated %d flows, fabric has %d",
+			context, len(want), len(f.flowList))
+	}
+}
+
+// TestIncrementalMatchesReference drives randomized topologies, flows,
+// caps, weights, demand updates, failures and removals through the
+// incremental engine and checks every resulting allocation against the
+// retained reference implementation, bit for bit.
+func TestIncrementalMatchesReference(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		fab, flows := randomScenario(seed, int(n%50)+1)
+		compareWithReference(t, fab, "initial")
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		live := append([]*Flow(nil), flows...)
+		for step := 0; step < 25 && len(live) > 0; step++ {
+			switch op := rng.Intn(6); op {
+			case 0: // install or update a tenant cap
+				fl := live[rng.Intn(len(live))]
+				l := fl.Path.Links[rng.Intn(fl.Path.Hops())]
+				_ = fab.SetTenantCap(l.ID, fl.Tenant, topology.Rate(rng.Float64()*20e9))
+			case 1: // clear a cap (often a no-op)
+				fl := live[rng.Intn(len(live))]
+				l := fl.Path.Links[rng.Intn(fl.Path.Hops())]
+				_ = fab.ClearTenantCap(l.ID, fl.Tenant)
+			case 2: // demand update, including zero-crossings
+				fl := live[rng.Intn(len(live))]
+				var d topology.Rate
+				if rng.Intn(3) > 0 {
+					d = topology.Rate(rng.Float64() * 40e9)
+				}
+				_ = fab.SetDemand(fl, d)
+			case 3: // tenant weight change
+				_ = fab.SetTenantWeight(TenantID([]string{"a", "b", "c"}[rng.Intn(3)]),
+					1+rng.Float64()*3)
+			case 4: // fail or restore a random link of a random flow
+				fl := live[rng.Intn(len(live))]
+				l := fl.Path.Links[rng.Intn(fl.Path.Hops())]
+				if rng.Intn(2) == 0 {
+					_ = fab.FailLink(l.ID)
+				} else {
+					_ = fab.RestoreLink(l.ID)
+				}
+			case 5: // remove a flow
+				i := rng.Intn(len(live))
+				fab.RemoveFlow(live[i])
+				live = append(live[:i], live[i+1:]...)
+			}
+			compareWithReference(t, fab, "after mutation")
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalMatchesReferenceUnderChurn runs sized-flow churn with
+// virtual-time advancement — completions, re-arms, and cascading
+// recomputes — and checks allocations against the reference at every
+// step.
+func TestIncrementalMatchesReferenceUnderChurn(t *testing.T) {
+	engine := simtime.NewEngine(11)
+	topo := topology.DGXStyle()
+	fab := New(topo, engine, DefaultConfig())
+	eps := topo.Endpoints()
+	rng := rand.New(rand.NewSource(11))
+	var paths []topology.Path
+	for len(paths) < 16 {
+		src := eps[rng.Intn(len(eps))].ID
+		dst := eps[rng.Intn(len(eps))].ID
+		if src == dst {
+			continue
+		}
+		if p, err := topo.ShortestPath(src, dst); err == nil {
+			paths = append(paths, p)
+		}
+	}
+	completions := 0
+	for step := 0; step < 120; step++ {
+		fl := &Flow{
+			Tenant:     TenantID([]string{"a", "b", "c"}[step%3]),
+			Path:       paths[step%len(paths)],
+			Weight:     float64(1 + step%4),
+			Size:       int64(1024 << (step % 6)),
+			OnComplete: func(simtime.Time) { completions++ },
+		}
+		if step%4 == 0 {
+			fl.Demand = topology.Gbps(float64(1 + step%8))
+		}
+		if err := fab.AddFlow(fl); err != nil {
+			t.Fatal(err)
+		}
+		engine.RunFor(simtime.Duration(1+step%7) * simtime.Microsecond)
+		compareWithReference(t, fab, "churn step")
+	}
+	engine.RunFor(10 * simtime.Millisecond)
+	compareWithReference(t, fab, "drained")
+	if completions == 0 {
+		t.Fatal("no sized flow completed; churn test exercised nothing")
+	}
+}

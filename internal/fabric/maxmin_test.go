@@ -55,7 +55,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 	const eps = 1e-3 // bytes/sec slack for float accumulation
 	for _, ls := range f.sortedLinkStates() {
 		var sum float64
-		for fl := range ls.flows {
+		for _, fl := range ls.flows {
 			sum += float64(fl.rate)
 		}
 		if sum > float64(ls.capacity)*(1+1e-9)+eps {
@@ -64,7 +64,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 		// Tenant caps respected.
 		for tenant, cap := range ls.caps {
 			var tsum float64
-			for fl := range ls.flows {
+			for _, fl := range ls.flows {
 				if fl.Tenant == tenant {
 					tsum += float64(fl.rate)
 				}
@@ -90,7 +90,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 		for _, l := range fl.Path.Links {
 			ls := f.links[l.ID]
 			var sum float64
-			for other := range ls.flows {
+			for _, other := range ls.flows {
 				sum += float64(other.rate)
 			}
 			if sum < float64(ls.capacity)*(1-1e-6)-eps {
@@ -105,7 +105,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 			}
 			myShare := float64(fl.rate) / w(fl)
 			isMax := true
-			for other := range ls.flows {
+			for _, other := range ls.flows {
 				if float64(other.rate)/w(other) > myShare*(1+1e-6)+eps {
 					isMax = false
 					break
@@ -119,7 +119,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 			// this link.
 			if cap, ok := ls.caps[fl.Tenant]; ok {
 				var tsum float64
-				for other := range ls.flows {
+				for _, other := range ls.flows {
 					if other.Tenant == fl.Tenant {
 						tsum += float64(other.rate)
 					}
@@ -136,7 +136,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 				ls := f.links[l.ID]
 				if cap, ok := ls.caps[fl.Tenant]; ok {
 					var tsum float64
-					for other := range ls.flows {
+					for _, other := range ls.flows {
 						if other.Tenant == fl.Tenant {
 							tsum += float64(other.rate)
 						}

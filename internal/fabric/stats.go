@@ -23,14 +23,8 @@ type LinkStats struct {
 	Failed      bool
 }
 
-// LinkStatsFor returns a settled snapshot of one link.
-func (f *Fabric) LinkStatsFor(id topology.LinkID) (LinkStats, error) {
-	ls, err := f.state(id)
-	if err != nil {
-		return LinkStats{}, err
-	}
-	f.recomputeIfDirty()
-	f.settleAccounting()
+// linkStats builds the snapshot of one already-settled link.
+func (f *Fabric) linkStats(ls *linkState) LinkStats {
 	tb := make(map[TenantID]float64, len(ls.tenantBytes))
 	for t, b := range ls.tenantBytes {
 		tb[t] = b
@@ -46,7 +40,7 @@ func (f *Fabric) LinkStatsFor(id topology.LinkID) (LinkStats, error) {
 		util = 1
 	}
 	return LinkStats{
-		Link:        id,
+		Link:        ls.link.ID,
 		Class:       ls.link.Class,
 		Capacity:    ls.capacity,
 		CurrentRate: ls.currentRate,
@@ -55,17 +49,27 @@ func (f *Fabric) LinkStatsFor(id topology.LinkID) (LinkStats, error) {
 		TenantBytes: tb,
 		Flows:       len(ls.flows),
 		Failed:      ls.failed,
-	}, nil
+	}
+}
+
+// LinkStatsFor returns a settled snapshot of one link.
+func (f *Fabric) LinkStatsFor(id topology.LinkID) (LinkStats, error) {
+	ls, err := f.state(id)
+	if err != nil {
+		return LinkStats{}, err
+	}
+	f.recomputeIfDirty()
+	f.settleLink(ls, f.engine.Now())
+	return f.linkStats(ls), nil
 }
 
 // AllLinkStats returns settled snapshots of every link, ordered by ID.
 func (f *Fabric) AllLinkStats() []LinkStats {
 	f.recomputeIfDirty()
 	f.settleAccounting()
-	out := make([]LinkStats, 0, len(f.links))
-	for _, ls := range f.sortedLinkStates() {
-		s, _ := f.LinkStatsFor(ls.link.ID)
-		out = append(out, s)
+	out := make([]LinkStats, 0, len(f.linkList))
+	for _, ls := range f.linkList {
+		out = append(out, f.linkStats(ls))
 	}
 	return out
 }
@@ -91,18 +95,12 @@ type FlowStats struct {
 }
 
 // AllFlowStats returns settled snapshots of every active flow, ordered
-// by flow ID.
+// by flow ID (flowList order).
 func (f *Fabric) AllFlowStats() []FlowStats {
 	f.recomputeIfDirty()
 	f.settleAccounting()
-	ids := make([]FlowID, 0, len(f.flows))
-	for id := range f.flows {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]FlowStats, 0, len(ids))
-	for _, id := range ids {
-		fl := f.flows[id]
+	out := make([]FlowStats, 0, len(f.flowList))
+	for _, fl := range f.flowList {
 		links := make([]topology.LinkID, 0, len(fl.Path.Links))
 		for _, l := range fl.Path.Links {
 			links = append(links, l.ID)
@@ -133,7 +131,9 @@ func (f *Fabric) TenantWeights() map[TenantID]float64 {
 func (f *Fabric) TenantUsage(t TenantID) map[topology.LinkClass]topology.Rate {
 	f.recomputeIfDirty()
 	out := make(map[topology.LinkClass]topology.Rate)
-	for _, fl := range f.flows {
+	// flowList order: the per-class sums are float accumulations, so
+	// iteration order must be deterministic.
+	for _, fl := range f.flowList {
 		if fl.Tenant != t {
 			continue
 		}
@@ -156,7 +156,7 @@ func (f *Fabric) TenantsOn(link topology.LinkID) []TenantID {
 		return nil
 	}
 	seen := make(map[TenantID]bool)
-	for fl := range ls.flows {
+	for _, fl := range ls.flows {
 		seen[fl.Tenant] = true
 	}
 	out := make([]TenantID, 0, len(seen))
@@ -176,7 +176,7 @@ func (f *Fabric) TenantRateOn(link topology.LinkID, tenant TenantID) topology.Ra
 	}
 	f.recomputeIfDirty()
 	var sum topology.Rate
-	for fl := range ls.flows {
+	for _, fl := range ls.flows {
 		if fl.Tenant == tenant {
 			sum += fl.rate
 		}

@@ -156,6 +156,35 @@ func (e *Engine) Schedule(at Time, fn func()) EventHandle {
 	return EventHandle{ev}
 }
 
+// Reschedule moves a still-pending event to a new absolute time,
+// reusing its queue entry instead of allocating a fresh one. The event
+// is assigned a fresh sequence number — exactly as Cancel followed by
+// Schedule would — so same-instant execution order and the engine's
+// scheduling fingerprint (Seq, PendingEvents) are indistinguishable
+// from that idiom; only the allocation and the heap push/pop churn are
+// saved. When h does not refer to a pending event (zero handle,
+// already run, or canceled) a new event is scheduled. The fabric's
+// completion re-arming leans on this: sized flows keep one event alive
+// across every rate recomputation.
+func (e *Engine) Reschedule(h EventHandle, at Time, fn func()) EventHandle {
+	ev := h.ev
+	if ev == nil || ev.canceled || ev.index == -1 {
+		return e.Schedule(at, fn)
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: reschedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("simtime: reschedule nil func")
+	}
+	ev.at = at
+	ev.fn = fn
+	ev.seq = e.seq
+	e.seq++
+	heap.Fix(&e.queue, ev.index)
+	return h
+}
+
 // After runs fn after duration d from now. Negative d panics.
 func (e *Engine) After(d Duration, fn func()) EventHandle {
 	if d < 0 {

@@ -372,3 +372,142 @@ func BenchmarkScheduleRun(b *testing.B) {
 	}
 	e.Run()
 }
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	h := e.Schedule(100, func() { got = append(got, "old") })
+	e.Schedule(150, func() { got = append(got, "mid") })
+	h = e.Reschedule(h, 200, func() { got = append(got, "new") })
+	e.Run()
+	if len(got) != 2 || got[0] != "mid" || got[1] != "new" {
+		t.Fatalf("execution order %v, want [mid new]", got)
+	}
+	if h.Pending() {
+		t.Fatal("handle still pending after run")
+	}
+}
+
+func TestRescheduleEarlier(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.Schedule(100, func() { got = append(got, "anchor") })
+	h := e.Schedule(300, func() { got = append(got, "old") })
+	e.Reschedule(h, 50, func() { got = append(got, "early") })
+	e.Run()
+	if len(got) != 2 || got[0] != "early" || got[1] != "anchor" {
+		t.Fatalf("execution order %v, want [early anchor]", got)
+	}
+}
+
+// Rescheduling must be indistinguishable from Cancel+Schedule: same
+// seq consumption, same same-instant ordering, same pending fingerprint.
+// The fabric's determinism contract (snapshot hashes cover Seq and
+// PendingEvents) depends on this equivalence.
+func TestRescheduleSeqParityWithCancelSchedule(t *testing.T) {
+	build := func(reschedule bool) (*Engine, *[]int) {
+		e := NewEngine(1)
+		got := &[]int{}
+		h := e.Schedule(100, func() { *got = append(*got, 0) })
+		e.Schedule(200, func() { *got = append(*got, 1) })
+		if reschedule {
+			e.Reschedule(h, 200, func() { *got = append(*got, 2) })
+		} else {
+			h.Cancel()
+			e.Schedule(200, func() { *got = append(*got, 2) })
+		}
+		e.Schedule(200, func() { *got = append(*got, 3) })
+		return e, got
+	}
+	er, gr := build(true)
+	ec, gc := build(false)
+	if er.Seq() != ec.Seq() {
+		t.Fatalf("seq after reschedule %d != after cancel+schedule %d", er.Seq(), ec.Seq())
+	}
+	// The (At, Seq) fingerprint of live pending events — what snapshot
+	// hashes cover — must be identical between the two idioms.
+	pr, pc := er.PendingEvents(), ec.PendingEvents()
+	if len(pr) != len(pc) {
+		t.Fatalf("pending fingerprints differ in length: %d vs %d", len(pr), len(pc))
+	}
+	for i := range pr {
+		if pr[i] != pc[i] {
+			t.Fatalf("pending event %d: reschedule %+v vs cancel+schedule %+v", i, pr[i], pc[i])
+		}
+	}
+	// Same-instant execution order parity.
+	er.Run()
+	ec.Run()
+	if len(*gr) != len(*gc) {
+		t.Fatalf("ran %d vs %d events", len(*gr), len(*gc))
+	}
+	for i := range *gr {
+		if (*gr)[i] != (*gc)[i] {
+			t.Fatalf("same-instant order diverged: %v vs %v", *gr, *gc)
+		}
+	}
+}
+
+func TestRescheduleExpiredFallsBackToSchedule(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	h := e.Schedule(10, func() { ran++ })
+	e.RunUntil(20) // h has fired; its handle is spent
+	h2 := e.Reschedule(h, 30, func() { ran += 10 })
+	if !h2.Pending() {
+		t.Fatal("fallback schedule not pending")
+	}
+	e.Run()
+	if ran != 11 {
+		t.Fatalf("ran = %d, want 11 (original once, fallback once)", ran)
+	}
+}
+
+func TestRescheduleCanceledFallsBackToSchedule(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	h := e.Schedule(10, func() { ran++ })
+	h.Cancel()
+	e.Reschedule(h, 30, func() { ran += 10 })
+	e.Run()
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10 (canceled never fires, fallback does)", ran)
+	}
+}
+
+func TestRescheduleZeroHandle(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	h := e.Reschedule(EventHandle{}, 5, func() { ran = true })
+	if !h.Pending() {
+		t.Fatal("zero-handle reschedule not pending")
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("zero-handle reschedule never ran")
+	}
+}
+
+func TestReschedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(50, func() {})
+	e.RunUntil(50)
+	h := e.Schedule(100, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rescheduling into the past did not panic")
+		}
+	}()
+	e.Reschedule(h, 10, func() {})
+}
+
+func TestRescheduleNilFuncPanics(t *testing.T) {
+	e := NewEngine(1)
+	h := e.Schedule(100, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rescheduling nil func did not panic")
+		}
+	}()
+	e.Reschedule(h, 200, nil)
+}
