@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-smoke bench-json check clean
+.PHONY: all build vet fmt test race bench bench-smoke bench-json chaos-smoke check clean
 
 all: check
 
@@ -49,6 +49,19 @@ bench-smoke:
 bench-json:
 	$(GO) test -bench 'BenchmarkFabric(FlowChurn|RecomputeSteadyState)' -benchtime 100x -benchmem -run '^$$' ./internal/fabric \
 		| $(GO) run ./cmd/benchjson -out BENCH_fabric.json
+
+# Seed-pinned chaos smoke: randomized fault/churn schedules under the
+# cross-layer invariant oracle (internal/chaos), deterministic per
+# seed, ~10 s total. Seeds are pinned so CI failures reproduce exactly
+# with the printed command; a violation also writes a minimized
+# journal artifact under chaos-artifacts/ (uploaded by CI) that
+# `ihscenario fuzz -replay` re-derives. Seed 3 on two-socket is the
+# schedule that exposed the read-time byte-fold nondeterminism
+# (TestStatsReadsDoNotPerturbAccounting) — kept as a standing
+# regression.
+chaos-smoke:
+	$(GO) run ./cmd/ihscenario fuzz -seed 1 -seeds 3 -events 250 -dur 10ms -preset minimal -out chaos-artifacts
+	$(GO) run ./cmd/ihscenario fuzz -seed 3 -events 300 -dur 15ms -preset two-socket -out chaos-artifacts
 
 # The full gate: formatting, static analysis, build, and the race-enabled
 # test suite. CI and pre-commit should run this.

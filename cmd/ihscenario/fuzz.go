@@ -1,0 +1,136 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/arbiter"
+	"repro/internal/chaos"
+	"repro/internal/simtime"
+)
+
+// runFuzz is the `ihscenario fuzz` subcommand: seeded chaos runs with
+// the cross-layer invariant oracle. Exit status 1 means at least one
+// seed violated an invariant; each violation leaves a JSON artifact
+// that re-derives it deterministically (`-replay`).
+func runFuzz(args []string) {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "first seed")
+	seeds := fs.Int("seeds", 1, "number of consecutive seeds to run")
+	events := fs.Int("events", 500, "injected events per seed")
+	dur := fs.Duration("dur", 25*time.Millisecond, "virtual duration per seed")
+	preset := fs.String("preset", "two-socket", "topology preset under test")
+	mode := fs.String("mode", "work-conserving", "arbiter mode: strict or work-conserving")
+	hosts := fs.Int("fleet", 0, "run fleet chaos over this many hosts (0 = single host)")
+	workers := fs.Int("workers", 0, "fleet runner workers (0 = GOMAXPROCS)")
+	out := fs.String("out", "chaos-artifacts", "directory for violation artifacts")
+	replay := fs.String("replay", "", "re-check a violation artifact instead of fuzzing")
+	minimize := fs.Bool("minimize", true, "shrink violating journals before writing artifacts")
+	verbose := fs.Bool("v", false, "print per-seed op counts")
+	fs.Parse(args)
+
+	if *replay != "" {
+		replayArtifact(*replay)
+		return
+	}
+
+	failed := 0
+	for i := 0; i < *seeds; i++ {
+		s := *seed + int64(i)
+		cfg := chaos.Config{
+			Seed:     s,
+			Events:   *events,
+			Duration: simtime.Duration(*dur),
+			Preset:   *preset,
+			Mode:     arbiter.Mode(*mode),
+			Hosts:    *hosts,
+			Workers:  *workers,
+		}
+		start := time.Now()
+		res, err := chaos.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ihscenario fuzz: seed %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		if res.Violation == nil {
+			fmt.Printf("PASS  seed %-4d %d events (%d rejected), %d snapshot checks, %v virtual, %v wall\n",
+				s, res.Events, res.Rejected, res.SnapshotChecks, res.FinalTime, time.Since(start).Round(time.Millisecond))
+		} else {
+			failed++
+			fmt.Printf("FAIL  seed %-4d %v\n", s, res.Violation)
+			path := writeArtifact(*out, res, cfg, *minimize)
+			if path != "" {
+				fmt.Printf("      repro: ihscenario fuzz -replay %s\n", path)
+				fmt.Printf("      or:    ihscenario fuzz -seed %d -events %d -dur %v -preset %s%s\n",
+					s, *events, *dur, *preset, fleetSuffix(*hosts))
+			}
+		}
+		if *verbose {
+			for op, n := range res.Counts {
+				fmt.Printf("      %-16s %d\n", op, n)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d/%d seeds violated an invariant\n", failed, *seeds)
+		os.Exit(1)
+	}
+}
+
+func fleetSuffix(hosts int) string {
+	if hosts > 1 {
+		return fmt.Sprintf(" -fleet %d", hosts)
+	}
+	return ""
+}
+
+// writeArtifact persists the violating run (optionally minimized) and
+// returns the artifact path ("" on write failure).
+func writeArtifact(dir string, res *chaos.Result, cfg chaos.Config, minimize bool) string {
+	ocfg := cfg.Oracle
+	if ocfg == (chaos.OracleConfig{}) {
+		ocfg = chaos.DefaultOracleConfig()
+	}
+	art := chaos.NewArtifact(res, ocfg)
+	if minimize {
+		if j, v, err := chaos.Minimize(res.Config, res.Journal, ocfg, 300); err == nil {
+			art.Journal, art.Violation = j, v
+			fmt.Printf("      minimized journal: %d -> %d entries\n", res.Journal.Len(), j.Len())
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "ihscenario fuzz: %v\n", err)
+		return ""
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos-seed-%d.json", res.Seed))
+	if err := chaos.WriteArtifact(path, art); err != nil {
+		fmt.Fprintf(os.Stderr, "ihscenario fuzz: %v\n", err)
+		return ""
+	}
+	return path
+}
+
+// replayArtifact re-derives a violation from its artifact: same
+// config, same journal, same oracle — same verdict, or the bug is
+// fixed.
+func replayArtifact(path string) {
+	art, err := chaos.ReadArtifact(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihscenario fuzz: %v\n", err)
+		os.Exit(1)
+	}
+	v, err := art.Recheck()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihscenario fuzz: replay: %v\n", err)
+		os.Exit(1)
+	}
+	if v == nil {
+		fmt.Printf("PASS  %s no longer violates (recorded: %v)\n", path, art.Violation)
+		return
+	}
+	fmt.Printf("FAIL  %s reproduces: %v\n", path, v)
+	os.Exit(1)
+}

@@ -9,6 +9,14 @@
 //	ihscenario scenarios/silent-degradation.json
 //	ihscenario scenarios/*.json
 //	ihscenario -v scenarios/colocation-guarantee.json
+//
+// The fuzz subcommand runs seeded chaos schedules against the full
+// manager stack under a cross-layer invariant oracle (see
+// internal/chaos):
+//
+//	ihscenario fuzz -seed 1 -seeds 20 -events 500
+//	ihscenario fuzz -fleet 4 -seed 7
+//	ihscenario fuzz -replay chaos-artifacts/chaos-seed-7.json
 package main
 
 import (
@@ -22,6 +30,10 @@ import (
 
 func main() {
 	if cli.MaybeVersion("ihscenario", os.Args[1:]) {
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fuzz" {
+		runFuzz(os.Args[2:])
 		return
 	}
 	verbose := flag.Bool("v", false, "print the drill timeline")

@@ -426,3 +426,23 @@ func (p *Platform) Overhead() Overhead {
 
 // Rounds returns the number of completed heartbeat rounds.
 func (p *Platform) Rounds() int { return p.round }
+
+// ConfigUsed returns the platform's configuration — harnesses derive
+// detection deadlines (calibration rounds, period, consecutive-bad)
+// from it.
+func (p *Platform) ConfigUsed() Config { return p.cfg }
+
+// CoversLink reports whether any heartbeat pair's pinned path
+// traverses the link in either direction. A failure on an uncovered
+// link is invisible to the mesh, so harnesses must not expect it to be
+// localized.
+func (p *Platform) CoversLink(id topology.LinkID) bool {
+	for _, ps := range p.pairs {
+		for _, l := range ps.path.Links {
+			if l.ID == id || l.Reverse == id {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -168,6 +168,10 @@ func (a *Arbiter) Guaranteed(tenant fabric.TenantID) resmodel.Reservation {
 
 // FreeMap returns per-link unreserved capacity — the scheduler's Free
 // input: effective capacity minus the sum of installed guarantees.
+// Guarantees are subtracted in sorted tenant order: the per-link
+// result is a float accumulation, so iterating the guarantees map
+// directly would make the scheduler's admission input (and therefore
+// replayed runs) depend on Go's randomized map order.
 func (a *Arbiter) FreeMap() map[topology.LinkID]topology.Rate {
 	out := make(map[topology.LinkID]topology.Rate)
 	for _, l := range a.fab.Topology().Links() {
@@ -177,14 +181,25 @@ func (a *Arbiter) FreeMap() map[topology.LinkID]topology.Rate {
 		}
 		out[l.ID] = c
 	}
-	for _, g := range a.guarantees {
-		for l, r := range g.Links {
-			out[l] -= r
+	for _, t := range a.GuaranteedTenants() {
+		for _, l := range a.guarantees[t].LinkIDs() {
+			out[l] -= a.guarantees[t].Links[l]
 			if out[l] < 0 {
 				out[l] = 0
 			}
 		}
 	}
+	return out
+}
+
+// GuaranteedTenants returns the sorted tenants holding at least one
+// installed guarantee.
+func (a *Arbiter) GuaranteedTenants() []fabric.TenantID {
+	out := make([]fabric.TenantID, 0, len(a.guarantees))
+	for t := range a.guarantees {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

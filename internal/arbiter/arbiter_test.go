@@ -1,6 +1,7 @@
 package arbiter
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/fabric"
@@ -211,6 +212,111 @@ func TestAdjustmentLoopRuns(t *testing.T) {
 	}
 	if a.Mode() != WorkConserving {
 		t.Fatal("mode accessor wrong")
+	}
+}
+
+// TestFreeMapDeterministicAcrossMapOrder is the regression test for
+// the chaos harness's first determinism find: FreeMap accumulated
+// guarantee subtractions in Go map iteration order, and the four rates
+// below produce sums that differ in the last ulp depending on
+// subtraction order. The scheduler feeds FreeMap into admission
+// decisions, so an order-dependent ulp is enough to make a replayed
+// journal diverge from the recorded run. Repeated calls must be
+// bitwise identical.
+func TestFreeMapDeterministicAcrossMapOrder(t *testing.T) {
+	e := simtime.NewEngine(3)
+	topo := topology.New("fat-line")
+	topo.MustAddComponent("a", topology.KindNIC, 0)
+	topo.MustAddComponent("b", topology.KindDIMM, 0)
+	topo.MustAddLink(topology.LinkSpec{A: "a", B: "b", Class: topology.ClassIntraSocket, Capacity: 2e9, BaseLatency: 10})
+	fab := fabric.New(topo, e, fabric.Config{PCIeEfficiency: 1})
+	a, err := New(fab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := topo.Links()[0].ID
+	// Order-sensitive in float64: different subtraction orders of
+	// these four rates from 2e9 yield three distinct sums.
+	rates := []topology.Rate{
+		284946347.15323985, 286362432.1918807, 376668485.82092476, 388312247.45492679,
+	}
+	for i, r := range rates {
+		res := resmodel.NewReservation()
+		res.Add(link, r)
+		if err := a.Install(fabric.TenantID(fmt.Sprintf("t%d", i)), res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := a.FreeMap()[link]
+	for i := 0; i < 400; i++ {
+		if got := a.FreeMap()[link]; got != want {
+			t.Fatalf("FreeMap call %d returned %.17g, first call returned %.17g", i, float64(got), float64(want))
+		}
+	}
+	tenants := a.GuaranteedTenants()
+	if len(tenants) != 4 || tenants[0] != "t0" || tenants[3] != "t3" {
+		t.Fatalf("GuaranteedTenants = %v", tenants)
+	}
+}
+
+// TestWorkConservingDecayReconvergesUnderChurn covers the ×0.7
+// multiplicative back-off: after a borrow phase, a returning
+// guaranteed tenant must reclaim its guarantee within a bounded number
+// of adjust periods even while bystander churn keeps perturbing the
+// baseline split and transiently reopening slack (which flips the
+// arbiter between its lend and decay branches).
+func TestWorkConservingDecayReconvergesUnderChurn(t *testing.T) {
+	a, fab, e, kv, _, p := twoFlowLine(t, WorkConserving)
+	res := resmodel.NewReservation()
+	res.AddPipe(p, 80)
+	if err := a.Install("kv", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Borrow phase: kv idles at 1 B/s, the ml bystander inflates its
+	// cap well past its 20 B/s leftover share.
+	_ = fab.SetDemand(kv, 1)
+	e.RunFor(500 * simtime.Microsecond)
+	if c, ok := fab.TenantCap(p.Links[0].ID, "ml"); !ok || float64(c) < 50 {
+		t.Fatalf("borrow phase did not inflate ml cap: %v (ok=%v)", c, ok)
+	}
+	// Churn: a third tenant's flow appears and disappears every 30 us,
+	// reshuffling the bystander set mid-reconvergence.
+	var churn *fabric.Flow
+	e.Every(30*simtime.Microsecond, func() {
+		if churn == nil {
+			churn = &fabric.Flow{Tenant: "churn", Path: p}
+			_ = fab.AddFlow(churn)
+		} else {
+			fab.RemoveFlow(churn)
+			churn = nil
+		}
+	})
+	// Reconvergence phase: kv's demand returns. The decay must walk
+	// ml's borrowed cap back toward its baseline within a bounded
+	// number of adjust periods (generously 50 of the 10 us periods).
+	_ = fab.SetDemand(kv, 0)
+	const periods = 50
+	converged := -1
+	for i := 0; i < 2*periods; i++ {
+		e.RunFor(10 * simtime.Microsecond)
+		if float64(kv.Rate()) >= 79 {
+			converged = i + 1
+			break
+		}
+	}
+	if converged < 0 {
+		t.Fatalf("guaranteed tenant never reconverged: rate %v after %d periods", kv.Rate(), 2*periods)
+	}
+	if converged > periods {
+		t.Fatalf("reconvergence took %d adjust periods, want <= %d", converged, periods)
+	}
+	// The reclaimed guarantee must then hold while churn continues.
+	e.RunFor(500 * simtime.Microsecond)
+	if r := float64(kv.Rate()); r < 79 {
+		t.Fatalf("guarantee lost again under churn: %v", r)
 	}
 }
 

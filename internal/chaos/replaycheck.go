@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/snap"
+)
+
+// CheckJournal rebuilds a session from cfg, replays the journal one
+// entry at a time through the shared apply path, and runs the oracle
+// after every entry (plus periodic snapshot->restore round-trips). It
+// returns the first violation, or nil when the journal replays clean.
+// This is the reproduction side of the harness: a violation found live
+// is re-derivable from (config, journal) alone.
+func CheckJournal(cfg snap.Config, j snap.Journal, ocfg OracleConfig) (*Violation, error) {
+	sess, err := snap.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	o := NewOracle(sess.Manager(), ocfg)
+	mutations := 0
+	for i, e := range j.Entries {
+		if err := sess.ReplayEntry(e); err != nil {
+			return nil, fmt.Errorf("chaos: replay entry %d (%s): %w", i, e.Kind, err)
+		}
+		o.ObserveEntry(e)
+		if vs := o.Check(i); len(vs) > 0 {
+			return &vs[0], nil
+		}
+		if e.Kind != snap.KindAdvance {
+			mutations++
+			if ocfg.SnapshotEvery > 0 && mutations%ocfg.SnapshotEvery == 0 {
+				if v := o.CheckSnapshot(sess, i); v != nil {
+					return v, nil
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// Minimize shrinks a violating journal while preserving the violated
+// invariant: truncate to the violating prefix, then greedily drop
+// single entries (ddmin-lite), keeping an entry whenever its removal
+// makes the replay error out or the violation vanish. Each attempt is
+// a full replay, so the search is bounded by maxTries.
+func Minimize(cfg snap.Config, j snap.Journal, ocfg OracleConfig, maxTries int) (snap.Journal, *Violation, error) {
+	v, err := CheckJournal(cfg, j, ocfg)
+	if err != nil {
+		return j, nil, err
+	}
+	if v == nil {
+		return j, nil, fmt.Errorf("chaos: journal does not reproduce a violation")
+	}
+	if maxTries <= 0 {
+		maxTries = 300
+	}
+	// The violation fired right after entry v.Seq; everything later is
+	// noise by construction.
+	if v.Seq+1 < len(j.Entries) {
+		j = snap.Journal{Entries: append([]snap.Entry(nil), j.Entries[:v.Seq+1]...)}
+	}
+	tries := 0
+	for i := len(j.Entries) - 2; i >= 0 && tries < maxTries; i-- {
+		cand := without(j, i)
+		tries++
+		cv, err := CheckJournal(cfg, cand, ocfg)
+		if err != nil || cv == nil || cv.Invariant != v.Invariant {
+			continue // entry is load-bearing
+		}
+		j, v = cand, cv
+	}
+	return j, v, nil
+}
+
+// without copies j minus entry i, renumbering sequence numbers densely
+// so the result stays a valid journal.
+func without(j snap.Journal, i int) snap.Journal {
+	out := snap.Journal{Entries: make([]snap.Entry, 0, len(j.Entries)-1)}
+	for k, e := range j.Entries {
+		if k == i {
+			continue
+		}
+		e.Seq = uint64(len(out.Entries))
+		out.Entries = append(out.Entries, e)
+	}
+	return out
+}
+
+// Artifact is the self-describing repro bundle a failed fuzz run
+// writes: everything needed to re-derive the violation, no seed replay
+// required.
+type Artifact struct {
+	SchemaVersion int          `json:"schema_version"`
+	Seed          int64        `json:"seed"`
+	Host          string       `json:"host,omitempty"`
+	Config        snap.Config  `json:"config"`
+	Oracle        OracleConfig `json:"oracle"`
+	Journal       snap.Journal `json:"journal"`
+	Violation     *Violation   `json:"violation"`
+}
+
+// NewArtifact bundles a violating run result.
+func NewArtifact(res *Result, ocfg OracleConfig) Artifact {
+	return Artifact{
+		SchemaVersion: 1,
+		Seed:          res.Seed,
+		Host:          res.Host,
+		Config:        res.Config,
+		Oracle:        ocfg,
+		Journal:       res.Journal,
+		Violation:     res.Violation,
+	}
+}
+
+// WriteArtifact writes the bundle as indented JSON.
+func WriteArtifact(path string, a Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadArtifact loads a repro bundle.
+func ReadArtifact(path string) (Artifact, error) {
+	var a Artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("chaos: bad artifact %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// Recheck replays the artifact's journal under its own oracle config
+// and returns the violation it reproduces (nil if it no longer does —
+// i.e. the bug is fixed).
+func (a Artifact) Recheck() (*Violation, error) {
+	return CheckJournal(a.Config, a.Journal, a.Oracle)
+}

@@ -33,15 +33,30 @@ func (f *Fabric) FailLink(id topology.LinkID) error {
 }
 
 // RestoreLink clears a failure and any degradation on a directed link.
+// Restoring a healthy link is a no-op: no state change, no metric, no
+// trace event — mirroring FailLink's transition guard, so restore
+// counts and the trace timeline record actual recoveries only.
 func (f *Fabric) RestoreLink(id topology.LinkID) error {
 	ls, err := f.state(id)
 	if err != nil {
 		return err
 	}
+	if !ls.failed && ls.degradeFrac == 0 && ls.extraLatency == 0 {
+		return nil
+	}
 	ls.failed = false
 	ls.degradeFrac = 0
 	ls.extraLatency = 0
 	ls.capacity = f.baseEffectiveCapacity(ls.link)
+	if f.met != nil {
+		f.met.linkRestores.Inc()
+		if f.met.tracer.Enabled() {
+			f.met.tracer.Emit(obs.Event{
+				Kind: obs.KindLinkRestore, Virtual: f.engine.Now(),
+				Subject: string(id),
+			})
+		}
+	}
 	f.markDirty()
 	return nil
 }

@@ -1,0 +1,137 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// countEvents returns how many retained trace events have the kind.
+func countEvents(tr *obs.Tracer, kind obs.EventKind) int {
+	n := 0
+	for _, ev := range tr.Snapshot() {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRestoreLinkEmitsObs is the regression test for the asymmetry
+// where FailLink and DegradeLink were observable but RestoreLink was
+// silent: a restore must increment the restore counter and emit a
+// link-restore trace event, for both the failure and the degradation
+// recovery edges.
+func TestRestoreLinkEmitsObs(t *testing.T) {
+	f, _, p := newLineFabric()
+	o := obs.New(64)
+	f.SetObs(o)
+	restores := o.Registry.Counter("ihnet_fabric_link_restores_total", "")
+	link := p.Links[0].ID
+
+	if err := f.FailLink(link); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RestoreLink(link); err != nil {
+		t.Fatal(err)
+	}
+	if got := restores.Value(); got != 1 {
+		t.Fatalf("restore counter after fail+restore = %d, want 1", got)
+	}
+	if got := countEvents(o.Tracer, obs.KindLinkRestore); got != 1 {
+		t.Fatalf("link-restore trace events = %d, want 1", got)
+	}
+
+	if err := f.DegradeLink(link, 0.3, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RestoreLink(link); err != nil {
+		t.Fatal(err)
+	}
+	if got := restores.Value(); got != 2 {
+		t.Fatalf("restore counter after degrade+restore = %d, want 2", got)
+	}
+	if got := countEvents(o.Tracer, obs.KindLinkRestore); got != 2 {
+		t.Fatalf("link-restore trace events = %d, want 2", got)
+	}
+}
+
+// TestRestoreLinkHealthyIsNoop: restoring an already-healthy link must
+// not count as a recovery — no metric, no trace event (FailLink has
+// the same transition guard; restore now mirrors it).
+func TestRestoreLinkHealthyIsNoop(t *testing.T) {
+	f, _, p := newLineFabric()
+	o := obs.New(64)
+	f.SetObs(o)
+	restores := o.Registry.Counter("ihnet_fabric_link_restores_total", "")
+
+	if err := f.RestoreLink(p.Links[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := restores.Value(); got != 0 {
+		t.Fatalf("restore counter after healthy restore = %d, want 0", got)
+	}
+	if got := countEvents(o.Tracer, obs.KindLinkRestore); got != 0 {
+		t.Fatalf("link-restore trace events = %d, want 0", got)
+	}
+}
+
+// TestRestoreLinkPreservesConfigKnobs pins the contract between
+// RestoreLink's capacity recompute and the component config knobs: a
+// knob changed while the link is degraded (here iommu=translate on a
+// root port, which adds latency dynamically per traversal) must
+// survive the restore — RestoreLink recomputes capacity from the
+// static protocol derating only and must neither clobber the new knob
+// value nor resurrect the degradation.
+func TestRestoreLinkPreservesConfigKnobs(t *testing.T) {
+	e := simtime.NewEngine(1)
+	topo := topology.TwoSocketServer()
+	f := New(topo, e, DefaultConfig())
+	p, err := topo.ShortestPath("nic0", "gpu0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := p.Links[0].ID
+	base, err := f.EffectiveCapacity(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a component with config to drift mid-degradation.
+	var comp *topology.Component
+	for _, c := range topo.Components() {
+		if len(c.Config) > 0 {
+			comp = c
+			break
+		}
+	}
+	if comp == nil {
+		t.Fatal("no configured component in preset")
+	}
+
+	if err := f.DegradeLink(link, 0.5, 2*simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := f.EffectiveCapacity(link); float64(got) > 0.51*float64(base) {
+		t.Fatalf("degraded capacity %v, want about half of %v", got, base)
+	}
+	comp.SetConfig(topology.ConfigIOMMU, "translate")
+
+	if err := f.RestoreLink(link); err != nil {
+		t.Fatal(err)
+	}
+	if got := comp.Config[topology.ConfigIOMMU]; got != "translate" {
+		t.Fatalf("config knob after restore = %q, want %q (clobbered)", got, "translate")
+	}
+	if got, _ := f.EffectiveCapacity(link); got != base {
+		t.Fatalf("restored capacity %v, want base %v", got, base)
+	}
+	if frac, extra := f.LinkDegraded(link); frac != 0 || extra != 0 {
+		t.Fatalf("degradation resurrected: frac=%v extra=%v", frac, extra)
+	}
+	if f.LinkFailed(link) {
+		t.Fatal("link failed after restore")
+	}
+}

@@ -59,7 +59,8 @@ func (fl *Flow) Rate() topology.Rate {
 // Remaining returns the bytes left to transfer for a sized flow.
 func (fl *Flow) Remaining() int64 {
 	if fl.fabric != nil && !fl.removed {
-		fl.fabric.settleAccounting()
+		fl.fabric.recomputeIfDirty()
+		return int64(math.Ceil(fl.projectRemaining(fl.fabric.engine.Now())))
 	}
 	return int64(math.Ceil(fl.remaining))
 }
@@ -233,18 +234,44 @@ func (f *Fabric) recomputeIfDirty() {
 	}
 }
 
-// settleAccounting brings every link's byte counters and every sized
-// flow's progress up to now. It is safe to call at any time; it never
-// changes rates. The recompute path does not use this full walk: it
-// settles lazily — only links whose rates or membership are about to
-// change — and leaves the rest to accrue in one piece when a reader
-// (stats, snapshot export) asks.
-func (f *Fabric) settleAccounting() {
-	now := f.engine.Now()
-	for _, ls := range f.linkList {
-		f.settleLink(ls, now)
+// projectLinkBytes returns the link's byte counters brought up to now
+// WITHOUT folding the partial segment into the accumulators. Readers
+// (stats, telemetry, state export) must not write: float addition is
+// not associative, so folding at read instants would make the
+// accumulators — and the state hash derived from them — depend on when
+// the state was observed, not just on the command journal. Folding
+// happens only at rate-change boundaries (recompute, flow add/remove),
+// which are journal- and engine-driven.
+func (f *Fabric) projectLinkBytes(ls *linkState, now simtime.Time) (float64, map[TenantID]float64) {
+	tb := make(map[TenantID]float64, len(ls.tenantBytes))
+	for t, b := range ls.tenantBytes {
+		tb[t] = b
 	}
-	f.settleFlowProgress(now)
+	total := ls.totalBytes
+	if dt := now.Sub(ls.lastUpdate).Seconds(); dt > 0 {
+		for _, fl := range ls.flows {
+			b := float64(fl.rate) * dt
+			total += b
+			tb[fl.Tenant] += b
+		}
+	}
+	return total, tb
+}
+
+// projectRemaining returns a sized flow's remaining bytes at now
+// without persisting the progress mark (see projectLinkBytes for why
+// reads must not write).
+func (fl *Flow) projectRemaining(now simtime.Time) float64 {
+	rem := fl.remaining
+	if fl.Size > 0 && !fl.completed {
+		if dt := now.Sub(fl.mark).Seconds(); dt > 0 {
+			rem -= float64(fl.rate) * dt
+			if rem < 1 {
+				rem = 0
+			}
+		}
+	}
+	return rem
 }
 
 // settleLink accrues the link's per-link and per-tenant byte counts at

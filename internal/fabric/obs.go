@@ -23,6 +23,7 @@ type fabricMetrics struct {
 	recomputeNs    *obs.Histogram
 	linkFails      *obs.Counter
 	linkDegrades   *obs.Counter
+	linkRestores   *obs.Counter
 }
 
 // SetObs attaches an observability substrate to the fabric. Pass nil
@@ -59,6 +60,8 @@ func (f *Fabric) SetObs(o *obs.Obs) {
 			"Hard link failures injected."),
 		linkDegrades: r.Counter("ihnet_fabric_link_degradations_total",
 			"Silent link degradations injected."),
+		linkRestores: r.Counter("ihnet_fabric_link_restores_total",
+			"Links restored to health (failure or degradation cleared)."),
 	}
 }
 

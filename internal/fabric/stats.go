@@ -23,12 +23,11 @@ type LinkStats struct {
 	Failed      bool
 }
 
-// linkStats builds the snapshot of one already-settled link.
-func (f *Fabric) linkStats(ls *linkState) LinkStats {
-	tb := make(map[TenantID]float64, len(ls.tenantBytes))
-	for t, b := range ls.tenantBytes {
-		tb[t] = b
-	}
+// linkStats builds the snapshot of one link, projecting byte counters
+// to now without mutating them (reads must not perturb the
+// accumulators' fold boundaries; see projectLinkBytes).
+func (f *Fabric) linkStats(ls *linkState, now simtime.Time) LinkStats {
+	total, tb := f.projectLinkBytes(ls, now)
 	util := 0.0
 	if ls.capacity > 0 {
 		util = float64(ls.currentRate) / float64(ls.capacity)
@@ -45,7 +44,7 @@ func (f *Fabric) linkStats(ls *linkState) LinkStats {
 		Capacity:    ls.capacity,
 		CurrentRate: ls.currentRate,
 		Utilization: util,
-		TotalBytes:  ls.totalBytes,
+		TotalBytes:  total,
 		TenantBytes: tb,
 		Flows:       len(ls.flows),
 		Failed:      ls.failed,
@@ -59,17 +58,16 @@ func (f *Fabric) LinkStatsFor(id topology.LinkID) (LinkStats, error) {
 		return LinkStats{}, err
 	}
 	f.recomputeIfDirty()
-	f.settleLink(ls, f.engine.Now())
-	return f.linkStats(ls), nil
+	return f.linkStats(ls, f.engine.Now()), nil
 }
 
 // AllLinkStats returns settled snapshots of every link, ordered by ID.
 func (f *Fabric) AllLinkStats() []LinkStats {
 	f.recomputeIfDirty()
-	f.settleAccounting()
+	now := f.engine.Now()
 	out := make([]LinkStats, 0, len(f.linkList))
 	for _, ls := range f.linkList {
-		out = append(out, f.linkStats(ls))
+		out = append(out, f.linkStats(ls, now))
 	}
 	return out
 }
@@ -98,7 +96,7 @@ type FlowStats struct {
 // by flow ID (flowList order).
 func (f *Fabric) AllFlowStats() []FlowStats {
 	f.recomputeIfDirty()
-	f.settleAccounting()
+	now := f.engine.Now()
 	out := make([]FlowStats, 0, len(f.flowList))
 	for _, fl := range f.flowList {
 		links := make([]topology.LinkID, 0, len(fl.Path.Links))
@@ -109,7 +107,7 @@ func (f *Fabric) AllFlowStats() []FlowStats {
 			ID: fl.ID, Tenant: fl.Tenant, Links: links,
 			Demand: fl.Demand, Rate: fl.rate, Weight: fl.Weight,
 			SizeBytes:      fl.Size,
-			RemainingBytes: int64(math.Ceil(fl.remaining)),
+			RemainingBytes: int64(math.Ceil(fl.projectRemaining(now))),
 			Started:        fl.started,
 		})
 	}

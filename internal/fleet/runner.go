@@ -148,6 +148,38 @@ func (r *Runner) Failed() map[string]error {
 	return out
 }
 
+// Quarantine excludes a host from subsequent epochs, as if it had
+// failed mid-epoch — the operator-initiated form of the runner's
+// panic quarantine, used to fence a suspect host without stopping the
+// fleet. The host's clock freezes where it is; it keeps its state and
+// journal.
+func (r *Runner) Quarantine(name string, reason error) error {
+	if r.fleet.Host(name) == nil {
+		return fmt.Errorf("fleet: unknown host %q", name)
+	}
+	if _, ok := r.failed[name]; ok {
+		return fmt.Errorf("fleet: host %q already quarantined", name)
+	}
+	if reason == nil {
+		reason = fmt.Errorf("fleet: host %q quarantined by operator", name)
+	}
+	r.failed[name] = reason
+	r.mHostFailures.Inc()
+	return nil
+}
+
+// Unquarantine readmits a host to the epoch loop. Its lagging clock
+// catches up at the next barrier (every epoch drives all live hosts to
+// one shared absolute target). Returns false when the host was not
+// quarantined.
+func (r *Runner) Unquarantine(name string) bool {
+	if _, ok := r.failed[name]; !ok {
+		return false
+	}
+	delete(r.failed, name)
+	return true
+}
+
 // Now returns the fleet's virtual time: the furthest live host's
 // clock. Between RunFor calls all live hosts agree on it (they parked
 // at the same barrier); quarantined hosts may lag behind.

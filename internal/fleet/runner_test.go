@@ -256,3 +256,55 @@ func TestLoadDir(t *testing.T) {
 		t.Fatal("empty dir accepted")
 	}
 }
+
+// TestQuarantineExcludesAndReadmits covers the operator-initiated
+// quarantine API: a quarantined host is frozen out of epochs, an
+// unquarantined one rejoins and catches up to the fleet barrier.
+func TestQuarantineExcludesAndReadmits(t *testing.T) {
+	f := buildFleet(t, 3)
+	r := NewRunner(f, RunnerConfig{Workers: 2, Epoch: 200 * simtime.Microsecond})
+
+	if err := r.Quarantine("nope", nil); err == nil {
+		t.Fatal("unknown host quarantined")
+	}
+	if err := r.Quarantine("b", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Quarantine("b", nil); err == nil {
+		t.Fatal("double quarantine accepted")
+	}
+	if _, ok := r.Failed()["b"]; !ok {
+		t.Fatal("quarantined host missing from Failed()")
+	}
+
+	frozen := f.Host("b").Mgr.Engine().Now()
+	if _, err := r.RunFor(context.Background(), simtime.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Host("b").Mgr.Engine().Now(); got != frozen {
+		t.Fatalf("quarantined host advanced: %v -> %v", frozen, got)
+	}
+	if f.Host("a").Mgr.Engine().Now() == frozen {
+		t.Fatal("live hosts did not advance")
+	}
+
+	if !r.Unquarantine("b") {
+		t.Fatal("unquarantine reported missing host")
+	}
+	if r.Unquarantine("b") {
+		t.Fatal("double unquarantine reported success")
+	}
+	if _, err := r.RunFor(context.Background(), simtime.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// One barrier later every live host, b included, is realigned.
+	now := r.Now()
+	for _, h := range f.Hosts() {
+		if got := h.Mgr.Engine().Now(); got != now {
+			t.Fatalf("host %s at %v, fleet at %v after readmission", h.Name, got, now)
+		}
+	}
+	if len(r.Failed()) != 0 {
+		t.Fatalf("Failed() = %v, want empty", r.Failed())
+	}
+}

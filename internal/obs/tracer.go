@@ -43,6 +43,10 @@ const (
 	KindLinkFail
 	// KindLinkDegrade marks a silent link degradation injection.
 	KindLinkDegrade
+	// KindLinkRestore marks a link returning to health (failure and
+	// degradation cleared) — the recovery edge the anomaly platform's
+	// clear path is audited against.
+	KindLinkRestore
 	// KindTenantEvict marks a tenant eviction.
 	KindTenantEvict
 )
@@ -61,6 +65,7 @@ var kindNames = [...]string{
 	KindHeartbeat:     "heartbeat",
 	KindLinkFail:      "link-fail",
 	KindLinkDegrade:   "link-degrade",
+	KindLinkRestore:   "link-restore",
 	KindTenantEvict:   "tenant-evict",
 }
 

@@ -300,6 +300,12 @@ func (s *Session) Perf(src, dst, tenant string) (diag.PerfReport, error) {
 	return rep, nil
 }
 
+// ReplayEntry re-executes one journaled command against this session.
+// It is the single-entry form of Replay, exported so harnesses (the
+// chaos invariant checker) can interleave their own checks between
+// entries while staying on the exact replay path.
+func (s *Session) ReplayEntry(e Entry) error { return s.replayEntry(e) }
+
 // replayEntry re-executes one journaled command: advance the clock to
 // the entry's issue time, apply it through the shared path, and record
 // it so the rebuilt session continues journaling seamlessly.
