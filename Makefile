@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-smoke bench-json chaos-smoke check clean
+.PHONY: all build vet fmt test race bench bench-smoke bench-json bench-json-obs chaos-smoke check clean
 
 all: check
 
@@ -31,14 +31,17 @@ bench:
 
 # Quick sanity pass over the benchmarks that guard the hot paths: the
 # observability tax on fabric scheduling, the snapshot round-trip
-# (export + encode + decode + replay + verify), and the fleet runner's
-# serial-vs-parallel speedup at 64 hosts.
+# (export + encode + decode + replay + verify), the fleet runner's
+# serial-vs-parallel speedup at 64 hosts, and the observability
+# pipeline (zero-alloc bus publish, flat-per-host fleet roll-up).
 bench-smoke:
 	$(GO) test -bench BenchmarkObsFabricHotPath -benchtime 1x -run '^$$' .
 	$(GO) test -bench BenchmarkSnapshotRoundTrip -benchtime 1x -run '^$$' ./internal/snap
 	$(GO) test -bench 'BenchmarkFleetRunFor/hosts=64' -benchtime 1x -run '^$$' ./internal/fleet
 	$(GO) test -bench 'BenchmarkFabricFlowChurn/flows=1000$$' -benchtime 1x -benchmem -run '^$$' ./internal/fabric
 	$(GO) test -bench BenchmarkFabricRecomputeSteadyState -benchtime 1x -benchmem -run '^$$' ./internal/fabric
+	$(GO) test -bench 'BenchmarkBusPublish' -benchtime 1x -benchmem -run '^$$' ./internal/obs
+	$(GO) test -bench 'BenchmarkFleetRollup/hosts=64' -benchtime 1x -benchmem -run '^$$' ./internal/fleet
 
 # Benchmark trajectory gate: run the fabric hot-path benchmarks, fold
 # the results into BENCH_fabric.json (the committed baseline section is
@@ -49,6 +52,15 @@ bench-smoke:
 bench-json:
 	$(GO) test -bench 'BenchmarkFabric(FlowChurn|RecomputeSteadyState)' -benchtime 100x -benchmem -run '^$$' ./internal/fabric \
 		| $(GO) run ./cmd/benchjson -out BENCH_fabric.json
+
+# Same trajectory gate for the observability pipeline: the event-bus
+# publish path (with and without fan-out) must stay at 0 allocs/op —
+# it runs inside the simulation hot loop — and the fleet roll-up must
+# stay flat per host from 16 to 256 hosts (budgets scale linearly).
+bench-json-obs:
+	{ $(GO) test -bench 'BenchmarkBusPublish' -benchtime 100x -benchmem -run '^$$' ./internal/obs; \
+	  $(GO) test -bench 'BenchmarkFleetRollup' -benchtime 10x -benchmem -run '^$$' ./internal/fleet; } \
+		| $(GO) run ./cmd/benchjson -out BENCH_obs.json
 
 # Seed-pinned chaos smoke: randomized fault/churn schedules under the
 # cross-layer invariant oracle (internal/chaos), deterministic per

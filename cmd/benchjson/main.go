@@ -1,6 +1,8 @@
 // Command benchjson turns `go test -bench -benchmem` output into a
-// committed benchmark-trajectory file and enforces the fabric's
-// allocation budgets.
+// committed benchmark-trajectory file and enforces allocation budgets.
+// Budgets are keyed by the output filename, so one binary gates every
+// trajectory file (BENCH_fabric.json for the fabric hot path,
+// BENCH_obs.json for the observability pipeline).
 //
 // Usage:
 //
@@ -25,19 +27,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
 )
 
-// allocBudgets is the committed allocation budget, keyed by benchmark
-// name with the GOMAXPROCS suffix stripped. The steady-state recompute
-// budget is the whole point of the incremental engine: zero.
-var allocBudgets = map[string]int64{
-	"BenchmarkFabricRecomputeSteadyState":  0,
-	"BenchmarkFabricFlowChurn/flows=100":   64,
-	"BenchmarkFabricFlowChurn/flows=1000":  64,
-	"BenchmarkFabricFlowChurn/flows=10000": 64,
+// allocBudgetsByFile holds the committed allocation budgets, keyed by
+// trajectory filename, then by benchmark name with the GOMAXPROCS
+// suffix stripped.
+//
+// BENCH_fabric.json: the steady-state recompute budget is the whole
+// point of the incremental engine — zero.
+//
+// BENCH_obs.json: the event-bus publish path runs inside the
+// simulation hot loop, so it must not allocate at all, fan-out or not.
+// The fleet roll-up budgets scale linearly in host count (the flat
+// per-host cost the accumulator exists for — roughly 10 allocs/host
+// with headroom); super-linear growth busts them.
+var allocBudgetsByFile = map[string]map[string]int64{
+	"BENCH_fabric.json": {
+		"BenchmarkFabricRecomputeSteadyState":  0,
+		"BenchmarkFabricFlowChurn/flows=100":   64,
+		"BenchmarkFabricFlowChurn/flows=1000":  64,
+		"BenchmarkFabricFlowChurn/flows=10000": 64,
+	},
+	"BENCH_obs.json": {
+		"BenchmarkBusPublish":            0,
+		"BenchmarkBusPublishFanout8":     0,
+		"BenchmarkFleetRollup/hosts=16":  250,
+		"BenchmarkFleetRollup/hosts=64":  1000,
+		"BenchmarkFleetRollup/hosts=256": 4000,
+	},
 }
 
 // Result is one benchmark's measurement.
@@ -132,6 +153,7 @@ func run(out, note string) error {
 		// First capture: the trajectory starts here.
 		doc.Baseline = current
 	}
+	allocBudgets := allocBudgetsByFile[filepath.Base(out)]
 	doc.Current = current
 	doc.AllocBudgets = allocBudgets
 

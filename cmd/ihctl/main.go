@@ -24,6 +24,8 @@
 //	trace <src> <dst>              intra-host traceroute via the daemon
 //	perf <src> <dst> [tenant]      bandwidth probe via the daemon
 //	advance <micros>               move virtual time forward
+//	watch [kind]                   tail the live event stream (SSE)
+//	health                         daemon health with per-subsystem status
 //	experiment <id>                run one experiment (E1..E12) server-side
 //	snapshot [file]                checkpoint daemon state (default snapshot.json)
 //	restore <file>                 roll the daemon back to a snapshot
@@ -40,6 +42,8 @@
 //	rebalance                      evacuate tenants off anomalous links
 //	host-snapshot <host> [file]    checkpoint one fleet host
 //	host-journal <host> [file]     download one fleet host's journal
+//	fleet watch [kind]             tail the fleet-wide event stream (SSE)
+//	fleet-rollup                   merged fleet metrics snapshot (JSON)
 //
 //	version                        print build information
 package main
@@ -53,6 +57,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"syscall"
 
@@ -230,8 +235,22 @@ func (c command) dispatch(args []string) error {
 			return c.get("/journal", toFile(rest[0], "journal"))
 		}
 		return c.get("/journal", prettyJSON)
+	case "watch":
+		return c.watch("/events", rest)
+	case "health":
+		return c.health()
 
 	// Fleet verbs.
+	case "fleet":
+		// "ihctl fleet watch" spelling of the fleet stream tail.
+		if len(rest) >= 1 && rest[0] == "watch" {
+			return c.watch("/fleet/events", rest[1:])
+		}
+		return fmt.Errorf("usage: ihctl fleet watch [kind]")
+	case "fleet-watch":
+		return c.watch("/fleet/events", rest)
+	case "fleet-rollup":
+		return c.get("/fleet/metrics/rollup", prettyJSON)
 	case "hosts":
 		return c.get("/fleet/hosts", prettyHosts)
 	case "fleet-report":
@@ -287,6 +306,90 @@ func (c command) dispatch(args []string) error {
 		return c.get(path, prettyJSON)
 	}
 	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// watch tails an SSE event stream, rendering one line per event until
+// interrupted. An optional kind argument filters client-side.
+func (c command) watch(path string, rest []string) error {
+	if len(rest) > 1 {
+		return fmt.Errorf("usage: ihctl watch [kind]")
+	}
+	kindFilter := ""
+	if len(rest) == 1 {
+		kindFilter = rest[0]
+	}
+	return c.api.Stream(c.ctx, path, 0, func(ev apiclient.StreamEvent) error {
+		if kindFilter != "" && ev.Type != kindFilter {
+			return nil
+		}
+		var d struct {
+			VirtualNs int64   `json:"virtual_ns"`
+			Host      string  `json:"host"`
+			Span      string  `json:"span"`
+			Subject   string  `json:"subject"`
+			Detail    string  `json:"detail"`
+			Value     float64 `json:"value"`
+		}
+		if err := json.Unmarshal(ev.Data, &d); err != nil {
+			return err
+		}
+		line := fmt.Sprintf("%12d %-16s", d.VirtualNs, ev.Type)
+		if d.Host != "" {
+			line += " host=" + d.Host
+		}
+		if d.Subject != "" {
+			line += " " + d.Subject
+		}
+		if d.Value != 0 {
+			line += fmt.Sprintf(" value=%g", d.Value)
+		}
+		if d.Span != "" {
+			line += " span=" + d.Span
+		}
+		if d.Detail != "" {
+			line += "  " + d.Detail
+		}
+		fmt.Println(line)
+		return nil
+	})
+}
+
+// health renders the typed health document with its subsystem table.
+func (c command) health() error {
+	h, err := c.api.Health(c.ctx)
+	if err != nil {
+		return err
+	}
+	mode := h.Mode
+	if mode == "" {
+		mode = "host"
+	}
+	fmt.Printf("status: %s (%s daemon, version %s, %s)\n", h.Status, mode, h.Version, h.GoVersion)
+	fmt.Printf("uptime: %.1fs  virtual time: %dns\n", h.UptimeSeconds, h.VirtualTimeNs)
+	if h.Mode == "fleet" {
+		fmt.Printf("hosts: %d (%d quarantined)\n", h.Hosts, h.Quarantined)
+	} else {
+		fmt.Printf("tenants: %d\n", h.Tenants)
+	}
+	names := make([]string, 0, len(h.Subsystems))
+	for name := range h.Subsystems {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sub := h.Subsystems[name]
+		fmt.Printf("  %-12s %s", name, sub.Status)
+		keys := make([]string, 0, len(sub.Detail))
+		for k := range sub.Detail {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf(" %s=%s", k, sub.Detail[k])
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 // toFile renders a response body by writing it to a file, reporting

@@ -12,6 +12,7 @@ import (
 	"repro/internal/intent"
 	"repro/internal/obs"
 	"repro/internal/simtime"
+	"repro/internal/snap"
 	"repro/internal/topology"
 )
 
@@ -19,6 +20,10 @@ import (
 // representative scenario (tenant admission, contention, optionally a
 // mid-run fault), then export the manager's event ring as a Chrome
 // trace_event file that about://tracing and Perfetto load directly.
+//
+// The scenario runs over a recording session, so every command gets a
+// span that its effects inherit: the export carries flow arrows from
+// each admission, fault, and eviction to the events it caused.
 func runTrace(args []string) {
 	fs := flag.NewFlagSet("ihdiag trace", flag.ExitOnError)
 	chrome := fs.String("chrome", "", "write Chrome trace_event JSON to this file")
@@ -36,26 +41,24 @@ func runTrace(args []string) {
 		os.Exit(1)
 	}
 
-	build, ok := topology.Presets[*preset]
-	if !ok {
+	if _, ok := topology.Presets[*preset]; !ok {
 		fatalf("unknown preset %q (have %s)", *preset, strings.Join(topology.PresetNames(), ", "))
 	}
 	opts := core.DefaultOptions()
 	opts.Seed = *seed
 	opts.TraceCapacity = *events
-	mgr, err := core.New(build(), opts)
+	sess, err := snap.NewSession(snap.Config{Preset: *preset, Options: opts})
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if err := mgr.Start(); err != nil {
-		fatalf("%v", err)
-	}
+	mgr := sess.Manager()
 
 	// A representative workload: a guaranteed tenant, a greedy
 	// bystander on the same pathway, and sized transfers completing
 	// throughout, so the trace shows admission, arbitration,
 	// heartbeats, rate recomputations and flow lifecycle together.
-	if _, err := mgr.Admit("kv", []intent.Target{
+	sess.SetSpan("admit-kv")
+	if _, err := sess.Admit("kv", []intent.Target{
 		{Src: "nic0", Dst: "memory:socket0", Rate: topology.GBps(10)},
 	}); err != nil {
 		fatalf("admit: %v", err)
@@ -78,17 +81,25 @@ func runTrace(args []string) {
 	pump(0)
 
 	third := simtime.Duration(duration.Nanoseconds() / 3)
-	mgr.RunFor(third)
+	advance := func(span string, d simtime.Duration) {
+		sess.SetSpan(span)
+		if err := sess.Advance(d); err != nil {
+			fatalf("advance: %v", err)
+		}
+	}
+	advance("healthy-run", third)
 	if *degrade != "" {
-		if err := fab.DegradeLink(topology.LinkID(*degrade), 0.5, 20*simtime.Microsecond); err != nil {
+		sess.SetSpan("degrade")
+		if err := sess.DegradeLink(*degrade, 0.5, 20*simtime.Microsecond); err != nil {
 			fatalf("degrade: %v", err)
 		}
 	}
-	mgr.RunFor(third)
-	if err := mgr.Evict("kv"); err != nil {
+	advance("degraded-run", third)
+	sess.SetSpan("evict-kv")
+	if err := sess.Evict("kv"); err != nil {
 		fatalf("evict: %v", err)
 	}
-	mgr.RunFor(third)
+	advance("drain-run", third)
 	mgr.Stop()
 
 	tr := mgr.Obs().Tracer

@@ -2,9 +2,15 @@
 // the full manager (monitor + anomaly platform + arbiter) over a
 // simulated host and serves the JSON control plane of internal/httpapi
 // under /api/v1/, plus the observability surface: Prometheus metrics
-// at /metrics, the event trace at /api/v1/trace/events, liveness at
-// /api/v1/healthz, and Go profiling at /debug/pprof/. Pre-v1 /api/...
-// paths answer with 308 redirects to their /api/v1/ successors.
+// at /metrics, the event trace at /api/v1/trace/events, the live
+// event stream (SSE) at /api/v1/events, liveness with per-subsystem
+// status at /api/v1/healthz, and Go profiling at /debug/pprof/.
+// Pre-v1 /api/... paths answer with 308 redirects to their /api/v1/
+// successors. A structured access log (one logfmt line per request,
+// disable with -access-log=false) mints per-request correlation IDs
+// that double as the root spans of journaled commands. In fleet mode
+// the merged roll-up is at /api/v1/fleet/metrics/rollup and the
+// fleet-wide host-tagged stream at /api/v1/fleet/events.
 //
 // Virtual time advances continuously by default (1 ms of virtual time
 // per 10 ms of wall time); pass -autoadvance=0 to drive time only via
@@ -81,6 +87,8 @@ func main() {
 		"fleet runner goroutines (0 = GOMAXPROCS)")
 	fleetEpoch := flag.Duration("fleet-epoch", time.Millisecond,
 		"virtual-time barrier interval between fleet epochs")
+	accessLog := flag.Bool("access-log", true,
+		"log one structured line per request (request IDs are minted either way)")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
@@ -152,6 +160,16 @@ func main() {
 		log.Printf("ihnetd: managing %q host on %s (auto-advance %v/10ms; metrics at /metrics, pprof at /debug/pprof/)",
 			*preset, *addr, *auto)
 	}
+
+	// The access log wraps the whole surface: every request gets a
+	// correlation ID (minted or taken from X-Request-ID) that doubles
+	// as the root span of the command it journals, so a log line joins
+	// to journal entries and trace events on one key.
+	logf := log.Printf
+	if !*accessLog {
+		logf = nil
+	}
+	handler = httpapi.AccessLog(handler, logf)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

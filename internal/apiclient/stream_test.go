@@ -1,0 +1,140 @@
+package apiclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestStreamDecodesFrames: the client parses id/event/data triples,
+// skips keepalive comments, and sends the Last-Event-ID resume header.
+func TestStreamDecodesFrames(t *testing.T) {
+	var gotResume string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotResume = r.Header.Get("Last-Event-ID")
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, ": keepalive\n\n")
+		fmt.Fprint(w, "id: 8\nevent: heartbeat\ndata: {\"seq\":3}\n\n")
+		fmt.Fprint(w, "id: 9\nevent: flow-start\ndata: {\"seq\":4}\n\n")
+	}))
+	defer ts.Close()
+
+	var got []StreamEvent
+	err := New(ts.URL).Stream(context.Background(), "/events", 7, func(ev StreamEvent) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotResume != "7" {
+		t.Errorf("Last-Event-ID %q, want 7", gotResume)
+	}
+	if len(got) != 2 || got[0].ID != 8 || got[0].Type != "heartbeat" ||
+		got[1].ID != 9 || got[1].Type != "flow-start" {
+		t.Fatalf("frames %+v", got)
+	}
+	if string(got[0].Data) != `{"seq":3}` {
+		t.Fatalf("data %q", got[0].Data)
+	}
+}
+
+// TestStreamCallbackError propagates the consumer's error verbatim —
+// how a watch command bails out on a malformed frame.
+func TestStreamCallbackError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "id: 1\nevent: heartbeat\ndata: {}\n\n")
+	}))
+	defer ts.Close()
+	sentinel := errors.New("stop here")
+	err := New(ts.URL).Stream(context.Background(), "/events", 0, func(StreamEvent) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err %v, want sentinel", err)
+	}
+}
+
+// TestStreamErrorEnvelope: a non-2xx answer decodes as the typed API
+// error, and a JSON endpoint masquerading as a stream is rejected.
+func TestStreamErrorEnvelope(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":{"code":"not_found","message":"tracing disabled"}}`)
+	}))
+	defer ts.Close()
+	err := New(ts.URL).Stream(context.Background(), "/events", 0, func(StreamEvent) error { return nil })
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != "not_found" {
+		t.Fatalf("err %v, want not_found envelope", err)
+	}
+
+	plain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{}`)
+	}))
+	defer plain.Close()
+	if err := New(plain.URL).Stream(context.Background(), "/events", 0, nil); err == nil {
+		t.Fatal("non-stream content type accepted")
+	}
+}
+
+// TestStreamCanceledContextIsClean: Ctrl-C mid-watch is a normal exit,
+// not an error.
+func TestStreamCanceledContextIsClean(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- New(ts.URL).Stream(ctx, "/events", 0, func(StreamEvent) error { return nil })
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("canceled stream returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stream did not return after cancel")
+	}
+}
+
+// TestHealthTyped decodes the enriched health document including the
+// per-subsystem map.
+func TestHealthTyped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{
+			"status":"ok","version":"(devel)","go_version":"go1.24",
+			"virtual_time_ns":1000000,"tenants":2,
+			"subsystems":{
+				"fabric":{"status":"ok","active_flows":3},
+				"obs_bus":{"status":"ok","subscribers":1,"published":42,"dropped":0}
+			}
+		}`)
+	}))
+	defer ts.Close()
+	h, err := New(ts.URL).Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version != "(devel)" || h.VirtualTimeNs != 1000000 || h.Tenants != 2 {
+		t.Fatalf("health %+v", h)
+	}
+	if h.Subsystems["fabric"].Status != "ok" {
+		t.Fatalf("subsystems %+v", h.Subsystems)
+	}
+	if n := h.Subsystems["obs_bus"].Detail["published"]; n.String() != "42" {
+		t.Fatalf("obs_bus detail %+v", h.Subsystems["obs_bus"].Detail)
+	}
+}

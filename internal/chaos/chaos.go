@@ -17,7 +17,11 @@
 //   - snapshot -> restore reproduces the state hash mid-chaos;
 //   - the anomaly detector localizes covered hard failures within a
 //     bounded number of heartbeat rounds, and stops reporting lost
-//     heartbeats once every failure is restored.
+//     heartbeats once every failure is restored;
+//   - a live event-stream subscriber riding along for the whole run
+//     sees a view consistent with the journal: bus sequences increase,
+//     delivered + dropped equals published, and every streamed span
+//     names a journaled command (sse-consistency).
 package chaos
 
 import (
@@ -123,6 +127,9 @@ func Run(cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	o := NewOracle(sess.Manager(), cfg.Oracle)
 	inj := newInjector(sess, rng)
+	// A live SSE-style subscriber rides along for the whole run,
+	// checking that the event stream agrees with the journal.
+	watch := newStreamWatcher(sess.Manager().Obs().Tracer.Bus())
 	res := &Result{Seed: cfg.Seed, Counts: make(map[string]int), Config: sc}
 
 	// Warm up past detector calibration so the anomaly invariants arm.
@@ -139,6 +146,10 @@ func Run(cfg Config) (*Result, error) {
 	check := func() bool {
 		if vs := o.Check(sess.Journal().Len() - 1); len(vs) > 0 {
 			res.Violation = &vs[0]
+			return true
+		}
+		if v := watch.drain(sess.Now(), sess.Journal().Len()-1); v != nil {
+			res.Violation = v
 			return true
 		}
 		return false
@@ -180,6 +191,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	if res.Violation == nil {
+		res.Violation = watch.finish(sess.Journal(), sess.Now(), sess.Journal().Len()-1)
+	}
 	res.FinalTime = sess.Now()
 	res.Journal = sess.Journal()
 	return res, nil

@@ -20,7 +20,8 @@ import (
 type Violation struct {
 	// Invariant names the broken property: "link-capacity",
 	// "byte-conservation", "guarantee-cap", "work-conservation",
-	// "snapshot-restore", "anomaly-localize" or "anomaly-clear".
+	// "snapshot-restore", "anomaly-localize", "anomaly-clear" or
+	// "sse-consistency".
 	Invariant string `json:"invariant"`
 	// At is the virtual time of the failing check.
 	At simtime.Time `json:"at_ns"`

@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/snap"
+)
+
+// TestStreamWatcherCleanRun: the rider is active during normal chaos
+// runs (TestFuzzSeedsClean exercises it end to end); here we pin the
+// mechanics against a hand-driven bus.
+func TestStreamWatcherCleanRun(t *testing.T) {
+	bus := obs.NewBus(64)
+	bus.Publish(obs.Event{Kind: obs.KindHeartbeat}) // pre-subscribe noise
+	w := newStreamWatcher(bus)
+	bus.Publish(obs.Event{Kind: obs.KindHeartbeat, Span: "j0"})
+	bus.Publish(obs.Event{Kind: obs.KindFlowStart, Span: "j0"})
+	if v := w.drain(0, 0); v != nil {
+		t.Fatalf("clean drain: %v", v)
+	}
+	bus.Publish(obs.Event{Kind: obs.KindFlowDone, Span: "req-1"})
+	j := snap.Journal{Entries: []snap.Entry{{Span: "j0"}, {Span: "req-1"}}}
+	if v := w.finish(j, 0, 1); v != nil {
+		t.Fatalf("clean finish: %v", v)
+	}
+	if w.delivered != 3 {
+		t.Fatalf("delivered %d, want 3", w.delivered)
+	}
+}
+
+// TestStreamWatcherDropAccounting: ring overflow between drains is
+// fine as long as the drop counter explains the gap.
+func TestStreamWatcherDropAccounting(t *testing.T) {
+	bus := obs.NewBus(256)
+	w := newStreamWatcher(bus)
+	// Overflow the subscriber's 4096-slot ring before the first drain.
+	for i := 0; i < 5000; i++ {
+		bus.Publish(obs.Event{Kind: obs.KindHeartbeat, Span: "j0"})
+	}
+	j := snap.Journal{Entries: []snap.Entry{{Span: "j0"}}}
+	if v := w.finish(j, 0, 0); v != nil {
+		t.Fatalf("drop-accounted run flagged: %v", v)
+	}
+	if w.sub.Dropped() == 0 {
+		t.Fatal("fixture did not exercise drops")
+	}
+}
+
+// TestStreamWatcherCatchesOrphanSpan: a streamed event whose span
+// names no journal entry is the violation the rider exists to catch.
+func TestStreamWatcherCatchesOrphanSpan(t *testing.T) {
+	bus := obs.NewBus(64)
+	w := newStreamWatcher(bus)
+	bus.Publish(obs.Event{Kind: obs.KindHeartbeat, Span: "ghost-cmd"})
+	j := snap.Journal{Entries: []snap.Entry{{Span: "j0"}}}
+	v := w.finish(j, 0, 0)
+	if v == nil || v.Invariant != "sse-consistency" || v.Subject != "ghost-cmd" {
+		t.Fatalf("orphan span not caught: %+v", v)
+	}
+	if !strings.Contains(v.Detail, "names no journal entry") {
+		t.Fatalf("detail %q", v.Detail)
+	}
+}
+
+// TestChaosRunsStreamWatcher: a real run delivers a meaningful number
+// of streamed events through the rider (i.e. it is actually wired in).
+func TestChaosRunsStreamWatcher(t *testing.T) {
+	res, err := Run(shortCfg(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %v", res.Violation)
+	}
+}

@@ -69,3 +69,31 @@ func BenchmarkFleetRunFor(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFleetRollup measures folding every host's registry into
+// one fleet snapshot. The acceptance bar is flat per-host overhead
+// from 16 to 256 hosts (the ns/host metric), i.e. roll-up cost is
+// O(hosts) with no superlinear term — one scrape covers the fleet.
+func BenchmarkFleetRollup(b *testing.B) {
+	for _, hosts := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			f := benchFleet(b, hosts)
+			r := NewRunner(f, RunnerConfig{Workers: runtime.GOMAXPROCS(0)})
+			if _, err := r.RunFor(context.Background(), simtime.Millisecond); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last int
+			for i := 0; i < b.N; i++ {
+				s := r.Rollup()
+				last = s.Hosts
+			}
+			b.StopTimer()
+			if last != hosts {
+				b.Fatalf("rollup folded %d hosts, want %d", last, hosts)
+			}
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(hosts)*1e9, "ns/host")
+		})
+	}
+}

@@ -29,6 +29,11 @@ type RunnerConfig struct {
 	// barrier with every host parked at the same virtual time. This is
 	// the hook for fleet-level control decisions between epochs.
 	OnEpoch func(EpochStat)
+	// Bus, when set, is the fleet-level event stream: every host's
+	// trace bus forwards into it (events tagged with the host name),
+	// and the runner publishes its own epoch and quarantine events
+	// there — one SSE subscription observes the whole fleet.
+	Bus *obs.Bus
 }
 
 // HostResult is one host's outcome for one epoch.
@@ -92,6 +97,7 @@ type Runner struct {
 	epoch   simtime.Duration
 	onEpoch func(EpochStat)
 	failed  map[string]error
+	bus     *obs.Bus
 
 	mEpochs        *obs.Counter
 	mHostsAdvanced *obs.Counter
@@ -112,12 +118,21 @@ func NewRunner(f *Fleet, cfg RunnerConfig) *Runner {
 		epoch = simtime.Millisecond
 	}
 	reg := cfg.Registry
+	if cfg.Bus != nil {
+		// Fan every host's event stream into the fleet bus, tagged with
+		// the host name. Hosts added to the fleet after runner
+		// construction are not auto-wired; build the runner last.
+		for _, h := range f.Hosts() {
+			h.Mgr.Obs().Tracer.Bus().ForwardTo(cfg.Bus, h.Name)
+		}
+	}
 	return &Runner{
 		fleet:   f,
 		workers: workers,
 		epoch:   epoch,
 		onEpoch: cfg.OnEpoch,
 		failed:  make(map[string]error),
+		bus:     cfg.Bus,
 		mEpochs: reg.Counter("ihnet_fleet_epochs_total",
 			"Epoch barriers crossed by the fleet runner."),
 		mHostsAdvanced: reg.Counter("ihnet_fleet_hosts_advanced_total",
@@ -165,6 +180,10 @@ func (r *Runner) Quarantine(name string, reason error) error {
 	}
 	r.failed[name] = reason
 	r.mHostFailures.Inc()
+	r.bus.Publish(obs.Event{
+		Kind: obs.KindHostQuarantine, Virtual: r.Now(),
+		Subject: name, Detail: reason.Error(),
+	})
 	return nil
 }
 
@@ -284,6 +303,10 @@ func (r *Runner) runEpoch(barrier simtime.Time) ([]HostResult, int) {
 		if res.Err != nil {
 			r.failed[res.Host] = res.Err
 			r.mHostFailures.Inc()
+			r.bus.Publish(obs.Event{
+				Kind: obs.KindHostQuarantine, Virtual: barrier,
+				Subject: res.Host, Detail: res.Err.Error(),
+			})
 			continue
 		}
 		ok++
@@ -292,7 +315,12 @@ func (r *Runner) runEpoch(barrier simtime.Time) ([]HostResult, int) {
 			slowest = res.Wall
 		}
 	}
-	r.hEpochSeconds.Observe(time.Since(epochStart).Seconds())
+	epochWall := time.Since(epochStart)
+	r.hEpochSeconds.Observe(epochWall.Seconds())
+	r.bus.Publish(obs.Event{
+		Kind: obs.KindFleetEpoch, Virtual: barrier,
+		Subject: "fleet", Value: float64(ok), WallDur: epochWall,
+	})
 	if ok > 1 {
 		mean := total / time.Duration(ok)
 		if mean > 0 {
@@ -305,6 +333,29 @@ func (r *Runner) runEpoch(barrier simtime.Time) ([]HostResult, int) {
 	}
 	return results, ok
 }
+
+// Rollup folds every host's metrics registry into one fleet snapshot:
+// counters sum, gauges keep the last (name-ordered) host's value
+// tagged with its source, histograms merge bucket-wise with quantile
+// error bounds intact. Hosts are visited in name order, so equal
+// per-host metrics give byte-identical roll-ups regardless of worker
+// count. Quarantined hosts are included — their metrics still
+// describe real state, frozen at quarantine time.
+//
+// Cost is O(hosts x metrics) — flat per host, via the dense
+// accumulator — and it reads only atomics and per-metric locks, so it
+// is safe to call while the runner is mid-epoch (scrapes observe a
+// torn but monitoring-consistent view, same as single-host /metrics).
+func (r *Runner) Rollup() obs.Snapshot {
+	acc := obs.NewAccumulator("fleet")
+	for _, h := range r.fleet.Hosts() {
+		acc.AddRegistry(h.Mgr.Obs().Registry, h.Name)
+	}
+	return acc.Snapshot()
+}
+
+// Bus returns the fleet-level event bus, if configured.
+func (r *Runner) Bus() *obs.Bus { return r.bus }
 
 // advanceHost drives one host to the barrier, converting panics in the
 // host's simulation into a per-host error so one broken host cannot

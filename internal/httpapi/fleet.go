@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -36,10 +38,15 @@ type FleetServer struct {
 }
 
 // NewFleetServer builds the fleet control plane. A nil cfg.Registry is
-// replaced with a fresh one so /metrics always has a surface to serve.
+// replaced with a fresh one so /metrics always has a surface to serve,
+// and a nil cfg.Bus with a fresh fan-in bus so /fleet/events always
+// streams (the runner wires every host's tracer into it).
 func NewFleetServer(f *fleet.Fleet, cfg fleet.RunnerConfig) *FleetServer {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Bus == nil {
+		cfg.Bus = obs.NewBus(fleetBusCapacity)
 	}
 	return &FleetServer{
 		fleet:   f,
@@ -48,6 +55,10 @@ func NewFleetServer(f *fleet.Fleet, cfg fleet.RunnerConfig) *FleetServer {
 		started: time.Now(),
 	}
 }
+
+// fleetBusCapacity sizes the fleet bus's resume ring: N hosts multiply
+// the event rate, so retain more than a single host's default.
+const fleetBusCapacity = 16384
 
 // Fleet returns the underlying fleet (the daemon's shutdown path walks
 // it to stop every manager).
@@ -80,6 +91,11 @@ func (s *FleetServer) apiRoutes() []route {
 		{"POST", "/fleet/rebalance", lockWrite, s.postRebalance},
 		{"POST", "/fleet/hosts/{host}/snapshot", lockWrite, s.postHostSnapshot},
 		{"GET", "/fleet/hosts/{host}/journal", lockRead, s.getHostJournal},
+		// The observability surface is lockNone: roll-ups read host
+		// registries through the same atomics the writers use, and a
+		// stalled SSE client must never hold a fleet lock.
+		{"GET", "/fleet/metrics/rollup", lockNone, s.getFleetRollup},
+		{"GET", "/fleet/events", lockNone, s.getFleetEvents},
 		{"GET", "/healthz", lockRead, s.getFleetHealthz},
 	}
 }
@@ -91,7 +107,11 @@ func (s *FleetServer) Handler() http.Handler {
 	mountRoutes(mux, s.apiRoutes(), s.wrap)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Runner-level metrics first (epoch timings, quarantines), then
+		// the fleet roll-up: every host's counters and histograms merged
+		// into one scrape, so a 256-host fleet is one Prometheus target.
 		_ = s.reg.WritePrometheus(w)
+		_ = s.runner.Rollup().WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -335,16 +355,52 @@ func (s *FleetServer) getHostJournal(w http.ResponseWriter, r *http.Request) {
 	_ = j.Encode(w)
 }
 
+// getFleetRollup serves the merged fleet snapshot as JSON: counters
+// summed, gauges last-write-wins with source tags, histograms merged
+// bucket-wise with quantile error bounds preserved.
+func (s *FleetServer) getFleetRollup(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.runner.Rollup())
+}
+
+// getFleetEvents streams the fleet fan-in bus — every host's events,
+// tagged with the originating host, plus the runner's epoch barriers —
+// as server-sent events.
+func (s *FleetServer) getFleetEvents(w http.ResponseWriter, r *http.Request) {
+	streamSSE(w, r, s.runner.Bus())
+}
+
 func (s *FleetServer) getFleetHealthz(w http.ResponseWriter, _ *http.Request) {
-	quarantined := len(s.runner.Failed())
+	failed := s.runner.Failed()
+	quarantinedHosts := make([]string, 0, len(failed))
+	for name := range failed {
+		quarantinedHosts = append(quarantinedHosts, name)
+	}
+	sort.Strings(quarantinedHosts)
+	bus := s.runner.Bus()
+	subsystems := map[string]any{
+		"runner": map[string]any{
+			"status":      boolStatus(len(failed) == 0, "ok", "degraded"),
+			"workers":     s.runner.Workers(),
+			"quarantined": quarantinedHosts,
+		},
+		"obs_bus": map[string]any{
+			"status":      "ok",
+			"subscribers": bus.Subscribers(),
+			"published":   bus.Seq(),
+			"dropped":     bus.Dropped(),
+		},
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          "ok",
 		"mode":            "fleet",
+		"version":         buildVersion(),
+		"go_version":      runtime.Version(),
 		"hosts":           len(s.fleet.Hosts()),
-		"quarantined":     quarantined,
+		"quarantined":     len(failed),
 		"workers":         s.runner.Workers(),
 		"epoch_ns":        int64(s.runner.Epoch()),
 		"uptime_seconds":  time.Since(s.started).Seconds(),
 		"virtual_time_ns": int64(s.runner.Now()),
+		"subsystems":      subsystems,
 	})
 }

@@ -130,6 +130,7 @@ func (s *Server) apiRoutes() []route {
 		{"POST", "/restore", lockWrite, s.postRestore},
 		{"GET", "/journal", lockRead, s.getJournal},
 		{"GET", "/trace/events", lockNone, s.getTraceEvents},
+		{"GET", "/events", lockNone, s.getEvents},
 		{"GET", "/healthz", lockRead, s.getHealthz},
 	}
 }
@@ -173,6 +174,15 @@ func (s *Server) wrap(lock lockMode, h http.HandlerFunc) http.HandlerFunc {
 			if err := r.Context().Err(); err != nil {
 				writeErr(w, StatusClientClosedRequest, err)
 				return
+			}
+			// Root the command span at the request ID: the journal
+			// entry this handler records (and every trace event its
+			// effects emit) will carry it, joining the access log to
+			// the trace.
+			if s.sess != nil {
+				if id := RequestID(r); id != "" {
+					s.sess.SetSpan(id)
+				}
 			}
 			h(w, r)
 		}
@@ -647,6 +657,9 @@ func (s *Server) getMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 type traceEventDTO struct {
+	// BusSeq is the stream position assigned by the fan-out bus (the
+	// SSE frame id); zero on plain ring dumps.
+	BusSeq    uint64  `json:"bus_seq,omitempty"`
 	Seq       uint64  `json:"seq"`
 	VirtualNs int64   `json:"virtual_ns"`
 	WallNs    int64   `json:"wall_ns"`
@@ -655,6 +668,10 @@ type traceEventDTO struct {
 	Detail    string  `json:"detail,omitempty"`
 	Value     float64 `json:"value,omitempty"`
 	WallDurNs int64   `json:"wall_dur_ns,omitempty"`
+	// Span is the journaled command this event is an effect of.
+	Span string `json:"span,omitempty"`
+	// Host is the originating host on fleet streams.
+	Host string `json:"host,omitempty"`
 }
 
 // getTraceEvents dumps the event ring as JSON, oldest first. Query
@@ -689,7 +706,7 @@ func (s *Server) getTraceEvents(w http.ResponseWriter, r *http.Request) {
 		out = append(out, traceEventDTO{
 			Seq: ev.Seq, VirtualNs: int64(ev.Virtual), WallNs: ev.Wall,
 			Kind: ev.Kind.String(), Subject: ev.Subject, Detail: ev.Detail,
-			Value: ev.Value, WallDurNs: int64(ev.WallDur),
+			Value: ev.Value, WallDurNs: int64(ev.WallDur), Span: ev.Span,
 		})
 	}
 	if limit > 0 && len(out) > limit {
@@ -702,9 +719,26 @@ func (s *Server) getTraceEvents(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// getEvents streams the host's live event bus as server-sent events.
+// lockNone: the bus synchronizes on its own and a stalled client must
+// never hold a server lock. Manager() is re-read (not s.mgr directly)
+// because a concurrent restore swaps it.
+func (s *Server) getEvents(w http.ResponseWriter, r *http.Request) {
+	streamSSE(w, r, s.Manager().Obs().Bus)
+}
+
+// buildVersion reports the main module version from build info
+// ("(devel)" for tree builds).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}
+
 // getHealthz reports liveness: build info, uptime, the virtual clock,
-// and coarse observability counts. Runs under the server lock because
-// it reads simulation state.
+// coarse observability counts, and a per-subsystem status map. Runs
+// under the server lock because it reads simulation state.
 func (s *Server) getHealthz(w http.ResponseWriter, _ *http.Request) {
 	o := s.mgr.Obs()
 	goVersion := runtime.Version()
@@ -717,8 +751,31 @@ func (s *Server) getHealthz(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 	}
+	subsystems := map[string]any{
+		"fabric": map[string]any{
+			"status":       "ok",
+			"active_flows": s.mgr.Fabric().Flows(),
+		},
+		"snap": map[string]any{
+			"status":  boolStatus(s.sess != nil, "ok", "disabled"),
+			"enabled": s.sess != nil,
+		},
+		"telemetry": map[string]any{
+			"status": boolStatus(s.mgr.Telemetry() != nil, "ok", "disabled"),
+		},
+		"obs_bus": map[string]any{
+			"status":      "ok",
+			"subscribers": o.Bus.Subscribers(),
+			"published":   o.Bus.Seq(),
+			"dropped":     o.Bus.Dropped(),
+		},
+	}
+	if s.sess != nil {
+		subsystems["snap"].(map[string]any)["journal_entries"] = s.sess.Journal().Len()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":           "ok",
+		"version":          buildVersion(),
 		"go_version":       goVersion,
 		"module":           module,
 		"vcs_revision":     vcsRev,
@@ -730,7 +787,16 @@ func (s *Server) getHealthz(w http.ResponseWriter, _ *http.Request) {
 		"trace_dropped":    o.Tracer.Dropped(),
 		"active_flows":     s.mgr.Fabric().Flows(),
 		"tenants":          len(s.mgr.Tenants()),
+		"subsystems":       subsystems,
 	})
+}
+
+// boolStatus maps a condition to one of two status strings.
+func boolStatus(ok bool, yes, no string) string {
+	if ok {
+		return yes
+	}
+	return no
 }
 
 // errNoSession is returned by the checkpoint endpoints on servers

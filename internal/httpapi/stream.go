@@ -1,0 +1,207 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SSE streaming and the structured access log. Both ends of the
+// correlation story live here: the access log mints the per-request
+// ID that becomes the command's span, and the event stream carries
+// that span back out on every effect the command caused.
+
+// sseDefaultCapacity is the per-subscriber ring size when the client
+// does not ask for one. A stalled client loses oldest events (counted
+// in obs_sse_dropped_total) — never backpressure on the simulation.
+const sseDefaultCapacity = 1024
+
+// sseKeepalive is the comment-frame interval that keeps idle
+// connections from being reaped by intermediaries.
+const sseKeepalive = 15 * time.Second
+
+// parseResumeSeq extracts the resume point: the standard
+// Last-Event-ID header (set by EventSource on reconnect) or an
+// explicit ?since= query parameter. Returns ^uint64(0) for "live
+// only".
+func parseResumeSeq(r *http.Request) (uint64, error) {
+	v := r.Header.Get("Last-Event-ID")
+	if q := r.URL.Query().Get("since"); q != "" {
+		v = q
+	}
+	if v == "" {
+		return ^uint64(0), nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad resume sequence %q", v)
+	}
+	return n, nil
+}
+
+// streamSSE serves a bus subscription as a text/event-stream: one
+// frame per event with the bus sequence as the SSE id (so
+// Last-Event-ID resume is exact), the event kind as the SSE event
+// type, and the JSON envelope as data. The subscription's ring
+// absorbs bursts; when the client is slower than the simulation the
+// ring overwrites and the client observes a sequence gap — the
+// explicit, counted alternative to blocking the hot path.
+func streamSSE(w http.ResponseWriter, r *http.Request, bus *obs.Bus) {
+	if bus == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("event streaming unavailable: tracing is disabled"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	after, err := parseResumeSeq(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	capacity := sseDefaultCapacity
+	if v := r.URL.Query().Get("buffer"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 || n > 1<<20 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad buffer size %q", v))
+			return
+		}
+		capacity = n
+	}
+	sub := bus.SubscribeFrom(capacity, after)
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
+	for {
+		for _, be := range sub.Drain() {
+			if err := writeSSEFrame(w, be); err != nil {
+				return // client gone
+			}
+		}
+		fl.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Ready():
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSEFrame(w http.ResponseWriter, be obs.BusEvent) error {
+	data, err := json.Marshal(busEventDTO(be))
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n",
+		be.Seq, be.Event.Kind.String(), data)
+	return err
+}
+
+// busEventDTO converts a bus event to the wire envelope. BusSeq is
+// the fleet/host stream position (the SSE id); Seq remains the
+// originating tracer's ring sequence.
+func busEventDTO(be obs.BusEvent) traceEventDTO {
+	ev := be.Event
+	return traceEventDTO{
+		BusSeq: be.Seq, Seq: ev.Seq, VirtualNs: int64(ev.Virtual), WallNs: ev.Wall,
+		Kind: ev.Kind.String(), Subject: ev.Subject, Detail: ev.Detail,
+		Value: ev.Value, WallDurNs: int64(ev.WallDur), Span: ev.Span, Host: ev.Host,
+	}
+}
+
+// ctxKey is the private context-key namespace.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestID returns the request's correlation ID: the one the
+// AccessLog middleware minted (or accepted from an X-Request-ID
+// header), falling back to the raw header when no middleware ran.
+// Mutating handlers root the command span here, so a log line, a
+// journal entry and a trace span all share one identifier.
+func RequestID(r *http.Request) string {
+	if v, ok := r.Context().Value(requestIDKey).(string); ok {
+		return v
+	}
+	return r.Header.Get("X-Request-ID")
+}
+
+// statusRecorder captures the response status for the access log
+// while passing Flush through so streaming endpoints keep working.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Flush() {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps a handler with the structured access log: every
+// request gets a correlation ID (client-supplied X-Request-ID or a
+// minted "r<token>-<n>"), echoed back in the response header, stored
+// in the request context for span rooting, and logged in logfmt with
+// route, status and wall duration in microseconds. logf is typically
+// log.Printf; nil disables logging but keeps the ID plumbing.
+func AccessLog(next http.Handler, logf func(format string, args ...any)) http.Handler {
+	var seq atomic.Uint64
+	token := fmt.Sprintf("%06x", time.Now().UnixNano()&0xffffff)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("r%s-%d", token, seq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		if logf != nil {
+			logf("req_id=%s method=%s path=%s status=%d dur_us=%d",
+				id, r.Method, r.URL.Path, rec.status, time.Since(start).Microseconds())
+		}
+	})
+}

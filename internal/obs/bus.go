@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"sync"
+)
+
+// BusEvent is one published event wrapped with the bus's own
+// monotonically increasing sequence number. Per-host tracer sequence
+// numbers collide once a fleet fans events into one stream, so the
+// bus stamps its own — that number is what SSE uses as the event id
+// and what Last-Event-ID resume is relative to.
+type BusEvent struct {
+	Seq   uint64
+	Event Event
+}
+
+// Bus fans events out to subscribers without ever blocking the
+// publisher. Each subscriber owns a fixed-size ring: when a consumer
+// stalls, its oldest events are overwritten and a drop counter
+// increments — the simulation hot path pays one short mutex and some
+// copies per subscriber, never a wait. A bounded replay ring lets a
+// reconnecting subscriber resume from a recent sequence number.
+//
+// The zero Bus is not usable; NewBus allocates everything up front so
+// Publish performs no allocation.
+type Bus struct {
+	mu      sync.Mutex
+	seq     uint64
+	ring    []BusEvent // replay ring, indexed by seq % len
+	subs    []*Subscription
+	forward []forwardTarget
+
+	drop    *Counter // counts ring-overwrite drops across all subscribers
+	dropped uint64
+}
+
+type forwardTarget struct {
+	parent *Bus
+	host   string
+}
+
+// NewBus returns a bus retaining up to capacity events for resume.
+func NewBus(capacity int) *Bus {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Bus{ring: make([]BusEvent, capacity)}
+}
+
+// SetDropCounter wires the counter incremented whenever any
+// subscriber's ring overwrites an undelivered event (the exported
+// obs_sse_dropped_total).
+func (b *Bus) SetDropCounter(c *Counter) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.drop = c
+	b.mu.Unlock()
+}
+
+// ForwardTo mirrors every event published on b into parent, stamping
+// Host so the fleet stream can say which host each event came from.
+// Forwarding is set up once at wiring time; cycles are the caller's
+// responsibility to avoid.
+func (b *Bus) ForwardTo(parent *Bus, host string) {
+	if b == nil || parent == nil {
+		return
+	}
+	b.mu.Lock()
+	b.forward = append(b.forward, forwardTarget{parent: parent, host: host})
+	b.mu.Unlock()
+}
+
+// Publish stamps ev with the next bus sequence number and delivers it
+// to every subscriber ring. It never blocks and never allocates: slow
+// subscribers lose their oldest event (counted), fast ones are nudged
+// through an already-buffered channel.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.seq++
+	be := BusEvent{Seq: b.seq, Event: ev}
+	b.ring[b.seq%uint64(len(b.ring))] = be
+	for _, s := range b.subs {
+		if s.push(be) {
+			b.dropped++
+			b.drop.Inc()
+		}
+	}
+	nf := len(b.forward)
+	var fwd [4]forwardTarget
+	n := copy(fwd[:], b.forward)
+	b.mu.Unlock()
+	// Forward outside the lock: parent.Publish takes the parent's
+	// mutex and must not nest inside ours.
+	for i := 0; i < n; i++ {
+		fev := ev
+		if fev.Host == "" {
+			fev.Host = fwd[i].host
+		}
+		fwd[i].parent.Publish(fev)
+	}
+	if nf > len(fwd) {
+		// More than fits the stack copy — rare wiring; take the slow path.
+		b.mu.Lock()
+		rest := append([]forwardTarget(nil), b.forward[n:]...)
+		b.mu.Unlock()
+		for _, t := range rest {
+			fev := ev
+			if fev.Host == "" {
+				fev.Host = t.host
+			}
+			t.parent.Publish(fev)
+		}
+	}
+}
+
+// Seq returns the sequence number of the most recently published
+// event (0 before the first publish).
+func (b *Bus) Seq() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Dropped returns the total events lost to slow subscribers.
+func (b *Bus) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Subscribers returns the number of live subscriptions.
+func (b *Bus) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Subscribe registers a subscriber with a ring of the given capacity,
+// starting from the next published event.
+func (b *Bus) Subscribe(capacity int) *Subscription {
+	return b.SubscribeFrom(capacity, ^uint64(0))
+}
+
+// SubscribeFrom registers a subscriber and pre-loads any retained
+// events with sequence numbers greater than afterSeq (Last-Event-ID
+// resume). Pass ^uint64(0) to start fresh. Events older than the
+// replay ring are gone; the subscriber observes the gap through
+// sequence numbers, not an error.
+func (b *Bus) SubscribeFrom(capacity int, afterSeq uint64) *Subscription {
+	if b == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = 1
+	}
+	s := &Subscription{
+		bus:   b,
+		ring:  make([]BusEvent, capacity),
+		ready: make(chan struct{}, 1),
+	}
+	b.mu.Lock()
+	if afterSeq < b.seq {
+		// Replay retained events (oldest first) with seq > afterSeq.
+		n := uint64(len(b.ring))
+		start := uint64(1)
+		if b.seq > n {
+			start = b.seq - n + 1
+		}
+		if afterSeq+1 > start {
+			start = afterSeq + 1
+		}
+		for q := start; q <= b.seq; q++ {
+			be := b.ring[q%n]
+			if be.Seq == q {
+				s.push(be)
+			}
+		}
+	}
+	b.subs = append(b.subs, s)
+	b.mu.Unlock()
+	return s
+}
+
+func (b *Bus) unsubscribe(s *Subscription) {
+	b.mu.Lock()
+	for i, cur := range b.subs {
+		if cur == s {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Subscription is one subscriber's bounded view of the bus. Drain and
+// Ready are safe to use from a single consumer goroutine while
+// publishers keep running.
+type Subscription struct {
+	bus   *Bus
+	ready chan struct{}
+
+	mu      sync.Mutex
+	ring    []BusEvent
+	start   int
+	n       int
+	dropped uint64
+	closed  bool
+}
+
+// push appends be, overwriting the oldest undelivered event when
+// full. Returns true when an event was dropped.
+func (s *Subscription) push(be BusEvent) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	var drop bool
+	if s.n == len(s.ring) {
+		s.start = (s.start + 1) % len(s.ring)
+		s.n--
+		s.dropped++
+		drop = true
+	}
+	s.ring[(s.start+s.n)%len(s.ring)] = be
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.ready <- struct{}{}:
+	default:
+	}
+	return drop
+}
+
+// Ready returns a channel that receives a nudge when events are
+// pending. One nudge can cover many events: always Drain after it.
+func (s *Subscription) Ready() <-chan struct{} {
+	if s == nil {
+		return nil
+	}
+	return s.ready
+}
+
+// Drain returns and removes all pending events, oldest first.
+func (s *Subscription) Drain() []BusEvent {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return nil
+	}
+	out := make([]BusEvent, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.ring[(s.start+i)%len(s.ring)]
+	}
+	s.start, s.n = 0, 0
+	return out
+}
+
+// Dropped returns how many events this subscriber lost to overwrite.
+func (s *Subscription) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close unregisters the subscription. Pending events are discarded.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.bus.unsubscribe(s)
+}

@@ -23,6 +23,8 @@ type chromeEvent struct {
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
+	ID    string         `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -52,12 +54,25 @@ func chromeThread(k EventKind) (int, string) {
 // WriteChromeTrace renders events as Chrome trace_event JSON. Events
 // with a measured WallDur become complete ("X") slices whose duration
 // is the wall cost scaled onto the virtual axis 1:1 in microseconds;
-// everything else is an instant ("i") event.
+// everything else is an instant ("i") event. Events sharing a span
+// (the journaled command that caused them) are additionally bound
+// into a flow: a start arrow at the span's first event, steps through
+// each effect, and a finish at the last — about://tracing draws the
+// command -> effect causality as arrows across subsystem rows.
 func WriteChromeTrace(w io.Writer, events []Event) error {
 	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
 		{Name: "process_name", Phase: "M", PID: 1,
 			Args: map[string]any{"name": "ihnet"}},
 	}}
+	// Spans with at least two events get flow arrows; a single-event
+	// span has no causality to draw.
+	spanTotal := make(map[string]int)
+	for _, ev := range events {
+		if ev.Span != "" {
+			spanTotal[ev.Span]++
+		}
+	}
+	spanSeen := make(map[string]int)
 	seen := make(map[int]bool)
 	for _, ev := range events {
 		tid, tname := chromeThread(ev.Kind)
@@ -81,6 +96,12 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		if ev.Value != 0 {
 			args["value"] = ev.Value
 		}
+		if ev.Span != "" {
+			args["span"] = ev.Span
+		}
+		if ev.Host != "" {
+			args["host"] = ev.Host
+		}
 		name := ev.Kind.String()
 		if ev.Subject != "" {
 			name += " " + ev.Subject
@@ -98,6 +119,23 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			ce.Scope = "t"
 		}
 		out.TraceEvents = append(out.TraceEvents, ce)
+		if ev.Span != "" && spanTotal[ev.Span] > 1 {
+			spanSeen[ev.Span]++
+			fe := chromeEvent{
+				Name: "span " + ev.Span, Cat: "span", ID: ev.Span,
+				TS: ce.TS, PID: 1, TID: tid,
+			}
+			switch spanSeen[ev.Span] {
+			case 1:
+				fe.Phase = "s"
+			case spanTotal[ev.Span]:
+				fe.Phase = "f"
+				fe.BP = "e"
+			default:
+				fe.Phase = "t"
+			}
+			out.TraceEvents = append(out.TraceEvents, fe)
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -27,6 +27,26 @@ type Histogram struct {
 	buckets [numBuckets]atomic.Uint64
 	count   atomic.Uint64
 	sum     atomic.Uint64 // float64 bits
+	// Occupied-range watermarks: loPlus is the lowest occupied bucket
+	// index plus one (0 = empty), hiEx the highest plus one. Readers
+	// (snapshots, roll-ups, quantiles) scan only [loPlus-1, hiEx)
+	// instead of all buckets; observations typically span a few
+	// octaves, so this cuts a full-registry fold by an order of
+	// magnitude. Updates are load-compare-CAS that almost always stop
+	// at the compare.
+	loPlus atomic.Int64
+	hiEx   atomic.Int64
+}
+
+// span returns the half-open occupied bucket index range [lo, hi).
+// Concurrent observers may extend the range after it is read — the
+// same torn-but-consistent contract every reader here has.
+func (h *Histogram) span() (lo, hi int) {
+	l := h.loPlus.Load()
+	if l == 0 {
+		return 0, 0
+	}
+	return int(l - 1), int(h.hiEx.Load())
 }
 
 // NewHistogram returns an empty histogram.
@@ -91,7 +111,26 @@ func (h *Histogram) Observe(v float64) {
 	if v < 0 || math.IsNaN(v) {
 		v = 0
 	}
-	h.buckets[bucketIndex(v)].Add(1)
+	idx := bucketIndex(v)
+	h.buckets[idx].Add(1)
+	for {
+		old := h.loPlus.Load()
+		if old != 0 && int64(idx)+1 >= old {
+			break
+		}
+		if h.loPlus.CompareAndSwap(old, int64(idx)+1) {
+			break
+		}
+	}
+	for {
+		old := h.hiEx.Load()
+		if int64(idx) < old {
+			break
+		}
+		if h.hiEx.CompareAndSwap(old, int64(idx)+1) {
+			break
+		}
+	}
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()
@@ -150,7 +189,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 		target = 1
 	}
 	var cum uint64
-	for i := 0; i < numBuckets; i++ {
+	lo, hi := h.span()
+	for i := lo; i < hi; i++ {
 		n := h.buckets[i].Load()
 		if n == 0 {
 			continue
@@ -174,7 +214,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 // counts stay correct), then _sum and _count.
 func (h *Histogram) writePrometheus(b *strings.Builder, name string) {
 	var cum uint64
-	for i := 0; i < numBuckets-1; i++ {
+	lo, hi := h.span()
+	if hi > numBuckets-1 {
+		hi = numBuckets - 1
+	}
+	for i := lo; i < hi; i++ {
 		n := h.buckets[i].Load()
 		if n == 0 {
 			continue

@@ -23,19 +23,33 @@
 // no configuration to stay silent.
 package obs
 
-// Obs bundles the two halves of the observability substrate. The
+// Obs bundles the three halves of the observability substrate. The
 // manager creates one and threads it through every subsystem.
 type Obs struct {
 	Registry *Registry
 	Tracer   *Tracer
+	// Bus is the live fan-out: every traced event is also published
+	// here for SSE subscribers (and, in a fleet, forwarded upward to
+	// the fleet bus). Nil when tracing is disabled.
+	Bus *Bus
 }
 
 // New returns an Obs with an empty registry and a tracer holding up to
 // traceCapacity events (a non-positive capacity disables tracing).
+// The tracer feeds a fan-out Bus of the same capacity; slow bus
+// subscribers drop (counted by obs_sse_dropped_total), never blocking
+// emission. Command spans observe their wall duration into the
+// cmd_effect_latency_us histogram.
 func New(traceCapacity int) *Obs {
 	o := &Obs{Registry: NewRegistry()}
 	if traceCapacity > 0 {
 		o.Tracer = NewTracer(traceCapacity)
+		o.Bus = NewBus(traceCapacity)
+		o.Bus.SetDropCounter(o.Registry.Counter("obs_sse_dropped_total",
+			"Events dropped because an SSE subscriber's ring was full."))
+		o.Tracer.SetBus(o.Bus)
+		o.Tracer.SetSpanLatency(o.Registry.Histogram("cmd_effect_latency_us",
+			"Wall microseconds from journaled command begin to its last applied effect."))
 	}
 	return o
 }

@@ -1,0 +1,457 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a mergeable point-in-time export of a Registry. It is
+// the unit of hierarchical roll-up: every host exports one, and a
+// fleet folds them into a single snapshot whose merge semantics are
+// fixed per metric type — counters sum, gauges are last-write-wins
+// (tagged with the source that won), and log-linear histograms merge
+// bucket-wise, which preserves the 1/subBuckets bounded relative
+// quantile error because every host shares the same bucket geometry.
+//
+// JSON encoding is deterministic: map keys serialize sorted, and no
+// field depends on wall-clock state unless the underlying metric does
+// (callers who need byte-identical roll-ups across runs filter
+// wall-derived families out first — see Filter).
+type Snapshot struct {
+	// Source names the registry this snapshot came from (host name);
+	// merged snapshots carry the fold's own name, e.g. "fleet".
+	Source string `json:"source,omitempty"`
+	// Hosts counts how many leaf snapshots were folded in (1 for a
+	// leaf). Per-host averages divide by this.
+	Hosts int `json:"hosts"`
+
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]GaugeValue        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// GaugeValue is one gauge reading plus the source it was read from,
+// so a merged snapshot can still say whose value survived.
+type GaugeValue struct {
+	Value  float64 `json:"value"`
+	Source string  `json:"source,omitempty"`
+}
+
+// BucketCount is one occupied histogram bucket, addressed by its
+// index in the shared log-linear geometry (see bucketLower /
+// bucketUpper). Sparse encoding: empty buckets are omitted.
+type BucketCount struct {
+	Index int    `json:"i"`
+	Count uint64 `json:"n"`
+}
+
+// HistogramSnapshot is a sparse, mergeable copy of a Histogram.
+// Buckets are sorted by index.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the histogram's occupied buckets sparsely.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var hs HistogramSnapshot
+	lo, hi := h.span()
+	for i := lo; i < hi; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			hs.Buckets = append(hs.Buckets, BucketCount{Index: i, Count: n})
+		}
+	}
+	hs.Count = h.Count()
+	hs.Sum = h.Sum()
+	return hs
+}
+
+// Merge folds other into hs bucket-wise. Because every histogram in
+// the system shares one bucket geometry, the merged histogram is
+// exactly what a single histogram observing both streams would hold —
+// quantile error bounds carry over unchanged.
+func (hs *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	hs.Count += other.Count
+	hs.Sum += other.Sum
+	if len(other.Buckets) == 0 {
+		return
+	}
+	if len(hs.Buckets) == 0 {
+		hs.Buckets = append([]BucketCount(nil), other.Buckets...)
+		return
+	}
+	merged := make([]BucketCount, 0, len(hs.Buckets)+len(other.Buckets))
+	i, j := 0, 0
+	for i < len(hs.Buckets) && j < len(other.Buckets) {
+		a, b := hs.Buckets[i], other.Buckets[j]
+		switch {
+		case a.Index < b.Index:
+			merged = append(merged, a)
+			i++
+		case a.Index > b.Index:
+			merged = append(merged, b)
+			j++
+		default:
+			merged = append(merged, BucketCount{Index: a.Index, Count: a.Count + b.Count})
+			i++
+			j++
+		}
+	}
+	merged = append(merged, hs.Buckets[i:]...)
+	merged = append(merged, other.Buckets[j:]...)
+	hs.Buckets = merged
+}
+
+// Quantile estimates the q-quantile with the same interpolation and
+// the same 1/subBuckets relative error bound as Histogram.Quantile.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	total := hs.Count
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum uint64
+	for _, b := range hs.Buckets {
+		if cum+b.Count >= target {
+			lo, hi := bucketLower(b.Index), bucketUpper(b.Index)
+			if b.Index >= numBuckets-1 {
+				return lo
+			}
+			frac := float64(target-cum) / float64(b.Count)
+			return lo + (hi-lo)*frac
+		}
+		cum += b.Count
+	}
+	return bucketLower(numBuckets - 1)
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (hs HistogramSnapshot) Mean() float64 {
+	if hs.Count == 0 {
+		return 0
+	}
+	return hs.Sum / float64(hs.Count)
+}
+
+// Snapshot exports every registered metric, tagged with source.
+// CounterVec children flatten to `name{label="value"}` keys so they
+// merge by summation like plain counters. Gauges (including computed
+// GaugeFuncs, evaluated here) carry the source tag for last-write-wins
+// provenance.
+func (r *Registry) Snapshot(source string) Snapshot {
+	s := Snapshot{Source: source, Hosts: 1}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.RUnlock()
+
+	for _, m := range ms {
+		switch {
+		case m.counter != nil:
+			if s.Counters == nil {
+				s.Counters = make(map[string]uint64)
+			}
+			s.Counters[m.name] = m.counter.Value()
+		case m.vec != nil:
+			if s.Counters == nil {
+				s.Counters = make(map[string]uint64)
+			}
+			m.vec.mu.RLock()
+			for v, c := range m.vec.children {
+				key := fmt.Sprintf("%s{%s=%q}", m.name, m.vec.label, escapeLabel(v))
+				s.Counters[key] = c.Value()
+			}
+			m.vec.mu.RUnlock()
+		case m.gaugeFn != nil:
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]GaugeValue)
+			}
+			s.Gauges[m.name] = GaugeValue{Value: m.gaugeFn(), Source: source}
+		case m.gauge != nil:
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]GaugeValue)
+			}
+			s.Gauges[m.name] = GaugeValue{Value: m.gauge.Value(), Source: source}
+		case m.hist != nil:
+			if s.Histograms == nil {
+				s.Histograms = make(map[string]HistogramSnapshot)
+			}
+			s.Histograms[m.name] = m.hist.Snapshot()
+		}
+	}
+	return s
+}
+
+// Merge folds other into s: counters sum, gauges last-write-wins
+// (other overwrites, keeping its source tag), histograms merge
+// bucket-wise, and Hosts accumulates. Merging hosts in a fixed order
+// (the fleet folds name-sorted) makes the result deterministic.
+func (s *Snapshot) Merge(other Snapshot) {
+	s.Hosts += other.Hosts
+	for k, v := range other.Counters {
+		if s.Counters == nil {
+			s.Counters = make(map[string]uint64, len(other.Counters))
+		}
+		s.Counters[k] += v
+	}
+	for k, v := range other.Gauges {
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]GaugeValue, len(other.Gauges))
+		}
+		s.Gauges[k] = v
+	}
+	for k, v := range other.Histograms {
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]HistogramSnapshot, len(other.Histograms))
+		}
+		merged := s.Histograms[k]
+		merged.Merge(v)
+		s.Histograms[k] = merged
+	}
+}
+
+// Accumulator folds many registries into one snapshot with flat
+// per-source cost. Snapshot.Merge is sparse-sparse: each merge walks
+// the accumulated bucket union, which grows with the number of
+// sources folded in — fine for a handful, superlinear for a fleet.
+// The accumulator instead keeps histograms dense while folding, so
+// adding a host costs O(its metrics) regardless of how many hosts
+// came before; Snapshot() sparsifies once at the end.
+type Accumulator struct {
+	out   Snapshot
+	hists map[string]*histAcc
+}
+
+type histAcc struct {
+	buckets [numBuckets]uint64
+	lo, hi  int // occupied range [lo, hi)
+	count   uint64
+	sum     float64
+}
+
+// NewAccumulator starts an empty roll-up labeled with source.
+func NewAccumulator(source string) *Accumulator {
+	return &Accumulator{
+		out: Snapshot{
+			Source:     source,
+			Counters:   make(map[string]uint64),
+			Gauges:     make(map[string]GaugeValue),
+			Histograms: make(map[string]HistogramSnapshot),
+		},
+		hists: make(map[string]*histAcc),
+	}
+}
+
+// AddRegistry folds one registry in, reading metric atomics directly
+// (no intermediate per-host snapshot). Same semantics as
+// Snapshot(source) followed by Merge: counters sum, gauges
+// last-write-wins with the source tag, histograms merge bucket-wise.
+func (a *Accumulator) AddRegistry(r *Registry, source string) {
+	if r == nil {
+		return
+	}
+	a.out.Hosts++
+	r.mu.RLock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.RUnlock()
+	for _, m := range ms {
+		switch {
+		case m.counter != nil:
+			a.out.Counters[m.name] += m.counter.Value()
+		case m.vec != nil:
+			m.vec.mu.RLock()
+			for v, c := range m.vec.children {
+				key := fmt.Sprintf("%s{%s=%q}", m.name, m.vec.label, escapeLabel(v))
+				a.out.Counters[key] += c.Value()
+			}
+			m.vec.mu.RUnlock()
+		case m.gaugeFn != nil:
+			a.out.Gauges[m.name] = GaugeValue{Value: m.gaugeFn(), Source: source}
+		case m.gauge != nil:
+			a.out.Gauges[m.name] = GaugeValue{Value: m.gauge.Value(), Source: source}
+		case m.hist != nil:
+			acc := a.hists[m.name]
+			if acc == nil {
+				acc = &histAcc{lo: numBuckets}
+				a.hists[m.name] = acc
+			}
+			lo, hi := m.hist.span()
+			for i := lo; i < hi; i++ {
+				if n := m.hist.buckets[i].Load(); n > 0 {
+					acc.buckets[i] += n
+					if i < acc.lo {
+						acc.lo = i
+					}
+					if i >= acc.hi {
+						acc.hi = i + 1
+					}
+				}
+			}
+			acc.count += m.hist.Count()
+			acc.sum += m.hist.Sum()
+		}
+	}
+}
+
+// Snapshot sparsifies and returns the accumulated roll-up. The
+// accumulator remains usable; later additions build on the same fold.
+func (a *Accumulator) Snapshot() Snapshot {
+	out := a.out
+	out.Counters = copyMap(a.out.Counters)
+	out.Gauges = copyMap(a.out.Gauges)
+	out.Histograms = make(map[string]HistogramSnapshot, len(a.hists))
+	for name, acc := range a.hists {
+		hs := HistogramSnapshot{Count: acc.count, Sum: acc.sum}
+		for i := acc.lo; i < acc.hi; i++ {
+			if n := acc.buckets[i]; n > 0 {
+				hs.Buckets = append(hs.Buckets, BucketCount{Index: i, Count: n})
+			}
+		}
+		out.Histograms[name] = hs
+	}
+	return out
+}
+
+func copyMap[V any](m map[string]V) map[string]V {
+	out := make(map[string]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// familyName strips a vec child key back to its exposition family:
+// `name{label="v"}` -> `name`.
+func familyName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// Filter returns a copy keeping only metrics whose family name
+// satisfies keep. Vec children filter on the family, not the child
+// key. Used to drop wall-clock-derived families before comparing
+// roll-ups byte for byte across runs.
+func (s Snapshot) Filter(keep func(name string) bool) Snapshot {
+	out := Snapshot{Source: s.Source, Hosts: s.Hosts}
+	for k, v := range s.Counters {
+		if keep(familyName(k)) {
+			if out.Counters == nil {
+				out.Counters = make(map[string]uint64)
+			}
+			out.Counters[k] = v
+		}
+	}
+	for k, v := range s.Gauges {
+		if keep(k) {
+			if out.Gauges == nil {
+				out.Gauges = make(map[string]GaugeValue)
+			}
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range s.Histograms {
+		if keep(k) {
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]HistogramSnapshot)
+			}
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format, families sorted, with a `rollup` prefix-free view: names
+// are emitted as-is so a fleet roll-up scrape looks exactly like one
+// very large host. Gauges append a source label carrying provenance.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+
+	counterKeys := sortedKeys(s.Counters)
+	seenType := map[string]bool{}
+	for _, k := range counterKeys {
+		fam := familyName(k)
+		if !seenType[fam] {
+			fmt.Fprintf(&b, "# TYPE %s counter\n", fam)
+			seenType[fam] = true
+		}
+		fmt.Fprintf(&b, "%s %d\n", k, s.Counters[k])
+	}
+
+	gaugeKeys := make([]string, 0, len(s.Gauges))
+	for k := range s.Gauges {
+		gaugeKeys = append(gaugeKeys, k)
+	}
+	sort.Strings(gaugeKeys)
+	for _, k := range gaugeKeys {
+		gv := s.Gauges[k]
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", k)
+		if gv.Source != "" {
+			fmt.Fprintf(&b, "%s{source=\"%s\"} %s\n", k, escapeLabel(gv.Source), fmtFloat(gv.Value))
+		} else {
+			fmt.Fprintf(&b, "%s %s\n", k, fmtFloat(gv.Value))
+		}
+	}
+
+	histKeys := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		histKeys = append(histKeys, k)
+	}
+	sort.Strings(histKeys)
+	for _, k := range histKeys {
+		hs := s.Histograms[k]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", k)
+		var cum uint64
+		for _, bc := range hs.Buckets {
+			cum += bc.Count
+			if bc.Index >= numBuckets-1 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", k, fmtFloat(bucketUpper(bc.Index)), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", k, hs.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", k, fmtFloat(hs.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", k, hs.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotCountersSum checks the counter merge semantics: plain
+// counters and vec children (flattened to labelled keys) both sum.
+func TestSnapshotCountersSum(t *testing.T) {
+	mk := func(admits, rejects uint64, sched map[string]uint64) Snapshot {
+		r := NewRegistry()
+		r.Counter("admissions", "").Add(admits)
+		r.Counter("rejections", "").Add(rejects)
+		vec := r.CounterVec("decisions", "", "outcome")
+		for k, v := range sched {
+			vec.With(k).Add(v)
+		}
+		return r.Snapshot("host")
+	}
+	a := mk(3, 1, map[string]uint64{"admitted": 5})
+	b := mk(4, 0, map[string]uint64{"admitted": 2, "rejected": 7})
+	a.Merge(b)
+	if a.Hosts != 2 {
+		t.Fatalf("hosts = %d, want 2", a.Hosts)
+	}
+	want := map[string]uint64{
+		"admissions":                    7,
+		"rejections":                    1,
+		`decisions{outcome="admitted"}`: 7,
+		`decisions{outcome="rejected"}`: 7,
+	}
+	for k, v := range want {
+		if a.Counters[k] != v {
+			t.Errorf("counter %s = %d, want %d", k, a.Counters[k], v)
+		}
+	}
+	if len(a.Counters) != len(want) {
+		t.Errorf("counters = %v, want keys %v", a.Counters, want)
+	}
+}
+
+// TestSnapshotGaugesLastWriteWins checks gauges take the merged-in
+// value and keep its source tag.
+func TestSnapshotGaugesLastWriteWins(t *testing.T) {
+	mk := func(src string, v float64) Snapshot {
+		r := NewRegistry()
+		r.Gauge("pressure", "").Set(v)
+		return r.Snapshot(src)
+	}
+	fleet := Snapshot{Source: "fleet"}
+	fleet.Merge(mk("h0", 1.5))
+	fleet.Merge(mk("h1", 2.5))
+	gv := fleet.Gauges["pressure"]
+	if gv.Value != 2.5 || gv.Source != "h1" {
+		t.Fatalf("gauge = %+v, want 2.5 from h1", gv)
+	}
+}
+
+// TestHistogramMergePreservesQuantiles is the property test behind
+// the roll-up design: splitting an observation stream across k hosts
+// and merging their histogram snapshots must (a) reproduce the
+// single-histogram bucket contents exactly, so (b) merged quantile
+// estimates equal the whole-stream estimates bit for bit, and
+// (c) both stay within the 1/subBuckets relative error bound of the
+// exact sorted-sample quantiles.
+func TestHistogramMergePreservesQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(6) // hosts
+		n := 200 + rng.Intn(2000)
+		parts := make([]*Histogram, k)
+		for i := range parts {
+			parts[i] = NewHistogram()
+		}
+		whole := NewHistogram()
+		values := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			// Log-uniform across ~9 decades, the shape latencies have.
+			v := math.Exp(rng.Float64() * 20)
+			values = append(values, v)
+			whole.Observe(v)
+			parts[rng.Intn(k)].Observe(v)
+		}
+
+		merged := parts[0].Snapshot()
+		for _, p := range parts[1:] {
+			merged.Merge(p.Snapshot())
+		}
+		ref := whole.Snapshot()
+		// Bucket counts merge exactly; the float sum is only equal up
+		// to addition-order rounding (hosts accumulate independently).
+		if merged.Count != ref.Count || math.Abs(merged.Sum-ref.Sum) > 1e-9*math.Abs(ref.Sum) {
+			t.Fatalf("trial %d: merged count/sum (%d, %g) != whole (%d, %g)",
+				trial, merged.Count, merged.Sum, ref.Count, ref.Sum)
+		}
+		if len(merged.Buckets) != len(ref.Buckets) {
+			t.Fatalf("trial %d: merged has %d buckets, whole has %d",
+				trial, len(merged.Buckets), len(ref.Buckets))
+		}
+		for i := range merged.Buckets {
+			if merged.Buckets[i] != ref.Buckets[i] {
+				t.Fatalf("trial %d: bucket %d: merged %+v != whole %+v",
+					trial, i, merged.Buckets[i], ref.Buckets[i])
+			}
+		}
+
+		sort.Float64s(values)
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1.0} {
+			got := merged.Quantile(q)
+			if direct := whole.Quantile(q); got != direct {
+				t.Fatalf("trial %d: q%.2f merged %g != direct %g", trial, q, got, direct)
+			}
+			rank := int(math.Ceil(q*float64(n))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			exact := values[rank]
+			relErr := math.Abs(got-exact) / exact
+			if relErr > 1.0/subBuckets+1e-9 {
+				t.Fatalf("trial %d: q%.2f estimate %g vs exact %g: rel err %.4f > %.4f",
+					trial, q, got, exact, relErr, 1.0/subBuckets)
+			}
+		}
+	}
+}
+
+// TestHistogramSnapshotMergeDisjointAndEmpty exercises the sparse
+// merge's edges: empty sides and fully disjoint bucket sets.
+func TestHistogramSnapshotMergeDisjointAndEmpty(t *testing.T) {
+	low, high := NewHistogram(), NewHistogram()
+	for i := 0; i < 10; i++ {
+		low.Observe(2)
+		high.Observe(1 << 30)
+	}
+	var empty HistogramSnapshot
+	empty.Merge(low.Snapshot())
+	empty.Merge(HistogramSnapshot{})
+	empty.Merge(high.Snapshot())
+	if empty.Count != 20 {
+		t.Fatalf("count = %d, want 20", empty.Count)
+	}
+	if got := empty.Quantile(0.25); got > 3 {
+		t.Fatalf("q25 = %g, want ~2", got)
+	}
+	if got := empty.Quantile(0.99); got < 1<<29 {
+		t.Fatalf("q99 = %g, want ~2^30", got)
+	}
+}
+
+// TestSnapshotFilter drops wall-derived families (including vec
+// children, matched on the family name).
+func TestSnapshotFilter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ihnet_epochs_total", "").Inc()
+	r.CounterVec("ihnet_sched_decisions_total", "", "outcome").With("admitted").Inc()
+	r.Histogram("ihnet_fabric_recompute_duration_ns", "").Observe(5)
+	r.Histogram("cmd_effect_latency_us", "").Observe(5)
+	r.Gauge("ihnet_trace_events_total", "").Set(1)
+	s := r.Snapshot("h").Filter(func(name string) bool {
+		return !strings.HasSuffix(name, "_duration_ns") && !strings.HasSuffix(name, "_latency_us")
+	})
+	if _, ok := s.Histograms["ihnet_fabric_recompute_duration_ns"]; ok {
+		t.Error("wall-clock histogram survived the filter")
+	}
+	if _, ok := s.Histograms["cmd_effect_latency_us"]; ok {
+		t.Error("latency histogram survived the filter")
+	}
+	if _, ok := s.Counters[`ihnet_sched_decisions_total{outcome="admitted"}`]; !ok {
+		t.Error("vec child lost: filter must match on family name")
+	}
+	if _, ok := s.Counters["ihnet_epochs_total"]; !ok {
+		t.Error("plain counter lost")
+	}
+	if _, ok := s.Gauges["ihnet_trace_events_total"]; !ok {
+		t.Error("gauge lost")
+	}
+}
+
+// TestSnapshotJSONDeterministic: identical merges must serialize to
+// identical bytes — the fleet roll-up determinism assertion reduces
+// to this plus deterministic per-host metrics.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	mk := func() []byte {
+		r := NewRegistry()
+		r.Counter("a_total", "").Add(3)
+		r.CounterVec("b_total", "", "l").With("x").Add(2)
+		r.Gauge("g", "").Set(7)
+		h := r.Histogram("h_us", "")
+		for i := 1; i < 100; i++ {
+			h.Observe(float64(i * i))
+		}
+		s := r.Snapshot("host-a")
+		s.Merge(r.Snapshot("host-a"))
+		buf, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	if a, b := mk(), mk(); !bytes.Equal(a, b) {
+		t.Fatalf("identical roll-ups serialized differently:\n%s\n%s", a, b)
+	}
+}
+
+// TestSnapshotWritePrometheus sanity-checks the text exposition of a
+// merged snapshot: counter sums, source-tagged gauges, cumulative
+// histogram buckets.
+func TestSnapshotWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "help!").Add(2)
+	r.Gauge("g", "").Set(1.5)
+	r.Histogram("h_ns", "").Observe(3)
+	s := r.Snapshot("h0")
+	s.Merge(r.Snapshot("h1"))
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE c_total counter\nc_total 4\n",
+		`g{source="h1"} 1.5`,
+		"h_ns_count 2",
+		`h_ns_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -49,24 +49,32 @@ const (
 	KindLinkRestore
 	// KindTenantEvict marks a tenant eviction.
 	KindTenantEvict
+	// KindFleetEpoch marks one fleet epoch barrier crossed; Value is
+	// the number of hosts advanced, WallDur the epoch's wall cost.
+	KindFleetEpoch
+	// KindHostQuarantine marks a host being fenced out of the epoch
+	// loop (panic quarantine or operator action).
+	KindHostQuarantine
 )
 
 var kindNames = [...]string{
-	KindUnknown:       "unknown",
-	KindFlowAdmit:     "flow-admit",
-	KindFlowStart:     "flow-start",
-	KindFlowDone:      "flow-done",
-	KindFlowRemove:    "flow-remove",
-	KindRateRecompute: "rate-recompute",
-	KindCapSet:        "cap-set",
-	KindCapClear:      "cap-clear",
-	KindSchedDecision: "sched-decision",
-	KindAnomalyDetect: "anomaly-detect",
-	KindHeartbeat:     "heartbeat",
-	KindLinkFail:      "link-fail",
-	KindLinkDegrade:   "link-degrade",
-	KindLinkRestore:   "link-restore",
-	KindTenantEvict:   "tenant-evict",
+	KindUnknown:        "unknown",
+	KindFlowAdmit:      "flow-admit",
+	KindFlowStart:      "flow-start",
+	KindFlowDone:       "flow-done",
+	KindFlowRemove:     "flow-remove",
+	KindRateRecompute:  "rate-recompute",
+	KindCapSet:         "cap-set",
+	KindCapClear:       "cap-clear",
+	KindSchedDecision:  "sched-decision",
+	KindAnomalyDetect:  "anomaly-detect",
+	KindHeartbeat:      "heartbeat",
+	KindLinkFail:       "link-fail",
+	KindLinkDegrade:    "link-degrade",
+	KindLinkRestore:    "link-restore",
+	KindTenantEvict:    "tenant-evict",
+	KindFleetEpoch:     "fleet-epoch",
+	KindHostQuarantine: "host-quarantine",
 }
 
 func (k EventKind) String() string {
@@ -103,6 +111,14 @@ type Event struct {
 	// WallDur is the real CPU cost of the traced operation, for
 	// kinds that measure one (e.g. rate recomputations).
 	WallDur time.Duration
+	// Span correlates the event with the journaled command that
+	// caused it: effects emitted while a command applies inherit the
+	// command's span ID, so a trace can be folded into causal
+	// command -> effect flows.
+	Span string
+	// Host names the originating host once events from many hosts fan
+	// into one fleet stream; empty on single-host buses.
+	Host string
 }
 
 // Tracer is a bounded ring buffer of events. Emission takes one short
@@ -114,6 +130,18 @@ type Tracer struct {
 	mu      sync.Mutex
 	buf     []Event
 	total   uint64 // events ever emitted
+
+	// span is the active command span: events emitted between
+	// BeginSpan and EndSpan are stamped with it.
+	span      string
+	spanStart int64 // wall nanos at BeginSpan
+
+	// bus, when set, receives a copy of every recorded event (the
+	// live streaming fan-out). spanLatency, when set, observes the
+	// wall microseconds between BeginSpan and EndSpan
+	// (cmd_effect_latency_us).
+	bus         atomic.Pointer[Bus]
+	spanLatency atomic.Pointer[Histogram]
 }
 
 // NewTracer returns an enabled tracer retaining up to capacity events.
@@ -137,6 +165,64 @@ func (t *Tracer) SetEnabled(on bool) {
 	}
 }
 
+// SetBus wires a fan-out bus: every event recorded after this call is
+// also published there. Pass nil to detach.
+func (t *Tracer) SetBus(b *Bus) {
+	if t != nil {
+		t.bus.Store(b)
+	}
+}
+
+// Bus returns the attached fan-out bus, if any.
+func (t *Tracer) Bus() *Bus {
+	if t == nil {
+		return nil
+	}
+	return t.bus.Load()
+}
+
+// SetSpanLatency wires the histogram that EndSpan observes span wall
+// durations into, in microseconds.
+func (t *Tracer) SetSpanLatency(h *Histogram) {
+	if t != nil {
+		t.spanLatency.Store(h)
+	}
+}
+
+// BeginSpan opens a command span: until EndSpan, every emitted event
+// carries id. Spans come from the journal (one per command), so they
+// never nest — a second BeginSpan simply replaces the first.
+func (t *Tracer) BeginSpan(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.span = id
+	t.spanStart = time.Now().UnixNano()
+	t.mu.Unlock()
+}
+
+// EndSpan closes the active span and observes its wall duration into
+// the span-latency histogram (microseconds) — the command-to-effect
+// latency the remediation loop's MTTR accounting builds on.
+func (t *Tracer) EndSpan() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	open := t.span != ""
+	start := t.spanStart
+	t.span = ""
+	t.spanStart = 0
+	t.mu.Unlock()
+	if !open {
+		return
+	}
+	if h := t.spanLatency.Load(); h != nil {
+		h.Observe(float64(time.Now().UnixNano()-start) / 1e3)
+	}
+}
+
 // Emit records one event. Nil tracers and disabled tracers are no-ops.
 func (t *Tracer) Emit(ev Event) {
 	if t == nil || !t.enabled.Load() {
@@ -144,10 +230,16 @@ func (t *Tracer) Emit(ev Event) {
 	}
 	ev.Wall = time.Now().UnixNano()
 	t.mu.Lock()
+	if ev.Span == "" {
+		ev.Span = t.span
+	}
 	ev.Seq = t.total
 	t.buf[t.total%uint64(len(t.buf))] = ev
 	t.total++
 	t.mu.Unlock()
+	if b := t.bus.Load(); b != nil {
+		b.Publish(ev)
+	}
 }
 
 // Total returns the number of events ever emitted.

@@ -75,6 +75,12 @@ type Entry struct {
 	Seq  uint64    `json:"seq"`
 	AtNs int64     `json:"at_ns"`
 	Kind EntryKind `json:"kind"`
+	// Span correlates the command with the trace events its effects
+	// emit. Sessions assign "j<seq>" automatically; callers (the HTTP
+	// API) may override it with a request ID so access-log lines,
+	// journal entries and trace events all join on one key. Replay
+	// reuses the recorded span, keeping correlation stable.
+	Span string `json:"span,omitempty"`
 
 	// KindAdvance.
 	ToNs int64 `json:"to_ns,omitempty"`

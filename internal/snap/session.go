@@ -53,6 +53,9 @@ type Session struct {
 	mgr     *core.Manager
 	journal Journal
 	kvs     map[string]*workload.KVClient
+	// nextSpan, when set, is consumed by the next journaled command as
+	// its span ID (see SetSpan).
+	nextSpan string
 
 	// Snapshot observability, registered on the manager's registry.
 	mSnapshots     *obs.Counter
@@ -108,9 +111,30 @@ func (s *Session) Now() simtime.Time { return s.mgr.Engine().Now() }
 // KV returns the KV workload client started for a tenant, or nil.
 func (s *Session) KV(tenant string) *workload.KVClient { return s.kvs[tenant] }
 
-// entry returns a journal entry stamped with the current virtual time.
+// SetSpan sets the span ID the next journaled command will carry,
+// instead of the automatic "j<seq>". The HTTP layer passes its
+// request ID here so one identifier threads access log -> journal ->
+// trace events. One-shot: consumed by the next command.
+func (s *Session) SetSpan(id string) { s.nextSpan = id }
+
+// entry returns a journal entry stamped with the current virtual time
+// and a span ID. Spans default to "j<seq>" — a pure function of
+// journal position, so replayed and parallel-fleet runs agree. An
+// advance that will coalesce into the previous advance inherits its
+// span, keeping streamed events and the stored journal consistent.
 func (s *Session) entry(kind EntryKind) Entry {
-	return Entry{AtNs: int64(s.mgr.Engine().Now()), Kind: kind}
+	e := Entry{AtNs: int64(s.mgr.Engine().Now()), Kind: kind}
+	n := len(s.journal.Entries)
+	switch {
+	case s.nextSpan != "":
+		e.Span = s.nextSpan
+		s.nextSpan = ""
+	case kind == KindAdvance && n > 0 && s.journal.Entries[n-1].Kind == KindAdvance:
+		e.Span = s.journal.Entries[n-1].Span
+	default:
+		e.Span = fmt.Sprintf("j%d", n)
+	}
+	return e
 }
 
 // Advance moves virtual time forward by d, journaled.
@@ -238,6 +262,9 @@ const (
 func (s *Session) Ping(src, dst string) (diag.PingReport, error) {
 	e := s.entry(KindPing)
 	e.Src, e.Dst = src, dst
+	tr := s.mgr.Obs().Tracer
+	tr.BeginSpan(e.Span)
+	defer tr.EndSpan()
 	var rep diag.PingReport
 	done := false
 	_, err := diag.StartPing(s.mgr.Fabric(), topology.CompID(src), topology.CompID(dst),
@@ -260,6 +287,9 @@ func (s *Session) Ping(src, dst string) (diag.PingReport, error) {
 func (s *Session) Trace(src, dst string) (diag.TraceReport, error) {
 	e := s.entry(KindTrace)
 	e.Src, e.Dst = src, dst
+	tr := s.mgr.Obs().Tracer
+	tr.BeginSpan(e.Span)
+	defer tr.EndSpan()
 	var rep diag.TraceReport
 	done := false
 	_, err := diag.StartTrace(s.mgr.Fabric(), topology.CompID(src), topology.CompID(dst), 64,
@@ -282,6 +312,9 @@ func (s *Session) Trace(src, dst string) (diag.TraceReport, error) {
 func (s *Session) Perf(src, dst, tenant string) (diag.PerfReport, error) {
 	e := s.entry(KindPerf)
 	e.Src, e.Dst, e.Tenant = src, dst, tenant
+	tr := s.mgr.Obs().Tracer
+	tr.BeginSpan(e.Span)
+	defer tr.EndSpan()
 	var rep diag.PerfReport
 	done := false
 	_, err := diag.StartPerf(s.mgr.Fabric(), topology.CompID(src), topology.CompID(dst),
@@ -323,7 +356,13 @@ func (s *Session) replayEntry(e Entry) error {
 // apply executes one entry against the live manager without recording
 // it. It is the single execution path shared by the live command
 // methods and by Replay, which is what makes record and replay agree.
+// The entry's span brackets execution, so every trace event emitted by
+// the command's effects — live or replayed — carries it, and the span
+// wall duration lands in cmd_effect_latency_us.
 func (s *Session) apply(e Entry) error {
+	tr := s.mgr.Obs().Tracer
+	tr.BeginSpan(e.Span)
+	defer tr.EndSpan()
 	fab := s.mgr.Fabric()
 	switch e.Kind {
 	case KindAdvance:

@@ -298,3 +298,66 @@ func TestReplayTraceDivergencePoint(t *testing.T) {
 		t.Fatalf("trace end %s != live hash %s", got, want)
 	}
 }
+
+// TestSpanThreading checks the journal<->trace correlation contract:
+// commands get deterministic "j<seq>" spans (or a caller-set one), a
+// coalescing advance inherits the open advance's span, and the events
+// a command's effects emit carry its span.
+func TestSpanThreading(t *testing.T) {
+	s, err := NewSession(testConfig("two-socket"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := s.Manager().Obs().Bus.Subscribe(256)
+	if _, err := s.Admit("kv", []intent.Target{{
+		Src: "nic0", Dst: "socket0.dimm0_0", Rate: topology.GBps(5),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetSpan("req-abc")
+	if err := s.Advance(100 * simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	// Coalesces into the previous advance and must share its span.
+	if err := s.Advance(100 * simtime.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Evict("kv"); err != nil {
+		t.Fatal(err)
+	}
+
+	j := s.Journal()
+	if j.Len() != 3 {
+		t.Fatalf("journal has %d entries, want 3 (advances coalesced)", j.Len())
+	}
+	if got := j.Entries[0].Span; got != "j0" {
+		t.Errorf("admit span %q, want j0", got)
+	}
+	if got := j.Entries[1].Span; got != "req-abc" {
+		t.Errorf("advance span %q, want req-abc", got)
+	}
+	if got := j.Entries[2].Span; got != "j2" {
+		t.Errorf("evict span %q, want j2", got)
+	}
+
+	spans := make(map[string]bool)
+	for _, be := range sub.Drain() {
+		spans[be.Event.Span] = true
+	}
+	for _, want := range []string{"j0", "req-abc", "j2"} {
+		if !spans[want] {
+			t.Errorf("no streamed event carries span %q (saw %v)", want, spans)
+		}
+	}
+
+	// Replay must preserve recorded spans verbatim.
+	replayed, err := Replay(s.Config(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range replayed.Journal().Entries {
+		if e.Span != j.Entries[i].Span {
+			t.Errorf("replay entry %d span %q != recorded %q", i, e.Span, j.Entries[i].Span)
+		}
+	}
+}
