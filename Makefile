@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-smoke bench-json bench-json-obs chaos-smoke check clean
+.PHONY: all build vet fmt test race bench bench-smoke bench-json bench-json-obs bench-json-remedy chaos-smoke remedy-smoke check clean
 
 all: check
 
@@ -74,6 +74,27 @@ bench-json-obs:
 chaos-smoke:
 	$(GO) run ./cmd/ihscenario fuzz -seed 1 -seeds 3 -events 250 -dur 10ms -preset minimal -out chaos-artifacts
 	$(GO) run ./cmd/ihscenario fuzz -seed 3 -events 300 -dur 15ms -preset two-socket -out chaos-artifacts
+
+# Chaos-vs-controller smoke: the same seeded adversary, but with the
+# closed-loop remediation controller armed. Each pinned seed must heal
+# at least 95% of its eligible injected faults within the 2ms virtual
+# deadline with zero oracle violations, and the auto-remediation drill
+# must pass end to end. Failures reproduce exactly with the printed
+# seed, like chaos-smoke.
+remedy-smoke:
+	$(GO) run ./cmd/ihscenario fuzz -vs-controller -seed 1 -events 150 -dur 10ms -out chaos-artifacts
+	$(GO) run ./cmd/ihscenario fuzz -vs-controller -seed 7 -events 150 -dur 10ms -out chaos-artifacts
+	$(GO) run ./cmd/ihscenario fuzz -vs-controller -seed 42 -events 150 -dur 10ms -out chaos-artifacts
+	$(GO) run ./cmd/ihscenario scenarios/auto-remediation-drill.json
+
+# Trajectory gate for the remediation controller: the idle control-loop
+# step must stay at 0 allocs/op (it runs every probe period), and the
+# closed-loop MTTR percentiles — virtual time, so machine-independent —
+# must stay within the budgets pinned in cmd/benchjson (p50 <= 1ms,
+# p99 <= 2ms).
+bench-json-remedy:
+	$(GO) test -bench 'BenchmarkRemedy(MTTR|StepIdle)' -benchtime 100x -benchmem -run '^$$' ./internal/remedy \
+		| $(GO) run ./cmd/benchjson -out BENCH_remedy.json
 
 # The full gate: formatting, static analysis, build, and the race-enabled
 # test suite. CI and pre-commit should run this.

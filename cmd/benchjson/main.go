@@ -59,6 +59,28 @@ var allocBudgetsByFile = map[string]map[string]int64{
 		"BenchmarkFleetRollup/hosts=64":  1000,
 		"BenchmarkFleetRollup/hosts=256": 4000,
 	},
+	// BENCH_remedy.json: the controller's steady-state step is the
+	// standing tax paid on every healthy host — zero allocations.
+	"BENCH_remedy.json": {
+		"BenchmarkRemedyStepIdle": 0,
+	},
+}
+
+// metricBudgetsByFile gates custom b.ReportMetric values the same way
+// alloc budgets gate allocations. Only virtual-time metrics belong
+// here: they are deterministic for a deterministic simulator, so a
+// regression is a behavior change, not machine noise. The remediation
+// MTTR budget is the paper's headline: fault-to-healed inside a
+// millisecond at p50 against the seeded chaos adversary (observed
+// steady state is 600us: ~3 heartbeat rounds to detect and localize,
+// one planner pass to roll back, hysteresis to confirm).
+var metricBudgetsByFile = map[string]map[string]map[string]float64{
+	"BENCH_remedy.json": {
+		"BenchmarkRemedyMTTR": {
+			"mttr_p50_us": 1000,
+			"mttr_p99_us": 2000,
+		},
+	},
 }
 
 // Result is one benchmark's measurement.
@@ -67,6 +89,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric values (e.g. mttr_p50_us),
+	// keyed by their unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // File is the committed benchmark-trajectory document.
@@ -76,11 +101,17 @@ type File struct {
 	Baseline     map[string]Result `json:"baseline"`
 	Current      map[string]Result `json:"current"`
 	AllocBudgets map[string]int64  `json:"alloc_budgets"`
+	// MetricBudgets caps custom metrics per benchmark (virtual-time
+	// values only — deterministic, so CI-gateable like allocations).
+	MetricBudgets map[string]map[string]float64 `json:"metric_budgets,omitempty"`
 }
 
 // gomaxprocsSuffix strips the trailing "-N" procs decoration Go
 // appends to benchmark names, so names are machine-independent keys.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// customUnit recognizes b.ReportMetric unit strings.
+var customUnit = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
 
 // parseBench extracts results from `go test -bench` output lines of
 // the form:
@@ -108,6 +139,20 @@ func parseBench(lines []string) (map[string]Result, error) {
 				r.BytesPerOp, err = strconv.ParseInt(v, 10, 64)
 			case "allocs/op":
 				r.AllocsPerOp, err = strconv.ParseInt(v, 10, 64)
+			default:
+				// b.ReportMetric custom units: bare identifiers like
+				// "mttr_p50_us". Anything else is not a metric pair.
+				if !customUnit.MatchString(unit) {
+					continue
+				}
+				var f float64
+				f, err = strconv.ParseFloat(v, 64)
+				if err == nil {
+					if r.Extra == nil {
+						r.Extra = make(map[string]float64)
+					}
+					r.Extra[unit] = f
+				}
 			}
 			if err != nil {
 				return nil, fmt.Errorf("benchjson: bad %s value %q in %q", unit, v, line)
@@ -154,8 +199,10 @@ func run(out, note string) error {
 		doc.Baseline = current
 	}
 	allocBudgets := allocBudgetsByFile[filepath.Base(out)]
+	metricBudgets := metricBudgetsByFile[filepath.Base(out)]
 	doc.Current = current
 	doc.AllocBudgets = allocBudgets
+	doc.MetricBudgets = metricBudgets
 
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -180,10 +227,31 @@ func run(out, note string) error {
 			violations++
 		}
 	}
-	if violations > 0 {
-		return fmt.Errorf("benchjson: %d allocation budget violation(s)", violations)
+	for name, budgets := range metricBudgets {
+		r, ok := current[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: metric-budgeted benchmark missing from input\n", name)
+			violations++
+			continue
+		}
+		for metric, budget := range budgets {
+			v, ok := r.Extra[metric]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: metric %s missing from output\n", name, metric)
+				violations++
+				continue
+			}
+			if v > budget {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %s = %g exceeds budget %g\n",
+					name, metric, v, budget)
+				violations++
+			}
+		}
 	}
-	fmt.Fprintln(os.Stderr, "benchjson: all allocation budgets met")
+	if violations > 0 {
+		return fmt.Errorf("benchjson: %d budget violation(s)", violations)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: all budgets met")
 	return nil
 }
 

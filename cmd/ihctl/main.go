@@ -26,6 +26,10 @@
 //	advance <micros>               move virtual time forward
 //	watch [kind]                   tail the live event stream (SSE)
 //	health                         daemon health with per-subsystem status
+//	                               (exits 1 if the daemon is degraded)
+//	remedy status                  remediation controller status + MTTR
+//	                               (exits 1 while incidents are open)
+//	remedy policy [file]           show the active policy, or install one
 //	experiment <id>                run one experiment (E1..E12) server-side
 //	snapshot [file]                checkpoint daemon state (default snapshot.json)
 //	restore <file>                 roll the daemon back to a snapshot
@@ -44,6 +48,8 @@
 //	host-journal <host> [file]     download one fleet host's journal
 //	fleet watch [kind]             tail the fleet-wide event stream (SSE)
 //	fleet-rollup                   merged fleet metrics snapshot (JSON)
+//	fleet-remedy status            aggregated remediation status per host
+//	fleet-remedy policy [file]     show or install the fleet-wide policy
 //
 //	version                        print build information
 package main
@@ -239,6 +245,8 @@ func (c command) dispatch(args []string) error {
 		return c.watch("/events", rest)
 	case "health":
 		return c.health()
+	case "remedy":
+		return c.remedy("", rest)
 
 	// Fleet verbs.
 	case "fleet":
@@ -249,6 +257,8 @@ func (c command) dispatch(args []string) error {
 		return fmt.Errorf("usage: ihctl fleet watch [kind]")
 	case "fleet-watch":
 		return c.watch("/fleet/events", rest)
+	case "fleet-remedy":
+		return c.remedy("/fleet", rest)
 	case "fleet-rollup":
 		return c.get("/fleet/metrics/rollup", prettyJSON)
 	case "hosts":
@@ -354,7 +364,106 @@ func (c command) watch(path string, rest []string) error {
 	})
 }
 
+// remedy handles the "remedy" and "fleet-remedy" verb families. prefix
+// is "" against a host daemon and "/fleet" against a fleet daemon.
+func (c command) remedy(prefix string, rest []string) error {
+	family := "remedy"
+	if prefix != "" {
+		family = "fleet-remedy"
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: ihctl %s status|policy [file]", family)
+	}
+	switch rest[0] {
+	case "status":
+		if prefix != "" {
+			st, err := c.api.FleetRemedyStatus(c.ctx)
+			if err != nil {
+				return err
+			}
+			return renderFleetRemedyStatus(st)
+		}
+		st, err := c.api.RemedyStatus(c.ctx)
+		if err != nil {
+			return err
+		}
+		return renderRemedyStatus(st)
+	case "policy":
+		path := prefix + "/remedy/policy"
+		switch len(rest) {
+		case 1:
+			return c.get(path, prettyJSON)
+		case 2:
+			doc, err := os.ReadFile(rest[1])
+			if err != nil {
+				return err
+			}
+			var resp []byte
+			if err := c.api.Put(c.ctx, path, json.RawMessage(doc), &resp); err != nil {
+				return err
+			}
+			return prettyJSON(resp)
+		}
+		return fmt.Errorf("usage: ihctl %s policy [file]", family)
+	}
+	return fmt.Errorf("usage: ihctl %s status|policy [file]", family)
+}
+
+func remedySummaryLine(degraded bool, st apiclient.RemedyStatus) string {
+	status := "ok"
+	if degraded {
+		status = "degraded"
+	}
+	return fmt.Sprintf("status: %s  open: %d  resolved: %d/%d  mttr p50/p99: %.1f/%.1f us\n"+
+		"actions: %d executed, %d rejected, %d failed, %d suppressed (of %d proposed)",
+		status, st.Stats.Open, st.Stats.Resolved, st.Stats.Incidents,
+		st.MTTRp50Us, st.MTTRp99Us,
+		st.Stats.Executed, st.Stats.Rejected, st.Stats.Failed, st.Stats.Suppressed, st.Stats.Proposed)
+}
+
+// renderRemedyStatus prints the controller summary and incident ledger,
+// returning a non-nil error (so ihctl exits 1) while incidents are
+// open — scripts can gate on the exit code alone.
+func renderRemedyStatus(st apiclient.RemedyStatus) error {
+	fmt.Println(remedySummaryLine(st.Degraded, st))
+	for _, in := range st.Incidents {
+		state := "open"
+		if in.Resolved {
+			state = "resolved"
+		}
+		fmt.Printf("  %-36s %-10s %-8s actions=%d\n", in.Subject, in.Class, state, len(in.Actions))
+	}
+	if st.Degraded {
+		return fmt.Errorf("remediation in progress: %d open incident(s)", st.Stats.Open)
+	}
+	return nil
+}
+
+func renderFleetRemedyStatus(st apiclient.FleetRemedyStatus) error {
+	fmt.Println(remedySummaryLine(st.Degraded, apiclient.RemedyStatus{
+		Stats: st.Stats, MTTRp50Us: st.MTTRp50Us, MTTRp99Us: st.MTTRp99Us}))
+	names := make([]string, 0, len(st.Hosts))
+	for name := range st.Hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hs := st.Hosts[name]
+		status := "ok"
+		if hs.Degraded {
+			status = "degraded"
+		}
+		fmt.Printf("  %-20s %-8s open=%d resolved=%d\n", name, status, hs.Stats.Open, hs.Stats.Resolved)
+	}
+	if st.Degraded {
+		return fmt.Errorf("remediation in progress: %d open incident(s)", st.Stats.Open)
+	}
+	return nil
+}
+
 // health renders the typed health document with its subsystem table.
+// A degraded daemon makes ihctl exit non-zero so health checks can be
+// scripted without parsing the output.
 func (c command) health() error {
 	h, err := c.api.Health(c.ctx)
 	if err != nil {
@@ -388,6 +497,9 @@ func (c command) health() error {
 			fmt.Printf(" %s=%s", k, sub.Detail[k])
 		}
 		fmt.Println()
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("daemon is %s", h.Status)
 	}
 	return nil
 }

@@ -16,6 +16,15 @@
 // per 10 ms of wall time); pass -autoadvance=0 to drive time only via
 // POST /api/v1/advance for fully deterministic interaction.
 //
+// Pass -remedy to arm the closed-loop remediation controller: it
+// subscribes to anomaly verdicts, plans against live fabric state, and
+// executes repairs through the journaled command path, stepping once
+// after every advance. Its status and MTTR percentiles are served at
+// /api/v1/remedy/status and the rule table is live-editable via
+// /api/v1/remedy/policy (seed it from a file with -remedy-policy). In
+// fleet mode each host gets its own controller, stepped between epoch
+// barriers, with the aggregate at /api/v1/fleet/remedy/status.
+//
 // Every mutating command is recorded through internal/snap, so the
 // daemon's state can be checkpointed (POST /api/v1/snapshot), rolled
 // back (POST /api/v1/restore), downloaded as a replayable command
@@ -62,6 +71,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/httpapi"
+	"repro/internal/remedy"
 	"repro/internal/simtime"
 	"repro/internal/snap"
 	"repro/internal/topology"
@@ -89,8 +99,28 @@ func main() {
 		"virtual-time barrier interval between fleet epochs")
 	accessLog := flag.Bool("access-log", true,
 		"log one structured line per request (request IDs are minted either way)")
+	remedyOn := flag.Bool("remedy", false,
+		"run the closed-loop remediation controller (stepped on every advance)")
+	remedyPolicy := flag.String("remedy-policy", "",
+		"policy file for -remedy (default: built-in rule table)")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	// Load the remediation policy up front so a bad file fails fast,
+	// before any host state exists.
+	pol := remedy.DefaultPolicy()
+	if *remedyPolicy != "" {
+		if !*remedyOn {
+			log.Fatalf("ihnetd: -remedy-policy requires -remedy")
+		}
+		data, err := os.ReadFile(*remedyPolicy)
+		if err != nil {
+			log.Fatalf("ihnetd: %v", err)
+		}
+		if pol, err = remedy.ParsePolicy(data); err != nil {
+			log.Fatalf("ihnetd: %s: %v", *remedyPolicy, err)
+		}
+	}
 
 	// handler/advance/stopHosts abstract over the two modes so the
 	// serving and shutdown machinery below is shared.
@@ -111,7 +141,19 @@ func main() {
 		})
 		handler = fsrv.Handler()
 		advance = fsrv.Advance
+		var fc *remedy.FleetController
+		if *remedyOn {
+			var err error
+			if fc, err = remedy.NewFleet(fl, fsrv.Runner(), pol); err != nil {
+				log.Fatalf("ihnetd: %v", err)
+			}
+			fsrv.SetRemedy(fc)
+			log.Printf("ihnetd: remediation controllers armed on %d hosts", len(fl.Hosts()))
+		}
 		stopHosts = func() {
+			if fc != nil {
+				fc.Close()
+			}
 			for _, h := range fl.Hosts() {
 				h.Mgr.Stop()
 			}
@@ -149,7 +191,21 @@ func main() {
 		srv := httpapi.NewWithSession(sess)
 		handler = srv.Handler()
 		advance = srv.Advance
+		var ctrl *remedy.Controller
+		if *remedyOn {
+			var err error
+			ctrl, err = remedy.New(sess.Manager(), remedy.SessionActuator{Sess: sess},
+				remedy.Options{Policy: pol})
+			if err != nil {
+				log.Fatalf("ihnetd: %v", err)
+			}
+			srv.SetRemedy(ctrl)
+			log.Printf("ihnetd: remediation controller armed (policy: %d rules)", len(pol.Rules))
+		}
 		stopHosts = func() {
+			if ctrl != nil {
+				ctrl.Close()
+			}
 			// Re-read the manager: a POST /api/v1/restore may have
 			// swapped it.
 			mgr := srv.Manager()

@@ -30,6 +30,12 @@ func runFuzz(args []string) {
 	replay := fs.String("replay", "", "re-check a violation artifact instead of fuzzing")
 	minimize := fs.Bool("minimize", true, "shrink violating journals before writing artifacts")
 	verbose := fs.Bool("v", false, "print per-seed op counts")
+	vsController := fs.Bool("vs-controller", false,
+		"arm the remediation controller against the chaos schedule and grade its MTTR")
+	remedyDeadline := fs.Duration("remedy-deadline", 2*time.Millisecond,
+		"virtual deadline for each eligible fault to be remediated (-vs-controller)")
+	remedyRatio := fs.Float64("remedy-ratio", 0.95,
+		"minimum remediated/eligible fraction per seed (-vs-controller)")
 	fs.Parse(args)
 
 	if *replay != "" {
@@ -41,13 +47,15 @@ func runFuzz(args []string) {
 	for i := 0; i < *seeds; i++ {
 		s := *seed + int64(i)
 		cfg := chaos.Config{
-			Seed:     s,
-			Events:   *events,
-			Duration: simtime.Duration(*dur),
-			Preset:   *preset,
-			Mode:     arbiter.Mode(*mode),
-			Hosts:    *hosts,
-			Workers:  *workers,
+			Seed:           s,
+			Events:         *events,
+			Duration:       simtime.Duration(*dur),
+			Preset:         *preset,
+			Mode:           arbiter.Mode(*mode),
+			Hosts:          *hosts,
+			Workers:        *workers,
+			VsController:   *vsController,
+			RemedyDeadline: simtime.Duration(*remedyDeadline),
 		}
 		start := time.Now()
 		res, err := chaos.Run(cfg)
@@ -56,8 +64,14 @@ func runFuzz(args []string) {
 			os.Exit(1)
 		}
 		if res.Violation == nil {
-			fmt.Printf("PASS  seed %-4d %d events (%d rejected), %d snapshot checks, %v virtual, %v wall\n",
-				s, res.Events, res.Rejected, res.SnapshotChecks, res.FinalTime, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("PASS  seed %-4d %d events (%d rejected), %d snapshot checks, %v virtual, %v wall%s\n",
+				s, res.Events, res.Rejected, res.SnapshotChecks, res.FinalTime,
+				time.Since(start).Round(time.Millisecond), remedySuffix(res.Remedy))
+			if res.Remedy != nil && res.Remedy.Ratio() < *remedyRatio {
+				failed++
+				fmt.Printf("FAIL  seed %-4d remediated %d/%d eligible (< %.0f%%), missed: %v\n",
+					s, res.Remedy.Remediated, res.Remedy.Eligible, *remedyRatio*100, res.Remedy.Missed)
+			}
 		} else {
 			failed++
 			fmt.Printf("FAIL  seed %-4d %v\n", s, res.Violation)
@@ -78,6 +92,15 @@ func runFuzz(args []string) {
 		fmt.Printf("%d/%d seeds violated an invariant\n", failed, *seeds)
 		os.Exit(1)
 	}
+}
+
+// remedySuffix renders the controller's report card for the PASS line.
+func remedySuffix(r *chaos.RemedyReport) string {
+	if r == nil {
+		return ""
+	}
+	return fmt.Sprintf(", remediated %d/%d eligible (mttr p50/p99 %.0f/%.0f us)",
+		r.Remediated, r.Eligible, r.MTTRp50Us, r.MTTRp99Us)
 }
 
 func fleetSuffix(hosts int) string {

@@ -17,6 +17,14 @@
 //	ihscenario fuzz -seed 1 -seeds 20 -events 500
 //	ihscenario fuzz -fleet 4 -seed 7
 //	ihscenario fuzz -replay chaos-artifacts/chaos-seed-7.json
+//
+// With -vs-controller the chaos schedule becomes the adversary of the
+// closed-loop remediation controller: every eligible injected fault
+// must be healed within -remedy-deadline of virtual time, the run
+// fails unless at least -remedy-ratio of them are, and the PASS line
+// reports the controller's MTTR percentiles:
+//
+//	ihscenario fuzz -vs-controller -seed 7 -remedy-deadline 2ms
 package main
 
 import (

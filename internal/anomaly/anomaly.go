@@ -160,6 +160,7 @@ type Platform struct {
 	mProbes     *obs.Counter
 	mRounds     *obs.Counter
 	mDetections *obs.Counter
+	mCleared    *obs.Counter
 }
 
 // SetObs attaches an observability substrate. Each heartbeat round
@@ -167,7 +168,7 @@ type Platform struct {
 // every detection emits one carrying its top suspect.
 func (p *Platform) SetObs(o *obs.Obs) {
 	if o == nil {
-		p.tracer, p.mProbes, p.mRounds, p.mDetections = nil, nil, nil, nil
+		p.tracer, p.mProbes, p.mRounds, p.mDetections, p.mCleared = nil, nil, nil, nil, nil
 		return
 	}
 	p.tracer = o.Tracer
@@ -177,6 +178,8 @@ func (p *Platform) SetObs(o *obs.Obs) {
 		"Completed heartbeat rounds.")
 	p.mDetections = o.Registry.Counter("ihnet_anomaly_detections_total",
 		"Anomaly incidents detected (lost or inflated heartbeats).")
+	p.mCleared = o.Registry.Counter("ihnet_anomaly_cleared_total",
+		"Alerted heartbeat pairs that returned to health.")
 }
 
 // New builds a platform probing the given pairs. Paths are resolved
@@ -273,7 +276,16 @@ func (p *Platform) onResult(ps *pairState, r fabric.TxRecord) {
 	p.vote(ps.path, bad)
 	if !bad {
 		ps.consecBad = 0
-		ps.alerted = false
+		if ps.alerted {
+			ps.alerted = false
+			p.mCleared.Inc()
+			if p.tracer.Enabled() {
+				p.tracer.Emit(obs.Event{
+					Kind: obs.KindAnomalyCleared, Virtual: p.fab.Engine().Now(),
+					Subject: ps.pair.String(),
+				})
+			}
+		}
 		return
 	}
 	ps.consecBad++
@@ -370,6 +382,10 @@ func (p *Platform) Suspects() []Suspect {
 	return out
 }
 
+// DetectionCount returns the number of detections without copying the
+// history — the remediation loop polls it every step.
+func (p *Platform) DetectionCount() int { return len(p.detections) }
+
 // Detections returns the incident history, oldest first.
 func (p *Platform) Detections() []Detection {
 	out := make([]Detection, len(p.detections))
@@ -384,6 +400,7 @@ type PairStat struct {
 	Baseline simtime.Duration
 	LastRTT  simtime.Duration
 	LastLost bool
+	Alerted  bool
 }
 
 // PairStats returns the per-pair heartbeat state in pair order.
@@ -393,6 +410,7 @@ func (p *Platform) PairStats() []PairStat {
 		out = append(out, PairStat{
 			Pair: ps.pair, Baseline: ps.baseline,
 			LastRTT: ps.lastRTT, LastLost: ps.lastLost,
+			Alerted: ps.alerted,
 		})
 	}
 	return out
@@ -442,6 +460,66 @@ func (p *Platform) CoversLink(id topology.LinkID) bool {
 			if l.ID == id || l.Reverse == id {
 				return true
 			}
+		}
+	}
+	return false
+}
+
+// AlertedOnLink reports whether any currently alerted pair's pinned
+// path traverses the link in either direction — the "sensor still
+// sees the anomaly" half of the remediation loop's invariant-restored
+// condition.
+func (p *Platform) AlertedOnLink(id topology.LinkID) bool {
+	for _, ps := range p.pairs {
+		if !ps.alerted {
+			continue
+		}
+		for _, l := range ps.path.Links {
+			if l.ID == id || l.Reverse == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AlertedAttributableToLink reports whether some currently alerted,
+// currently *lost* pair's pinned path traverses the link (either
+// direction) and carries no other link the caller knows to be
+// unhealthy. Two filters keep ambiguous evidence from implicating the
+// link: latency-only alerts are excluded because inflated RTTs under
+// multi-tenant load are indistinguishable from congestion (the caller
+// should consult the fabric's link-health registers for degradation),
+// and an alerted pair crossing a different currently-unhealthy link is
+// explained by that fault — without this, a shared upstream link would
+// be held suspect for as long as any downstream fault stays open.
+func (p *Platform) AlertedAttributableToLink(id topology.LinkID, otherUnhealthy func(topology.LinkID) bool) bool {
+	for _, ps := range p.pairs {
+		if !ps.alerted || !ps.lastLost {
+			continue
+		}
+		onPath, explained := false, false
+		for _, l := range ps.path.Links {
+			if l.ID == id || l.Reverse == id {
+				onPath = true
+				continue
+			}
+			if otherUnhealthy(l.ID) || otherUnhealthy(l.Reverse) {
+				explained = true
+			}
+		}
+		if onPath && !explained {
+			return true
+		}
+	}
+	return false
+}
+
+// Alerted reports whether any heartbeat pair is currently alerted.
+func (p *Platform) Alerted() bool {
+	for _, ps := range p.pairs {
+		if ps.alerted {
+			return true
 		}
 	}
 	return false

@@ -32,6 +32,7 @@ import (
 	"repro/internal/arbiter"
 	"repro/internal/core"
 	"repro/internal/intent"
+	"repro/internal/remedy"
 	"repro/internal/simtime"
 	"repro/internal/snap"
 	"repro/internal/topology"
@@ -56,6 +57,18 @@ type Config struct {
 	Workers int
 	// Oracle tunes the invariant checker.
 	Oracle OracleConfig
+	// VsController arms a remediation controller over every host: the
+	// chaos schedule becomes the adversary and every eligible injected
+	// fault (covered hard failure, or any detected anomaly) must be
+	// remediated within RemedyDeadline. The controller acts through the
+	// same journal path as the injector, so runs stay seed-pure.
+	VsController bool
+	// RemedyDeadline bounds fault-injection to invariant-restored
+	// (virtual time). Zero defaults to 2ms.
+	RemedyDeadline simtime.Duration
+	// RemedyPolicy overrides the controller rule table; nil uses
+	// remedy.DefaultPolicy().
+	RemedyPolicy *remedy.Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -77,7 +90,18 @@ func (c Config) withDefaults() Config {
 	if c.Oracle == (OracleConfig{}) {
 		c.Oracle = DefaultOracleConfig()
 	}
+	if c.VsController && c.RemedyDeadline <= 0 {
+		c.RemedyDeadline = 2 * simtime.Millisecond
+	}
 	return c
+}
+
+// remedyPolicy resolves the controller rule table for this run.
+func (c Config) remedyPolicy() remedy.Policy {
+	if c.RemedyPolicy != nil {
+		return *c.RemedyPolicy
+	}
+	return remedy.DefaultPolicy()
 }
 
 // SnapConfig builds the deterministic session config for host i. Fleet
@@ -111,6 +135,71 @@ type Result struct {
 	// fleet mode).
 	Config  snap.Config  `json:"config"`
 	Journal snap.Journal `json:"journal"`
+	// Journals holds every host's journal in host-name order (fleet
+	// mode, clean runs): the cross-worker determinism fixture.
+	Journals []snap.Journal `json:"journals,omitempty"`
+	// Remedy reports the chaos-vs-controller outcome (VsController).
+	Remedy *RemedyReport `json:"remedy,omitempty"`
+}
+
+// RemedyReport scores the controller against the injected schedule.
+type RemedyReport struct {
+	Deadline simtime.Duration `json:"deadline_ns"`
+	// Incidents is everything the controller opened; Eligible is the
+	// subset it can fairly be graded on: covered hard failures (the
+	// oracle already demands those localize) plus anything the detector
+	// actually flagged. An uncovered or undetectable fault is invisible
+	// to §3.1 monitoring and is not counted against the controller.
+	Incidents int `json:"incidents"`
+	Eligible  int `json:"eligible"`
+	// Remediated counts eligible incidents resolved within Deadline.
+	Remediated int `json:"remediated"`
+	// Missed lists eligible incidents that were not (host:subject).
+	Missed []string `json:"missed,omitempty"`
+	// MTTR percentiles over all resolved incidents, in virtual us.
+	MTTRp50Us float64 `json:"mttr_p50_us"`
+	MTTRp99Us float64 `json:"mttr_p99_us"`
+	Executed  uint64  `json:"actions_executed"`
+	Failed    uint64  `json:"actions_failed"`
+}
+
+// Ratio returns remediated/eligible, 1 when nothing was eligible.
+func (r *RemedyReport) Ratio() float64 {
+	if r.Eligible == 0 {
+		return 1
+	}
+	return float64(r.Remediated) / float64(r.Eligible)
+}
+
+// eligibleIncident reports whether the controller is graded on in.
+func eligibleIncident(in remedy.Incident) bool {
+	if in.Class == remedy.ClassLinkFail && in.Covered && in.FaultKnown {
+		return true
+	}
+	return in.Detected
+}
+
+// foldRemedy accumulates one host's incidents into the report.
+func (r *RemedyReport) fold(host string, ins []remedy.Incident, mttrs *[]simtime.Duration) {
+	for _, in := range ins {
+		r.Incidents++
+		if d, ok := in.MTTR(); ok {
+			*mttrs = append(*mttrs, d)
+		}
+		if !eligibleIncident(in) {
+			continue
+		}
+		r.Eligible++
+		if d, ok := in.MTTR(); ok && d <= r.Deadline {
+			r.Remediated++
+			continue
+		}
+		subj := in.Subject
+		if host != "" {
+			subj = host + ":" + subj
+		}
+		r.Missed = append(r.Missed, subj)
+	}
 }
 
 // Run executes one chaos run to completion or first violation.
@@ -131,6 +220,29 @@ func Run(cfg Config) (*Result, error) {
 	// checking that the event stream agrees with the journal.
 	watch := newStreamWatcher(sess.Manager().Obs().Tracer.Bus())
 	res := &Result{Seed: cfg.Seed, Counts: make(map[string]int), Config: sc}
+
+	// In vs-controller mode the controller's journaled actions must
+	// reach the oracle too (a rollback the oracle never sees would
+	// leave stale failure expectations), so the injector stops feeding
+	// it directly and every new journal entry is synced instead.
+	var ctrl *remedy.Controller
+	injOracle := o
+	oracleSeq := 0
+	syncOracle := func() {
+		j := sess.Journal()
+		for ; oracleSeq < j.Len(); oracleSeq++ {
+			o.ObserveEntry(j.Entries[oracleSeq])
+		}
+	}
+	if cfg.VsController {
+		injOracle = nil
+		ctrl, err = remedy.New(sess.Manager(), remedy.SessionActuator{Sess: sess},
+			remedy.Options{Policy: cfg.remedyPolicy()})
+		if err != nil {
+			return nil, err
+		}
+		defer ctrl.Close()
+	}
 
 	// Warm up past detector calibration so the anomaly invariants arm.
 	acfg := sc.Options.Anomaly
@@ -156,7 +268,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for attempts := 0; res.Events < cfg.Events && attempts < cfg.Events*4 && res.Violation == nil; attempts++ {
-		name, applied := inj.injectOne(o)
+		name, applied := inj.injectOne(injOracle)
 		if applied {
 			res.Events++
 			res.Counts[name]++
@@ -166,6 +278,10 @@ func Run(cfg Config) (*Result, error) {
 		gap := mean/2 + simtime.Duration(rng.Int63n(int64(mean)))
 		if err := sess.Advance(gap); err != nil {
 			return nil, err
+		}
+		if ctrl != nil {
+			ctrl.Step()
+			syncOracle()
 		}
 		if check() {
 			break
@@ -180,12 +296,22 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Tail: let pending localization deadlines and the all-clear margin
-	// elapse with the oracle still watching.
+	// elapse with the oracle still watching. In vs-controller mode the
+	// tail also grants the controller one full deadline of quiet time to
+	// finish healing — unresolved eligible incidents after that count as
+	// missed.
 	if res.Violation == nil {
 		tail := simtime.Duration(acfg.ConsecutiveBad+cfg.Oracle.DetectRoundsMargin+cfg.Oracle.ClearRoundsMargin+2) * acfg.Period
-		for i := 0; i < 4 && res.Violation == nil; i++ {
-			if err := sess.Advance(tail / 4); err != nil {
+		if ctrl != nil && cfg.RemedyDeadline > tail {
+			tail = cfg.RemedyDeadline
+		}
+		for i := 0; i < 8 && res.Violation == nil; i++ {
+			if err := sess.Advance(tail / 8); err != nil {
 				return nil, err
+			}
+			if ctrl != nil {
+				ctrl.Step()
+				syncOracle()
 			}
 			check()
 		}
@@ -196,6 +322,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.FinalTime = sess.Now()
 	res.Journal = sess.Journal()
+	if ctrl != nil {
+		rep := &RemedyReport{Deadline: cfg.RemedyDeadline}
+		var mttrs []simtime.Duration
+		rep.fold("", ctrl.Incidents(), &mttrs)
+		s := ctrl.Stats()
+		rep.Executed, rep.Failed = s.Executed, s.Failed
+		rep.MTTRp50Us = float64(remedy.Percentile(mttrs, 50)) / float64(simtime.Microsecond)
+		rep.MTTRp99Us = float64(remedy.Percentile(mttrs, 99)) / float64(simtime.Microsecond)
+		res.Remedy = rep
+	}
 	return res, nil
 }
 
@@ -293,7 +429,7 @@ func (in *injector) injectOne(o *Oracle) (string, bool) {
 	_ = chosen.do()
 	j := in.sess.Journal()
 	applied := j.Len() > before
-	if applied {
+	if applied && o != nil {
 		o.ObserveEntry(j.Entries[j.Len()-1])
 	}
 	return chosen.name, applied

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/fleet"
 	"repro/internal/intent"
+	"repro/internal/remedy"
 	"repro/internal/simtime"
 	"repro/internal/snap"
 	"repro/internal/topology"
@@ -48,6 +49,31 @@ func runFleet(cfg Config) (*Result, error) {
 	runner := fleet.NewRunner(flt, fleet.RunnerConfig{Workers: cfg.Workers, Epoch: fleetEpoch})
 	ctx := context.Background()
 	res := &Result{Seed: cfg.Seed, Counts: make(map[string]int), Config: cfg.SnapConfig(0)}
+
+	// vs-controller: per-host controllers stepped between epoch barriers
+	// in host-name order, so remediation stays worker-count-invariant.
+	// The injectors stop feeding the oracles directly; every new journal
+	// entry (injected or remediation) is synced per host instead.
+	var fc *remedy.FleetController
+	oracleSeq := make([]int, cfg.Hosts)
+	syncOracles := func() {
+		for i := range sessions {
+			j := sessions[i].Journal()
+			for ; oracleSeq[i] < j.Len(); oracleSeq[i]++ {
+				oracles[i].ObserveEntry(j.Entries[oracleSeq[i]])
+			}
+		}
+	}
+	injOracles := oracles
+	if cfg.VsController {
+		var err error
+		fc, err = remedy.NewFleet(flt, runner, cfg.remedyPolicy())
+		if err != nil {
+			return nil, err
+		}
+		defer fc.Close()
+		injOracles = make([]*Oracle, cfg.Hosts) // all nil: sync feeds instead
+	}
 
 	acfg := cfg.SnapConfig(0).Options.Anomaly
 	warm := simtime.Duration(acfg.CalibrationRounds+5) * acfg.Period
@@ -132,7 +158,7 @@ func runFleet(cfg Config) (*Result, error) {
 			switch r := rng.Intn(12); {
 			case r < 6: // host-local chaos through a session injector
 				i := liveIndex(rng.Intn(cfg.Hosts))
-				name, applied = injectors[i].injectOne(oracles[i])
+				name, applied = injectors[i].injectOne(injOracles[i])
 			case r < 8: // fleet placement
 				name = "fleet-place"
 				t := fabric.TenantID(fmt.Sprintf("f%02d", fleetSeq))
@@ -186,6 +212,10 @@ func runFleet(cfg Config) (*Result, error) {
 		if _, err := runner.RunFor(ctx, fleetEpoch); err != nil {
 			return nil, err
 		}
+		if fc != nil {
+			fc.StepAll()
+			syncOracles()
+		}
 		checkAll()
 		if res.Violation == nil && cfg.Oracle.SnapshotEvery > 0 && epoch%8 == 7 {
 			i := liveIndex(epoch / 8)
@@ -211,9 +241,16 @@ func runFleet(cfg Config) (*Result, error) {
 	}
 	if res.Violation == nil {
 		tail := simtime.Duration(acfg.ConsecutiveBad+cfg.Oracle.DetectRoundsMargin+cfg.Oracle.ClearRoundsMargin+2) * acfg.Period
-		for i := 0; i < 4 && res.Violation == nil; i++ {
-			if _, err := runner.RunFor(ctx, tail/4); err != nil {
+		if fc != nil && cfg.RemedyDeadline > tail {
+			tail = cfg.RemedyDeadline
+		}
+		for i := 0; i < 8 && res.Violation == nil; i++ {
+			if _, err := runner.RunFor(ctx, tail/8); err != nil {
 				return nil, err
+			}
+			if fc != nil {
+				fc.StepAll()
+				syncOracles()
 			}
 			checkAll()
 		}
@@ -221,6 +258,21 @@ func runFleet(cfg Config) (*Result, error) {
 	res.FinalTime = runner.Now()
 	if res.Violation == nil {
 		res.Journal = sessions[0].Journal()
+		for i := range sessions {
+			res.Journals = append(res.Journals, sessions[i].Journal())
+		}
+	}
+	if fc != nil {
+		rep := &RemedyReport{Deadline: cfg.RemedyDeadline}
+		var mttrs []simtime.Duration
+		for _, name := range fc.Hosts() {
+			rep.fold(name, fc.Controller(name).Incidents(), &mttrs)
+		}
+		s := fc.Stats()
+		rep.Executed, rep.Failed = s.Executed, s.Failed
+		rep.MTTRp50Us = float64(remedy.Percentile(mttrs, 50)) / float64(simtime.Microsecond)
+		rep.MTTRp99Us = float64(remedy.Percentile(mttrs, 99)) / float64(simtime.Microsecond)
+		res.Remedy = rep
 	}
 	return res, nil
 }

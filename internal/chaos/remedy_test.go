@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/snap"
+)
+
+func vsCfg(seed int64) Config {
+	cfg := shortCfg(seed)
+	cfg.VsController = true
+	return cfg
+}
+
+// TestVsControllerCleanAndRemediated: the standing chaos-vs-controller
+// mode must keep every oracle invariant while healing, and remediate
+// eligible faults within the deadline.
+func TestVsControllerCleanAndRemediated(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		res, err := Run(vsCfg(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("seed %d: invariant violated while healing: %v", seed, res.Violation)
+		}
+		if res.Remedy == nil {
+			t.Fatalf("seed %d: no remediation report", seed)
+		}
+		rep := res.Remedy
+		if rep.Eligible > 0 && rep.Ratio() < 0.95 {
+			t.Fatalf("seed %d: remediated %d/%d within %v (missed %v)",
+				seed, rep.Remediated, rep.Eligible, rep.Deadline, rep.Missed)
+		}
+		if rep.Remediated > 0 && rep.MTTRp50Us <= 0 {
+			t.Fatalf("seed %d: remediated without MTTR samples: %+v", seed, rep)
+		}
+	}
+}
+
+// TestVsControllerDeterministicJournal: same seed + same policy table
+// must produce a byte-identical journal, remediation commands included.
+func TestVsControllerDeterministicJournal(t *testing.T) {
+	a, err := Run(vsCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(vsCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja, jb := journalJSON(t, a.Journal), journalJSON(t, b.Journal); ja != jb {
+		t.Fatalf("same seed+policy produced different journals:\n%s\nvs\n%s", ja, jb)
+	}
+	if a.Remedy == nil || b.Remedy == nil || *aStats(a) != *aStats(b) {
+		t.Fatalf("remediation reports diverged: %+v vs %+v", a.Remedy, b.Remedy)
+	}
+	// The remediation commands are journaled, so the vs-controller
+	// journal must replay deterministically like any other.
+	div, err := snap.CheckDeterminism(a.Config, a.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != nil {
+		t.Fatalf("vs-controller journal replays nondeterministically: %v", div)
+	}
+}
+
+// aStats projects the comparable part of a report (Missed is a slice).
+func aStats(r *Result) *[6]float64 {
+	return &[6]float64{
+		float64(r.Remedy.Incidents), float64(r.Remedy.Eligible),
+		float64(r.Remedy.Remediated), float64(r.Remedy.Executed),
+		r.Remedy.MTTRp50Us, r.Remedy.MTTRp99Us,
+	}
+}
+
+// TestFleetVsControllerWorkerInvariance extends the PR 5 fleet
+// assertion: with per-host controllers in the loop, every host's
+// journal — remediation commands included — must be byte-identical
+// across worker counts.
+func TestFleetVsControllerWorkerInvariance(t *testing.T) {
+	cfg := Config{
+		Seed:         9,
+		Events:       60,
+		Preset:       "minimal",
+		Hosts:        3,
+		VsController: true,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Violation != nil {
+		t.Fatalf("fleet vs-controller violation: %v", a.Violation)
+	}
+	cfg.Workers = 4
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Violation != nil {
+		t.Fatalf("fleet vs-controller violation (4 workers): %v", b.Violation)
+	}
+	if len(a.Journals) != cfg.Hosts || len(b.Journals) != cfg.Hosts {
+		t.Fatalf("per-host journals missing: %d vs %d", len(a.Journals), len(b.Journals))
+	}
+	for i := range a.Journals {
+		if ja, jb := journalJSON(t, a.Journals[i]), journalJSON(t, b.Journals[i]); ja != jb {
+			t.Fatalf("host %d journal depends on worker count:\n%s\nvs\n%s", i, ja, jb)
+		}
+	}
+	if a.FinalTime != b.FinalTime {
+		t.Fatalf("fleet end time depends on worker count: %v vs %v", a.FinalTime, b.FinalTime)
+	}
+	if a.Remedy == nil || b.Remedy == nil || *aStats(a) != *aStats(b) {
+		t.Fatalf("fleet remediation reports diverged: %+v vs %+v", a.Remedy, b.Remedy)
+	}
+}

@@ -287,26 +287,111 @@ func (m *Manager) RunFor(d simtime.Duration) { m.engine.RunFor(d) }
 // compiled or placed, nothing is reserved and the error says why. On
 // success the tenant receives its virtualized view of the host.
 func (m *Manager) Admit(tenant fabric.TenantID, targets []intent.Target) (*vnet.View, error) {
+	return m.AdmitAvoiding(tenant, targets, nil)
+}
+
+// normalizeTargets stamps the tenant on each target and rejects
+// mismatches.
+func normalizeTargets(tenant fabric.TenantID, targets []intent.Target) error {
 	if tenant == "" {
-		return nil, fmt.Errorf("core: empty tenant")
-	}
-	if _, ok := m.tenants[tenant]; ok {
-		return nil, fmt.Errorf("core: tenant %q already admitted", tenant)
+		return fmt.Errorf("core: empty tenant")
 	}
 	for i := range targets {
 		if targets[i].Tenant == "" {
 			targets[i].Tenant = tenant
 		}
 		if targets[i].Tenant != tenant {
-			return nil, fmt.Errorf("core: target %d belongs to %q, not %q",
+			return fmt.Errorf("core: target %d belongs to %q, not %q",
 				i, targets[i].Tenant, tenant)
 		}
+	}
+	return nil
+}
+
+// filterAvoid drops candidate pathways traversing any avoided link in
+// either direction. A pipe requirement whose candidate set empties out
+// is an error: the intent cannot be satisfied under the constraint.
+// Hose requirements have no pathway choice and pass through untouched.
+func filterAvoid(reqs []intent.Requirement, avoid []topology.LinkID) error {
+	if len(avoid) == 0 {
+		return nil
+	}
+	banned := make(map[topology.LinkID]bool, len(avoid))
+	for _, id := range avoid {
+		banned[id] = true
+	}
+	for i := range reqs {
+		if len(reqs[i].Candidates) == 0 {
+			continue
+		}
+		kept := reqs[i].Candidates[:0]
+		for _, p := range reqs[i].Candidates {
+			ok := true
+			for _, l := range p.Links {
+				if banned[l.ID] || banned[l.Reverse] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("core: %s: no pathway avoids %v", reqs[i].Target, avoid)
+		}
+		reqs[i].Candidates = kept
+	}
+	return nil
+}
+
+// PlanAdmission dry-runs the compile -> schedule half of admission
+// under an avoid constraint, without reserving anything: the
+// remediation planner's feasibility probe. The tenant may or may not
+// be currently admitted; planning is against current headroom, which
+// is conservative for a migrate (the tenant's own reservation is still
+// counted against free capacity).
+func (m *Manager) PlanAdmission(tenant fabric.TenantID, targets []intent.Target, avoid []topology.LinkID) ([]sched.Assignment, error) {
+	if err := normalizeTargets(tenant, targets); err != nil {
+		return nil, err
+	}
+	reqs, err := m.interp.CompileAll(targets)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile: %w", err)
+	}
+	if err := filterAvoid(reqs, avoid); err != nil {
+		return nil, err
+	}
+	usage := sched.Usage{Capacity: m.arb.CapacityMap(), Free: m.arb.FreeMap()}
+	assignments := m.scheduler.Schedule(reqs, usage)
+	for _, a := range assignments {
+		if !a.Admitted {
+			return assignments, fmt.Errorf("core: plan failed for %s: %s", a.Req.Target, a.Reason)
+		}
+	}
+	return assignments, nil
+}
+
+// AdmitAvoiding is Admit under a pathway constraint: candidates
+// traversing any avoided link (either direction) are excluded before
+// scheduling. The remediation controller re-places tenants off
+// localized suspects with it.
+func (m *Manager) AdmitAvoiding(tenant fabric.TenantID, targets []intent.Target, avoid []topology.LinkID) (*vnet.View, error) {
+	if err := normalizeTargets(tenant, targets); err != nil {
+		return nil, err
+	}
+	if _, ok := m.tenants[tenant]; ok {
+		return nil, fmt.Errorf("core: tenant %q already admitted", tenant)
 	}
 	// Compile.
 	reqs, err := m.interp.CompileAll(targets)
 	if err != nil {
 		m.mRejections.Inc()
 		return nil, fmt.Errorf("core: compile: %w", err)
+	}
+	if err := filterAvoid(reqs, avoid); err != nil {
+		m.mRejections.Inc()
+		return nil, err
 	}
 	// Schedule against current headroom.
 	usage := sched.Usage{Capacity: m.arb.CapacityMap(), Free: m.arb.FreeMap()}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/intent"
 	"repro/internal/obs"
+	"repro/internal/remedy"
 	"repro/internal/simtime"
 	"repro/internal/topology"
 )
@@ -34,6 +35,7 @@ type FleetServer struct {
 	fleet   *fleet.Fleet
 	runner  *fleet.Runner
 	reg     *obs.Registry
+	rem     *remedy.FleetController // nil when remediation is not wired in
 	started time.Time
 }
 
@@ -68,12 +70,21 @@ func (s *FleetServer) Fleet() *fleet.Fleet { return s.fleet }
 // the config left it zero).
 func (s *FleetServer) Workers() int { return s.runner.Workers() }
 
+// Runner returns the epoch-barrier runner driving the fleet (so a
+// remediation controller built on top can quarantine hosts through it).
+func (s *FleetServer) Runner() *fleet.Runner { return s.runner }
+
 // Advance moves the whole fleet forward by d under the server's lock —
-// the daemon's auto-advance loop drives this.
+// the daemon's auto-advance loop drives this. With remediation wired
+// in, the per-host controllers step once after the barrier, in host
+// order, exactly as the chaos harness does between epochs.
 func (s *FleetServer) Advance(d simtime.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, _ = s.runner.RunFor(nil, d)
+	if s.rem != nil {
+		s.rem.StepAll()
+	}
 }
 
 // apiRoutes is the fleet daemon's v1 route table. Everything that
@@ -96,6 +107,11 @@ func (s *FleetServer) apiRoutes() []route {
 		// stalled SSE client must never hold a fleet lock.
 		{"GET", "/fleet/metrics/rollup", lockNone, s.getFleetRollup},
 		{"GET", "/fleet/events", lockNone, s.getFleetEvents},
+		// Closed-loop remediation (unavailable unless the daemon was
+		// started with -remedy).
+		{"GET", "/fleet/remedy/status", lockRead, s.getFleetRemedyStatus},
+		{"GET", "/fleet/remedy/policy", lockRead, s.getFleetRemedyPolicy},
+		{"PUT", "/fleet/remedy/policy", lockWrite, s.putFleetRemedyPolicy},
 		{"GET", "/healthz", lockRead, s.getFleetHealthz},
 	}
 }
@@ -377,6 +393,7 @@ func (s *FleetServer) getFleetHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	sort.Strings(quarantinedHosts)
 	bus := s.runner.Bus()
+	remedyDegraded := s.rem != nil && s.rem.Degraded()
 	subsystems := map[string]any{
 		"runner": map[string]any{
 			"status":      boolStatus(len(failed) == 0, "ok", "degraded"),
@@ -390,8 +407,18 @@ func (s *FleetServer) getFleetHealthz(w http.ResponseWriter, _ *http.Request) {
 			"dropped":     bus.Dropped(),
 		},
 	}
+	if s.rem != nil {
+		st := s.rem.Stats()
+		subsystems["remedy"] = map[string]any{
+			"status":         boolStatus(!remedyDegraded, "ok", "degraded"),
+			"open_incidents": st.Open,
+			"resolved":       st.Resolved,
+		}
+	} else {
+		subsystems["remedy"] = map[string]any{"status": "disabled"}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":          "ok",
+		"status":          boolStatus(len(failed) == 0 && !remedyDegraded, "ok", "degraded"),
 		"mode":            "fleet",
 		"version":         buildVersion(),
 		"go_version":      runtime.Version(),

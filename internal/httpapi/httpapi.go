@@ -48,6 +48,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/intent"
 	"repro/internal/obs"
+	"repro/internal/remedy"
 	"repro/internal/simtime"
 	"repro/internal/snap"
 	"repro/internal/telemetry"
@@ -59,7 +60,8 @@ import (
 type Server struct {
 	mu      sync.RWMutex
 	mgr     *core.Manager
-	sess    *snap.Session // nil when journaling is not wired in
+	sess    *snap.Session      // nil when journaling is not wired in
+	rem     *remedy.Controller // nil when remediation is not wired in
 	started time.Time
 }
 
@@ -85,15 +87,21 @@ func (s *Server) Manager() *core.Manager {
 }
 
 // Advance moves virtual time forward by d under the server's lock.
-// The daemon's auto-advance loop uses it; tests may too.
+// The daemon's auto-advance loop uses it; tests may too. When a
+// remediation controller is wired in, each advance is followed by one
+// control-loop step — the single-host analogue of the fleet's
+// between-epochs stepping.
 func (s *Server) Advance(d simtime.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.sess != nil {
 		_ = s.sess.Advance(d)
-		return
+	} else {
+		s.mgr.RunFor(d)
 	}
-	s.mgr.RunFor(d)
+	if s.rem != nil {
+		s.rem.Step()
+	}
 }
 
 // apiRoutes is the server's v1 route table: the single source of
@@ -129,6 +137,11 @@ func (s *Server) apiRoutes() []route {
 		{"POST", "/snapshot", lockWrite, s.postSnapshot},
 		{"POST", "/restore", lockWrite, s.postRestore},
 		{"GET", "/journal", lockRead, s.getJournal},
+		// Closed-loop remediation (unavailable unless the daemon was
+		// started with -remedy).
+		{"GET", "/remedy/status", lockRead, s.getRemedyStatus},
+		{"GET", "/remedy/policy", lockRead, s.getRemedyPolicy},
+		{"PUT", "/remedy/policy", lockWrite, s.putRemedyPolicy},
 		{"GET", "/trace/events", lockNone, s.getTraceEvents},
 		{"GET", "/events", lockNone, s.getEvents},
 		{"GET", "/healthz", lockRead, s.getHealthz},
@@ -751,6 +764,12 @@ func (s *Server) getHealthz(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 	}
+	// Degradation roll-up: an alerted heartbeat pair or an open
+	// remediation incident flips the top-level status, so `ihctl
+	// health` (which exits non-zero on anything but "ok") is a usable
+	// fleet-automation probe.
+	anomalyAlerted := s.mgr.Anomaly().Alerted()
+	remedyDegraded := s.rem != nil && s.rem.Degraded()
 	subsystems := map[string]any{
 		"fabric": map[string]any{
 			"status":       "ok",
@@ -769,12 +788,26 @@ func (s *Server) getHealthz(w http.ResponseWriter, _ *http.Request) {
 			"published":   o.Bus.Seq(),
 			"dropped":     o.Bus.Dropped(),
 		},
+		"anomaly": map[string]any{
+			"status":     boolStatus(!anomalyAlerted, "ok", "degraded"),
+			"detections": s.mgr.Anomaly().DetectionCount(),
+		},
+	}
+	if s.rem != nil {
+		st := s.rem.Stats()
+		subsystems["remedy"] = map[string]any{
+			"status":         boolStatus(!remedyDegraded, "ok", "degraded"),
+			"open_incidents": st.Open,
+			"resolved":       st.Resolved,
+		}
+	} else {
+		subsystems["remedy"] = map[string]any{"status": "disabled"}
 	}
 	if s.sess != nil {
 		subsystems["snap"].(map[string]any)["journal_entries"] = s.sess.Journal().Len()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":           "ok",
+		"status":           boolStatus(!anomalyAlerted && !remedyDegraded, "ok", "degraded"),
 		"version":          buildVersion(),
 		"go_version":       goVersion,
 		"module":           module,

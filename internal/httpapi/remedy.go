@@ -1,0 +1,190 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/remedy"
+	"repro/internal/simtime"
+)
+
+// errNoRemedy is returned by the remediation endpoints on daemons
+// started without the controller.
+var errNoRemedy = fmt.Errorf("remediation controller not enabled: start the daemon with -remedy")
+
+// remedyStatusDTO is the closed-loop controller's operator view:
+// cumulative accounting, the incident ledger, and the headline MTTR
+// percentiles (virtual time, so they are comparable across machines).
+type remedyStatusDTO struct {
+	Enabled   bool              `json:"enabled"`
+	Degraded  bool              `json:"degraded"`
+	Stats     remedy.Stats      `json:"stats"`
+	MTTRp50Us float64           `json:"mttr_p50_us"`
+	MTTRp99Us float64           `json:"mttr_p99_us"`
+	Incidents []remedy.Incident `json:"incidents"`
+}
+
+func remedyStatus(c *remedy.Controller) remedyStatusDTO {
+	mttrs := c.MTTRs()
+	return remedyStatusDTO{
+		Enabled:   true,
+		Degraded:  c.Degraded(),
+		Stats:     c.Stats(),
+		MTTRp50Us: float64(remedy.Percentile(mttrs, 50)) / float64(simtime.Microsecond),
+		MTTRp99Us: float64(remedy.Percentile(mttrs, 99)) / float64(simtime.Microsecond),
+		Incidents: c.Incidents(),
+	}
+}
+
+// SetRemedy wires a remediation controller into the server: the status
+// and policy endpoints come alive, Advance steps the control loop, and
+// healthz gains the remedy subsystem. Call before serving traffic.
+func (s *Server) SetRemedy(c *remedy.Controller) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rem = c
+}
+
+// Remedy returns the wired controller (nil when disabled).
+func (s *Server) Remedy() *remedy.Controller {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rem
+}
+
+func (s *Server) getRemedyStatus(w http.ResponseWriter, _ *http.Request) {
+	if s.rem == nil {
+		writeErr(w, http.StatusNotFound, errNoRemedy)
+		return
+	}
+	writeJSON(w, http.StatusOK, remedyStatus(s.rem))
+}
+
+func (s *Server) getRemedyPolicy(w http.ResponseWriter, _ *http.Request) {
+	if s.rem == nil {
+		writeErr(w, http.StatusNotFound, errNoRemedy)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.rem.Policy())
+}
+
+// putRemedyPolicy swaps the rule table. Policies are out-of-band
+// configuration — the controller never runs during replay — so the
+// swap is not journaled; it still takes the write lock because the
+// next Step reads it.
+func (s *Server) putRemedyPolicy(w http.ResponseWriter, r *http.Request) {
+	if s.rem == nil {
+		writeErr(w, http.StatusNotFound, errNoRemedy)
+		return
+	}
+	p, err := parsePolicyBody(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.rem.SetPolicy(*p); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.rem.Policy())
+}
+
+// fleetRemedyStatusDTO aggregates the per-host controllers with a
+// per-host breakdown (only degraded hosts carry incident lists, to
+// keep large-fleet payloads proportional to trouble, not size).
+type fleetRemedyStatusDTO struct {
+	Enabled   bool                       `json:"enabled"`
+	Degraded  bool                       `json:"degraded"`
+	Stats     remedy.Stats               `json:"stats"`
+	MTTRp50Us float64                    `json:"mttr_p50_us"`
+	MTTRp99Us float64                    `json:"mttr_p99_us"`
+	Hosts     map[string]remedyStatusDTO `json:"hosts"`
+}
+
+// SetRemedy wires a fleet remediation controller: per-host controllers
+// stepped between epoch barriers by Advance.
+func (s *FleetServer) SetRemedy(fc *remedy.FleetController) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rem = fc
+}
+
+// Remedy returns the wired fleet controller (nil when disabled).
+func (s *FleetServer) Remedy() *remedy.FleetController {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rem
+}
+
+func (s *FleetServer) getFleetRemedyStatus(w http.ResponseWriter, _ *http.Request) {
+	if s.rem == nil {
+		writeErr(w, http.StatusNotFound, errNoRemedy)
+		return
+	}
+	mttrs := s.rem.MTTRs()
+	out := fleetRemedyStatusDTO{
+		Enabled:   true,
+		Degraded:  s.rem.Degraded(),
+		Stats:     s.rem.Stats(),
+		MTTRp50Us: float64(remedy.Percentile(mttrs, 50)) / float64(simtime.Microsecond),
+		MTTRp99Us: float64(remedy.Percentile(mttrs, 99)) / float64(simtime.Microsecond),
+		Hosts:     make(map[string]remedyStatusDTO, len(s.rem.Hosts())),
+	}
+	for _, name := range s.rem.Hosts() {
+		hs := remedyStatus(s.rem.Controller(name))
+		if !hs.Degraded {
+			hs.Incidents = nil
+		}
+		out.Hosts[name] = hs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *FleetServer) getFleetRemedyPolicy(w http.ResponseWriter, _ *http.Request) {
+	if s.rem == nil {
+		writeErr(w, http.StatusNotFound, errNoRemedy)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.rem.Policy())
+}
+
+func (s *FleetServer) putFleetRemedyPolicy(w http.ResponseWriter, r *http.Request) {
+	if s.rem == nil {
+		writeErr(w, http.StatusNotFound, errNoRemedy)
+		return
+	}
+	p, err := parsePolicyBody(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.rem.SetPolicy(*p); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.rem.Policy())
+}
+
+// parsePolicyBody decodes and validates a policy document via the
+// package's canonical parser (defaults applied, rule table checked).
+func parsePolicyBody(r io.Reader) (*remedy.Policy, error) {
+	raw, err := io.ReadAll(io.LimitReader(r, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("empty policy body")
+	}
+	// Round-trip through json.Valid first for a crisper error than the
+	// parser's.
+	if !json.Valid(raw) {
+		return nil, fmt.Errorf("policy body is not valid JSON")
+	}
+	p, err := remedy.ParsePolicy(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

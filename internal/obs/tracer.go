@@ -55,6 +55,19 @@ const (
 	// KindHostQuarantine marks a host being fenced out of the epoch
 	// loop (panic quarantine or operator action).
 	KindHostQuarantine
+	// KindAnomalyCleared marks a previously alerted heartbeat pair
+	// returning to health — the recovery edge the remediation loop's
+	// MTTR accounting closes on.
+	KindAnomalyCleared
+	// KindRemedyPlan marks the remediation controller choosing an
+	// action for an incident; Detail carries the candidate scoring.
+	KindRemedyPlan
+	// KindRemedyAct marks the controller executing a remediation
+	// action through the journaled session path.
+	KindRemedyAct
+	// KindRemedyResolve marks an incident's invariant restored; Value
+	// is the measured MTTR in microseconds of virtual time.
+	KindRemedyResolve
 )
 
 var kindNames = [...]string{
@@ -75,6 +88,10 @@ var kindNames = [...]string{
 	KindTenantEvict:    "tenant-evict",
 	KindFleetEpoch:     "fleet-epoch",
 	KindHostQuarantine: "host-quarantine",
+	KindAnomalyCleared: "anomaly-cleared",
+	KindRemedyPlan:     "remedy-plan",
+	KindRemedyAct:      "remedy-act",
+	KindRemedyResolve:  "remedy-resolve",
 }
 
 func (k EventKind) String() string {

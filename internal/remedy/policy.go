@@ -1,0 +1,155 @@
+// Package remedy closes the paper's loop: §3.1 monitoring detects and
+// localizes an anomaly, §3.2 management owns the verbs that could heal
+// it — this package is the controller that connects the two without a
+// human in the middle. It subscribes to anomaly verdicts on the obs
+// event bus, runs a rule-table policy mapping incident class to
+// candidate actions, scores the candidates with a dry-run planner
+// against current fabric/arbiter state, and executes the winner
+// through the journaled snap.Session path, so every remediation is
+// replayable and shows up as a correlated span. MTTR — fault-injection
+// timestamp to invariant-restored timestamp, in virtual time — is the
+// subsystem's first-class metric.
+package remedy
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ActionKind names one remediation verb.
+type ActionKind string
+
+// The remediation vocabulary. Rollback and the tenant-scoped verbs
+// act on one host; rebalance and quarantine need a fleet hook.
+const (
+	// ActionRollback restores the suspect link (both directions) —
+	// the direct repair for an injected degradation or failure.
+	ActionRollback ActionKind = "rollback"
+	// ActionMigrate re-places tenants whose pathways traverse the
+	// suspect, avoiding it — mitigation while the fault persists.
+	ActionMigrate ActionKind = "migrate"
+	// ActionEvict releases affected tenants — the last resort when no
+	// alternative placement exists.
+	ActionEvict ActionKind = "evict"
+	// ActionRebalance asks the fleet to move affected tenants to a
+	// healthy host (fleet scope only).
+	ActionRebalance ActionKind = "rebalance"
+	// ActionQuarantine fences the host out of the epoch loop (fleet
+	// scope only).
+	ActionQuarantine ActionKind = "quarantine"
+)
+
+// Incident classes the rule table keys on.
+const (
+	ClassLinkFail    = "link-fail"
+	ClassLinkDegrade = "link-degrade"
+	// ClassAny matches every class; used as the rule-table fallback.
+	ClassAny = "*"
+)
+
+// Rule maps one incident class to its candidate actions, in
+// preference order (earlier actions get a higher base score).
+type Rule struct {
+	Class   string       `json:"class"`
+	Actions []ActionKind `json:"actions"`
+}
+
+// Policy is the controller's rule table plus its anti-flap knobs.
+// Policies are out-of-band configuration: the controller does not run
+// during replay — only its journaled commands do — so editing the
+// policy never threatens journal determinism, but two runs that should
+// produce identical journals must use identical policies.
+type Policy struct {
+	Rules []Rule `json:"rules"`
+	// CooldownUs is the minimum virtual time between executed actions
+	// on the same subject — including across incidents, so a
+	// fault–heal–fault oscillation cannot make the controller flap.
+	CooldownUs int64 `json:"cooldown_us"`
+	// HysteresisSteps is how many consecutive healthy controller steps
+	// an incident must observe before it is declared resolved (one
+	// good probe is not recovery).
+	HysteresisSteps int `json:"hysteresis_steps"`
+	// MaxActionsPerIncident bounds escalation.
+	MaxActionsPerIncident int `json:"max_actions_per_incident"`
+}
+
+// DefaultPolicy returns the rule table used by the chaos adversary
+// and the daemon: hard failures roll back first (the link is dead,
+// re-pathing alone cannot restore coverage), silent degradations
+// migrate affected tenants off the suspect pathway first and then
+// roll the link back.
+func DefaultPolicy() Policy {
+	return Policy{
+		Rules: []Rule{
+			{Class: ClassLinkFail, Actions: []ActionKind{ActionRollback, ActionMigrate}},
+			{Class: ClassLinkDegrade, Actions: []ActionKind{ActionMigrate, ActionRollback}},
+			{Class: ClassAny, Actions: []ActionKind{ActionRollback}},
+		},
+		CooldownUs:            200,
+		HysteresisSteps:       2,
+		MaxActionsPerIncident: 4,
+	}
+}
+
+// Validate checks the policy's structural invariants.
+func (p Policy) Validate() error {
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("remedy: policy needs at least one rule")
+	}
+	for i, r := range p.Rules {
+		switch r.Class {
+		case ClassLinkFail, ClassLinkDegrade, ClassAny:
+		default:
+			return fmt.Errorf("remedy: rule %d has unknown class %q", i, r.Class)
+		}
+		if len(r.Actions) == 0 {
+			return fmt.Errorf("remedy: rule %d (%s) has no actions", i, r.Class)
+		}
+		for _, a := range r.Actions {
+			switch a {
+			case ActionRollback, ActionMigrate, ActionEvict, ActionRebalance, ActionQuarantine:
+			default:
+				return fmt.Errorf("remedy: rule %d has unknown action %q", i, a)
+			}
+		}
+	}
+	if p.CooldownUs < 0 {
+		return fmt.Errorf("remedy: negative cooldown")
+	}
+	if p.HysteresisSteps < 1 {
+		return fmt.Errorf("remedy: hysteresis must be at least 1 step")
+	}
+	if p.MaxActionsPerIncident < 1 {
+		return fmt.Errorf("remedy: max actions per incident must be at least 1")
+	}
+	return nil
+}
+
+// rule returns the first rule matching class, falling back to the
+// ClassAny rule; nil when nothing matches.
+func (p Policy) rule(class string) *Rule {
+	for i := range p.Rules {
+		if p.Rules[i].Class == class {
+			return &p.Rules[i]
+		}
+	}
+	for i := range p.Rules {
+		if p.Rules[i].Class == ClassAny {
+			return &p.Rules[i]
+		}
+	}
+	return nil
+}
+
+// ParsePolicy decodes and validates a policy document (the HTTP
+// policy-CRUD payload).
+func ParsePolicy(data []byte) (Policy, error) {
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Policy{}, fmt.Errorf("remedy: decode policy: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Policy{}, err
+	}
+	return p, nil
+}

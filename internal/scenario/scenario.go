@@ -12,12 +12,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/arbiter"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/intent"
 	"repro/internal/monitor"
+	"repro/internal/remedy"
 	"repro/internal/simtime"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -33,10 +35,22 @@ type Spec struct {
 	// "work-conserving" (the default).
 	ArbiterMode string `json:"arbiter_mode,omitempty"`
 
+	// Remedy arms the closed-loop remediation controller for the
+	// drill: injected faults become incidents it must heal.
+	Remedy *RemedySpec `json:"remedy,omitempty"`
+
 	Tenants   []TenantSpec   `json:"tenants,omitempty"`
 	Workloads []WorkloadSpec `json:"workloads,omitempty"`
 	Faults    []FaultSpec    `json:"faults,omitempty"`
 	Asserts   []AssertSpec   `json:"asserts,omitempty"`
+}
+
+// RemedySpec configures the drill's remediation controller.
+type RemedySpec struct {
+	Enabled bool `json:"enabled"`
+	// StepIntervalUs is the control-loop cadence on the virtual clock
+	// (default 100us, the anomaly probe period).
+	StepIntervalUs int64 `json:"step_interval_us,omitempty"`
 }
 
 // TenantSpec admits one tenant before the clock starts.
@@ -82,12 +96,18 @@ type FaultSpec struct {
 type AssertSpec struct {
 	// Kind: "detected_within_us", "no_detection", "top_suspect",
 	// "p99_below_us", "p99_above_us", "drift_alert",
-	// "tenant_rate_at_least_gbps".
+	// "tenant_rate_at_least_gbps", "remedy_action_executed",
+	// "remediated_within_us".
 	Kind string `json:"kind"`
-	// WithinUs for detected_within_us (measured from the first fault).
+	// WithinUs for detected_within_us (measured from the first fault)
+	// and remediated_within_us (the MTTR bound on every incident).
 	WithinUs int64 `json:"within_us,omitempty"`
-	// Link for top_suspect.
+	// Link for top_suspect and remedy_action_executed (optional there:
+	// restricts the match to incidents on that link).
 	Link string `json:"link,omitempty"`
+	// Action for remedy_action_executed: a verb ("rollback",
+	// "migrate", ...) or "|"-separated alternatives ("migrate|rollback").
+	Action string `json:"action,omitempty"`
 	// Tenant + ValueUs for the p99 checks; Tenant + Gbps for rate.
 	Tenant  string  `json:"tenant,omitempty"`
 	ValueUs float64 `json:"value_us,omitempty"`
@@ -140,11 +160,19 @@ func Load(r io.Reader) (Spec, error) {
 			return Spec{}, fmt.Errorf("scenario: fault %d has unknown kind %q", i, f.Kind)
 		}
 	}
+	remedyOn := s.Remedy != nil && s.Remedy.Enabled
 	for i, a := range s.Asserts {
 		switch a.Kind {
 		case "detected_within_us", "no_detection", "top_suspect",
 			"p99_below_us", "p99_above_us", "drift_alert",
 			"tenant_rate_at_least_gbps":
+		case "remedy_action_executed", "remediated_within_us":
+			if !remedyOn {
+				return Spec{}, fmt.Errorf("scenario: assert %d (%s) needs remedy.enabled", i, a.Kind)
+			}
+			if a.Kind == "remedy_action_executed" && a.Action == "" {
+				return Spec{}, fmt.Errorf("scenario: assert %d needs an action", i)
+			}
 		default:
 			return Spec{}, fmt.Errorf("scenario: assert %d has unknown kind %q", i, a.Kind)
 		}
@@ -204,6 +232,32 @@ func Run(spec Spec) (Result, error) {
 
 	kvs := make(map[string]*workload.KVClient)
 	engine := mgr.Engine()
+
+	// Arm the remediation controller before the timeline starts so the
+	// injected faults' trace events are observed with exact timestamps.
+	// The loop steps on a fixed virtual cadence via a self-rescheduling
+	// tick — the same deterministic clock the faults ride on.
+	var ctrl *remedy.Controller
+	if spec.Remedy != nil && spec.Remedy.Enabled {
+		var err error
+		ctrl, err = remedy.New(mgr, remedy.ManagerActuator{Mgr: mgr},
+			remedy.Options{Policy: remedy.DefaultPolicy()})
+		if err != nil {
+			return Result{}, err
+		}
+		defer ctrl.Close()
+		interval := simtime.Duration(spec.Remedy.StepIntervalUs) * simtime.Microsecond
+		if interval <= 0 {
+			interval = 100 * simtime.Microsecond
+		}
+		var tick func()
+		tick = func() {
+			ctrl.Step()
+			engine.Schedule(engine.Now().Add(interval), tick)
+		}
+		engine.Schedule(simtime.Time(interval), tick)
+	}
+
 	var startErr error
 	for _, w := range spec.Workloads {
 		w := w
@@ -234,9 +288,27 @@ func Run(spec Spec) (Result, error) {
 		return Result{}, startErr
 	}
 
+	// Replay the remediation ledger onto the timeline using the
+	// actions' own virtual timestamps.
+	if ctrl != nil {
+		for _, in := range ctrl.Incidents() {
+			for _, ar := range in.Actions {
+				line := fmt.Sprintf("t=%-12v remedy %s on %s", ar.At, ar.Action, in.Subject)
+				if ar.Err != "" {
+					line += " (failed: " + ar.Err + ")"
+				}
+				res.Timeline = append(res.Timeline, line)
+			}
+			if d, ok := in.MTTR(); ok {
+				res.Timeline = append(res.Timeline,
+					fmt.Sprintf("t=%-12v remedy resolved %s (mttr %v)", in.ResolvedAt, in.Subject, d))
+			}
+		}
+	}
+
 	res.Passed = true
 	for _, a := range spec.Asserts {
-		c := evaluate(mgr, a, kvs, firstFault)
+		c := evaluate(mgr, ctrl, a, kvs, firstFault)
 		if !c.Passed {
 			res.Passed = false
 		}
@@ -319,9 +391,49 @@ func applyFault(mgr *core.Manager, f FaultSpec) error {
 	return fmt.Errorf("scenario: unknown fault kind %q", f.Kind)
 }
 
-func evaluate(mgr *core.Manager, a AssertSpec, kvs map[string]*workload.KVClient, firstFault simtime.Time) CheckResult {
+func evaluate(mgr *core.Manager, ctrl *remedy.Controller, a AssertSpec, kvs map[string]*workload.KVClient, firstFault simtime.Time) CheckResult {
 	c := CheckResult{Assert: a}
 	switch a.Kind {
+	case "remedy_action_executed":
+		verbs := strings.Split(a.Action, "|")
+		for _, in := range ctrl.Incidents() {
+			if a.Link != "" && !sameLink(mgr, in.Subject, a.Link) {
+				continue
+			}
+			for _, ar := range in.Actions {
+				if ar.Err != "" {
+					continue
+				}
+				for _, v := range verbs {
+					if string(ar.Action) == v {
+						c.Passed = true
+						c.Detail = fmt.Sprintf("%s executed on %s at t=%v", ar.Action, in.Subject, ar.At)
+						return c
+					}
+				}
+			}
+		}
+		c.Detail = fmt.Sprintf("no successful %q action", a.Action)
+	case "remediated_within_us":
+		bound := simtime.Duration(a.WithinUs) * simtime.Microsecond
+		incidents := ctrl.Incidents()
+		if len(incidents) == 0 {
+			c.Detail = "no incidents opened"
+			return c
+		}
+		var worst simtime.Duration
+		for _, in := range incidents {
+			d, ok := in.MTTR()
+			if !ok {
+				c.Detail = fmt.Sprintf("incident %s still open", in.Subject)
+				return c
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+		c.Passed = worst <= bound
+		c.Detail = fmt.Sprintf("%d incident(s) resolved, worst mttr %v", len(incidents), worst)
 	case "detected_within_us":
 		dets := mgr.Anomaly().Detections()
 		if len(dets) == 0 {
@@ -346,8 +458,7 @@ func evaluate(mgr *core.Manager, a AssertSpec, kvs map[string]*workload.KVClient
 			return c
 		}
 		top := dets[0].Suspects[0].Link
-		rev := mgr.Topology().Link(topology.LinkID(a.Link))
-		c.Passed = top == topology.LinkID(a.Link) || (rev != nil && top == rev.Reverse)
+		c.Passed = sameLink(mgr, string(top), a.Link)
 		c.Detail = fmt.Sprintf("top suspect %s", top)
 	case "p99_below_us", "p99_above_us":
 		kv, ok := kvs[a.Tenant]
@@ -381,4 +492,14 @@ func evaluate(mgr *core.Manager, a AssertSpec, kvs map[string]*workload.KVClient
 		c.Detail = "unknown assert"
 	}
 	return c
+}
+
+// sameLink reports whether got names the same physical link as want,
+// in either direction.
+func sameLink(mgr *core.Manager, got, want string) bool {
+	if got == want {
+		return true
+	}
+	l := mgr.Topology().Link(topology.LinkID(want))
+	return l != nil && topology.LinkID(got) == l.Reverse
 }

@@ -88,6 +88,10 @@ type Entry struct {
 	Tenant string `json:"tenant,omitempty"`
 	// KindAdmit.
 	Targets []Target `json:"targets,omitempty"`
+	// KindAdmit: links the scheduler must avoid (remediation re-path).
+	// Replayed admits re-run compile -> schedule at replay time, so the
+	// avoid set is part of the command, not derivable from state.
+	Avoid []string `json:"avoid,omitempty"`
 	// KindDegrade / KindFail / KindRestoreLink.
 	Link     string  `json:"link,omitempty"`
 	LossFrac float64 `json:"loss_frac,omitempty"`

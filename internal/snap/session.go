@@ -161,6 +161,15 @@ func (s *Session) AdvanceTo(t simtime.Time) error {
 // view. Failed admissions are not journaled: admission is
 // all-or-nothing, so a rejection leaves no state to reproduce.
 func (s *Session) Admit(tenant string, targets []intent.Target) (*vnet.View, error) {
+	return s.AdmitAvoiding(tenant, targets, nil)
+}
+
+// AdmitAvoiding is Admit with an avoid set: pathways traversing any of
+// the named links (either direction) are excluded from scheduling.
+// The remediation controller uses it to re-place a tenant off a
+// localized suspect; the avoid set is journaled with the admit so
+// replay re-runs the same constrained schedule.
+func (s *Session) AdmitAvoiding(tenant string, targets []intent.Target, avoid []string) (*vnet.View, error) {
 	e := s.entry(KindAdmit)
 	e.Tenant = tenant
 	e.Targets = make([]Target, len(targets))
@@ -170,6 +179,7 @@ func (s *Session) Admit(tenant string, targets []intent.Target) (*vnet.View, err
 			RateBps: float64(t.Rate), MaxLatencyNs: int64(t.MaxLatency),
 		}
 	}
+	e.Avoid = append([]string(nil), avoid...)
 	if err := s.apply(e); err != nil {
 		return nil, err
 	}
@@ -378,7 +388,11 @@ func (s *Session) apply(e Entry) error {
 				MaxLatency: simtime.Duration(t.MaxLatencyNs),
 			}
 		}
-		_, err := s.mgr.Admit(fabric.TenantID(e.Tenant), targets)
+		avoid := make([]topology.LinkID, len(e.Avoid))
+		for i, l := range e.Avoid {
+			avoid[i] = topology.LinkID(l)
+		}
+		_, err := s.mgr.AdmitAvoiding(fabric.TenantID(e.Tenant), targets, avoid)
 		return err
 	case KindEvict:
 		return s.mgr.Evict(fabric.TenantID(e.Tenant))
