@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench bench-smoke bench-json bench-json-obs bench-json-remedy chaos-smoke remedy-smoke check clean
+.PHONY: all build vet fmt test race solver-race bench bench-smoke bench-json bench-json-obs bench-json-remedy chaos-smoke remedy-smoke check clean
 
 all: check
 
@@ -48,9 +48,18 @@ bench-smoke:
 # preserved; current is overwritten), and fail if any allocation budget
 # is exceeded — most importantly, the steady-state recompute must stay
 # at 0 allocs/op. Timing numbers are recorded but not gated: they are
-# machine-dependent, allocation counts are not.
+# machine-dependent, allocation counts are not. The big churn tiers run
+# at reduced -benchtime (one churn op at 1M residents costs ~1s of
+# wall clock); allocation counts are per-op and deterministic, so fewer
+# iterations gate exactly as well. benchjson hard-fails on any budgeted
+# benchmark missing from the input, so a tier cannot be silently
+# dropped from this recipe.
 bench-json:
-	$(GO) test -bench 'BenchmarkFabric(FlowChurn|RecomputeSteadyState)' -benchtime 100x -benchmem -run '^$$' ./internal/fabric \
+	{ $(GO) test -bench 'BenchmarkFabricFlowChurn/flows=(100|1000|10000)$$' -benchtime 100x -benchmem -run '^$$' ./internal/fabric; \
+	  $(GO) test -bench 'BenchmarkFabricFlowChurn/flows=100000$$' -benchtime 20x -benchmem -run '^$$' ./internal/fabric; \
+	  $(GO) test -bench 'BenchmarkFabricFlowChurn/flows=1000000$$' -benchtime 2x -benchmem -run '^$$' ./internal/fabric; \
+	  $(GO) test -bench 'BenchmarkFabricComponentSolve' -benchtime 20x -benchmem -run '^$$' ./internal/fabric; \
+	  $(GO) test -bench 'BenchmarkFabricRecomputeSteadyState' -benchtime 100x -benchmem -run '^$$' ./internal/fabric; } \
 		| $(GO) run ./cmd/benchjson -out BENCH_fabric.json
 
 # Same trajectory gate for the observability pipeline: the event-bus
@@ -96,9 +105,21 @@ bench-json-remedy:
 	$(GO) test -bench 'BenchmarkRemedy(MTTR|StepIdle)' -benchtime 100x -benchmem -run '^$$' ./internal/remedy \
 		| $(GO) run ./cmd/benchjson -out BENCH_remedy.json
 
-# The full gate: formatting, static analysis, build, and the race-enabled
-# test suite. CI and pre-commit should run this.
-check: fmt vet build race
+# Solver-parity gate under the race detector, runnable on its own:
+# forced-parallel vs forced-serial bit parity across randomized
+# component splits and merges, the partition-rebuild refinement, the
+# batch one-settle pin, and journal-replay hash stability across
+# solver tunings and GOMAXPROCS. `make race` covers these too; this
+# target names them so the parity contract has its own fast entry
+# point (and stays listed in check even if race ever narrows).
+solver-race:
+	$(GO) test -race ./internal/fabric -run 'TestParallelSolver|TestSolverPartition|TestIncrementalMatchesReference'
+	$(GO) test -race ./internal/snap -run 'TestBatch|TestReplayHashStableAcrossSolverTuning'
+
+# The full gate: formatting, static analysis, build, the race-enabled
+# test suite, and the named solver-parity pass. CI and pre-commit
+# should run this.
+check: fmt vet build race solver-race
 
 clean:
 	$(GO) clean ./...

@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -47,10 +48,17 @@ import (
 // with headroom); super-linear growth busts them.
 var allocBudgetsByFile = map[string]map[string]int64{
 	"BENCH_fabric.json": {
-		"BenchmarkFabricRecomputeSteadyState":  0,
-		"BenchmarkFabricFlowChurn/flows=100":   64,
-		"BenchmarkFabricFlowChurn/flows=1000":  64,
-		"BenchmarkFabricFlowChurn/flows=10000": 64,
+		"BenchmarkFabricRecomputeSteadyState":    0,
+		"BenchmarkFabricFlowChurn/flows=100":     64,
+		"BenchmarkFabricFlowChurn/flows=1000":    64,
+		"BenchmarkFabricFlowChurn/flows=10000":   64,
+		"BenchmarkFabricFlowChurn/flows=100000":  64,
+		"BenchmarkFabricFlowChurn/flows=1000000": 96,
+		// The component-solve pair: serial re-solves reuse scratch
+		// arenas (near-zero); the parallel flavor may allocate a
+		// handful of coordination objects per solve.
+		"BenchmarkFabricComponentSolve/serial":   8,
+		"BenchmarkFabricComponentSolve/parallel": 32,
 	},
 	"BENCH_obs.json": {
 		"BenchmarkBusPublish":            0,
@@ -213,46 +221,54 @@ func run(out, note string) error {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", out, len(current))
 
-	violations := 0
+	violations := checkBudgets(current, allocBudgets, metricBudgets)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL %s\n", v)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("benchjson: %d budget violation(s)", len(violations))
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: all budgets met")
+	return nil
+}
+
+// checkBudgets returns one violation message per busted or missing
+// budgeted benchmark. A budgeted name absent from the input is a hard
+// failure, not a skip: without it, renaming (or forgetting to run) a
+// gated benchmark would silently drop its budget.
+func checkBudgets(current map[string]Result, allocBudgets map[string]int64, metricBudgets map[string]map[string]float64) []string {
+	var violations []string
 	for name, budget := range allocBudgets {
 		r, ok := current[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: budgeted benchmark missing from input\n", name)
-			violations++
+			violations = append(violations, fmt.Sprintf("%s: budgeted benchmark missing from input", name))
 			continue
 		}
 		if r.AllocsPerOp > budget {
-			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %d allocs/op exceeds budget %d\n",
-				name, r.AllocsPerOp, budget)
-			violations++
+			violations = append(violations, fmt.Sprintf("%s: %d allocs/op exceeds budget %d",
+				name, r.AllocsPerOp, budget))
 		}
 	}
 	for name, budgets := range metricBudgets {
 		r, ok := current[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: metric-budgeted benchmark missing from input\n", name)
-			violations++
+			violations = append(violations, fmt.Sprintf("%s: metric-budgeted benchmark missing from input", name))
 			continue
 		}
 		for metric, budget := range budgets {
 			v, ok := r.Extra[metric]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: metric %s missing from output\n", name, metric)
-				violations++
+				violations = append(violations, fmt.Sprintf("%s: metric %s missing from output", name, metric))
 				continue
 			}
 			if v > budget {
-				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %s = %g exceeds budget %g\n",
-					name, metric, v, budget)
-				violations++
+				violations = append(violations, fmt.Sprintf("%s: %s = %g exceeds budget %g",
+					name, metric, v, budget))
 			}
 		}
 	}
-	if violations > 0 {
-		return fmt.Errorf("benchjson: %d budget violation(s)", violations)
-	}
-	fmt.Fprintln(os.Stderr, "benchjson: all budgets met")
-	return nil
+	sort.Strings(violations)
+	return violations
 }
 
 func main() {

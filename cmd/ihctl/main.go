@@ -24,6 +24,10 @@
 //	trace <src> <dst>              intra-host traceroute via the daemon
 //	perf <src> <dst> [tenant]      bandwidth probe via the daemon
 //	advance <micros>               move virtual time forward
+//	batch -f <ops.json>            apply a multi-op mutation batch
+//	                               (one journal entry, one solver settle)
+//	solver                         component-solver stats (partition shape,
+//	                               dirty-region accounting, batch coalescing)
 //	watch [kind]                   tail the live event stream (SSE)
 //	health                         daemon health with per-subsystem status
 //	                               (exits 1 if the daemon is degraded)
@@ -48,6 +52,7 @@
 //	host-journal <host> [file]     download one fleet host's journal
 //	fleet watch [kind]             tail the fleet-wide event stream (SSE)
 //	fleet-rollup                   merged fleet metrics snapshot (JSON)
+//	fleet-solver                   per-host solver stats + fleet aggregate
 //	fleet-remedy status            aggregated remediation status per host
 //	fleet-remedy policy [file]     show or install the fleet-wide policy
 //
@@ -69,6 +74,7 @@ import (
 
 	"repro/cmd/internal/cli"
 	"repro/internal/apiclient"
+	"repro/internal/fabric"
 )
 
 func main() {
@@ -207,6 +213,15 @@ func (c command) dispatch(args []string) error {
 			return fmt.Errorf("bad micros %q", rest[0])
 		}
 		return c.post("/advance", map[string]any{"micros": us}, prettyJSON)
+	case "batch":
+		return c.batch(rest)
+	case "solver":
+		st, err := c.api.SolverStats(c.ctx)
+		if err != nil {
+			return err
+		}
+		renderSolverStats("", st)
+		return nil
 	case "experiment":
 		if err := need(1, "<id>"); err != nil {
 			return err
@@ -261,6 +276,21 @@ func (c command) dispatch(args []string) error {
 		return c.remedy("/fleet", rest)
 	case "fleet-rollup":
 		return c.get("/fleet/metrics/rollup", prettyJSON)
+	case "fleet-solver":
+		st, err := c.api.FleetSolverStats(c.ctx)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(st.Hosts))
+		for name := range st.Hosts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			renderSolverStats(name+": ", st.Hosts[name])
+		}
+		renderSolverStats("fleet: ", st.Totals)
+		return nil
 	case "hosts":
 		return c.get("/fleet/hosts", prettyHosts)
 	case "fleet-report":
@@ -502,6 +532,64 @@ func (c command) health() error {
 		return fmt.Errorf("daemon is %s", h.Status)
 	}
 	return nil
+}
+
+// batch applies a multi-op mutation file (`ihctl batch -f ops.json`).
+// The file is either {"ops":[...]} or a bare op array; every op lands
+// in one journal entry and one solver settle. Per-op outcomes are
+// printed either way; a partial application exits non-zero.
+func (c command) batch(rest []string) error {
+	if len(rest) != 2 || rest[0] != "-f" {
+		return fmt.Errorf("usage: ihctl batch -f <ops.json>")
+	}
+	doc, err := os.ReadFile(rest[1])
+	if err != nil {
+		return err
+	}
+	var ops []apiclient.BatchOp
+	var wrapped struct {
+		Ops []apiclient.BatchOp `json:"ops"`
+	}
+	if err := json.Unmarshal(doc, &wrapped); err == nil && len(wrapped.Ops) > 0 {
+		ops = wrapped.Ops
+	} else if err := json.Unmarshal(doc, &ops); err != nil {
+		return fmt.Errorf("parse %s: %w", rest[1], err)
+	}
+	res, err := c.api.Batch(c.ctx, ops)
+	for i, r := range res.Results {
+		line := fmt.Sprintf("  %2d %-12s %s", i, r.Op, r.Status)
+		if r.Error != "" {
+			line += "  " + r.Error
+		}
+		fmt.Println(line)
+	}
+	if err == nil {
+		fmt.Printf("%d op(s) applied in %d solver settle(s)\n", len(ops), res.SolverSettles)
+	}
+	return err
+}
+
+// renderSolverStats prints one solver snapshot, prefixing each line
+// (fleet output uses the host name).
+func renderSolverStats(prefix string, st fabric.SolverStats) {
+	coalesce := 1.0
+	if st.Solves > 0 {
+		coalesce = float64(st.Mutations) / float64(st.Solves)
+	}
+	util := 0.0
+	if st.ParallelWallNs > 0 && st.Workers > 0 {
+		util = float64(st.WorkerBusyNs) / (float64(st.ParallelWallNs) * float64(st.Workers))
+	}
+	fmt.Printf("%scomponents: %d (largest %d of %d flows)\n",
+		prefix, st.Components, st.LargestComponent, st.Flows)
+	fmt.Printf("%ssolves: %d (+%d noop, %d parallel)  rounds: %d\n",
+		prefix, st.Solves, st.NoopSolves, st.ParallelSolves, st.Rounds)
+	fmt.Printf("%sdirty region: %d components / %d flows solved, %d flows skipped\n",
+		prefix, st.ComponentsSolved, st.FlowsSolved, st.FlowsSkipped)
+	fmt.Printf("%smutations: %d (%d batched in %d batches, coalesce %.1fx)\n",
+		prefix, st.Mutations, st.BatchedMutations, st.Batches, coalesce)
+	fmt.Printf("%sworkers: %d (threshold %d)  utilization: %.0f%%\n",
+		prefix, st.Workers, st.ParallelThreshold, util*100)
 }
 
 // toFile renders a response body by writing it to a file, reporting

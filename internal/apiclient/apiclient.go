@@ -43,6 +43,9 @@ type Error struct {
 	Status  int    // HTTP status code
 	Code    string // typed envelope code ("conflict", "not_found", ...)
 	Message string
+	// Details is the envelope's endpoint-specific structured context
+	// (the batch endpoint's per-op results, say); nil when absent.
+	Details json.RawMessage
 }
 
 func (e *Error) Error() string {
@@ -133,11 +136,12 @@ func decodeError(status int, data []byte) error {
 	e := &Error{Status: status}
 	if json.Unmarshal(data, &env) == nil && len(env.Error) > 0 {
 		var detail struct {
-			Code    string `json:"code"`
-			Message string `json:"message"`
+			Code    string          `json:"code"`
+			Message string          `json:"message"`
+			Details json.RawMessage `json:"details"`
 		}
 		if json.Unmarshal(env.Error, &detail) == nil && detail.Message != "" {
-			e.Code, e.Message = detail.Code, detail.Message
+			e.Code, e.Message, e.Details = detail.Code, detail.Message, detail.Details
 			return e
 		}
 		var msg string

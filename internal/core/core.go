@@ -223,7 +223,7 @@ func (m *Manager) Start() error {
 	return nil
 }
 
-// Stop halts all control loops.
+// Stop halts all control loops and the fabric's solver worker pool.
 func (m *Manager) Stop() {
 	m.mon.Stop()
 	m.arb.Stop()
@@ -231,6 +231,7 @@ func (m *Manager) Stop() {
 	if m.pipeline != nil {
 		m.pipeline.Stop()
 	}
+	m.fab.StopSolver()
 	m.started = false
 }
 

@@ -64,7 +64,7 @@ func benchPopulate(b *testing.B, f *Fabric, paths []topology.Path, n int) []*Flo
 // for the transfer to complete — so one op covers add, recompute,
 // completion scheduling, completion, and removal.
 func BenchmarkFabricFlowChurn(b *testing.B) {
-	for _, n := range []int{100, 1000, 10000} {
+	for _, n := range []int{100, 1000, 10000, 100000, 1000000} {
 		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
 			engine := simtime.NewEngine(1)
 			topo := topology.DGXStyle()
@@ -90,6 +90,89 @@ func BenchmarkFabricFlowChurn(b *testing.B) {
 			}
 		})
 	}
+}
+
+// islandTopology builds a connected topology of n three-node islands
+// (src — switch — dst) joined by spine links that no benchmark flow
+// ever crosses: flows stay within their island, so the fabric's
+// constraint graph partitions into n independent components even
+// though the topology itself is connected.
+func islandTopology(n int) *topology.Topology {
+	t := topology.New("islands")
+	for i := 0; i < n; i++ {
+		src := topology.CompID(fmt.Sprintf("src%d", i))
+		sw := topology.CompID(fmt.Sprintf("sw%d", i))
+		dst := topology.CompID(fmt.Sprintf("dst%d", i))
+		t.MustAddComponent(src, topology.KindGPU, i)
+		t.MustAddComponent(sw, topology.KindPCIeSwitch, i)
+		t.MustAddComponent(dst, topology.KindGPU, i)
+		t.MustAddLink(topology.LinkSpec{A: src, B: sw, Class: topology.ClassPCIeDown,
+			Capacity: topology.Gbps(200), BaseLatency: simtime.Microsecond})
+		t.MustAddLink(topology.LinkSpec{A: sw, B: dst, Class: topology.ClassPCIeDown,
+			Capacity: topology.Gbps(200), BaseLatency: simtime.Microsecond})
+		if i > 0 {
+			prev := topology.CompID(fmt.Sprintf("sw%d", i-1))
+			t.MustAddLink(topology.LinkSpec{A: prev, B: sw, Class: topology.ClassInterHost,
+				Capacity: topology.Gbps(400), BaseLatency: simtime.Microsecond})
+		}
+	}
+	return t
+}
+
+// benchIslands installs flowsPer flows on each of n islands and
+// returns the populated fabric.
+func benchIslands(b *testing.B, n, flowsPer int) (*simtime.Engine, *Fabric) {
+	b.Helper()
+	engine := simtime.NewEngine(1)
+	topo := islandTopology(n)
+	f := New(topo, engine, DefaultConfig())
+	f.Batch(func() {
+		for i := 0; i < n; i++ {
+			src := topology.CompID(fmt.Sprintf("src%d", i))
+			dst := topology.CompID(fmt.Sprintf("dst%d", i))
+			p, err := topo.ShortestPath(src, dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < flowsPer; j++ {
+				fl := &Flow{
+					Tenant: benchTenants[j%len(benchTenants)],
+					Path:   p,
+					Weight: float64(1 + j%3),
+				}
+				if j%4 == 0 {
+					fl.Demand = topology.Gbps(float64(1 + j%16))
+				}
+				if err := f.AddFlow(fl); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	return engine, f
+}
+
+// BenchmarkFabricComponentSolve measures a full re-solve of a fabric
+// whose constraint graph splits into 64 independent components
+// (islandTopology), serial against the forced-parallel worker pool.
+// On a single-core host the parallel flavor measures the coordination
+// overhead; with cores available it measures the speedup.
+func BenchmarkFabricComponentSolve(b *testing.B) {
+	const islands, flowsPer = 64, 256
+	run := func(b *testing.B, workers, threshold int) {
+		_, f := benchIslands(b, islands, flowsPer)
+		f.SetSolverTuning(threshold, workers)
+		defer f.StopSolver()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.markAllLinksDirty()
+			f.dirty = true
+			f.recomputeIfDirty()
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1, 1<<30) })
+	b.Run("parallel", func(b *testing.B) { run(b, 4, 1) })
 }
 
 // BenchmarkFabricRecomputeSteadyState measures one demand-update →

@@ -26,6 +26,7 @@ func (f *Fabric) SetTenantCap(link topology.LinkID, tenant TenantID, cap topolog
 		f.scr.consValid = false
 	}
 	ls.caps[tenant] = cap
+	f.markLinkDirty(ls)
 	f.markDirty()
 	return nil
 }
@@ -40,6 +41,7 @@ func (f *Fabric) ClearTenantCap(link topology.LinkID, tenant TenantID) error {
 	if _, ok := ls.caps[tenant]; ok {
 		delete(ls.caps, tenant)
 		f.scr.consValid = false
+		f.markLinkDirty(ls)
 		f.markDirty()
 	}
 	return nil
@@ -66,6 +68,7 @@ func (f *Fabric) ClearAllCaps() {
 	}
 	if changed {
 		f.scr.consValid = false
+		f.markAllLinksDirty()
 		f.markDirty()
 	}
 }
@@ -78,6 +81,15 @@ func (f *Fabric) SetTenantWeight(tenant TenantID, w float64) error {
 		return fmt.Errorf("fabric: non-positive tenant weight %v", w)
 	}
 	f.tenantWeight[tenant] = w
+	// Effective weights are cached per flow; refresh the tenant's flows
+	// and re-solve everywhere, since the tenant may appear anywhere.
+	for _, fl := range f.flowList {
+		if fl.Tenant == tenant {
+			fl.effW = fl.Weight * w
+			f.fill[fl.slot].effW = fl.effW
+		}
+	}
+	f.markAllLinksDirty()
 	f.markDirty()
 	return nil
 }

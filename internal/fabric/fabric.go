@@ -67,6 +67,10 @@ func DefaultConfig() Config {
 // linkState is the run-time state of one directed link.
 type linkState struct {
 	link *topology.Link
+	// idx is the link's dense position in the fabric's ID-ordered
+	// linkList; the solver's per-link arrays and the component
+	// union-find are indexed by it.
+	idx int
 	// effective capacity after protocol derating, degradation.
 	capacity topology.Rate
 	// extraLatency is degradation-injected latency added to base.
@@ -78,7 +82,12 @@ type linkState struct {
 	// allocated monotonically, so installs append and removals splice;
 	// every hot-path walk (accounting, max-min membership, stats)
 	// iterates in ID order for free, with no per-event sorting.
-	flows []*Flow
+	// memSlots mirrors flows element for element with each flow's
+	// stable fill slot: the solver's filling rounds walk the slot array
+	// and index the dense fill-state arena, never touching the Flow
+	// structs themselves (see Fabric.fill).
+	flows    []*Flow
+	memSlots []int32
 
 	// memberDirty records that the flow set changed since the last
 	// computeRates pass, so currentRate must be resummed even when no
@@ -93,14 +102,19 @@ type linkState struct {
 	// Per-tenant rate caps installed by the arbiter.
 	caps map[TenantID]topology.Rate
 
-	// Accounting.
+	// Accounting. tenantBytes is indexed by the fabric-wide tenant
+	// slot (see Fabric.tenantSlot) instead of a map: settling accrues
+	// one entry per member flow, and an array index there is an order
+	// of magnitude cheaper than a string hash at identical float
+	// accumulation order.
 	lastUpdate  simtime.Time
 	totalBytes  float64
-	tenantBytes map[TenantID]float64
+	tenantBytes []float64
 	currentRate topology.Rate // sum of allocated flow rates
 }
 
-// removeFlow splices fl out of the link's ID-ordered flow slice.
+// removeFlow splices fl out of the link's ID-ordered flow slice and
+// the parallel member-slot array.
 func (ls *linkState) removeFlow(fl *Flow) {
 	i, ok := slices.BinarySearchFunc(ls.flows, fl.ID,
 		func(a *Flow, id FlowID) int { return cmp.Compare(a.ID, id) })
@@ -110,6 +124,8 @@ func (ls *linkState) removeFlow(fl *Flow) {
 	copy(ls.flows[i:], ls.flows[i+1:])
 	ls.flows[len(ls.flows)-1] = nil
 	ls.flows = ls.flows[:len(ls.flows)-1]
+	copy(ls.memSlots[i:], ls.memSlots[i+1:])
+	ls.memSlots = ls.memSlots[:len(ls.memSlots)-1]
 }
 
 // Fabric simulates the intra-host network of one host.
@@ -127,13 +143,68 @@ type Fabric struct {
 	// flowList holds the active flows ordered by ID. IDs are allocated
 	// monotonically, so AddFlow appends and removal splices; hot-path
 	// walks need no sorting and no map iteration.
-	flowList     []*Flow
+	flowList []*Flow
+	// sizedList holds the active sized (Size > 0) flows ordered by ID:
+	// progress settling, completion scanning and completion-event
+	// arming only ever touch sized flows, so a fabric dominated by
+	// persistent flows skips them entirely.
+	sizedList    []*Flow
 	tenantWeight map[TenantID]float64
 	nextID       uint64
 	dirty        bool // rates need recomputation
 	inRecompute  bool
 	batching     bool // Batch() open: defer recomputation
 	txStats      TransactionStats
+
+	// tenantSlots assigns each tenant a dense slot on first use;
+	// tenantList is the inverse mapping. Slots index per-link byte
+	// accumulators.
+	tenantSlots map[TenantID]int32
+	tenantList  []TenantID
+
+	// fill is the solver's per-flow filling state, indexed by each
+	// flow's stable slot (Flow.slot, allocated from freeSlots). Keeping
+	// it as one dense 24-byte-per-flow arena — rather than fields
+	// scattered across Flow structs — shrinks a filling round's working
+	// set by an order of magnitude. slotFlow is the inverse mapping;
+	// slotPath holds each slot's path as dense link indices (the per-
+	// slot backing arrays are recycled with the slot); slotDemandCi is
+	// the flow's demand-constraint index, -1 when it has none. Together
+	// they let the freeze path run without touching a Flow struct.
+	// slotRate is the authoritative allocated rate and slotTenant the
+	// tenant accounting slot of each active flow, also slot-indexed:
+	// rate installation, change detection, link resummation and byte
+	// settling all sweep these dense arrays without touching a Flow.
+	fill         []fillState
+	slotFlow     []*Flow
+	slotPath     [][]int32
+	slotDemandCi []int32
+	slotRate     []float64
+	slotTenant   []int32
+	slotFirst    []int32 // first path link (dense index); -1 = slot free
+	freeSlots    []int32
+
+	// Component partition over dense link indices (see solver.go):
+	// union-find arrays, per-link dirty marks consumed by the next
+	// solve, and the bridging-removal counter that triggers the
+	// amortized partition rebuild.
+	ufParent        []int32
+	ufSize          []int32
+	linkDirty       []bool
+	bridgedRemovals int
+
+	// Parallel solver: lazily started worker pool, tuning, cumulative
+	// stats, and pre-allocated broadcast tasks.
+	parThreshold int
+	fixedWorkers int
+	pool         *solverPool
+	sc           solverCounters
+	scanT        scanTask
+	compT        compTask
+
+	// pathScratch is reused by AddFlow to resolve a candidate path's
+	// links before the flow is committed.
+	pathScratch []*linkState
 
 	// completionFn is the shared callback armed for every sized flow's
 	// completion event; allocated once so re-arming allocates nothing.
@@ -167,6 +238,8 @@ func New(topo *topology.Topology, engine *simtime.Engine, cfg Config) *Fabric {
 		links:        make(map[topology.LinkID]*linkState),
 		flows:        make(map[FlowID]*Flow),
 		tenantWeight: make(map[TenantID]float64),
+		tenantSlots:  make(map[TenantID]int32),
+		parThreshold: defaultParallelThreshold,
 	}
 	for _, l := range topo.Links() {
 		cap := l.Capacity
@@ -184,7 +257,6 @@ func New(topo *topology.Topology, engine *simtime.Engine, cfg Config) *Fabric {
 			link:            l,
 			capacity:        cap,
 			caps:            make(map[TenantID]topology.Rate),
-			tenantBytes:     make(map[TenantID]float64),
 			lastUpdate:      engine.Now(),
 		}
 	}
@@ -195,6 +267,13 @@ func New(topo *topology.Topology, engine *simtime.Engine, cfg Config) *Fabric {
 	slices.SortFunc(f.linkList, func(a, b *linkState) int {
 		return cmp.Compare(a.link.ID, b.link.ID)
 	})
+	for i, ls := range f.linkList {
+		ls.idx = i
+	}
+	f.ufParent = make([]int32, len(f.linkList))
+	f.ufSize = make([]int32, len(f.linkList))
+	f.linkDirty = make([]bool, len(f.linkList))
+	f.resetPartition()
 	f.completionFn = func() {
 		f.dirty = true
 		f.recomputeIfDirty()
@@ -217,6 +296,19 @@ func (f *Fabric) state(id topology.LinkID) (*linkState, error) {
 		return nil, fmt.Errorf("fabric: unknown link %q", id)
 	}
 	return ls, nil
+}
+
+// tenantSlot returns the tenant's dense accounting slot, assigning one
+// on first use. Slots are never reclaimed: the per-link byte arrays
+// they index are append-only accumulators.
+func (f *Fabric) tenantSlot(t TenantID) int32 {
+	if s, ok := f.tenantSlots[t]; ok {
+		return s
+	}
+	s := int32(len(f.tenantList))
+	f.tenantSlots[t] = s
+	f.tenantList = append(f.tenantList, t)
+	return s
 }
 
 // sortedLinkStates returns link states ordered by link ID for

@@ -18,6 +18,7 @@ func (f *Fabric) FailLink(id topology.LinkID) error {
 	}
 	if !ls.failed {
 		ls.failed = true
+		f.markLinkDirty(ls)
 		if f.met != nil {
 			f.met.linkFails.Inc()
 			if f.met.tracer.Enabled() {
@@ -48,6 +49,7 @@ func (f *Fabric) RestoreLink(id topology.LinkID) error {
 	ls.degradeFrac = 0
 	ls.extraLatency = 0
 	ls.capacity = f.baseEffectiveCapacity(ls.link)
+	f.markLinkDirty(ls)
 	if f.met != nil {
 		f.met.linkRestores.Inc()
 		if f.met.tracer.Enabled() {
@@ -80,6 +82,7 @@ func (f *Fabric) DegradeLink(id topology.LinkID, lossFrac float64, extraLatency 
 	ls.degradeFrac = lossFrac
 	ls.extraLatency = extraLatency
 	ls.capacity = topology.Rate(float64(f.baseEffectiveCapacity(ls.link)) * (1 - lossFrac))
+	f.markLinkDirty(ls)
 	if f.met != nil {
 		f.met.linkDegrades.Inc()
 		if f.met.tracer.Enabled() {

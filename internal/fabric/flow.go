@@ -37,21 +37,39 @@ type Flow struct {
 	OnComplete func(simtime.Time)
 
 	// Run-time state, owned by the fabric.
-	rate      topology.Rate // current allocated rate
-	remaining float64       // bytes left (sized flows)
-	mark      simtime.Time  // progress accounted up to this instant
+	//
+	// rate is only a detach-time snapshot: while the flow is active the
+	// authoritative allocation lives in Fabric.slotRate[slot], so the
+	// solver's install/detect/settle sweeps never touch the Flow struct.
+	rate      topology.Rate
+	remaining float64      // bytes left (sized flows)
+	mark      simtime.Time // progress accounted up to this instant
 	started   simtime.Time
 	completed bool
 	removed   bool
-	idx       int // dense index into the fabric's flowList, refreshed per recompute
-	doneEv    simtime.EventHandle
-	fabric    *Fabric
+	// bridged records that installing this flow merged previously
+	// separate components; removing such a flow may split the
+	// partition (see maybeRebuildPartition).
+	bridged bool
+	// firstLink anchors the flow to its component.
+	firstLink *linkState
+	// effW is the flow's cached effective weight (Weight × tenant
+	// weight); the authoritative copy for the solver lives in the fill
+	// arena at slot, the flow's stable index there (allocated from a
+	// free list, fixed for the flow's lifetime). The flow's resolved
+	// path lives in Fabric.slotPath[slot] as dense link indices, its
+	// tenant accounting slot in Fabric.slotTenant[slot].
+	effW   float64
+	slot   int32
+	doneEv simtime.EventHandle
+	fabric *Fabric
 }
 
 // Rate returns the flow's currently allocated rate.
 func (fl *Flow) Rate() topology.Rate {
-	if fl.fabric != nil {
+	if fl.fabric != nil && !fl.removed {
 		fl.fabric.recomputeIfDirty()
+		return topology.Rate(fl.fabric.slotRate[fl.slot])
 	}
 	return fl.rate
 }
@@ -82,11 +100,15 @@ func (f *Fabric) AddFlow(fl *Flow) error {
 	if fl.Path.Hops() == 0 {
 		return fmt.Errorf("fabric: flow with empty path")
 	}
+	pls := f.pathScratch[:0]
 	for _, l := range fl.Path.Links {
-		if _, ok := f.links[l.ID]; !ok {
+		ls, ok := f.links[l.ID]
+		if !ok {
 			return fmt.Errorf("fabric: flow path references unknown link %q", l.ID)
 		}
+		pls = append(pls, ls)
 	}
+	f.pathScratch = pls
 	if fl.Weight < 0 || fl.Demand < 0 || fl.Size < 0 {
 		return fmt.Errorf("fabric: negative flow parameter")
 	}
@@ -99,18 +121,69 @@ func (f *Fabric) AddFlow(fl *Flow) error {
 	fl.started = f.engine.Now()
 	fl.mark = fl.started
 	fl.remaining = float64(fl.Size)
+	fl.firstLink = pls[0]
+	tslot := f.tenantSlot(fl.Tenant)
+	fl.effW = fl.Weight
+	if tw, ok := f.tenantWeight[fl.Tenant]; ok && tw > 0 {
+		fl.effW = fl.Weight * tw
+	}
+	if n := len(f.freeSlots); n > 0 {
+		fl.slot = f.freeSlots[n-1]
+		f.freeSlots = f.freeSlots[:n-1]
+	} else {
+		fl.slot = int32(len(f.slotFlow))
+		f.slotFlow = append(f.slotFlow, nil)
+		f.fill = append(f.fill, fillState{})
+		f.slotPath = append(f.slotPath, nil)
+		f.slotDemandCi = append(f.slotDemandCi, -1)
+		f.slotRate = append(f.slotRate, 0)
+		f.slotTenant = append(f.slotTenant, 0)
+		f.slotFirst = append(f.slotFirst, -1)
+	}
+	f.slotFlow[fl.slot] = fl
+	// A reused slot's stale epoch is always behind the solver's (the
+	// epoch only ever increments), so the new flow starts unfrozen. The
+	// slot's recycled path array usually has the capacity already.
+	f.fill[fl.slot].effW = fl.effW
+	f.slotRate[fl.slot] = 0
+	f.slotTenant[fl.slot] = tslot
+	f.slotFirst[fl.slot] = int32(pls[0].idx)
+	sp := f.slotPath[fl.slot][:0]
+	for _, ls := range pls {
+		sp = append(sp, int32(ls.idx))
+	}
+	f.slotPath[fl.slot] = sp
+	f.slotDemandCi[fl.slot] = -1
 	f.flows[fl.ID] = fl
 	// IDs are monotonic, so appending keeps both the fabric-wide and
 	// the per-link flow lists ID-ordered. The new flow carries rate 0
 	// until the next recompute, so no accounting settle is needed here:
 	// its contribution to any pending accrual window is zero.
 	f.flowList = append(f.flowList, fl)
-	for _, l := range fl.Path.Links {
-		ls := f.links[l.ID]
-		ls.flows = append(ls.flows, fl)
-		ls.memberDirty = true
+	if fl.Size > 0 {
+		f.sizedList = append(f.sizedList, fl)
 	}
-	f.scr.consValid = false
+	hasCaps := false
+	for _, ls := range pls {
+		ls.flows = append(ls.flows, fl)
+		ls.memSlots = append(ls.memSlots, fl.slot)
+		ls.memberDirty = true
+		f.markLinkDirty(ls)
+		if len(ls.caps) > 0 {
+			hasCaps = true
+		}
+	}
+	f.unionFlowLinks(fl)
+	if f.scr.consValid {
+		if hasCaps {
+			// Installing under a tenant cap changes that cap
+			// constraint's member list, which the incremental splice
+			// below cannot express.
+			f.scr.consValid = false
+		} else if fl.Demand > 0 {
+			f.demandInsert(fl)
+		}
+	}
 	if f.met != nil {
 		f.met.flowsStarted.Inc()
 		f.met.flowsActive.Set(float64(len(f.flows)))
@@ -124,6 +197,9 @@ func (f *Fabric) AddFlow(fl *Flow) error {
 // traversed link's byte accounting first so the flow's contribution up
 // to now is accrued at its pre-removal rate.
 func (f *Fabric) detachFlow(fl *Flow, now simtime.Time) {
+	// Snapshot the final allocation before the slot is recycled so
+	// post-removal readers (traces, callbacks) still see it.
+	fl.rate = topology.Rate(f.slotRate[fl.slot])
 	delete(f.flows, fl.ID)
 	if i, ok := slices.BinarySearchFunc(f.flowList, fl.ID,
 		func(a *Flow, id FlowID) int { return cmp.Compare(a.ID, id) }); ok {
@@ -131,13 +207,38 @@ func (f *Fabric) detachFlow(fl *Flow, now simtime.Time) {
 		f.flowList[len(f.flowList)-1] = nil
 		f.flowList = f.flowList[:len(f.flowList)-1]
 	}
-	for _, l := range fl.Path.Links {
-		ls := f.links[l.ID]
+	if fl.Size > 0 {
+		if i, ok := slices.BinarySearchFunc(f.sizedList, fl.ID,
+			func(a *Flow, id FlowID) int { return cmp.Compare(a.ID, id) }); ok {
+			copy(f.sizedList[i:], f.sizedList[i+1:])
+			f.sizedList[len(f.sizedList)-1] = nil
+			f.sizedList = f.sizedList[:len(f.sizedList)-1]
+		}
+	}
+	hasCaps := false
+	for _, li := range f.slotPath[fl.slot] {
+		ls := f.linkList[li]
 		f.settleLink(ls, now)
 		ls.removeFlow(fl)
 		ls.memberDirty = true
+		f.markLinkDirty(ls)
+		if len(ls.caps) > 0 {
+			hasCaps = true
+		}
 	}
-	f.scr.consValid = false
+	if f.scr.consValid {
+		if hasCaps {
+			f.scr.consValid = false
+		} else if fl.Demand > 0 {
+			f.demandRemove(fl)
+		}
+	}
+	if fl.bridged {
+		f.bridgedRemovals++
+	}
+	f.slotFlow[fl.slot] = nil
+	f.slotFirst[fl.slot] = -1
+	f.freeSlots = append(f.freeSlots, fl.slot)
 }
 
 // RemoveFlow detaches a flow and recomputes rates. Removing a flow
@@ -168,12 +269,24 @@ func (f *Fabric) SetDemand(fl *Flow, demand topology.Rate) error {
 		return fmt.Errorf("fabric: negative demand")
 	}
 	// A demand constraint exists exactly for flows with Demand > 0, so
-	// crossing zero changes the constraint structure; a value change on
-	// an existing constraint is refreshed in place by computeRates.
-	if (fl.Demand > 0) != (demand > 0) {
-		f.scr.consValid = false
+	// crossing zero changes the constraint structure; the splice keeps
+	// the constraint system valid without a full rebuild. A value change
+	// on an existing constraint is written through in place.
+	if f.scr.consValid {
+		switch {
+		case (fl.Demand > 0) != (demand > 0):
+			if demand > 0 {
+				fl.Demand = demand
+				f.demandInsert(fl)
+			} else {
+				f.demandRemove(fl)
+			}
+		case demand > 0:
+			f.scr.cons[f.slotDemandCi[fl.slot]].capacity = float64(demand)
+		}
 	}
 	fl.Demand = demand
+	f.markLinkDirty(fl.firstLink)
 	f.markDirty()
 	return nil
 }
@@ -185,7 +298,9 @@ func (f *Fabric) Flows() int { return len(f.flows) }
 // already on the stack or a batch is open.
 func (f *Fabric) markDirty() {
 	f.dirty = true
+	f.sc.mutations++
 	if f.batching {
+		f.sc.batchedMutations++
 		return
 	}
 	f.recomputeIfDirty()
@@ -203,6 +318,7 @@ func (f *Fabric) Batch(fn func()) {
 		fn()
 		return
 	}
+	f.sc.batches++
 	f.batching = true
 	fn()
 	f.batching = false
@@ -244,15 +360,17 @@ func (f *Fabric) recomputeIfDirty() {
 // which are journal- and engine-driven.
 func (f *Fabric) projectLinkBytes(ls *linkState, now simtime.Time) (float64, map[TenantID]float64) {
 	tb := make(map[TenantID]float64, len(ls.tenantBytes))
-	for t, b := range ls.tenantBytes {
-		tb[t] = b
+	for slot, b := range ls.tenantBytes {
+		if b != 0 {
+			tb[f.tenantList[slot]] = b
+		}
 	}
 	total := ls.totalBytes
 	if dt := now.Sub(ls.lastUpdate).Seconds(); dt > 0 {
-		for _, fl := range ls.flows {
-			b := float64(fl.rate) * dt
+		for _, sl := range ls.memSlots {
+			b := f.slotRate[sl] * dt
 			total += b
-			tb[fl.Tenant] += b
+			tb[f.tenantList[f.slotTenant[sl]]] += b
 		}
 	}
 	return total, tb
@@ -265,7 +383,7 @@ func (fl *Flow) projectRemaining(now simtime.Time) float64 {
 	rem := fl.remaining
 	if fl.Size > 0 && !fl.completed {
 		if dt := now.Sub(fl.mark).Seconds(); dt > 0 {
-			rem -= float64(fl.rate) * dt
+			rem -= fl.fabric.slotRate[fl.slot] * dt
 			if rem < 1 {
 				rem = 0
 			}
@@ -283,25 +401,31 @@ func (fl *Flow) projectRemaining(now simtime.Time) float64 {
 func (f *Fabric) settleLink(ls *linkState, now simtime.Time) {
 	dt := now.Sub(ls.lastUpdate).Seconds()
 	if dt > 0 {
-		for _, fl := range ls.flows {
-			b := float64(fl.rate) * dt
+		for _, sl := range ls.memSlots {
+			tslot := f.slotTenant[sl]
+			if int(tslot) >= len(ls.tenantBytes) {
+				ls.tenantBytes = append(ls.tenantBytes,
+					make([]float64, int(tslot)+1-len(ls.tenantBytes))...)
+			}
+			b := f.slotRate[sl] * dt
 			ls.totalBytes += b
-			ls.tenantBytes[fl.Tenant] += b
+			ls.tenantBytes[tslot] += b
 		}
 	}
 	ls.lastUpdate = now
 }
 
 // settleFlowProgress advances every sized flow's remaining-byte count
-// at its current rate since its last mark. Per-flow updates are
-// independent, so ID-order iteration here is for cache locality, not
-// determinism.
+// at its current rate since its last mark. Only sized flows carry
+// progress state, so the walk is over sizedList, not the full flow
+// population. Per-flow updates are independent, so ID-order iteration
+// here is for cache locality, not determinism.
 func (f *Fabric) settleFlowProgress(now simtime.Time) {
-	for _, fl := range f.flowList {
-		if fl.Size > 0 && !fl.completed {
+	for _, fl := range f.sizedList {
+		if !fl.completed {
 			dt := now.Sub(fl.mark).Seconds()
 			if dt > 0 {
-				fl.remaining -= float64(fl.rate) * dt
+				fl.remaining -= f.slotRate[fl.slot] * dt
 				if fl.remaining < 1 {
 					fl.remaining = 0
 				}
@@ -314,12 +438,12 @@ func (f *Fabric) settleFlowProgress(now simtime.Time) {
 // fireCompletions completes every sized flow whose remaining bytes
 // reached zero. Completion removes the flow and invokes OnComplete,
 // which may mutate the flow set (dirty handling is in the caller).
-// flowList is ID-ordered, so completions fire in deterministic ID
+// sizedList is ID-ordered, so completions fire in deterministic ID
 // order by construction.
 func (f *Fabric) fireCompletions() {
 	done := f.doneScratch[:0]
-	for _, fl := range f.flowList {
-		if fl.Size > 0 && !fl.completed && fl.remaining <= 0 {
+	for _, fl := range f.sizedList {
+		if !fl.completed && fl.remaining <= 0 {
 			done = append(done, fl)
 		}
 	}
@@ -353,15 +477,16 @@ func (f *Fabric) fireCompletions() {
 // event object itself is reused across re-arms (Engine.Reschedule), so
 // the steady state allocates nothing.
 func (f *Fabric) armCompletions() {
-	for _, fl := range f.flowList {
-		if fl.Size == 0 || fl.completed {
+	for _, fl := range f.sizedList {
+		if fl.completed {
 			continue
 		}
-		if fl.rate <= 0 {
+		r := topology.Rate(f.slotRate[fl.slot])
+		if r <= 0 {
 			fl.doneEv.Cancel()
 			continue // stalled; re-armed by the next recompute
 		}
-		eta := fl.rate.TimeToSend(int64(math.Ceil(fl.remaining)))
+		eta := r.TimeToSend(int64(math.Ceil(fl.remaining)))
 		if eta < 1 {
 			eta = 1
 		}

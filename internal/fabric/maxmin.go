@@ -1,7 +1,9 @@
 package fabric
 
 import (
+	"cmp"
 	"math"
+	"slices"
 
 	"repro/internal/topology"
 )
@@ -45,17 +47,35 @@ type constraintKey struct {
 
 // constraint is one capacity constraint of the progressive-filling
 // system. Member flows are not stored per constraint: link constraints
-// borrow the link's ID-ordered flow slice, tenant-cap constraints
-// index into the solver's shared member arena, and demand constraints
-// bind a single flow. That keeps the constraint system reconstruction
-// allocation-free in the steady state.
+// borrow the link's ID-ordered member-slot slice, tenant-cap
+// constraints slice the solver's shared member-slot arena, and demand
+// constraints bind a single flow. That keeps the constraint system
+// reconstruction allocation-free in the steady state.
 type constraint struct {
 	kind     constraintKind
 	capacity float64
 	ls       *linkState // consLink, consTenantCap
 	tenant   TenantID   // consTenantCap
-	off, n   int        // consTenantCap: members in scratch.memberIdx[off : off+n]
+	off, n   int        // consTenantCap: scratch.memberSlots[off : off+n]
 	fl       *Flow      // consDemand
+	// linkIdx anchors the constraint to a component: its own link for
+	// link and cap constraints, the flow's first path link for demand
+	// constraints (every link of a path shares one component). flSlot
+	// is the demand constraint's member fill slot. Both are denormalized
+	// here so the per-pass constraint walks stay pointer-chase-free.
+	linkIdx int32
+	flSlot  int32
+}
+
+// fillState is one flow's solver state in the dense fill arena,
+// indexed by the flow's stable slot. The flow is frozen in the current
+// solve iff epoch matches the solver's fillEpoch; alloc is its frozen
+// allocation; effW mirrors Flow.effW. One 24-byte entry per flow keeps
+// a filling round's working set dense and Flow-struct-free.
+type fillState struct {
+	epoch uint64
+	alloc float64
+	effW  float64
 }
 
 // key returns the constraint's typed identity, for tests and debugging.
@@ -74,26 +94,80 @@ func (c *constraint) key() constraintKey {
 }
 
 // maxminScratch holds the solver's reusable buffers. Per-flow arrays
-// are indexed by the dense flow index (Flow.idx, the flow's position
-// in the fabric's ID-ordered flowList), not by maps keyed on IDs — a
-// recompute in the steady state touches no allocator at all.
+// are indexed by the flow's arena slot (Flow.slot, stable for the
+// flow's lifetime), per-link arrays by the dense link index
+// (linkState.idx), per-constraint arrays by the constraint's
+// position in cons. A recompute in the steady state touches no
+// allocator at all.
 type maxminScratch struct {
-	// cons is the constraint system, rebuilt only when consValid is
-	// false (flow membership, cap key-set, or demand-existence change);
-	// capacities are refreshed in place on every pass.
+	// cons is the constraint system, laid out [link & cap section]
+	// [demand section, flow-ID-ordered] with demandOff the boundary.
+	// A full rebuild happens only when consValid is false (cap key-set
+	// changes, or membership changes on a capped link); flow arrivals
+	// and departures splice the demand section incrementally, and
+	// capacities of dirty components are refreshed in place per pass.
 	cons      []constraint
 	consValid bool
-	// memberIdx is the arena of dense flow indices backing tenant-cap
+	demandOff int
+	// memberSlots is the arena of flow fill slots backing tenant-cap
 	// constraint membership.
-	memberIdx []int32
-	// active holds the indices of constraints that still have unfrozen
-	// members, compacted as constraints exhaust so late filling rounds
-	// stop scanning spent constraints.
-	active []int32
-	// Per-flow state, indexed by Flow.idx.
-	frozen []bool
-	alloc  []float64
-	effW   []float64
+	memberSlots []int32
+
+	// Per-constraint filling state. A constraint's share depends only
+	// on its capacity and its members' frozen/alloc state, so a cached
+	// share stays exact until one of its members freezes; conDirty
+	// tracks exactly that, letting each filling round rescan only the
+	// constraints the previous round's freeze actually touched.
+	conDirty []bool
+	conShare []float64
+	// roundDirty marks, by dense link index, the links some member of
+	// which froze in the current filling round. Every constraint
+	// containing a flow is anchored at one of the flow's path links
+	// (link and cap constraints at their own link, the demand constraint
+	// at the flow's first link), so one per-link flag invalidates all of
+	// them at once; the next round's scan checks it via the constraint's
+	// linkIdx. Each component clears the flags it set (its touched list,
+	// carved from touchedArena) right after the scan that consumes them,
+	// so the array is all-false between rounds and between passes.
+	// Components never share links, so parallel component solves touch
+	// disjoint elements.
+	roundDirty   []bool
+	touchedArena []int32
+	// conLink mirrors cons[i].linkIdx for link and cap constraints and
+	// is -1 for demand constraints (those are invalidated directly via
+	// slotDemandCi, never by link flag — a freeze elsewhere on the link
+	// cannot change a demand constraint's share). Kept as a dense side
+	// array so a clean constraint's scan check never loads the 72-byte
+	// constraint struct. The demand tail is uniformly -1, so the
+	// demand-section splices only grow or shrink it.
+	conLink []int32
+
+	// Per-link solve state: each link's component root this pass, which
+	// roots are dirty, and each dirty root's slot in comps.
+	linkRoot  []int32
+	rootDirty []bool
+	rootSlot  []int32
+	compSeen  []bool
+
+	// fillEpoch identifies the current solve; a flow whose fillEpoch
+	// matches is frozen (see Flow.fillEpoch). Incrementing it at the
+	// start of a pass unfreezes the whole dirty region without a reset
+	// sweep.
+	fillEpoch uint64
+
+	// comps are the dirty components of the current pass; dirtyList
+	// indexes their constraints, and activeArena/weightArena back the
+	// per-component active lists.
+	comps       []compSolve
+	dirtyList   []int32
+	activeArena []int32
+	weightArena []int32
+	smallComps  []int32
+
+	// Parallel-round scratch (see solver.go).
+	chunkBounds []int32
+	chunkRes    []chunkResult
+
 	// tenants is reused when ordering a link's cap key-set.
 	tenants []TenantID
 	// changed collects the links whose allocation moved this pass.
@@ -103,6 +177,20 @@ type maxminScratch struct {
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
 	}
 	return s[:n]
 }
@@ -122,6 +210,18 @@ func growFloats(s []float64, n int) []float64 {
 // members at their weighted fair share. Effective weight is the flow's
 // Weight times its tenant's global weight.
 //
+// Three exact optimizations keep this off the O(flows × rounds) cliff
+// (see solver.go for the partition machinery and the soundness
+// argument):
+//   - only dirty components are re-solved; every other flow keeps its
+//     rate, which is bit-identical to what a full solve would assign;
+//   - within a round, only constraints whose member set changed since
+//     their last scan are rescanned; clean constraints reuse their
+//     cached share, which is the exact float a rescan would produce;
+//   - when the dirty region is large enough and more than one worker
+//     is available, rounds scan in parallel chunks merged in
+//     deterministic chunk order.
+//
 // The iteration order of every loop here is part of the simulation's
 // deterministic contract: float accumulation is not associative, so
 // constraint order and member order must be fixed (link ID, tenant ID,
@@ -129,35 +229,66 @@ func growFloats(s []float64, n int) []float64 {
 func (f *Fabric) computeRates() {
 	now := f.engine.Now()
 	s := &f.scr
-	n := len(f.flowList)
+	nLinks := len(f.linkList)
 
-	// Refresh the dense index; removals shift positions.
-	for i, fl := range f.flowList {
-		fl.idx = i
+	f.maybeRebuildPartition()
+
+	// Resolve each link's component root and fold the per-link dirty
+	// marks accumulated since the last pass into per-root dirty flags.
+	s.linkRoot = growInt32s(s.linkRoot, nLinks)
+	s.rootDirty = growBools(s.rootDirty, nLinks)
+	anyDirty := false
+	for i := 0; i < nLinks; i++ {
+		s.rootDirty[i] = false
 	}
-	if cap(s.frozen) < n {
-		s.frozen = make([]bool, n)
-	}
-	s.frozen = s.frozen[:n]
-	s.alloc = growFloats(s.alloc, n)
-	s.effW = growFloats(s.effW, n)
-	for i, fl := range f.flowList {
-		s.frozen[i] = false
-		s.alloc[i] = 0
-		w := fl.Weight
-		if tw, ok := f.tenantWeight[fl.Tenant]; ok && tw > 0 {
-			w *= tw
+	for i := 0; i < nLinks; i++ {
+		r := f.find(int32(i))
+		s.linkRoot[i] = r
+		if f.linkDirty[i] {
+			f.linkDirty[i] = false
+			s.rootDirty[r] = true
+			anyDirty = true
 		}
-		s.effW[i] = w
 	}
-
+	// Nothing changed since the last pass: every rate is already the
+	// fixed point. (Completion events mark the fabric dirty before the
+	// completed flow detaches; that first drain iteration lands here.)
+	if !anyDirty && s.consValid {
+		f.sc.noopSolves++
+		return
+	}
+	f.sc.solves++
 	if !s.consValid {
 		f.rebuildConstraints()
 	}
-	// Capacities can move without structural change (degradation,
-	// failure, cap value updates, demand updates); refresh in place.
-	for i := range s.cons {
-		c := &s.cons[i]
+
+	// Pass A: walk the constraint system once, assigning every
+	// constraint of a dirty component to that component's solve slot,
+	// refreshing its capacity in place (degradation, failure, cap and
+	// demand values move without structural change), and marking it for
+	// a first-round scan.
+	nCons := len(s.cons)
+	s.conDirty = growBools(s.conDirty, nCons)
+	s.conShare = growFloats(s.conShare, nCons)
+	s.rootSlot = growInt32s(s.rootSlot, nLinks)
+	for i := 0; i < nLinks; i++ {
+		s.rootSlot[i] = -1
+	}
+	s.comps = s.comps[:0]
+	s.dirtyList = s.dirtyList[:0]
+	for ci := 0; ci < nCons; ci++ {
+		c := &s.cons[ci]
+		root := s.linkRoot[c.linkIdx]
+		if !s.rootDirty[root] {
+			continue
+		}
+		slot := s.rootSlot[root]
+		if slot < 0 {
+			slot = int32(len(s.comps))
+			s.rootSlot[root] = slot
+			s.comps = append(s.comps, compSolve{root: root})
+		}
+		comp := &s.comps[slot]
 		switch c.kind {
 		case consLink:
 			if c.ls.failed {
@@ -165,114 +296,99 @@ func (f *Fabric) computeRates() {
 			} else {
 				c.capacity = float64(c.ls.capacity)
 			}
+			comp.members += len(c.ls.memSlots)
+			comp.links++
 		case consTenantCap:
 			c.capacity = float64(c.ls.caps[c.tenant])
+			comp.members += c.n
 		case consDemand:
-			c.capacity = float64(c.fl.Demand)
+			// Demand capacities are written through at mutation time
+			// (SetDemand, splice, rebuild); nothing to refresh.
+			comp.members++
 		}
+		s.conDirty[ci] = true
+		comp.nCons++
+		s.dirtyList = append(s.dirtyList, int32(ci))
 	}
 
-	// Progressive filling. Constraints whose members are all frozen are
-	// compacted out of the active list — freezing is monotone, so a
-	// spent constraint can never become the bottleneck again.
-	s.active = s.active[:0]
-	for i := range s.cons {
-		s.active = append(s.active, int32(i))
+	// Pass B: carve each component's active list out of the shared
+	// arenas. dirtyList is in constraint order, so every component's
+	// active list is the global scan order restricted to it — which is
+	// what makes the per-component solve bit-identical to a full one.
+	s.activeArena = growInt32s(s.activeArena, len(s.dirtyList))
+	s.weightArena = growInt32s(s.weightArena, len(s.dirtyList))
+	s.roundDirty = growBools(s.roundDirty, nLinks)
+	s.touchedArena = growInt32s(s.touchedArena, nLinks)
+	off := 0
+	tOff := 0
+	for i := range s.comps {
+		comp := &s.comps[i]
+		comp.active = s.activeArena[off : off : off+comp.nCons]
+		comp.weights = s.weightArena[off : off : off+comp.nCons]
+		off += comp.nCons
+		comp.touched = s.touchedArena[tOff : tOff : tOff+comp.links]
+		tOff += comp.links
 	}
-	frozenCount := 0
-	for frozenCount < n {
-		bestShare := math.Inf(1)
-		bestIdx := -1
-		w := 0
-		for _, ci := range s.active {
-			c := &s.cons[ci]
-			remaining := c.capacity
-			aw := 0.0
-			switch c.kind {
-			case consLink:
-				for _, fl := range c.ls.flows {
-					if s.frozen[fl.idx] {
-						remaining -= s.alloc[fl.idx]
-					} else {
-						aw += s.effW[fl.idx]
-					}
-				}
-			case consTenantCap:
-				for _, mi := range s.memberIdx[c.off : c.off+c.n] {
-					if s.frozen[mi] {
-						remaining -= s.alloc[mi]
-					} else {
-						aw += s.effW[mi]
-					}
-				}
-			case consDemand:
-				if !s.frozen[c.fl.idx] {
-					aw = s.effW[c.fl.idx]
-				}
-			}
-			if aw == 0 {
-				continue // spent: drop from the active list
-			}
-			s.active[w] = ci
-			w++
-			share := remaining / aw
-			if share < 0 {
-				share = 0
-			}
-			if share < bestShare {
-				bestShare = share
-				bestIdx = int(ci)
-			}
-		}
-		s.active = s.active[:w]
-		if bestIdx < 0 {
-			// No constraint covers the remaining flows; cannot happen
-			// because every flow crosses at least one link. Freeze at
-			// zero defensively rather than looping forever.
-			for i := range s.frozen {
-				if !s.frozen[i] {
-					s.frozen[i] = true
-					s.alloc[i] = 0
-				}
-			}
-			break
-		}
-		c := &s.cons[bestIdx]
+	for _, ci := range s.dirtyList {
+		c := &s.cons[ci]
+		comp := &s.comps[s.rootSlot[s.linkRoot[c.linkIdx]]]
+		comp.active = append(comp.active, ci)
+		var w int32
 		switch c.kind {
 		case consLink:
-			for _, fl := range c.ls.flows {
-				if !s.frozen[fl.idx] {
-					s.frozen[fl.idx] = true
-					s.alloc[fl.idx] = bestShare * s.effW[fl.idx]
-					frozenCount++
-				}
-			}
+			w = int32(len(c.ls.memSlots))
 		case consTenantCap:
-			for _, mi := range s.memberIdx[c.off : c.off+c.n] {
-				if !s.frozen[mi] {
-					s.frozen[mi] = true
-					s.alloc[mi] = bestShare * s.effW[mi]
-					frozenCount++
-				}
-			}
-		case consDemand:
-			if idx := c.fl.idx; !s.frozen[idx] {
-				s.frozen[idx] = true
-				s.alloc[idx] = bestShare * s.effW[idx]
-				frozenCount++
-			}
+			w = int32(c.n)
+		default:
+			w = 1
 		}
+		comp.weights = append(comp.weights, w)
 	}
 
-	// Settle byte accounting on every link whose allocation is about to
-	// move (at the old rates, up to now), then install the new rates
-	// and resum the affected links' current rate in flow-ID order.
+	// A new epoch unfreezes every flow; no reset sweep is needed.
+	s.fillEpoch++
+	n := len(f.flowList)
+
+	// Solve the dirty components, serially or on the worker pool.
+	f.sc.componentsSolved += uint64(len(s.comps))
+	totalWork := 0
+	for i := range s.comps {
+		totalWork += s.comps[i].members
+	}
+	var pool *solverPool
+	if totalWork >= f.parThreshold {
+		pool = f.ensurePool()
+	}
+	if pool == nil {
+		for i := range s.comps {
+			f.fillComponent(&s.comps[i])
+		}
+	} else {
+		f.solveParallel(pool)
+	}
+	var solved, rounds uint64
+	for i := range s.comps {
+		solved += uint64(s.comps[i].frozenCount)
+		rounds += s.comps[i].rounds
+	}
+	f.sc.flowsSolved += solved
+	f.sc.flowsSkipped += uint64(n) - solved
+	f.sc.rounds += rounds
+
+	// Settle byte accounting on every dirty-region link whose
+	// allocation is about to move (at the old rates, up to now), then
+	// install the new rates on the dirty region and resum the affected
+	// links' current rate in flow-ID order. Links of clean components
+	// are untouched: none of their members' rates moved.
 	s.changed = s.changed[:0]
 	for _, ls := range f.linkList {
+		if !s.rootDirty[s.linkRoot[ls.idx]] {
+			continue
+		}
 		changed := ls.memberDirty
 		if !changed {
-			for _, fl := range ls.flows {
-				if float64(fl.rate) != s.alloc[fl.idx] {
+			for _, sl := range ls.memSlots {
+				if f.slotRate[sl] != f.fill[sl].alloc {
 					changed = true
 					break
 				}
@@ -283,35 +399,191 @@ func (f *Fabric) computeRates() {
 			s.changed = append(s.changed, ls)
 		}
 	}
-	for i, fl := range f.flowList {
-		fl.rate = topology.Rate(s.alloc[i])
+	// Install: one linear sweep over the slot arena writes each dirty
+	// flow's rate exactly once. A flow is in the dirty region iff its
+	// first link's root is dirty (every link of a path shares one
+	// component), so the per-slot check needs no Flow deref — and the
+	// sweep touches each flow once where a walk of the dirty link
+	// constraints would touch it once per path hop.
+	for sl, li := range f.slotFirst {
+		if li >= 0 && s.rootDirty[s.linkRoot[li]] {
+			f.slotRate[sl] = f.fill[sl].alloc
+		}
 	}
 	for i, ls := range s.changed {
-		var sum topology.Rate
-		for _, fl := range ls.flows {
-			sum += fl.rate
+		var sum float64
+		for _, sl := range ls.memSlots {
+			sum += f.slotRate[sl]
 		}
-		ls.currentRate = sum
+		ls.currentRate = topology.Rate(sum)
 		ls.memberDirty = false
 		s.changed[i] = nil // release for GC; the scratch slice is long-lived
 	}
 	s.changed = s.changed[:0]
 }
 
+// fillComponent runs progressive filling over one component's active
+// constraint list: find the tightest constraint, freeze its members at
+// their fair share, repeat until every constraint is spent. Spent
+// constraints are compacted out of the active list — freezing is
+// monotone, so a spent constraint can never become the bottleneck
+// again.
+func (f *Fabric) fillComponent(cs *compSolve) {
+	nAct := len(cs.active)
+	for {
+		cs.rounds++
+		keep, bestShare, bestCi := f.scanRange(cs.active, cs.weights, 0, nAct)
+		f.clearTouched(cs)
+		nAct = keep
+		cs.active = cs.active[:keep]
+		cs.weights = cs.weights[:keep]
+		if bestCi < 0 {
+			return
+		}
+		f.freezeBest(cs, bestCi, bestShare)
+	}
+}
+
+// clearTouched resets the roundDirty flags a freeze set, once the scan
+// that needed them has run. Keeping the array all-false between rounds
+// is what lets it be shared scratch across passes and components.
+func (f *Fabric) clearTouched(cs *compSolve) {
+	s := &f.scr
+	for _, li := range cs.touched {
+		s.roundDirty[li] = false
+	}
+	cs.touched = cs.touched[:0]
+}
+
+// scanRange scans active[lo:hi), compacting spent constraints out in
+// place (of both the active list and its parallel weight list) and
+// returning the number of survivors plus the tightest constraint of
+// the range. Dirty constraints are rescanned member by member in flow
+// order — remaining capacity minus frozen allocations, accumulated
+// weight of unfrozen members — and their share re-cached; clean
+// constraints reuse the cached share, which is exact because no member
+// of theirs froze since it was computed. Both the serial and the
+// parallel solve paths funnel through this one function, so their
+// arithmetic agrees by construction.
+func (f *Fabric) scanRange(active, weights []int32, lo, hi int) (int, float64, int32) {
+	s := &f.scr
+	ep := s.fillEpoch
+	fill := f.fill
+	bestShare := math.Inf(1)
+	bestCi := int32(-1)
+	w := lo
+	for k := lo; k < hi; k++ {
+		ci := active[k]
+		if li := s.conLink[ci]; s.conDirty[ci] || (li >= 0 && s.roundDirty[li]) {
+			s.conDirty[ci] = false
+			c := &s.cons[ci]
+			remaining := c.capacity
+			aw := 0.0
+			switch c.kind {
+			case consLink:
+				for _, sl := range c.ls.memSlots {
+					fs := &fill[sl]
+					if fs.epoch == ep {
+						remaining -= fs.alloc
+					} else {
+						aw += fs.effW
+					}
+				}
+			case consTenantCap:
+				for _, sl := range s.memberSlots[c.off : c.off+c.n] {
+					fs := &fill[sl]
+					if fs.epoch == ep {
+						remaining -= fs.alloc
+					} else {
+						aw += fs.effW
+					}
+				}
+			case consDemand:
+				if fs := &fill[c.flSlot]; fs.epoch != ep {
+					aw = fs.effW
+				}
+			}
+			if aw == 0 {
+				continue // spent: drop from the active list
+			}
+			share := remaining / aw
+			if share < 0 {
+				share = 0
+			}
+			s.conShare[ci] = share
+		}
+		active[w] = ci
+		weights[w] = weights[k]
+		w++
+		if sh := s.conShare[ci]; sh < bestShare {
+			bestShare = sh
+			bestCi = ci
+		}
+	}
+	return w - lo, bestShare, bestCi
+}
+
+// freezeBest freezes every unfrozen member of the round's tightest
+// constraint at its weighted share of the bottleneck.
+func (f *Fabric) freezeBest(cs *compSolve, bestCi int32, share float64) {
+	s := &f.scr
+	c := &s.cons[bestCi]
+	switch c.kind {
+	case consLink:
+		for _, sl := range c.ls.memSlots {
+			f.freezeSlot(cs, sl, share)
+		}
+	case consTenantCap:
+		for _, sl := range s.memberSlots[c.off : c.off+c.n] {
+			f.freezeSlot(cs, sl, share)
+		}
+	case consDemand:
+		f.freezeSlot(cs, c.flSlot, share)
+	}
+}
+
+// freezeSlot freezes one flow (by fill slot) at share × effW and
+// marks the flow's path links round-dirty: every constraint the flow
+// participates in is anchored at one of those links, lost an unfrozen
+// member, and must be rescanned next round (see roundDirty).
+func (f *Fabric) freezeSlot(cs *compSolve, slot int32, share float64) {
+	s := &f.scr
+	fs := &f.fill[slot]
+	if fs.epoch == s.fillEpoch {
+		return
+	}
+	fs.epoch = s.fillEpoch
+	fs.alloc = share * fs.effW
+	cs.frozenCount++
+	for _, li := range f.slotPath[slot] {
+		if !s.roundDirty[li] {
+			s.roundDirty[li] = true
+			cs.touched = append(cs.touched, li)
+		}
+	}
+	if dc := f.slotDemandCi[slot]; dc >= 0 {
+		s.conDirty[dc] = true
+	}
+}
+
 // rebuildConstraints reconstructs the constraint system from scratch:
 // per link (in ID order) the link-capacity constraint followed by its
 // tenant-cap constraints (in tenant order), then per flow (in ID
-// order) its demand constraint. Buffers are reused; after warm-up a
-// rebuild allocates nothing.
+// order) its demand constraint. Every link gets a constraint even when
+// it currently has no flows — an empty constraint is inert (no active
+// weight, dropped on first scan) but its presence means flow arrivals
+// and departures on uncapped links never invalidate the system; they
+// splice the demand section instead (see demandInsert/demandRemove).
+// Buffers are reused; after warm-up a rebuild allocates nothing.
 func (f *Fabric) rebuildConstraints() {
 	s := &f.scr
 	s.cons = s.cons[:0]
-	s.memberIdx = s.memberIdx[:0]
+	s.conLink = s.conLink[:0]
+	s.memberSlots = s.memberSlots[:0]
 	for _, ls := range f.linkList {
-		if len(ls.flows) == 0 {
-			continue
-		}
-		s.cons = append(s.cons, constraint{kind: consLink, ls: ls})
+		li := ls.idx
+		s.cons = append(s.cons, constraint{kind: consLink, ls: ls, linkIdx: int32(li)})
+		s.conLink = append(s.conLink, int32(li))
 		if len(ls.caps) == 0 {
 			continue
 		}
@@ -321,25 +593,72 @@ func (f *Fabric) rebuildConstraints() {
 		}
 		sortTenants(s.tenants)
 		for _, t := range s.tenants {
-			off := len(s.memberIdx)
+			off := len(s.memberSlots)
 			for _, fl := range ls.flows {
 				if fl.Tenant == t {
-					s.memberIdx = append(s.memberIdx, int32(fl.idx))
+					s.memberSlots = append(s.memberSlots, fl.slot)
 				}
 			}
-			if nm := len(s.memberIdx) - off; nm > 0 {
+			if nm := len(s.memberSlots) - off; nm > 0 {
 				s.cons = append(s.cons, constraint{
-					kind: consTenantCap, ls: ls, tenant: t, off: off, n: nm,
+					kind: consTenantCap, ls: ls, tenant: t,
+					off: off, n: nm, linkIdx: int32(li),
 				})
+				s.conLink = append(s.conLink, int32(li))
 			}
 		}
 	}
+	s.demandOff = len(s.cons)
 	for _, fl := range f.flowList {
+		f.slotDemandCi[fl.slot] = -1
 		if fl.Demand > 0 {
-			s.cons = append(s.cons, constraint{kind: consDemand, fl: fl})
+			f.slotDemandCi[fl.slot] = int32(len(s.cons))
+			s.cons = append(s.cons, constraint{
+				kind: consDemand, fl: fl, capacity: float64(fl.Demand),
+				linkIdx: int32(fl.firstLink.idx), flSlot: fl.slot,
+			})
+			s.conLink = append(s.conLink, -1)
 		}
 	}
 	s.consValid = true
+}
+
+// demandInsert splices a demand constraint for fl into the
+// flow-ID-ordered demand section, keeping every shifted flow's cached
+// constraint index in step. Valid only while consValid holds.
+func (f *Fabric) demandInsert(fl *Flow) {
+	s := &f.scr
+	i, _ := slices.BinarySearchFunc(s.cons[s.demandOff:], fl.ID,
+		func(c constraint, id FlowID) int { return cmp.Compare(c.fl.ID, id) })
+	i += s.demandOff
+	s.cons = append(s.cons, constraint{})
+	s.conLink = append(s.conLink, -1) // the demand tail is uniformly -1
+	copy(s.cons[i+1:], s.cons[i:])
+	s.cons[i] = constraint{
+		kind: consDemand, fl: fl, capacity: float64(fl.Demand),
+		linkIdx: int32(fl.firstLink.idx), flSlot: fl.slot,
+	}
+	for j := i; j < len(s.cons); j++ {
+		f.slotDemandCi[s.cons[j].flSlot] = int32(j)
+	}
+}
+
+// demandRemove splices fl's demand constraint out of the demand
+// section. A no-op for flows without one.
+func (f *Fabric) demandRemove(fl *Flow) {
+	s := &f.scr
+	i := int(f.slotDemandCi[fl.slot])
+	if i < 0 {
+		return
+	}
+	copy(s.cons[i:], s.cons[i+1:])
+	s.cons[len(s.cons)-1] = constraint{}
+	s.cons = s.cons[:len(s.cons)-1]
+	s.conLink = s.conLink[:len(s.conLink)-1]
+	f.slotDemandCi[fl.slot] = -1
+	for j := i; j < len(s.cons); j++ {
+		f.slotDemandCi[s.cons[j].flSlot] = int32(j)
+	}
 }
 
 // sortTenants orders a small tenant slice in place (insertion sort: the

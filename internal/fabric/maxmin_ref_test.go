@@ -144,7 +144,7 @@ func compareWithReference(t *testing.T, f *Fabric, context string) {
 	f.recomputeIfDirty()
 	want := referenceComputeRates(f)
 	for _, fl := range f.flowList {
-		if got := float64(fl.rate); got != want[fl.ID] {
+		if got := float64(fl.Rate()); got != want[fl.ID] {
 			t.Fatalf("%s: flow %d rate %v, reference %v (diff %g)",
 				context, fl.ID, got, want[fl.ID], got-want[fl.ID])
 		}

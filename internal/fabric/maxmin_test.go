@@ -56,7 +56,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 	for _, ls := range f.sortedLinkStates() {
 		var sum float64
 		for _, fl := range ls.flows {
-			sum += float64(fl.rate)
+			sum += float64(fl.Rate())
 		}
 		if sum > float64(ls.capacity)*(1+1e-9)+eps {
 			t.Fatalf("link %s oversubscribed: %v > %v", ls.link.ID, sum, ls.capacity)
@@ -66,7 +66,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 			var tsum float64
 			for _, fl := range ls.flows {
 				if fl.Tenant == tenant {
-					tsum += float64(fl.rate)
+					tsum += float64(fl.Rate())
 				}
 			}
 			if tsum > float64(cap)*(1+1e-9)+eps {
@@ -78,10 +78,10 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 		if fl.removed {
 			continue
 		}
-		if fl.Demand > 0 && float64(fl.rate) > float64(fl.Demand)*(1+1e-9)+eps {
-			t.Fatalf("flow %d exceeds demand: %v > %v", fl.ID, fl.rate, fl.Demand)
+		if fl.Demand > 0 && float64(fl.Rate()) > float64(fl.Demand)*(1+1e-9)+eps {
+			t.Fatalf("flow %d exceeds demand: %v > %v", fl.ID, fl.Rate(), fl.Demand)
 		}
-		if fl.Demand > 0 && float64(fl.rate) >= float64(fl.Demand)*(1-1e-6)-eps {
+		if fl.Demand > 0 && float64(fl.Rate()) >= float64(fl.Demand)*(1-1e-6)-eps {
 			continue // demand-bottlenecked
 		}
 		// Must have a saturated bottleneck link where this flow's
@@ -91,7 +91,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 			ls := f.links[l.ID]
 			var sum float64
 			for _, other := range ls.flows {
-				sum += float64(other.rate)
+				sum += float64(other.Rate())
 			}
 			if sum < float64(ls.capacity)*(1-1e-6)-eps {
 				continue // link not saturated
@@ -103,10 +103,10 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 				}
 				return ww
 			}
-			myShare := float64(fl.rate) / w(fl)
+			myShare := float64(fl.Rate()) / w(fl)
 			isMax := true
 			for _, other := range ls.flows {
-				if float64(other.rate)/w(other) > myShare*(1+1e-6)+eps {
+				if float64(other.Rate())/w(other) > myShare*(1+1e-6)+eps {
 					isMax = false
 					break
 				}
@@ -121,7 +121,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 				var tsum float64
 				for _, other := range ls.flows {
 					if other.Tenant == fl.Tenant {
-						tsum += float64(other.rate)
+						tsum += float64(other.Rate())
 					}
 				}
 				if tsum >= float64(cap)*(1-1e-6)-eps {
@@ -138,7 +138,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 					var tsum float64
 					for _, other := range ls.flows {
 						if other.Tenant == fl.Tenant {
-							tsum += float64(other.rate)
+							tsum += float64(other.Rate())
 						}
 					}
 					if tsum >= float64(cap)*(1-1e-6)-eps {
@@ -149,7 +149,7 @@ func checkMaxMinInvariants(t *testing.T, f *Fabric, flows []*Flow) {
 			}
 		}
 		if !bottlenecked {
-			t.Fatalf("flow %d (rate %v) has no bottleneck: not max-min fair", fl.ID, fl.rate)
+			t.Fatalf("flow %d (rate %v) has no bottleneck: not max-min fair", fl.ID, fl.Rate())
 		}
 	}
 }

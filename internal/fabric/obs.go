@@ -24,6 +24,18 @@ type fabricMetrics struct {
 	linkFails      *obs.Counter
 	linkDegrades   *obs.Counter
 	linkRestores   *obs.Counter
+
+	solverComponents       *obs.Gauge
+	solverWorkers          *obs.Gauge
+	solverSolves           *obs.Counter
+	solverNoop             *obs.Counter
+	solverParallel         *obs.Counter
+	solverComponentsSolved *obs.Counter
+	solverFlowsSolved      *obs.Counter
+	solverFlowsSkipped     *obs.Counter
+	solverRounds           *obs.Counter
+	solverBatches          *obs.Counter
+	solverBatchedOps       *obs.Counter
 }
 
 // SetObs attaches an observability substrate to the fabric. Pass nil
@@ -62,6 +74,28 @@ func (f *Fabric) SetObs(o *obs.Obs) {
 			"Silent link degradations injected."),
 		linkRestores: r.Counter("ihnet_fabric_link_restores_total",
 			"Links restored to health (failure or degradation cleared)."),
+		solverComponents: r.Gauge("ihnet_fabric_solver_components",
+			"Independent constraint-graph components in the fabric."),
+		solverWorkers: r.Gauge("ihnet_fabric_solver_workers",
+			"Worker goroutines the component solver would use."),
+		solverSolves: r.Counter("ihnet_fabric_solver_solves_total",
+			"Rate recomputations that ran the component solver."),
+		solverNoop: r.Counter("ihnet_fabric_solver_noop_total",
+			"Rate recomputations skipped: no component was dirty."),
+		solverParallel: r.Counter("ihnet_fabric_solver_parallel_solves_total",
+			"Solves dispatched to the worker pool."),
+		solverComponentsSolved: r.Counter("ihnet_fabric_solver_components_solved_total",
+			"Dirty components re-solved."),
+		solverFlowsSolved: r.Counter("ihnet_fabric_solver_flows_solved_total",
+			"Flows whose rate was recomputed (members of dirty components)."),
+		solverFlowsSkipped: r.Counter("ihnet_fabric_solver_flows_skipped_total",
+			"Flows untouched by a solve because their component was clean."),
+		solverRounds: r.Counter("ihnet_fabric_solver_rounds_total",
+			"Water-filling rounds executed across all solved components."),
+		solverBatches: r.Counter("ihnet_fabric_solver_batches_total",
+			"Mutation batches settled with a single recomputation."),
+		solverBatchedOps: r.Counter("ihnet_fabric_solver_batched_mutations_total",
+			"Individual mutations coalesced inside batches."),
 	}
 }
 
@@ -72,11 +106,24 @@ func (f *Fabric) observedComputeRates() {
 		f.computeRates()
 		return
 	}
+	before := f.sc
 	start := time.Now()
 	f.computeRates()
 	elapsed := time.Since(start)
 	f.met.recomputes.Inc()
 	f.met.recomputeNs.Observe(float64(elapsed.Nanoseconds()))
+	after := f.sc
+	f.met.solverSolves.Add(after.solves - before.solves)
+	f.met.solverNoop.Add(after.noopSolves - before.noopSolves)
+	f.met.solverParallel.Add(after.parallelSolves - before.parallelSolves)
+	f.met.solverComponentsSolved.Add(after.componentsSolved - before.componentsSolved)
+	f.met.solverFlowsSolved.Add(after.flowsSolved - before.flowsSolved)
+	f.met.solverFlowsSkipped.Add(after.flowsSkipped - before.flowsSkipped)
+	f.met.solverRounds.Add(after.rounds - before.rounds)
+	f.met.solverBatches.Add(after.batches - before.batches)
+	f.met.solverBatchedOps.Add(after.batchedMutations - before.batchedMutations)
+	f.met.solverComponents.Set(float64(f.liveComponents()))
+	f.met.solverWorkers.Set(float64(f.solverWorkers()))
 	if f.met.tracer.Enabled() {
 		f.met.tracer.Emit(obs.Event{
 			Kind:    obs.KindRateRecompute,

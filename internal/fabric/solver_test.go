@@ -1,0 +1,261 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// solverChurnSchedule drives one randomized mutation schedule against
+// two fabrics in lockstep: every admit, remove, cap change, and batch
+// hits both, so after any step the pair must agree bit-for-bit on
+// every flow rate. The schedule deliberately mixes intra-island flows
+// (many small components), spine-crossing flows (component merges),
+// and removals past the rebuild threshold (component splits), so the
+// union-find partition is churned in both directions while the two
+// solver configurations race each other.
+type solverChurnSchedule struct {
+	t        *testing.T
+	rng      *rand.Rand
+	topo     *topology.Topology
+	a, b     *Fabric
+	islands  int
+	live     [][2]*Flow // same flow admitted to a and b
+	capped   map[string]bool
+	capLinks []topology.LinkID
+}
+
+func (s *solverChurnSchedule) path(src, dst topology.CompID) topology.Path {
+	s.t.Helper()
+	p, err := s.topo.ShortestPath(src, dst)
+	if err != nil {
+		s.t.Fatalf("shortest path %s->%s: %v", src, dst, err)
+	}
+	return p
+}
+
+// randPath picks an intra-island path most of the time and a
+// spine-crossing (component-merging) path the rest.
+func (s *solverChurnSchedule) randPath() topology.Path {
+	i := s.rng.Intn(s.islands)
+	src := topology.CompID(fmt.Sprintf("src%d", i))
+	if s.rng.Intn(10) < 3 {
+		j := s.rng.Intn(s.islands)
+		if j != i {
+			return s.path(src, topology.CompID(fmt.Sprintf("dst%d", j)))
+		}
+	}
+	return s.path(src, topology.CompID(fmt.Sprintf("dst%d", i)))
+}
+
+func (s *solverChurnSchedule) admit() {
+	s.t.Helper()
+	p := s.randPath()
+	tenant := benchTenants[s.rng.Intn(len(benchTenants))]
+	weight := float64(1 + s.rng.Intn(3))
+	var demand topology.Rate
+	if s.rng.Intn(3) == 0 {
+		demand = topology.Gbps(float64(1 + s.rng.Intn(20)))
+	}
+	mk := func() *Flow {
+		return &Flow{Tenant: tenant, Path: p, Weight: weight, Demand: demand}
+	}
+	fa, fb := mk(), mk()
+	if err := s.a.AddFlow(fa); err != nil {
+		s.t.Fatalf("serial AddFlow: %v", err)
+	}
+	if err := s.b.AddFlow(fb); err != nil {
+		s.t.Fatalf("parallel AddFlow: %v", err)
+	}
+	s.live = append(s.live, [2]*Flow{fa, fb})
+}
+
+func (s *solverChurnSchedule) remove() {
+	if len(s.live) == 0 {
+		return
+	}
+	i := s.rng.Intn(len(s.live))
+	pair := s.live[i]
+	s.a.RemoveFlow(pair[0])
+	s.b.RemoveFlow(pair[1])
+	s.live[i] = s.live[len(s.live)-1]
+	s.live = s.live[:len(s.live)-1]
+}
+
+// toggleCap sets or clears a per-(link,tenant) cap on a random spine
+// or island link, the same way on both fabrics.
+func (s *solverChurnSchedule) toggleCap() {
+	s.t.Helper()
+	link := s.capLinks[s.rng.Intn(len(s.capLinks))]
+	tenant := benchTenants[s.rng.Intn(len(benchTenants))]
+	key := string(link) + "/" + string(tenant)
+	if s.capped[key] {
+		if err := s.a.ClearTenantCap(link, tenant); err != nil {
+			s.t.Fatalf("serial ClearTenantCap: %v", err)
+		}
+		if err := s.b.ClearTenantCap(link, tenant); err != nil {
+			s.t.Fatalf("parallel ClearTenantCap: %v", err)
+		}
+		delete(s.capped, key)
+		return
+	}
+	cap := topology.Gbps(float64(5 + s.rng.Intn(50)))
+	if err := s.a.SetTenantCap(link, tenant, cap); err != nil {
+		s.t.Fatalf("serial SetTenantCap: %v", err)
+	}
+	if err := s.b.SetTenantCap(link, tenant, cap); err != nil {
+		s.t.Fatalf("parallel SetTenantCap: %v", err)
+	}
+	s.capped[key] = true
+}
+
+// compare demands bit-exact rate agreement across every live flow.
+// Rate() settles each fabric's dirty region first, so this is where
+// the serial and parallel solvers actually run.
+func (s *solverChurnSchedule) compare(step int) {
+	s.t.Helper()
+	for _, pair := range s.live {
+		ra, rb := pair[0].Rate(), pair[1].Rate()
+		if ra != rb {
+			s.t.Fatalf("step %d: flow %d: serial rate %v != parallel rate %v",
+				step, pair[0].ID, float64(ra), float64(rb))
+		}
+	}
+}
+
+// TestParallelSolverMatchesSerialRandomChurn is the solver-parity
+// gate: a forced-parallel fabric (threshold 1, four workers — wider
+// than GOMAXPROCS on small machines, so the pool's synchronization is
+// genuinely exercised under -race) must stay bit-identical to a
+// forced-serial one across seeded random component splits and merges.
+func TestParallelSolverMatchesSerialRandomChurn(t *testing.T) {
+	const islands = 12
+	topo := islandTopology(islands)
+	mk := func(threshold, workers int) *Fabric {
+		f := New(topo, simtime.NewEngine(1), DefaultConfig())
+		f.SetSolverTuning(threshold, workers)
+		return f
+	}
+	s := &solverChurnSchedule{
+		t:       t,
+		rng:     rand.New(rand.NewSource(97)),
+		topo:    topo,
+		a:       mk(1<<30, 1), // never parallel
+		b:       mk(1, 4),     // always parallel
+		islands: islands,
+		capped:  make(map[string]bool),
+	}
+	defer s.b.StopSolver()
+	for i := 0; i < islands; i++ {
+		p := s.path(topology.CompID(fmt.Sprintf("src%d", i)),
+			topology.CompID(fmt.Sprintf("dst%d", i)))
+		for _, l := range p.Links {
+			s.capLinks = append(s.capLinks, l.ID)
+		}
+	}
+
+	for step := 0; step < 600; step++ {
+		switch op := s.rng.Intn(10); {
+		case op < 5 || len(s.live) == 0:
+			s.admit()
+		case op < 8:
+			s.remove()
+		default:
+			s.toggleCap()
+		}
+		if step%20 == 19 {
+			s.compare(step)
+		}
+	}
+	// A burst of batched mutations must coalesce into one settle on
+	// both sides and still agree.
+	s.rng = rand.New(rand.NewSource(11))
+	s.a.Batch(func() {
+		s.b.Batch(func() {
+			for i := 0; i < 40; i++ {
+				s.admit()
+			}
+			for i := 0; i < 15; i++ {
+				s.remove()
+			}
+		})
+	})
+	s.compare(-1)
+
+	if st := s.b.SolverStats(); st.ParallelSolves == 0 {
+		t.Fatalf("forced-parallel fabric never took the parallel path: %+v", st)
+	}
+	if st := s.a.SolverStats(); st.ParallelSolves != 0 {
+		t.Fatalf("forced-serial fabric took the parallel path: %+v", st)
+	}
+}
+
+// TestSolverPartitionRebuildKeepsParity drains a fully-merged fabric
+// back down to singleton islands, crossing the amortized partition
+// rebuild, and checks the refined partition still yields reference
+// rates (the rebuild may only refine bookkeeping, never rates).
+func TestSolverPartitionRebuildKeepsParity(t *testing.T) {
+	// 31 bridging removals against 32 resident flows clears the
+	// amortized rebuild bar (removals*4 > flows+64).
+	const islands = 32
+	topo := islandTopology(islands)
+	f := New(topo, simtime.NewEngine(1), DefaultConfig())
+	f.SetSolverTuning(1, 4)
+	defer f.StopSolver()
+
+	// Bridge every island pair-wise, then stack intra-island load.
+	var bridges, locals []*Flow
+	for i := 0; i < islands-1; i++ {
+		p, err := topo.ShortestPath(
+			topology.CompID(fmt.Sprintf("src%d", i)),
+			topology.CompID(fmt.Sprintf("dst%d", i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl := &Flow{Tenant: "a", Path: p, Weight: 1}
+		if err := f.AddFlow(fl); err != nil {
+			t.Fatal(err)
+		}
+		bridges = append(bridges, fl)
+	}
+	for i := 0; i < islands; i++ {
+		p, err := topo.ShortestPath(
+			topology.CompID(fmt.Sprintf("src%d", i)),
+			topology.CompID(fmt.Sprintf("dst%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl := &Flow{Tenant: benchTenants[i%len(benchTenants)], Path: p,
+			Weight: float64(1 + i%3), Demand: topology.Gbps(float64(10 + i%40))}
+		if err := f.AddFlow(fl); err != nil {
+			t.Fatal(err)
+		}
+		locals = append(locals, fl)
+	}
+	if got := f.SolverStats().Components; got != 1 {
+		t.Fatalf("fully bridged fabric has %d components, want 1", got)
+	}
+	compareWithReference(t, f, "merged")
+
+	// Remove every bridge in one batch: at the single settle that
+	// follows, the bridged-removal counter crosses the amortized
+	// rebuild threshold, so the partition must split back into
+	// singleton islands — with rates still matching the reference
+	// across the rebuild. (Unbatched, each removal settles eagerly and
+	// the rebuild fires mid-drain, leaving a handful of stale merges
+	// below the next threshold — correct, but not the refinement this
+	// test pins.)
+	f.Batch(func() {
+		for _, fl := range bridges {
+			f.RemoveFlow(fl)
+		}
+	})
+	compareWithReference(t, f, "post-rebuild")
+	if got := f.SolverStats().Components; got != islands {
+		t.Fatalf("drained fabric has %d components, want %d", got, islands)
+	}
+	checkMaxMinInvariants(t, f, locals)
+}

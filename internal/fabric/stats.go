@@ -105,7 +105,7 @@ func (f *Fabric) AllFlowStats() []FlowStats {
 		}
 		out = append(out, FlowStats{
 			ID: fl.ID, Tenant: fl.Tenant, Links: links,
-			Demand: fl.Demand, Rate: fl.rate, Weight: fl.Weight,
+			Demand: fl.Demand, Rate: topology.Rate(f.slotRate[fl.slot]), Weight: fl.Weight,
 			SizeBytes:      fl.Size,
 			RemainingBytes: int64(math.Ceil(fl.projectRemaining(now))),
 			Started:        fl.started,
@@ -139,7 +139,7 @@ func (f *Fabric) TenantUsage(t TenantID) map[topology.LinkClass]topology.Rate {
 		for _, l := range fl.Path.Links {
 			if !seen[l.Class] {
 				seen[l.Class] = true
-				out[l.Class] += fl.rate
+				out[l.Class] += topology.Rate(f.slotRate[fl.slot])
 			}
 		}
 	}
@@ -176,7 +176,7 @@ func (f *Fabric) TenantRateOn(link topology.LinkID, tenant TenantID) topology.Ra
 	var sum topology.Rate
 	for _, fl := range ls.flows {
 		if fl.Tenant == tenant {
-			sum += fl.rate
+			sum += topology.Rate(f.slotRate[fl.slot])
 		}
 	}
 	return sum

@@ -37,9 +37,14 @@ type ErrorBody struct {
 }
 
 // ErrorDetail carries the typed code and human-readable message.
+// Details, when present, is endpoint-specific structured context — the
+// batch endpoint returns its per-op result array there on partial
+// application, so a 409 still tells the client exactly how far the
+// batch got.
 type ErrorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	Details any    `json:"details,omitempty"`
 }
 
 // codeForStatus maps an HTTP status to its envelope code; the mapping
@@ -73,6 +78,16 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, ErrorBody{Error: ErrorDetail{
 		Code:    codeForStatus(status),
 		Message: err.Error(),
+	}})
+}
+
+// writeErrDetails is writeErr with structured endpoint-specific
+// context attached to the envelope.
+func writeErrDetails(w http.ResponseWriter, status int, err error, details any) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{
+		Code:    codeForStatus(status),
+		Message: err.Error(),
+		Details: details,
 	}})
 }
 

@@ -101,6 +101,7 @@ func (s *FleetServer) apiRoutes() []route {
 		{"POST", "/fleet/tenants/{id}/migrate", lockWrite, s.postMigrate},
 		{"POST", "/fleet/rebalance", lockWrite, s.postRebalance},
 		{"POST", "/fleet/hosts/{host}/snapshot", lockWrite, s.postHostSnapshot},
+		{"GET", "/fleet/fabric/solver", lockWrite, s.getFleetSolver},
 		{"GET", "/fleet/hosts/{host}/journal", lockRead, s.getHostJournal},
 		// The observability surface is lockNone: roll-ups read host
 		// registries through the same atomics the writers use, and a

@@ -124,6 +124,12 @@ func (s *Server) apiRoutes() []route {
 		{"POST", "/tenants", lockWrite, s.postTenant},
 		{"DELETE", "/tenants/{id}", lockWrite, s.deleteTenant},
 		{"POST", "/advance", lockWrite, s.postAdvance},
+		// Batched mutations: one envelope, one journal entry, one
+		// solver settle (journaling required — see batch.go).
+		{"POST", "/batch", lockWrite, s.postBatch},
+		// Component-solver introspection. Write lock: sizing the live
+		// partition path-compresses the union-find.
+		{"GET", "/fabric/solver", lockWrite, s.getSolver},
 		{"GET", "/diag/ping", lockWrite, s.getPing},
 		{"GET", "/diag/trace", lockWrite, s.getTrace},
 		{"GET", "/diag/perf", lockWrite, s.getPerf},

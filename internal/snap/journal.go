@@ -57,7 +57,26 @@ const (
 	KindPing  EntryKind = "ping"
 	KindTrace EntryKind = "trace"
 	KindPerf  EntryKind = "perf"
+	// KindSetCap installs (CapBps >= 0) or clears (CapBps < 0) a
+	// per-tenant rate cap on one directed link.
+	KindSetCap EntryKind = "set-cap"
+	// KindBatch groups mutation ops into one entry: all ops land under
+	// a single fabric batch, so the solver settles once for the whole
+	// group. Only mutations may appear inside a batch — time
+	// advancement and probes drive the clock and cannot coalesce.
+	KindBatch EntryKind = "batch"
 )
+
+// batchable reports whether a kind may appear as an op inside a
+// KindBatch entry.
+func batchable(k EntryKind) bool {
+	switch k {
+	case KindAdmit, KindEvict, KindDegrade, KindFail, KindRestoreLink,
+		KindSetConfig, KindWorkload, KindSetCap:
+		return true
+	}
+	return false
+}
 
 // Target is one intent target in journal form. Rates are stored in
 // exact bits per second so the admit replays with identical floats.
@@ -105,6 +124,12 @@ type Entry struct {
 	// KindWorkload / probes: optional endpoints.
 	Src string `json:"src,omitempty"`
 	Dst string `json:"dst,omitempty"`
+	// KindSetCap: cap in bits per second; negative clears the cap.
+	CapBps float64 `json:"cap_bps,omitempty"`
+	// KindBatch: the grouped ops, applied in order. Ops carry no
+	// Seq/AtNs/Span of their own — the enclosing entry's position and
+	// span cover the whole group.
+	Ops []Entry `json:"ops,omitempty"`
 }
 
 // Journal is an append-only command log. The zero value is ready to
@@ -147,37 +172,73 @@ func (j *Journal) Validate() error {
 			return fmt.Errorf("snap: entry %d at %dns before predecessor at %dns", i, e.AtNs, last)
 		}
 		last = e.AtNs
-		switch e.Kind {
-		case KindAdvance:
-			if e.ToNs < e.AtNs {
-				return fmt.Errorf("snap: entry %d advances backwards (%d -> %d)", i, e.AtNs, e.ToNs)
-			}
-		case KindAdmit:
-			if e.Tenant == "" || len(e.Targets) == 0 {
-				return fmt.Errorf("snap: entry %d admit needs tenant and targets", i)
-			}
-		case KindEvict:
-			if e.Tenant == "" {
-				return fmt.Errorf("snap: entry %d evict needs a tenant", i)
-			}
-		case KindDegrade, KindFail, KindRestoreLink:
-			if e.Link == "" {
-				return fmt.Errorf("snap: entry %d %s needs a link", i, e.Kind)
-			}
-		case KindSetConfig:
-			if e.Component == "" || e.Key == "" {
-				return fmt.Errorf("snap: entry %d set-config needs component and key", i)
-			}
-		case KindWorkload:
-			if e.Workload == "" || e.Tenant == "" {
-				return fmt.Errorf("snap: entry %d workload needs kind and tenant", i)
-			}
-		case KindPing, KindTrace, KindPerf:
-			if e.Src == "" || e.Dst == "" {
-				return fmt.Errorf("snap: entry %d %s needs src and dst", i, e.Kind)
-			}
-		default:
-			return fmt.Errorf("snap: entry %d has unknown kind %q", i, e.Kind)
+		if err := e.check(); err != nil {
+			return fmt.Errorf("snap: entry %d %s", i, err)
+		}
+	}
+	return nil
+}
+
+// check verifies the per-kind required fields of one entry, including
+// the ops of a batch. Errors are unprefixed; Validate adds position.
+func (e *Entry) check() error {
+	switch e.Kind {
+	case KindAdvance:
+		if e.ToNs < e.AtNs {
+			return fmt.Errorf("advances backwards (%d -> %d)", e.AtNs, e.ToNs)
+		}
+	case KindAdmit:
+		if e.Tenant == "" || len(e.Targets) == 0 {
+			return fmt.Errorf("admit needs tenant and targets")
+		}
+	case KindEvict:
+		if e.Tenant == "" {
+			return fmt.Errorf("evict needs a tenant")
+		}
+	case KindDegrade, KindFail, KindRestoreLink:
+		if e.Link == "" {
+			return fmt.Errorf("%s needs a link", e.Kind)
+		}
+	case KindSetConfig:
+		if e.Component == "" || e.Key == "" {
+			return fmt.Errorf("set-config needs component and key")
+		}
+	case KindWorkload:
+		if e.Workload == "" || e.Tenant == "" {
+			return fmt.Errorf("workload needs kind and tenant")
+		}
+	case KindPing, KindTrace, KindPerf:
+		if e.Src == "" || e.Dst == "" {
+			return fmt.Errorf("%s needs src and dst", e.Kind)
+		}
+	case KindSetCap:
+		if e.Link == "" || e.Tenant == "" {
+			return fmt.Errorf("set-cap needs link and tenant")
+		}
+	case KindBatch:
+		if len(e.Ops) == 0 {
+			return fmt.Errorf("batch needs at least one op")
+		}
+		if err := checkBatchOps(e.Ops); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("has unknown kind %q", e.Kind)
+	}
+	return nil
+}
+
+// checkBatchOps validates a batch's op list: every op must be a
+// batchable mutation with its required fields. Shared by journal
+// validation and Session.ApplyBatch, so a batch is rejected before any
+// state changes.
+func checkBatchOps(ops []Entry) error {
+	for k, op := range ops {
+		if !batchable(op.Kind) {
+			return fmt.Errorf("batch op %d has non-batchable kind %q", k, op.Kind)
+		}
+		if err := op.check(); err != nil {
+			return fmt.Errorf("batch op %d %s", k, err)
 		}
 	}
 	return nil

@@ -258,6 +258,88 @@ func (s *Session) StartWorkload(kind, tenant, src, dst string) error {
 	return nil
 }
 
+// SetTenantCap journals and installs a per-tenant rate cap on one
+// directed link; a negative capBps clears the cap instead.
+func (s *Session) SetTenantCap(link, tenant string, capBps float64) error {
+	e := s.entry(KindSetCap)
+	e.Link, e.Tenant, e.CapBps = link, tenant, capBps
+	if err := s.apply(e); err != nil {
+		return err
+	}
+	s.journal.append(e)
+	return nil
+}
+
+// BatchOpResult reports the outcome of one op in an ApplyBatch call:
+// Status is "ok", "failed" (the first op that errored), or "skipped"
+// (ops after the failure, never attempted).
+type BatchOpResult struct {
+	Kind   EntryKind `json:"kind"`
+	Status string    `json:"status"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// ApplyBatch journals and applies a group of mutation ops as one
+// entry. Every op lands under a single fabric batch, so the solver
+// settles exactly once for the whole group, no matter how many ops it
+// carries — this is the transactional write path bursty clients use
+// instead of N round-trips and N recomputes.
+//
+// Ops are validated structurally up front (a malformed batch changes
+// nothing) and then applied in order; the first failure stops the
+// batch. Ops already applied remain — the journal records exactly the
+// applied prefix, keeping replay faithful — and the per-op results
+// tell the caller precisely how far the batch got.
+func (s *Session) ApplyBatch(ops []Entry) ([]BatchOpResult, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("snap: empty batch")
+	}
+	if err := checkBatchOps(ops); err != nil {
+		return nil, fmt.Errorf("snap: %s", err)
+	}
+	e := s.entry(KindBatch)
+	tr := s.mgr.Obs().Tracer
+	tr.BeginSpan(e.Span)
+	results := make([]BatchOpResult, len(ops))
+	applied := 0
+	var failErr error
+	s.mgr.Fabric().Batch(func() {
+		for i, op := range ops {
+			results[i].Kind = op.Kind
+			if failErr != nil {
+				results[i].Status = "skipped"
+				continue
+			}
+			if err := s.applyOp(op); err != nil {
+				results[i].Status = "failed"
+				results[i].Error = err.Error()
+				failErr = fmt.Errorf("snap: batch op %d (%s): %w", i, op.Kind, err)
+				continue
+			}
+			results[i].Status = "ok"
+			applied++
+		}
+	})
+	tr.EndSpan()
+	if applied > 0 {
+		e.Ops = normalizeOps(ops[:applied])
+		s.journal.append(e)
+	}
+	return results, failErr
+}
+
+// normalizeOps copies ops for journal storage with the per-entry
+// journal metadata zeroed: inside a batch, position and span belong to
+// the enclosing entry.
+func normalizeOps(ops []Entry) []Entry {
+	out := make([]Entry, len(ops))
+	for i, op := range ops {
+		op.Seq, op.AtNs, op.Span = 0, 0, ""
+		out[i] = op
+	}
+	return out
+}
+
 // probeBudget bounds how far a diagnostic probe may drive virtual
 // time: 1000 slices of 10 us, matching the HTTP API's historical
 // behaviour.
@@ -373,6 +455,32 @@ func (s *Session) apply(e Entry) error {
 	tr := s.mgr.Obs().Tracer
 	tr.BeginSpan(e.Span)
 	defer tr.EndSpan()
+	if e.Kind == KindBatch {
+		return s.applyBatchOps(e.Ops)
+	}
+	return s.applyOp(e)
+}
+
+// applyBatchOps applies a batch's ops in order under one fabric batch,
+// so the whole group settles the solver exactly once. An op error
+// aborts the remainder; callers decide what to journal (Replay never
+// sees a failing batch — ApplyBatch records only the applied prefix).
+func (s *Session) applyBatchOps(ops []Entry) error {
+	var err error
+	s.mgr.Fabric().Batch(func() {
+		for i, op := range ops {
+			if opErr := s.applyOp(op); opErr != nil {
+				err = fmt.Errorf("batch op %d (%s): %w", i, op.Kind, opErr)
+				return
+			}
+		}
+	})
+	return err
+}
+
+// applyOp executes one non-batch entry. Span handling lives in apply:
+// ops inside a batch share the enclosing entry's span.
+func (s *Session) applyOp(e Entry) error {
 	fab := s.mgr.Fabric()
 	switch e.Kind {
 	case KindAdvance:
@@ -413,6 +521,11 @@ func (s *Session) apply(e Entry) error {
 		return s.applyWorkload(e)
 	case KindPing, KindTrace, KindPerf:
 		return s.applyProbe(e)
+	case KindSetCap:
+		if e.CapBps < 0 {
+			return fab.ClearTenantCap(topology.LinkID(e.Link), fabric.TenantID(e.Tenant))
+		}
+		return fab.SetTenantCap(topology.LinkID(e.Link), fabric.TenantID(e.Tenant), topology.Rate(e.CapBps))
 	}
 	return fmt.Errorf("snap: unknown entry kind %q", e.Kind)
 }
