@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race solver-race bench bench-smoke bench-json bench-json-obs bench-json-remedy chaos-smoke remedy-smoke check clean
+.PHONY: all build vet fmt test race solver-race bench bench-smoke bench-json bench-json-obs bench-json-remedy chaos-smoke remedy-smoke fleet-smoke check clean
 
 all: check
 
@@ -65,11 +65,29 @@ bench-json:
 # Same trajectory gate for the observability pipeline: the event-bus
 # publish path (with and without fan-out) must stay at 0 allocs/op —
 # it runs inside the simulation hot loop — and the fleet roll-up must
-# stay flat per host from 16 to 256 hosts (budgets scale linearly).
+# stay allocation-flat as hosts grow. The steady-state scrape (one
+# dirty shard between scrapes) is budgeted at a constant ~64 allocs/op
+# from 16 to 1024 hosts; the cold all-shards-dirty fold grows only
+# with the shard count, not the host count. The sharded RunFor tiers
+# (1024 and 10000 hosts) pin the epoch engine's per-advance allocation
+# trajectory; they run at -benchtime 1x because one op is a full
+# millisecond of fleet virtual time (allocs/op are per-op and
+# deterministic, so one iteration gates as well as a hundred), and
+# with -timeout 0 because building a 10k-host fleet alone outlasts the
+# default 10m test timeout.
 bench-json-obs:
 	{ $(GO) test -bench 'BenchmarkBusPublish' -benchtime 100x -benchmem -run '^$$' ./internal/obs; \
-	  $(GO) test -bench 'BenchmarkFleetRollup' -benchtime 10x -benchmem -run '^$$' ./internal/fleet; } \
+	  $(GO) test -bench 'BenchmarkFleetRollup' -benchtime 10x -benchmem -run '^$$' ./internal/fleet; \
+	  $(GO) test -bench 'BenchmarkFleetRunFor/hosts=(1024|10000)/sharded' -benchtime 1x -benchmem -timeout 0 -run '^$$' ./internal/fleet; } \
 		| $(GO) run ./cmd/benchjson -out BENCH_obs.json
+
+# Sharded-fleet smoke: 1024 synthetic hosts advance 2ms on the sharded
+# epoch engine under two different (shards, workers) configurations,
+# and the test asserts byte-identical roll-ups and spot-checked state
+# hashes — the determinism contract at four-digit scale. Gated behind
+# an env var so `go test ./...` stays fast; CI runs it explicitly.
+fleet-smoke:
+	IHNET_FLEET_SMOKE=1 $(GO) test ./internal/fleet -run TestFleetSmokeSharded1k -v -timeout 20m
 
 # Seed-pinned chaos smoke: randomized fault/churn schedules under the
 # cross-layer invariant oracle (internal/chaos), deterministic per

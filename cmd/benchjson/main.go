@@ -43,9 +43,14 @@ import (
 //
 // BENCH_obs.json: the event-bus publish path runs inside the
 // simulation hot loop, so it must not allocate at all, fan-out or not.
-// The fleet roll-up budgets scale linearly in host count (the flat
-// per-host cost the accumulator exists for — roughly 10 allocs/host
-// with headroom); super-linear growth busts them.
+// The steady-state fleet roll-up (one dirty shard between scrapes)
+// reuses per-runner scratch accumulators, so its budget is a flat 64
+// allocs/op regardless of host count — any O(hosts) allocation growth
+// busts it immediately. The cold roll-up (every shard dirty) may
+// allocate O(shards) snapshot copies, never O(hosts). The sharded
+// RunFor tiers budget the epoch engine's per-advance allocations —
+// dominated by the hosts' own simulation work, so they scale with
+// host-milliseconds, with ~40% headroom over the observed cost.
 var allocBudgetsByFile = map[string]map[string]int64{
 	"BENCH_fabric.json": {
 		"BenchmarkFabricRecomputeSteadyState":    0,
@@ -61,11 +66,22 @@ var allocBudgetsByFile = map[string]map[string]int64{
 		"BenchmarkFabricComponentSolve/parallel": 32,
 	},
 	"BENCH_obs.json": {
-		"BenchmarkBusPublish":            0,
-		"BenchmarkBusPublishFanout8":     0,
-		"BenchmarkFleetRollup/hosts=16":  250,
-		"BenchmarkFleetRollup/hosts=64":  1000,
-		"BenchmarkFleetRollup/hosts=256": 4000,
+		"BenchmarkBusPublish":        0,
+		"BenchmarkBusPublishFanout8": 0,
+		// Steady-state scrape: one shard refold + S-way merge from
+		// cached snapshots. Observed ~32 allocs/op at every tier.
+		"BenchmarkFleetRollup/hosts=16":   64,
+		"BenchmarkFleetRollup/hosts=64":   64,
+		"BenchmarkFleetRollup/hosts=256":  64,
+		"BenchmarkFleetRollup/hosts=1024": 64,
+		// Cold fold: every shard refolds, then the merge. Observed 92
+		// at 4 shards (256 hosts) and 319 at 16 shards (1024).
+		"BenchmarkFleetRollupCold/hosts=256":  192,
+		"BenchmarkFleetRollupCold/hosts=1024": 512,
+		// One millisecond of sharded fleet virtual time. Observed
+		// 5.6M allocs at 1024 hosts, ~10x that at 10000.
+		"BenchmarkFleetRunFor/hosts=1024/sharded":  8_000_000,
+		"BenchmarkFleetRunFor/hosts=10000/sharded": 80_000_000,
 	},
 	// BENCH_remedy.json: the controller's steady-state step is the
 	// standing tax paid on every healthy host — zero allocations.

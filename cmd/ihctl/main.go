@@ -52,6 +52,7 @@
 //	host-journal <host> [file]     download one fleet host's journal
 //	fleet watch [kind]             tail the fleet-wide event stream (SSE)
 //	fleet-rollup                   merged fleet metrics snapshot (JSON)
+//	fleet-shards                   sharded engine stats: clocks, epochs, cache
 //	fleet-solver                   per-host solver stats + fleet aggregate
 //	fleet-remedy status            aggregated remediation status per host
 //	fleet-remedy policy [file]     show or install the fleet-wide policy
@@ -71,6 +72,7 @@ import (
 	"sort"
 	"strconv"
 	"syscall"
+	"time"
 
 	"repro/cmd/internal/cli"
 	"repro/internal/apiclient"
@@ -276,6 +278,25 @@ func (c command) dispatch(args []string) error {
 		return c.remedy("/fleet", rest)
 	case "fleet-rollup":
 		return c.get("/fleet/metrics/rollup", prettyJSON)
+	case "fleet-shards":
+		st, err := c.api.FleetShards(c.ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shards: %d (workers/shard %d, inner epoch %v, outer every %d)\n",
+			len(st.Shards), st.WorkersPerShard, time.Duration(st.InnerEpochNs), st.OuterEvery)
+		fmt.Printf("outer epochs: %d  rollup cache: %d hits / %d misses\n",
+			st.OuterEpochs, st.RollupCacheHits, st.RollupCacheMisses)
+		for _, sh := range st.Shards {
+			dirty := ""
+			if sh.Dirty {
+				dirty = "  dirty"
+			}
+			fmt.Printf("  shard %3d: %4d hosts (%d quarantined)  t=%v  inner %d  advanced %d  refolds %d%s\n",
+				sh.Index, sh.Hosts, sh.Quarantined, time.Duration(sh.VirtualTimeNs),
+				sh.InnerEpochs, sh.HostsAdvanced, sh.RollupRefolds, dirty)
+		}
+		return nil
 	case "fleet-solver":
 		st, err := c.api.FleetSolverStats(c.ctx)
 		if err != nil {

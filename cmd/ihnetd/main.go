@@ -32,12 +32,16 @@
 // file via -restore.
 //
 // Fleet mode: -hosts-dir boots one recording host per *.json host spec
-// in the directory and serves the fleet control plane instead —
-// placement, migration, rebalancing, and per-host checkpoints under
-// /api/v1/fleet/. The hosts advance concurrently on the parallel
-// epoch-barrier runner (-fleet-workers goroutines, barriers every
-// -fleet-epoch of virtual time), so N hosts cost roughly N/workers of
-// one host's wall clock while staying bit-for-bit deterministic.
+// in the directory (or -synth-hosts=N boots N deterministic synthetic
+// hosts) and serves the fleet control plane instead — placement,
+// migration, rebalancing, and per-host checkpoints under
+// /api/v1/fleet/. The hosts advance on the sharded epoch engine:
+// -fleet-shards independent shard groups (default one per 64 hosts),
+// each with its own worker pool (-fleet-workers goroutines per shard)
+// and inner epoch loop (barriers every -fleet-epoch of virtual time),
+// synchronized only at coarse outer epochs — so 10k hosts advance
+// without a global barrier per millisecond while staying bit-for-bit
+// deterministic. Shard stats are at /api/v1/fleet/shards.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: the auto-advance
 // loop drains first (no advance is cut off mid-event), then the HTTP
@@ -93,10 +97,14 @@ func main() {
 		"snapshot file to resume from (its config overrides -preset/-seed)")
 	hostsDir := flag.String("hosts-dir", "",
 		"directory of *.json host specs: boot a fleet instead of a single host")
+	synthHosts := flag.Int("synth-hosts", 0,
+		"boot a fleet of N deterministic synthetic recording hosts (exclusive with -hosts-dir)")
 	fleetWorkers := flag.Int("fleet-workers", 0,
-		"fleet runner goroutines (0 = GOMAXPROCS)")
+		"fleet runner goroutines per shard (0 = GOMAXPROCS/shards)")
+	fleetShards := flag.Int("fleet-shards", 0,
+		"fleet shard groups, synchronized at outer epochs (0 = one per 64 hosts)")
 	fleetEpoch := flag.Duration("fleet-epoch", time.Millisecond,
-		"virtual-time barrier interval between fleet epochs")
+		"virtual-time barrier interval between inner fleet epochs")
 	accessLog := flag.Bool("access-log", true,
 		"log one structured line per request (request IDs are minted either way)")
 	remedyOn := flag.Bool("remedy", false,
@@ -128,14 +136,27 @@ func main() {
 	var advance func(simtime.Duration)
 	var stopHosts func()
 
-	if *hostsDir != "" {
-		opts := core.DefaultOptions()
-		opts.Seed = *seed
-		fl, err := fleet.LoadDir(*hostsDir, opts)
+	if *hostsDir != "" && *synthHosts > 0 {
+		log.Fatalf("ihnetd: -hosts-dir and -synth-hosts are mutually exclusive")
+	}
+	if *hostsDir != "" || *synthHosts > 0 {
+		var fl *fleet.Fleet
+		var err error
+		if *synthHosts > 0 {
+			fl, err = fleet.Synth(fleet.SynthSpec{
+				Hosts: *synthHosts, Preset: *preset, Seed: *seed,
+				Record: true, Workload: true,
+			})
+		} else {
+			opts := core.DefaultOptions()
+			opts.Seed = *seed
+			fl, err = fleet.LoadDir(*hostsDir, opts)
+		}
 		if err != nil {
 			log.Fatalf("ihnetd: %v", err)
 		}
-		fsrv := httpapi.NewFleetServer(fl, fleet.RunnerConfig{
+		fsrv := httpapi.NewFleetServer(fl, fleet.ShardConfig{
+			Shards:  *fleetShards,
 			Workers: *fleetWorkers,
 			Epoch:   simtime.Duration(*fleetEpoch),
 		})
@@ -159,8 +180,12 @@ func main() {
 			}
 			log.Printf("ihnetd: stopped %d fleet hosts", len(fl.Hosts()))
 		}
-		log.Printf("ihnetd: managing fleet of %d hosts from %s on %s (workers=%d, epoch=%v, auto-advance %v/10ms)",
-			len(fl.Hosts()), *hostsDir, *addr, fsrv.Workers(), *fleetEpoch, *auto)
+		source := *hostsDir
+		if *synthHosts > 0 {
+			source = fmt.Sprintf("synth(seed=%d)", *seed)
+		}
+		log.Printf("ihnetd: managing fleet of %d hosts from %s on %s (shards=%d, workers/shard=%d, epoch=%v, auto-advance %v/10ms)",
+			len(fl.Hosts()), source, *addr, fsrv.Runner().Shards(), fsrv.Workers(), *fleetEpoch, *auto)
 	} else {
 		var sess *snap.Session
 		if *restore != "" {

@@ -1,0 +1,16 @@
+package apiclient
+
+import (
+	"context"
+
+	"repro/internal/fleet"
+)
+
+// FleetShards fetches and decodes /fleet/shards: the sharded engine's
+// per-shard stats (clock, epochs, quarantine, roll-up refolds) and the
+// fleet-wide cache counters.
+func (c *Client) FleetShards(ctx context.Context) (fleet.ShardStats, error) {
+	var st fleet.ShardStats
+	err := c.Get(ctx, "/fleet/shards", &st)
+	return st, err
+}

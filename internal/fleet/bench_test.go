@@ -6,46 +6,28 @@ import (
 	"runtime"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/intent"
 	"repro/internal/simtime"
-	"repro/internal/topology"
 )
 
-// benchFleet builds n plain (non-recording) hosts with one admitted
-// tenant each, so every host-millisecond carries heartbeat, telemetry,
-// arbiter and monitor work.
+// benchFleet builds n plain (non-recording) synthetic hosts with one
+// admitted tenant each, so every host-millisecond carries heartbeat,
+// telemetry, arbiter and monitor work.
 func benchFleet(b *testing.B, n int) *Fleet {
 	b.Helper()
-	f := New()
-	for i := 0; i < n; i++ {
-		opts := core.DefaultOptions()
-		opts.Seed = int64(i + 1)
-		m, err := core.New(topology.TwoSocketServer(), opts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := m.Start(); err != nil {
-			b.Fatal(err)
-		}
-		h, err := f.AddHost(fmt.Sprintf("host-%03d", i), m)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := h.Mgr.Admit("kv", []intent.Target{
-			{Src: "nic0", Dst: intent.AnyMemory, Rate: topology.GBps(8)},
-		}); err != nil {
-			b.Fatal(err)
-		}
+	f, err := Synth(SynthSpec{Hosts: n, Seed: 1, Workload: true})
+	if err != nil {
+		b.Fatal(err)
 	}
 	return f
 }
 
 // BenchmarkFleetRunFor measures one millisecond of fleet virtual time
 // per iteration: the serial host-by-host loop against the parallel
-// epoch-barrier runner. The serial/parallel ratio at a given host
-// count is the runner's speedup (the CI acceptance bar is >= 4x at 64
-// hosts on a multi-core runner).
+// epoch-barrier runner at the classic tiers, and the sharded engine
+// at 1024 and 10000 hosts (where a single global barrier would make
+// every epoch wait on the slowest of 10k hosts). The serial/parallel
+// ratio at a given host count is the runner's speedup (the CI
+// acceptance bar is >= 4x at 64 hosts on a multi-core runner).
 func BenchmarkFleetRunFor(b *testing.B) {
 	for _, hosts := range []int{16, 64, 256} {
 		b.Run(fmt.Sprintf("hosts=%d/serial", hosts), func(b *testing.B) {
@@ -68,25 +50,78 @@ func BenchmarkFleetRunFor(b *testing.B) {
 			b.ReportMetric(float64(hosts)*float64(b.N)/b.Elapsed().Seconds(), "host-ms/s")
 		})
 	}
+	for _, hosts := range []int{1024, 10000} {
+		b.Run(fmt.Sprintf("hosts=%d/sharded", hosts), func(b *testing.B) {
+			f := benchFleet(b, hosts)
+			sr := NewShardedRunner(f, ShardConfig{})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sr.RunFor(context.Background(), simtime.Millisecond); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(hosts)*float64(b.N)/b.Elapsed().Seconds(), "host-ms/s")
+		})
+	}
 }
 
-// BenchmarkFleetRollup measures folding every host's registry into
-// one fleet snapshot. The acceptance bar is flat per-host overhead
-// from 16 to 256 hosts (the ns/host metric), i.e. roll-up cost is
-// O(hosts) with no superlinear term — one scrape covers the fleet.
+// BenchmarkFleetRollup measures the steady-state scrape: between two
+// scrapes one host mutated (the worst common case for the dirty-shard
+// cache), so each iteration refolds exactly one shard and re-merges
+// the S cached shard snapshots. The ns/host metric is the acceptance
+// bar: hierarchical roll-up keeps it flat-to-falling as hosts grow
+// (at 1024 hosts a scrape folds one 64-host shard plus a 16-way
+// merge, not 1024 registries).
 func BenchmarkFleetRollup(b *testing.B) {
-	for _, hosts := range []int{16, 64, 256} {
+	for _, hosts := range []int{16, 64, 256, 1024} {
 		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
 			f := benchFleet(b, hosts)
-			r := NewRunner(f, RunnerConfig{Workers: runtime.GOMAXPROCS(0)})
-			if _, err := r.RunFor(context.Background(), simtime.Millisecond); err != nil {
+			sr := NewShardedRunner(f, ShardConfig{})
+			if _, err := sr.RunFor(context.Background(), simtime.Millisecond); err != nil {
+				b.Fatal(err)
+			}
+			names := make([]string, 0, hosts)
+			for _, h := range f.Hosts() {
+				names = append(names, h.Name)
+			}
+			sr.Rollup() // prime every shard's cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last int
+			for i := 0; i < b.N; i++ {
+				sr.MarkDirty(names[i%len(names)])
+				s := sr.Rollup()
+				last = s.Hosts
+			}
+			b.StopTimer()
+			if last != hosts {
+				b.Fatalf("rollup folded %d hosts, want %d", last, hosts)
+			}
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(hosts)*1e9, "ns/host")
+		})
+	}
+}
+
+// BenchmarkFleetRollupCold measures the all-shards-dirty fold — the
+// first scrape after a fleet-wide advance. This is the path the
+// scratch-accumulator reuse keeps allocation-flat: refolding every
+// registry reuses per-runner accumulators, so allocs/op stays
+// O(metric families), not O(hosts).
+func BenchmarkFleetRollupCold(b *testing.B) {
+	for _, hosts := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			f := benchFleet(b, hosts)
+			sr := NewShardedRunner(f, ShardConfig{})
+			if _, err := sr.RunFor(context.Background(), simtime.Millisecond); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			var last int
 			for i := 0; i < b.N; i++ {
-				s := r.Rollup()
+				sr.MarkAllDirty()
+				s := sr.Rollup()
 				last = s.Hosts
 			}
 			b.StopTimer()

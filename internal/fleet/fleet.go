@@ -84,10 +84,21 @@ func (h *Host) Pressure() float64 {
 // Fleet is a set of hosts under one operator.
 type Fleet struct {
 	hosts []*Host
+	// sorted records whether hosts is currently name-ordered, so the
+	// hot paths (epoch loops, roll-ups) do not re-sort 10k names on
+	// every call. AddHost invalidates it.
+	sorted bool
 }
 
 // New returns an empty fleet.
 func New() *Fleet { return &Fleet{} }
+
+// subFleet wraps an already name-sorted host slice as a Fleet — the
+// shard partitioning path. The slice is owned by the caller and must
+// stay name-sorted.
+func subFleet(hosts []*Host) *Fleet {
+	return &Fleet{hosts: hosts, sorted: true}
+}
 
 // AddHost registers a managed host under a unique name.
 func (f *Fleet) AddHost(name string, mgr *core.Manager) (*Host, error) {
@@ -101,6 +112,7 @@ func (f *Fleet) AddHost(name string, mgr *core.Manager) (*Host, error) {
 	}
 	h := &Host{Name: name, Mgr: mgr}
 	f.hosts = append(f.hosts, h)
+	f.sorted = false
 	return h, nil
 }
 
@@ -119,11 +131,21 @@ func (f *Fleet) AddSession(name string, sess *snap.Session) (*Host, error) {
 	return h, nil
 }
 
-// Hosts returns the fleet's hosts sorted by name.
+// Hosts returns the fleet's hosts sorted by name. The returned slice
+// is the caller's to reorder (Place sorts it by pressure).
 func (f *Fleet) Hosts() []*Host {
-	out := append([]*Host(nil), f.hosts...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return append([]*Host(nil), f.hostsSorted()...)
+}
+
+// hostsSorted returns the fleet's own host slice, name-sorted in
+// place — the allocation-free view for read-only iteration on hot
+// paths. Callers must not reorder or retain it.
+func (f *Fleet) hostsSorted() []*Host {
+	if !f.sorted {
+		sort.Slice(f.hosts, func(i, j int) bool { return f.hosts[i].Name < f.hosts[j].Name })
+		f.sorted = true
+	}
+	return f.hosts
 }
 
 // Host returns the named host, or nil.

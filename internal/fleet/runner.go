@@ -34,6 +34,11 @@ type RunnerConfig struct {
 	// and the runner publishes its own epoch and quarantine events
 	// there — one SSE subscription observes the whole fleet.
 	Bus *obs.Bus
+	// EpochSubject is the Subject carried by the runner's epoch events
+	// on the bus. Empty means "fleet"; the sharded engine names each
+	// shard's runner (e.g. "shard-03") so stream consumers can tell
+	// inner (per-shard) barriers from the outer fleet barrier.
+	EpochSubject string
 }
 
 // HostResult is one host's outcome for one epoch.
@@ -92,12 +97,21 @@ type RunReport struct {
 // A Runner is not safe for concurrent use; callers (the HTTP fleet
 // server, the daemon's auto-advance loop) serialize RunFor calls.
 type Runner struct {
-	fleet   *Fleet
-	workers int
-	epoch   simtime.Duration
-	onEpoch func(EpochStat)
-	failed  map[string]error
-	bus     *obs.Bus
+	fleet        *Fleet
+	workers      int
+	epoch        simtime.Duration
+	onEpoch      func(EpochStat)
+	failed       map[string]error
+	bus          *obs.Bus
+	epochSubject string
+
+	// rollupAcc is the reused fold scratch: Rollup refolds into it
+	// under rollupMu instead of allocating a fresh accumulator (and a
+	// fresh dense bucket array per histogram family) on every scrape.
+	// The mutex exists because /metrics and the roll-up route are
+	// served lock-free by the HTTP layer, so scrapes can race.
+	rollupMu  sync.Mutex
+	rollupAcc *obs.Accumulator
 
 	mEpochs        *obs.Counter
 	mHostsAdvanced *obs.Counter
@@ -126,13 +140,19 @@ func NewRunner(f *Fleet, cfg RunnerConfig) *Runner {
 			h.Mgr.Obs().Tracer.Bus().ForwardTo(cfg.Bus, h.Name)
 		}
 	}
+	subject := cfg.EpochSubject
+	if subject == "" {
+		subject = "fleet"
+	}
 	return &Runner{
-		fleet:   f,
-		workers: workers,
-		epoch:   epoch,
-		onEpoch: cfg.OnEpoch,
-		failed:  make(map[string]error),
-		bus:     cfg.Bus,
+		fleet:        f,
+		workers:      workers,
+		epoch:        epoch,
+		onEpoch:      cfg.OnEpoch,
+		failed:       make(map[string]error),
+		bus:          cfg.Bus,
+		epochSubject: subject,
+		rollupAcc:    obs.NewAccumulator("fleet"),
 		mEpochs: reg.Counter("ihnet_fleet_epochs_total",
 			"Epoch barriers crossed by the fleet runner."),
 		mHostsAdvanced: reg.Counter("ihnet_fleet_hosts_advanced_total",
@@ -204,7 +224,7 @@ func (r *Runner) Unquarantine(name string) bool {
 // at the same barrier); quarantined hosts may lag behind.
 func (r *Runner) Now() simtime.Time {
 	var now simtime.Time
-	for _, h := range r.fleet.Hosts() {
+	for _, h := range r.fleet.hostsSorted() {
 		if _, bad := r.failed[h.Name]; bad {
 			continue
 		}
@@ -260,7 +280,7 @@ func (r *Runner) RunFor(ctx context.Context, d simtime.Duration) (RunReport, err
 // worker pool and merges results by name-sorted index. It returns the
 // merged results and how many hosts advanced without error.
 func (r *Runner) runEpoch(barrier simtime.Time) ([]HostResult, int) {
-	all := r.fleet.Hosts() // name-sorted
+	all := r.fleet.hostsSorted() // name-sorted, not retained
 	live := all[:0:0]
 	for _, h := range all {
 		if _, bad := r.failed[h.Name]; !bad {
@@ -319,7 +339,7 @@ func (r *Runner) runEpoch(barrier simtime.Time) ([]HostResult, int) {
 	r.hEpochSeconds.Observe(epochWall.Seconds())
 	r.bus.Publish(obs.Event{
 		Kind: obs.KindFleetEpoch, Virtual: barrier,
-		Subject: "fleet", Value: float64(ok), WallDur: epochWall,
+		Subject: r.epochSubject, Value: float64(ok), WallDur: epochWall,
 	})
 	if ok > 1 {
 		mean := total / time.Duration(ok)
@@ -346,12 +366,17 @@ func (r *Runner) runEpoch(barrier simtime.Time) ([]HostResult, int) {
 // accumulator — and it reads only atomics and per-metric locks, so it
 // is safe to call while the runner is mid-epoch (scrapes observe a
 // torn but monitoring-consistent view, same as single-host /metrics).
+// The fold reuses one per-runner scratch accumulator (Reset zeroes
+// only occupied watermark ranges), so scrape allocation cost does not
+// grow with host count; rollupMu serializes concurrent scrapes.
 func (r *Runner) Rollup() obs.Snapshot {
-	acc := obs.NewAccumulator("fleet")
-	for _, h := range r.fleet.Hosts() {
-		acc.AddRegistry(h.Mgr.Obs().Registry, h.Name)
+	r.rollupMu.Lock()
+	defer r.rollupMu.Unlock()
+	r.rollupAcc.Reset()
+	for _, h := range r.fleet.hostsSorted() {
+		r.rollupAcc.AddRegistry(h.Mgr.Obs().Registry, h.Name)
 	}
-	return acc.Snapshot()
+	return r.rollupAcc.Snapshot()
 }
 
 // Bus returns the fleet-level event bus, if configured.

@@ -33,17 +33,19 @@ import (
 type FleetServer struct {
 	mu      sync.RWMutex
 	fleet   *fleet.Fleet
-	runner  *fleet.Runner
+	runner  *fleet.ShardedRunner
 	reg     *obs.Registry
 	rem     *remedy.FleetController // nil when remediation is not wired in
 	started time.Time
 }
 
-// NewFleetServer builds the fleet control plane. A nil cfg.Registry is
-// replaced with a fresh one so /metrics always has a surface to serve,
-// and a nil cfg.Bus with a fresh fan-in bus so /fleet/events always
-// streams (the runner wires every host's tracer into it).
-func NewFleetServer(f *fleet.Fleet, cfg fleet.RunnerConfig) *FleetServer {
+// NewFleetServer builds the fleet control plane over the sharded
+// engine (one shard degenerates to the classic single-barrier
+// runner). A nil cfg.Registry is replaced with a fresh one so
+// /metrics always has a surface to serve, and a nil cfg.Bus with a
+// fresh fan-in bus so /fleet/events always streams (the shard runners
+// wire every host's tracer into it).
+func NewFleetServer(f *fleet.Fleet, cfg fleet.ShardConfig) *FleetServer {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
@@ -52,7 +54,7 @@ func NewFleetServer(f *fleet.Fleet, cfg fleet.RunnerConfig) *FleetServer {
 	}
 	return &FleetServer{
 		fleet:   f,
-		runner:  fleet.NewRunner(f, cfg),
+		runner:  fleet.NewShardedRunner(f, cfg),
 		reg:     cfg.Registry,
 		started: time.Now(),
 	}
@@ -66,24 +68,26 @@ const fleetBusCapacity = 16384
 // it to stop every manager).
 func (s *FleetServer) Fleet() *fleet.Fleet { return s.fleet }
 
-// Workers returns the runner's resolved worker count (GOMAXPROCS when
-// the config left it zero).
+// Workers returns the resolved per-shard worker count.
 func (s *FleetServer) Workers() int { return s.runner.Workers() }
 
-// Runner returns the epoch-barrier runner driving the fleet (so a
+// Runner returns the sharded runner driving the fleet (so a
 // remediation controller built on top can quarantine hosts through it).
-func (s *FleetServer) Runner() *fleet.Runner { return s.runner }
+func (s *FleetServer) Runner() *fleet.ShardedRunner { return s.runner }
 
 // Advance moves the whole fleet forward by d under the server's lock —
 // the daemon's auto-advance loop drives this. With remediation wired
-// in, the per-host controllers step once after the barrier, in host
-// order, exactly as the chaos harness does between epochs.
+// in, the per-host controllers step once after the outer barrier, in
+// host order, exactly as the chaos harness does between epochs; their
+// actions mutate host state outside the epoch loop, so every shard's
+// roll-up cache is invalidated afterwards.
 func (s *FleetServer) Advance(d simtime.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, _ = s.runner.RunFor(nil, d)
 	if s.rem != nil {
 		s.rem.StepAll()
+		s.runner.MarkAllDirty()
 	}
 }
 
@@ -103,6 +107,7 @@ func (s *FleetServer) apiRoutes() []route {
 		{"POST", "/fleet/hosts/{host}/snapshot", lockWrite, s.postHostSnapshot},
 		{"GET", "/fleet/fabric/solver", lockWrite, s.getFleetSolver},
 		{"GET", "/fleet/hosts/{host}/journal", lockRead, s.getHostJournal},
+		{"GET", "/fleet/shards", lockRead, s.getFleetShards},
 		// The observability surface is lockNone: roll-ups read host
 		// registries through the same atomics the writers use, and a
 		// stalled SSE client must never hold a fleet lock.
@@ -210,6 +215,7 @@ func (s *FleetServer) getFleetReport(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"virtual_time_ns": int64(s.runner.Now()),
 		"workers":         s.runner.Workers(),
+		"shards":          s.runner.Shards(),
 		"epoch_ns":        int64(s.runner.Epoch()),
 		"hosts":           s.hostDTOs(),
 		"tenants":         tenants,
@@ -244,6 +250,7 @@ func (s *FleetServer) postFleetAdvance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"virtual_time_ns": int64(s.runner.Now()),
 		"epochs":          rep.Epochs,
+		"outer_epochs":    rep.OuterEpochs,
 		"hosts_advanced":  rep.HostsAdvanced,
 		"failed":          failed,
 	})
@@ -271,6 +278,7 @@ func (s *FleetServer) postPlace(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
+	s.runner.MarkDirty(host.Name)
 	out := viewDTO{Tenant: string(view.Tenant), Host: host.Name,
 		LinksBps: make(map[string]float64)}
 	for l, rate := range view.Reservation.Links {
@@ -286,6 +294,7 @@ func (s *FleetServer) deleteFleetTenant(w http.ResponseWriter, r *http.Request) 
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	s.runner.MarkDirty(host.Name)
 	writeJSON(w, http.StatusOK, map[string]string{
 		"evicted": string(id), "host": host.Name,
 	})
@@ -307,11 +316,16 @@ func (s *FleetServer) postMigrate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("migrate needs a destination host"))
 		return
 	}
+	src := s.fleet.Locate(id)
 	view, err := s.fleet.Migrate(id, req.Host)
 	if err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
+	if src != nil {
+		s.runner.MarkDirty(src.Name)
+	}
+	s.runner.MarkDirty(req.Host)
 	out := viewDTO{Tenant: string(view.Tenant), Host: req.Host,
 		LinksBps: make(map[string]float64)}
 	for l, rate := range view.Reservation.Links {
@@ -322,6 +336,7 @@ func (s *FleetServer) postMigrate(w http.ResponseWriter, r *http.Request) {
 
 func (s *FleetServer) postRebalance(w http.ResponseWriter, _ *http.Request) {
 	rep := s.fleet.Rebalance()
+	s.runner.MarkAllDirty()
 	moved := make(map[string]string, len(rep.Moved))
 	for tenant, host := range rep.Moved {
 		moved[string(tenant)] = host
@@ -355,6 +370,8 @@ func (s *FleetServer) postHostSnapshot(w http.ResponseWriter, r *http.Request) {
 	if err := h.Sess.Snapshot(w); err != nil {
 		fmt.Fprintf(w, "\n{\"error\": %q}\n", err.Error())
 	}
+	// Snapshot encoding bumps the host's snap metrics.
+	s.runner.MarkDirty(h.Name)
 }
 
 func (s *FleetServer) getHostJournal(w http.ResponseWriter, r *http.Request) {
@@ -374,9 +391,20 @@ func (s *FleetServer) getHostJournal(w http.ResponseWriter, r *http.Request) {
 
 // getFleetRollup serves the merged fleet snapshot as JSON: counters
 // summed, gauges last-write-wins with source tags, histograms merged
-// bucket-wise with quantile error bounds preserved.
+// bucket-wise with quantile error bounds preserved. The fold is
+// hierarchical and cached: only shards that advanced or mutated since
+// the last scrape are refolded, so back-to-back scrapes of an idle
+// fleet never touch a host registry (see rollup_cache_hits/misses on
+// GET /fleet/shards).
 func (s *FleetServer) getFleetRollup(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.runner.Rollup())
+}
+
+// getFleetShards reports the sharded engine's topology and health:
+// per-shard host counts, clocks, epoch/advance counters, quarantines,
+// and the roll-up cache's hit/miss/refold accounting.
+func (s *FleetServer) getFleetShards(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.runner.Stats())
 }
 
 // getFleetEvents streams the fleet fan-in bus — every host's events,
@@ -395,11 +423,20 @@ func (s *FleetServer) getFleetHealthz(w http.ResponseWriter, _ *http.Request) {
 	sort.Strings(quarantinedHosts)
 	bus := s.runner.Bus()
 	remedyDegraded := s.rem != nil && s.rem.Degraded()
+	st := s.runner.Stats()
 	subsystems := map[string]any{
 		"runner": map[string]any{
-			"status":      boolStatus(len(failed) == 0, "ok", "degraded"),
-			"workers":     s.runner.Workers(),
-			"quarantined": quarantinedHosts,
+			"status":       boolStatus(len(failed) == 0, "ok", "degraded"),
+			"workers":      s.runner.Workers(),
+			"shards":       s.runner.Shards(),
+			"outer_every":  s.runner.OuterEvery(),
+			"outer_epochs": st.OuterEpochs,
+			"quarantined":  quarantinedHosts,
+		},
+		"rollup_cache": map[string]any{
+			"status": "ok",
+			"hits":   st.RollupCacheHits,
+			"misses": st.RollupCacheMisses,
 		},
 		"obs_bus": map[string]any{
 			"status":      "ok",
@@ -426,6 +463,7 @@ func (s *FleetServer) getFleetHealthz(w http.ResponseWriter, _ *http.Request) {
 		"hosts":           len(s.fleet.Hosts()),
 		"quarantined":     len(failed),
 		"workers":         s.runner.Workers(),
+		"shards":          s.runner.Shards(),
 		"epoch_ns":        int64(s.runner.Epoch()),
 		"uptime_seconds":  time.Since(s.started).Seconds(),
 		"virtual_time_ns": int64(s.runner.Now()),

@@ -32,7 +32,7 @@ func newFleetServer(t *testing.T) (*FleetServer, *httptest.Server) {
 			t.Fatal(err)
 		}
 	}
-	s := NewFleetServer(f, fleet.RunnerConfig{Workers: 4, Epoch: 500 * simtime.Microsecond})
+	s := NewFleetServer(f, fleet.ShardConfig{Workers: 4, Epoch: 500 * simtime.Microsecond})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

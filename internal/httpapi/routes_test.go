@@ -24,7 +24,7 @@ func TestAllRoutesVersioned(t *testing.T) {
 	}
 	tables := map[string][]route{
 		"host":  New(mgr).apiRoutes(),
-		"fleet": NewFleetServer(fleet.New(), fleet.RunnerConfig{}).apiRoutes(),
+		"fleet": NewFleetServer(fleet.New(), fleet.ShardConfig{}).apiRoutes(),
 	}
 	for name, routes := range tables {
 		if len(routes) == 0 {

@@ -244,6 +244,19 @@ func (s *Snapshot) Merge(other Snapshot) {
 type Accumulator struct {
 	out   Snapshot
 	hists map[string]*histAcc
+
+	// Fold scratch, reused across Reset cycles so a long-lived
+	// accumulator (one per runner) folds without allocating: ms is the
+	// registry-iteration buffer, vecKeys memoizes the formatted
+	// `name{label="value"}` child keys (the label set of a host is
+	// small and stable, so the cache saturates after the first fold).
+	ms      []*metric
+	vecKeys map[vecKey]string
+}
+
+// vecKey addresses one CounterVec child across folds.
+type vecKey struct {
+	name, value string
 }
 
 type histAcc struct {
@@ -262,7 +275,60 @@ func NewAccumulator(source string) *Accumulator {
 			Gauges:     make(map[string]GaugeValue),
 			Histograms: make(map[string]HistogramSnapshot),
 		},
-		hists: make(map[string]*histAcc),
+		hists:   make(map[string]*histAcc),
+		vecKeys: make(map[vecKey]string),
+	}
+}
+
+// Reset empties the fold while keeping every allocation — the maps,
+// the dense histogram arrays (zeroed only over their occupied
+// watermark range), and the key/iteration scratch — so a per-runner
+// accumulator refolds with flat allocation cost no matter how many
+// times it is reused.
+func (a *Accumulator) Reset() {
+	a.out.Hosts = 0
+	clear(a.out.Counters)
+	clear(a.out.Gauges)
+	clear(a.out.Histograms)
+	for _, acc := range a.hists {
+		for i := acc.lo; i < acc.hi; i++ {
+			acc.buckets[i] = 0
+		}
+		acc.lo, acc.hi = numBuckets, 0
+		acc.count, acc.sum = 0, 0
+	}
+}
+
+// AddSnapshot folds an already-sparsified snapshot in — the shard
+// merge path: each shard folds its hosts densely, and the fleet folds
+// the S shard snapshots with the same semantics as AddRegistry
+// (counters sum, gauges last-write-wins keeping the snapshot's source
+// tags, histograms merge bucket-wise, Hosts accumulates).
+func (a *Accumulator) AddSnapshot(s Snapshot) {
+	a.out.Hosts += s.Hosts
+	for k, v := range s.Counters {
+		a.out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		a.out.Gauges[k] = v
+	}
+	for name, hs := range s.Histograms {
+		acc := a.hists[name]
+		if acc == nil {
+			acc = &histAcc{lo: numBuckets}
+			a.hists[name] = acc
+		}
+		for _, b := range hs.Buckets {
+			acc.buckets[b.Index] += b.Count
+			if b.Index < acc.lo {
+				acc.lo = b.Index
+			}
+			if b.Index >= acc.hi {
+				acc.hi = b.Index + 1
+			}
+		}
+		acc.count += hs.Count
+		acc.sum += hs.Sum
 	}
 }
 
@@ -276,11 +342,12 @@ func (a *Accumulator) AddRegistry(r *Registry, source string) {
 	}
 	a.out.Hosts++
 	r.mu.RLock()
-	ms := make([]*metric, 0, len(r.metrics))
+	ms := a.ms[:0]
 	for _, m := range r.metrics {
 		ms = append(ms, m)
 	}
 	r.mu.RUnlock()
+	a.ms = ms
 	for _, m := range ms {
 		switch {
 		case m.counter != nil:
@@ -288,7 +355,11 @@ func (a *Accumulator) AddRegistry(r *Registry, source string) {
 		case m.vec != nil:
 			m.vec.mu.RLock()
 			for v, c := range m.vec.children {
-				key := fmt.Sprintf("%s{%s=%q}", m.name, m.vec.label, escapeLabel(v))
+				key, ok := a.vecKeys[vecKey{m.name, v}]
+				if !ok {
+					key = fmt.Sprintf("%s{%s=%q}", m.name, m.vec.label, escapeLabel(v))
+					a.vecKeys[vecKey{m.name, v}] = key
+				}
 				a.out.Counters[key] += c.Value()
 			}
 			m.vec.mu.RUnlock()

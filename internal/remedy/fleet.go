@@ -8,6 +8,13 @@ import (
 	"repro/internal/simtime"
 )
 
+// Quarantiner fences hosts out of an epoch loop — satisfied by both
+// *fleet.Runner and *fleet.ShardedRunner, so the controller works
+// unchanged over the single-barrier and sharded engines.
+type Quarantiner interface {
+	Quarantine(name string, reason error) error
+}
+
 // FleetController drives one per-host remediation controller per
 // fleet host, each acting through that host's journaled session, plus
 // fleet-scoped verbs (cross-host rebalance, quarantine) exposed to the
@@ -15,10 +22,10 @@ import (
 // between epoch barriers — never while the runner is mid-epoch — and
 // steps hosts in name order, so the same seed and policy produce
 // byte-identical per-host journals regardless of the runner's worker
-// count.
+// count (or, under sharding, its shard count).
 type FleetController struct {
 	flt    *fleet.Fleet
-	runner *fleet.Runner
+	runner Quarantiner
 	names  []string
 	ctrls  map[string]*Controller
 }
@@ -26,7 +33,7 @@ type FleetController struct {
 // NewFleet attaches one controller per current fleet host. Hosts must
 // be session-backed (journaled); the runner may be nil, which disables
 // the quarantine action.
-func NewFleet(flt *fleet.Fleet, runner *fleet.Runner, pol Policy) (*FleetController, error) {
+func NewFleet(flt *fleet.Fleet, runner Quarantiner, pol Policy) (*FleetController, error) {
 	fc := &FleetController{flt: flt, runner: runner, ctrls: make(map[string]*Controller)}
 	for _, h := range flt.Hosts() {
 		if h.Sess == nil {
