@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race solver-race bench bench-smoke bench-json bench-json-obs bench-json-remedy chaos-smoke remedy-smoke fleet-smoke check clean
+.PHONY: all build vet fmt test race solver-race bench bench-smoke bench-json bench-json-obs bench-json-remedy chaos-smoke remedy-smoke fleet-smoke store-smoke check clean
 
 all: check
 
@@ -88,6 +88,16 @@ bench-json-obs:
 # an env var so `go test ./...` stays fast; CI runs it explicitly.
 fleet-smoke:
 	IHNET_FLEET_SMOKE=1 $(GO) test ./internal/fleet -run TestFleetSmokeSharded1k -v -timeout 20m
+
+# Durable-store smoke: build the real ihnetd, boot it with -store-dir,
+# drive it over HTTP, SIGKILL it without warning, restart from the
+# store, and assert byte-identical state hashes and journals — once
+# for a single host and once for a 1024-host sharded synthetic fleet
+# (the env var upgrades the default 8-host fleet case to 1024). The
+# spec-driven conformance and auth cases ride along in the same
+# package.
+store-smoke:
+	IHNET_STORE_SMOKE=1 $(GO) test ./internal/httpapi/e2etest -v -timeout 20m -count=1
 
 # Seed-pinned chaos smoke: randomized fault/churn schedules under the
 # cross-layer invariant oracle (internal/chaos), deterministic per

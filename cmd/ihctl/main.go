@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	ihctl [-addr host:port] <command> [args]
+//	ihctl [-addr host:port] [-token t | -token-file f] <command> [args]
+//
+// Against a daemon started with -auth-token-file, pass the bearer
+// token via -token, -token-file, or the IHNET_TOKEN environment
+// variable.
 //
 // Single-host commands:
 //
@@ -35,9 +39,12 @@
 //	                               (exits 1 while incidents are open)
 //	remedy policy [file]           show the active policy, or install one
 //	experiment <id>                run one experiment (E1..E12) server-side
-//	snapshot [file]                checkpoint daemon state (default snapshot.json)
+//	snapshot [file]                checkpoint daemon state (default snapshot.json;
+//	                               also persisted when the daemon runs -store-dir)
 //	restore <file>                 roll the daemon back to a snapshot
 //	journal [file]                 download the command journal (default stdout)
+//	state-hash                     canonical state fingerprint (compare across
+//	                               a kill/restart of a -store-dir daemon)
 //
 // Fleet commands (ihnetd -hosts-dir):
 //
@@ -56,6 +63,8 @@
 //	fleet-solver                   per-host solver stats + fleet aggregate
 //	fleet-remedy status            aggregated remediation status per host
 //	fleet-remedy policy [file]     show or install the fleet-wide policy
+//	fleet-state-hash               fleet-wide state fingerprint (host hashes
+//	                               folded in name order)
 //
 //	version                        print build information
 package main
@@ -84,6 +93,10 @@ func main() {
 		return
 	}
 	addr := flag.String("addr", "127.0.0.1:8080", "ihnetd address")
+	token := flag.String("token", "",
+		"bearer token for daemons started with -auth-token-file (overrides -token-file and $IHNET_TOKEN)")
+	tokenFile := flag.String("token-file", "",
+		"file holding the bearer token (overrides $IHNET_TOKEN)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -94,11 +107,40 @@ func main() {
 	// disconnect and aborts server-side work at the next slice.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	c := command{api: apiclient.New(*addr), ctx: ctx}
+	api := apiclient.New(*addr)
+	tok, err := resolveToken(*token, *tokenFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ihctl: %v\n", err)
+		os.Exit(2)
+	}
+	api.SetToken(tok)
+	c := command{api: api, ctx: ctx}
 	if err := c.dispatch(args); err != nil {
 		fmt.Fprintf(os.Stderr, "ihctl: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// resolveToken picks the bearer token: explicit -token, then
+// -token-file, then the IHNET_TOKEN environment variable. Empty means
+// no auth header — right for daemons without -auth-token-file and for
+// loopback-exempt ones.
+func resolveToken(token, tokenFile string) (string, error) {
+	if token != "" {
+		return token, nil
+	}
+	if tokenFile != "" {
+		data, err := os.ReadFile(tokenFile)
+		if err != nil {
+			return "", err
+		}
+		tok := string(bytes.TrimSpace(data))
+		if tok == "" {
+			return "", fmt.Errorf("token file %s is empty", tokenFile)
+		}
+		return tok, nil
+	}
+	return os.Getenv("IHNET_TOKEN"), nil
 }
 
 type command struct {
@@ -258,6 +300,10 @@ func (c command) dispatch(args []string) error {
 			return c.get("/journal", toFile(rest[0], "journal"))
 		}
 		return c.get("/journal", prettyJSON)
+	case "state-hash":
+		return c.get("/state/hash", prettyJSON)
+	case "fleet-state-hash":
+		return c.get("/fleet/state/hash", prettyJSON)
 	case "watch":
 		return c.watch("/events", rest)
 	case "health":

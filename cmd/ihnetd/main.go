@@ -31,6 +31,22 @@
 // journal (GET /api/v1/journal), or resumed at startup from a snapshot
 // file via -restore.
 //
+// Pass -store-dir to make that journal durable: every command is
+// appended to an on-disk write-ahead log (crash-safe, checksummed;
+// -store-sync picks fsync-per-command vs page-cache durability) and
+// POST /api/v1/snapshot also lands a content-addressed incremental
+// checkpoint in the store. A daemon restarted with the same -store-dir
+// recovers the newest loadable checkpoint plus the journal tail and
+// resumes byte-identical state — GET /api/v1/state/hash (and its fleet
+// variants) is the fingerprint to compare. In fleet mode each host
+// stores under hosts/<name>, all sharing one deduplicated chunk pool.
+//
+// Pass -auth-token-file to require a static bearer token
+// (Authorization: Bearer <token> or X-API-Token) on every request;
+// loopback clients stay exempt unless -auth-loopback=false. Denials
+// are 401s in the typed envelope, counted in
+// ihnet_http_auth_denied_total.
+//
 // Fleet mode: -hosts-dir boots one recording host per *.json host spec
 // in the directory (or -synth-hosts=N boots N deterministic synthetic
 // hosts) and serves the fleet control plane instead — placement,
@@ -75,9 +91,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/httpapi"
+	"repro/internal/obs"
 	"repro/internal/remedy"
 	"repro/internal/simtime"
 	"repro/internal/snap"
+	"repro/internal/store"
 	"repro/internal/topology"
 )
 
@@ -111,8 +129,30 @@ func main() {
 		"run the closed-loop remediation controller (stepped on every advance)")
 	remedyPolicy := flag.String("remedy-policy", "",
 		"policy file for -remedy (default: built-in rule table)")
+	storeDir := flag.String("store-dir", "",
+		"durable store directory: journal every command to disk and recover state across restarts")
+	storeSync := flag.String("store-sync", string(store.SyncOS),
+		`WAL durability for -store-dir: "always" (fsync per command, survives power loss) or "os" (page cache, survives process kills)`)
+	authTokenFile := flag.String("auth-token-file", "",
+		"file holding the static bearer token; when set, requests must present it (Authorization: Bearer or X-API-Token)")
+	authLoopback := flag.Bool("auth-loopback", true,
+		"exempt loopback (127.0.0.1/::1) requests from bearer-token auth")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	// Resolve store and auth configuration up front so a bad flag fails
+	// fast, before any host state exists.
+	syncPolicy, err := store.ParseSyncPolicy(*storeSync)
+	if err != nil {
+		log.Fatalf("ihnetd: -store-sync: %v", err)
+	}
+	storeOpts := store.Options{Sync: syncPolicy}
+	authToken := ""
+	if *authTokenFile != "" {
+		if authToken, err = httpapi.LoadTokenFile(*authTokenFile); err != nil {
+			log.Fatalf("ihnetd: -auth-token-file: %v", err)
+		}
+	}
 
 	// Load the remediation policy up front so a bad file fails fast,
 	// before any host state exists.
@@ -131,10 +171,12 @@ func main() {
 	}
 
 	// handler/advance/stopHosts abstract over the two modes so the
-	// serving and shutdown machinery below is shared.
+	// serving and shutdown machinery below is shared; authReg is where
+	// the auth middleware lands its denial counters.
 	var handler http.Handler
 	var advance func(simtime.Duration)
 	var stopHosts func()
+	var authReg *obs.Registry
 
 	if *hostsDir != "" && *synthHosts > 0 {
 		log.Fatalf("ihnetd: -hosts-dir and -synth-hosts are mutually exclusive")
@@ -155,13 +197,61 @@ func main() {
 		if err != nil {
 			log.Fatalf("ihnetd: %v", err)
 		}
+		// Durable fleet store: every recording host gets its own
+		// journal/snapshot store under hosts/<name>, all sharing one
+		// content-addressed chunk pool. A host whose store already has
+		// state is recovered from it — the in-memory host the fleet
+		// loader just built is discarded — so a killed daemon restarts
+		// exactly where the journal ends.
+		var fstore *store.FleetStore
+		if *storeDir != "" {
+			if fstore, err = store.OpenFleet(*storeDir, storeOpts); err != nil {
+				log.Fatalf("ihnetd: open fleet store: %v", err)
+			}
+			recovered, booted := 0, 0
+			for _, h := range fl.Hosts() {
+				if h.Sess == nil {
+					continue
+				}
+				hs, err := fstore.Host(h.Name)
+				if err != nil {
+					log.Fatalf("ihnetd: host store %s: %v", h.Name, err)
+				}
+				if hs.HasState() {
+					sess, rep, err := hs.Recover()
+					if err != nil {
+						log.Fatalf("ihnetd: recover host %s: %v", h.Name, err)
+					}
+					old := h.Mgr
+					h.Sess = sess
+					h.Mgr = sess.Manager()
+					old.Stop()
+					recovered++
+					if rep.SnapshotsSkipped > 0 || rep.TruncatedBytes > 0 {
+						log.Printf("ihnetd: host %s recovered with damage: %d checkpoints skipped, %d WAL bytes truncated",
+							h.Name, rep.SnapshotsSkipped, rep.TruncatedBytes)
+					}
+				} else {
+					if err := hs.Bootstrap(h.Sess); err != nil {
+						log.Fatalf("ihnetd: bootstrap host %s: %v", h.Name, err)
+					}
+					booted++
+				}
+			}
+			log.Printf("ihnetd: durable store %s (sync=%s): %d hosts recovered, %d bootstrapped",
+				*storeDir, syncPolicy, recovered, booted)
+		}
 		fsrv := httpapi.NewFleetServer(fl, fleet.ShardConfig{
 			Shards:  *fleetShards,
 			Workers: *fleetWorkers,
 			Epoch:   simtime.Duration(*fleetEpoch),
 		})
+		if fstore != nil {
+			fsrv.SetFleetStore(fstore)
+		}
 		handler = fsrv.Handler()
 		advance = fsrv.Advance
+		authReg = fsrv.Registry()
 		var fc *remedy.FleetController
 		if *remedyOn {
 			var err error
@@ -178,6 +268,11 @@ func main() {
 			for _, h := range fl.Hosts() {
 				h.Mgr.Stop()
 			}
+			if fstore != nil {
+				if err := fstore.Close(); err != nil {
+					log.Printf("ihnetd: close fleet store: %v", err)
+				}
+			}
 			log.Printf("ihnetd: stopped %d fleet hosts", len(fl.Hosts()))
 		}
 		source := *hostsDir
@@ -187,8 +282,15 @@ func main() {
 		log.Printf("ihnetd: managing fleet of %d hosts from %s on %s (shards=%d, workers/shard=%d, epoch=%v, auto-advance %v/10ms)",
 			len(fl.Hosts()), source, *addr, fsrv.Runner().Shards(), fsrv.Workers(), *fleetEpoch, *auto)
 	} else {
+		var st *store.Store
+		if *storeDir != "" {
+			if st, err = store.Open(*storeDir, storeOpts); err != nil {
+				log.Fatalf("ihnetd: open store: %v", err)
+			}
+		}
 		var sess *snap.Session
-		if *restore != "" {
+		switch {
+		case *restore != "":
 			f, err := os.Open(*restore)
 			if err != nil {
 				log.Fatalf("ihnetd: %v", err)
@@ -200,7 +302,28 @@ func main() {
 			}
 			log.Printf("ihnetd: restored %s: %d journal entries replayed to t=%v",
 				*restore, sess.Journal().Len(), sess.Now())
-		} else {
+			// An explicit -restore wins over whatever the store holds:
+			// rewrite the store to describe the restored session.
+			if st != nil {
+				if err := st.Reset(sess.Config(), sess.Journal().Entries); err != nil {
+					log.Fatalf("ihnetd: rewrite store from %s: %v", *restore, err)
+				}
+				st.Resume(sess)
+			}
+		case st != nil && st.HasState():
+			// The store's config.json pins preset and seed; -preset and
+			// -seed are ignored on a recovery boot.
+			var rep store.RecoveryReport
+			if sess, rep, err = st.Recover(); err != nil {
+				log.Fatalf("ihnetd: recover from %s: %v", *storeDir, err)
+			}
+			log.Printf("ihnetd: recovered from %s: checkpoint seq %d + %d replayed journal records to t=%v (hash %s)",
+				*storeDir, rep.SnapshotSeq, rep.Replayed, sess.Now(), rep.StateHash)
+			if rep.SnapshotsSkipped > 0 || rep.TruncatedBytes > 0 {
+				log.Printf("ihnetd: recovery found damage: %d checkpoints skipped, %d WAL bytes truncated, %d orphan segments",
+					rep.SnapshotsSkipped, rep.TruncatedBytes, rep.OrphanSegments)
+			}
+		default:
 			if _, ok := topology.Presets[*preset]; !ok {
 				fmt.Fprintf(os.Stderr, "ihnetd: unknown preset %q\n", *preset)
 				os.Exit(1)
@@ -212,10 +335,20 @@ func main() {
 			if err != nil {
 				log.Fatalf("ihnetd: %v", err)
 			}
+			if st != nil {
+				if err := st.Bootstrap(sess); err != nil {
+					log.Fatalf("ihnetd: bootstrap store: %v", err)
+				}
+				log.Printf("ihnetd: durable store bootstrapped at %s (sync=%s)", *storeDir, syncPolicy)
+			}
 		}
 		srv := httpapi.NewWithSession(sess)
+		if st != nil {
+			srv.SetStore(st)
+		}
 		handler = srv.Handler()
 		advance = srv.Advance
+		authReg = sess.Manager().Obs().Registry
 		var ctrl *remedy.Controller
 		if *remedyOn {
 			var err error
@@ -235,6 +368,11 @@ func main() {
 			// swapped it.
 			mgr := srv.Manager()
 			mgr.Stop()
+			if st != nil {
+				if err := st.Close(); err != nil {
+					log.Printf("ihnetd: close store: %v", err)
+				}
+			}
 			log.Printf("ihnetd: stopped at virtual time %v after %d events",
 				mgr.Engine().Now(), mgr.Engine().Processed)
 		}
@@ -249,6 +387,14 @@ func main() {
 	logf := log.Printf
 	if !*accessLog {
 		logf = nil
+	}
+	// Auth sits inside the access log so denials are still logged (and
+	// outside the mux so /metrics and pprof are covered too).
+	if authToken != "" {
+		handler = httpapi.Auth(handler, httpapi.AuthConfig{
+			Token: authToken, TrustLoopback: *authLoopback, Registry: authReg,
+		})
+		log.Printf("ihnetd: bearer-token auth armed (loopback exempt: %v)", *authLoopback)
 	}
 	handler = httpapi.AccessLog(handler, logf)
 

@@ -23,8 +23,9 @@ import (
 
 // Client calls one ihnetd daemon.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	token string // bearer token sent on every request; "" sends none
+	http  *http.Client
 }
 
 // New builds a client for the daemon at base ("http://host:port" or
@@ -34,6 +35,18 @@ func New(base string) *Client {
 		base = "http://" + base
 	}
 	return &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient}
+}
+
+// SetToken arms bearer-token auth: every subsequent request (streams
+// included) carries "Authorization: Bearer <token>". An empty token
+// clears it.
+func (c *Client) SetToken(token string) { c.token = token }
+
+// authorize stamps the bearer token on a request, if one is set.
+func (c *Client) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 }
 
 // Error is a non-2xx response decoded from the v1 envelope. Responses
@@ -104,6 +117,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err

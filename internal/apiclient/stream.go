@@ -33,6 +33,7 @@ func (c *Client) Stream(ctx context.Context, path string, afterSeq uint64, fn fu
 	if afterSeq > 0 {
 		req.Header.Set("Last-Event-ID", strconv.FormatUint(afterSeq, 10))
 	}
+	c.authorize(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {

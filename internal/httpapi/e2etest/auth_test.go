@@ -1,0 +1,25 @@
+package e2etest
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAuthLoopbackExemptEndToEnd boots an authed daemon with the
+// default -auth-loopback=true: the local operator keeps zero-config
+// access while the token still works. (The denial side — loopback
+// exemption off — is exercised by testdata/auth.json.)
+func TestAuthLoopbackExemptEndToEnd(t *testing.T) {
+	tf := filepath.Join(t.TempDir(), "token")
+	if err := os.WriteFile(tf, []byte("loopback-test-token\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	d := startDaemon(t, "", "-autoadvance=0", "-auth-token-file", tf)
+	// No token, from loopback: exempt.
+	d.call(http.MethodGet, "/topology", nil, nil, http.StatusOK)
+	// Token also accepted.
+	d.token = "loopback-test-token"
+	d.call(http.MethodGet, "/topology", nil, nil, http.StatusOK)
+}

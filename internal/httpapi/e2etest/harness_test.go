@@ -1,0 +1,231 @@
+// Package e2etest is the black-box conformance and durability harness
+// for the ihnetd control plane: it builds the real daemon binary,
+// boots it with real flags against real listeners, drives it over
+// HTTP, SIGKILLs it mid-run, and asserts that a restart from the
+// durable store resumes byte-identical state.
+//
+// Two layers:
+//
+//   - Spec-driven conformance (spec_test.go): request/response cases
+//     loaded from testdata/*.json and replayed against a live daemon,
+//     asserting status, envelope code, and response shape.
+//   - Kill/restore e2e (restart_test.go): single-host and synthetic
+//     fleet daemons with -store-dir, killed without warning and
+//     restarted, comparing /state/hash fingerprints and journals.
+//
+// The fleet case runs 8 hosts by default; set IHNET_STORE_SMOKE=1
+// (CI's `make store-smoke`) to run the 1024-host version.
+package e2etest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// ihnetdBin is the daemon binary TestMain builds once for every test.
+var ihnetdBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "ihnet-e2e-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ihnetdBin = filepath.Join(dir, "ihnetd")
+	build := exec.Command("go", "build", "-o", ihnetdBin, "repro/cmd/ihnetd")
+	build.Dir = "../../.." // module root, from internal/httpapi/e2etest
+	if out, err := build.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "build ihnetd: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// freeAddr reserves a loopback port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// daemon is one live ihnetd process under test.
+type daemon struct {
+	t     *testing.T
+	base  string // http://127.0.0.1:port
+	token string // bearer token stamped on every request ("" = none)
+	cmd   *exec.Cmd
+	log   *bytes.Buffer
+	done  chan error // closes when the process exits
+}
+
+// startDaemon boots ihnetd with the given extra flags (an -addr is
+// prepended) and waits until /api/v1/healthz answers. The daemon's log
+// is dumped if the test fails, and the process is torn down at
+// cleanup if the test didn't already kill it.
+func startDaemon(t *testing.T, token string, args ...string) *daemon {
+	t.Helper()
+	addr := freeAddr(t)
+	d := &daemon{
+		t:     t,
+		base:  "http://" + addr,
+		token: token,
+		log:   &bytes.Buffer{},
+		done:  make(chan error, 1),
+	}
+	d.cmd = exec.Command(ihnetdBin, append([]string{"-addr", addr}, args...)...)
+	d.cmd.Stdout = d.log
+	d.cmd.Stderr = d.log
+	if err := d.cmd.Start(); err != nil {
+		t.Fatalf("start ihnetd: %v", err)
+	}
+	go func() { d.done <- d.cmd.Wait() }()
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("ihnetd log (%s):\n%s", addr, d.log.String())
+		}
+		d.stop()
+	})
+
+	// A 1024-host fleet bootstrap writes a thousand host stores; give
+	// readiness a generous ceiling while failing fast on process death.
+	deadline := time.After(180 * time.Second)
+	for {
+		select {
+		case err := <-d.done:
+			d.done <- err
+			t.Fatalf("ihnetd exited during startup: %v\n%s", err, d.log.String())
+		case <-deadline:
+			t.Fatalf("ihnetd not ready after 180s\n%s", d.log.String())
+		case <-time.After(50 * time.Millisecond):
+		}
+		resp, err := d.do(http.MethodGet, "/api/v1/healthz", nil, nil)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+	}
+}
+
+// do issues one request with the daemon's token and optional extra
+// headers. path is absolute (it includes /api/v1 where wanted, so
+// specs can also probe /metrics and unversioned paths).
+func (d *daemon) do(method, path string, body []byte, headers map[string]string) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, d.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if d.token != "" {
+		req.Header.Set("Authorization", "Bearer "+d.token)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// call runs a v1 request, asserts the status, and decodes the response
+// into out (nil discards).
+func (d *daemon) call(method, path string, in, out any, wantStatus int) {
+	d.t.Helper()
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			d.t.Fatal(err)
+		}
+	}
+	resp, err := d.do(method, "/api/v1"+path, body, nil)
+	if err != nil {
+		d.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.t.Fatalf("%s %s: read body: %v", method, path, err)
+	}
+	if resp.StatusCode != wantStatus {
+		d.t.Fatalf("%s %s: status %d, want %d (body %s)", method, path, resp.StatusCode, wantStatus, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			d.t.Fatalf("%s %s: decode: %v (body %s)", method, path, err, data)
+		}
+	}
+}
+
+// stateHash fetches the given fingerprint endpoint ("/state/hash" or
+// "/fleet/state/hash") and returns the full decoded document.
+func (d *daemon) stateHash(path string) map[string]any {
+	d.t.Helper()
+	out := map[string]any{}
+	d.call(http.MethodGet, path, nil, &out, http.StatusOK)
+	return out
+}
+
+// kill SIGKILLs the daemon — no shutdown hooks, no final flush; the
+// durable store sees exactly what write(2) already accepted.
+func (d *daemon) kill() {
+	d.t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		d.t.Fatalf("kill: %v", err)
+	}
+	<-d.done
+	d.done <- nil
+}
+
+// stop terminates gracefully (SIGTERM, then a kill fallback); safe to
+// call on an already-dead daemon.
+func (d *daemon) stop() {
+	select {
+	case err := <-d.done:
+		d.done <- err
+		return // already exited
+	default:
+	}
+	_ = d.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-d.done:
+		d.done <- err
+	case <-time.After(10 * time.Second):
+		_ = d.cmd.Process.Kill()
+		<-d.done
+		d.done <- nil
+	}
+}
+
+// admitBody is the standard single-pipe tenant admission document.
+func admitBody(tenant string, rateGbps float64) map[string]any {
+	return map[string]any{
+		"tenant": tenant,
+		"targets": []map[string]any{
+			{"src": "nic0", "dst": "memory:socket0", "rate_gbps": rateGbps},
+		},
+	}
+}

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -22,12 +23,14 @@ const StatusClientClosedRequest = 499
 // exactly one of these; the code is a stable, typed contract while
 // messages remain free-form.
 const (
-	CodeBadRequest  = "bad_request" // 400: malformed input
-	CodeNotFound    = "not_found"   // 404: no such resource or endpoint
-	CodeConflict    = "conflict"    // 409: admission/state conflict
-	CodeCanceled    = "canceled"    // 499: client closed the request
-	CodeInternal    = "internal"    // 500: operation failed server-side
-	CodeUnavailable = "unavailable" // 503: surface not enabled in this mode
+	CodeBadRequest      = "bad_request"       // 400: malformed input
+	CodeUnauthorized    = "unauthorized"      // 401: missing or wrong bearer token
+	CodeNotFound        = "not_found"         // 404: no such resource or endpoint
+	CodeConflict        = "conflict"          // 409: admission/state conflict
+	CodePayloadTooLarge = "payload_too_large" // 413: request body over the route's cap
+	CodeCanceled        = "canceled"          // 499: client closed the request
+	CodeInternal        = "internal"          // 500: operation failed server-side
+	CodeUnavailable     = "unavailable"       // 503: surface not enabled in this mode
 )
 
 // ErrorBody is the single typed error envelope of the v1 API:
@@ -53,10 +56,14 @@ func codeForStatus(status int) string {
 	switch status {
 	case http.StatusBadRequest:
 		return CodeBadRequest
+	case http.StatusUnauthorized:
+		return CodeUnauthorized
 	case http.StatusNotFound:
 		return CodeNotFound
 	case http.StatusConflict:
 		return CodeConflict
+	case http.StatusRequestEntityTooLarge:
+		return CodePayloadTooLarge
 	case StatusClientClosedRequest:
 		return CodeCanceled
 	case http.StatusServiceUnavailable:
@@ -73,10 +80,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeErr renders err in the v1 envelope with the code implied by the
-// status.
+// status. A body that blew the mux's MaxBytesReader cap surfaces as a
+// decode error deep inside whatever handler was reading it; detecting
+// *http.MaxBytesError here rewrites that to the 413 it really is, in
+// one place instead of every decode site.
 func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, ErrorBody{Error: ErrorDetail{
-		Code:    codeForStatus(status),
+	writeJSON(w, statusForErr(status, err), ErrorBody{Error: ErrorDetail{
+		Code:    codeForStatus(statusForErr(status, err)),
 		Message: err.Error(),
 	}})
 }
@@ -84,11 +94,19 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 // writeErrDetails is writeErr with structured endpoint-specific
 // context attached to the envelope.
 func writeErrDetails(w http.ResponseWriter, status int, err error, details any) {
-	writeJSON(w, status, ErrorBody{Error: ErrorDetail{
-		Code:    codeForStatus(status),
+	writeJSON(w, statusForErr(status, err), ErrorBody{Error: ErrorDetail{
+		Code:    codeForStatus(statusForErr(status, err)),
 		Message: err.Error(),
 		Details: details,
 	}})
+}
+
+func statusForErr(status int, err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return status
 }
 
 // lockMode says which server lock a route runs under.
@@ -120,13 +138,41 @@ type route struct {
 // Path returns the route's full versioned path.
 func (rt route) Path() string { return APIPrefix + rt.Pattern }
 
+// Request-body caps, enforced by one http.MaxBytesReader wrap in
+// mountRoutes — the single choke point for every route, replacing the
+// ad-hoc per-handler readers. A body over the cap surfaces as a 413 in
+// the typed envelope (see writeErr).
+const (
+	// DefaultBodyCap bounds every request body: no command document
+	// comes close to 1 MB.
+	DefaultBodyCap = 1 << 20
+	// RestoreBodyCap is the documented larger cap for POST /restore,
+	// whose body is a full snapshot (state export plus journal).
+	RestoreBodyCap = 64 << 20
+)
+
+// bodyCap returns the body limit for a route pattern.
+func bodyCap(pattern string) int64 {
+	if pattern == "/restore" {
+		return RestoreBodyCap
+	}
+	return DefaultBodyCap
+}
+
 // mountRoutes registers the table on mux under APIPrefix, wrapping
-// each handler in the requested lock via wrap, and installs the legacy
-// /api/... 308 redirects plus envelope-speaking 404s for everything
-// else.
+// each handler in the route's body cap and the requested lock via
+// wrap, and installs the legacy /api/... 308 redirects plus
+// envelope-speaking 404s for everything else.
 func mountRoutes(mux *http.ServeMux, routes []route, wrap func(lockMode, http.HandlerFunc) http.HandlerFunc) {
 	for _, rt := range routes {
-		mux.HandleFunc(rt.Method+" "+rt.Path(), wrap(rt.Lock, rt.Handler))
+		h := wrap(rt.Lock, rt.Handler)
+		cap := bodyCap(rt.Pattern)
+		mux.HandleFunc(rt.Method+" "+rt.Path(), func(w http.ResponseWriter, r *http.Request) {
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(w, r.Body, cap)
+			}
+			h(w, r)
+		})
 	}
 	mux.HandleFunc("/api/", legacyRedirect)
 	mux.HandleFunc("/", notFound)

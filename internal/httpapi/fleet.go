@@ -1,12 +1,15 @@
 package httpapi
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -16,6 +19,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/remedy"
 	"repro/internal/simtime"
+	"repro/internal/snap"
+	"repro/internal/store"
 	"repro/internal/topology"
 )
 
@@ -36,6 +41,7 @@ type FleetServer struct {
 	runner  *fleet.ShardedRunner
 	reg     *obs.Registry
 	rem     *remedy.FleetController // nil when remediation is not wired in
+	fstore  *store.FleetStore       // nil when durable persistence is not wired in
 	started time.Time
 }
 
@@ -64,9 +70,23 @@ func NewFleetServer(f *fleet.Fleet, cfg fleet.ShardConfig) *FleetServer {
 // the event rate, so retain more than a single host's default.
 const fleetBusCapacity = 16384
 
+// SetFleetStore attaches the durable fleet store. The daemon calls it
+// once at boot, after every host session has been bootstrapped or
+// recovered against its per-host store; the server needs the handle so
+// per-host snapshots also persist and /healthz reports occupancy.
+func (s *FleetServer) SetFleetStore(fs *store.FleetStore) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fstore = fs
+}
+
 // Fleet returns the underlying fleet (the daemon's shutdown path walks
 // it to stop every manager).
 func (s *FleetServer) Fleet() *fleet.Fleet { return s.fleet }
+
+// Registry returns the fleet-level metrics registry (epoch timings,
+// auth counters) — the one /metrics serves first.
+func (s *FleetServer) Registry() *obs.Registry { return s.reg }
 
 // Workers returns the resolved per-shard worker count.
 func (s *FleetServer) Workers() int { return s.runner.Workers() }
@@ -107,6 +127,11 @@ func (s *FleetServer) apiRoutes() []route {
 		{"POST", "/fleet/hosts/{host}/snapshot", lockWrite, s.postHostSnapshot},
 		{"GET", "/fleet/fabric/solver", lockWrite, s.getFleetSolver},
 		{"GET", "/fleet/hosts/{host}/journal", lockRead, s.getHostJournal},
+		// Canonical state fingerprints — what the e2e harness compares
+		// across a kill/restart cycle. Write lock: hashing exports
+		// state, which settles lazy fabric accounting.
+		{"GET", "/fleet/state/hash", lockWrite, s.getFleetStateHash},
+		{"GET", "/fleet/hosts/{host}/state/hash", lockWrite, s.getHostStateHash},
 		{"GET", "/fleet/shards", lockRead, s.getFleetShards},
 		// The observability surface is lockNone: roll-ups read host
 		// registries through the same atomics the writers use, and a
@@ -364,6 +389,21 @@ func (s *FleetServer) postHostSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, errNoSession)
 		return
 	}
+	if s.fstore != nil {
+		hs, err := s.fstore.Host(h.Name)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("open host store: %w", err))
+			return
+		}
+		info, err := hs.SaveSnapshot(h.Sess.BuildPayload())
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("persist checkpoint: %w", err))
+			return
+		}
+		w.Header().Set("X-Store-Snapshot-Seq", strconv.FormatUint(info.Seq, 10))
+		w.Header().Set("X-Store-Chunks-Written", strconv.Itoa(info.ChunksWritten))
+		w.Header().Set("X-Store-Chunks-Reused", strconv.Itoa(info.ChunksReused))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=%q", h.Name+"-snapshot.json"))
@@ -372,6 +412,56 @@ func (s *FleetServer) postHostSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	// Snapshot encoding bumps the host's snap metrics.
 	s.runner.MarkDirty(h.Name)
+}
+
+// getHostStateHash returns one host's canonical state fingerprint.
+func (s *FleetServer) getHostStateHash(w http.ResponseWriter, r *http.Request) {
+	h := s.fleet.Host(r.PathValue("host"))
+	if h == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown host %q", r.PathValue("host")))
+		return
+	}
+	out := map[string]any{
+		"host":            h.Name,
+		"state_hash":      snap.StateHash(h.Mgr),
+		"virtual_time_ns": int64(h.Mgr.Engine().Now()),
+	}
+	if h.Sess != nil {
+		out["journal_entries"] = h.Sess.Journal().Len()
+	}
+	writeJSON(w, http.StatusOK, out)
+	// Hashing exports state, which settles accounting metrics.
+	s.runner.MarkDirty(h.Name)
+}
+
+// getFleetStateHash folds every host's state hash — in host-name order,
+// so the digest is stable regardless of placement history — into one
+// fleet fingerprint. Two fleets with the same fingerprint are
+// byte-identical host by host; the kill/restart e2e compares exactly
+// this.
+func (s *FleetServer) getFleetStateHash(w http.ResponseWriter, _ *http.Request) {
+	hosts := s.fleet.Hosts()
+	names := make([]string, 0, len(hosts))
+	byName := make(map[string]*fleet.Host, len(hosts))
+	for _, h := range hosts {
+		names = append(names, h.Name)
+		byName[h.Name] = h
+	}
+	sort.Strings(names)
+	perHost := make(map[string]string, len(hosts))
+	digest := sha256.New()
+	for _, name := range names {
+		hash := snap.StateHash(byName[name].Mgr)
+		perHost[name] = hash
+		fmt.Fprintf(digest, "%s=%s\n", name, hash)
+	}
+	s.runner.MarkAllDirty()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fleet_hash":      "sha256:" + hex.EncodeToString(digest.Sum(nil)),
+		"hosts":           len(hosts),
+		"virtual_time_ns": int64(s.runner.Now()),
+		"host_hashes":     perHost,
+	})
 }
 
 func (s *FleetServer) getHostJournal(w http.ResponseWriter, r *http.Request) {
@@ -454,6 +544,20 @@ func (s *FleetServer) getFleetHealthz(w http.ResponseWriter, _ *http.Request) {
 		}
 	} else {
 		subsystems["remedy"] = map[string]any{"status": "disabled"}
+	}
+	if s.fstore != nil {
+		fst := s.fstore.Stats()
+		subsystems["store"] = map[string]any{
+			"status":            "ok",
+			"dir":               fst.Dir,
+			"sync":              string(fst.Sync),
+			"hosts":             fst.Hosts,
+			"wal_records":       fst.WalRecords,
+			"wal_segments":      fst.WalSegments,
+			"snapshotted_hosts": fst.SnapshottedHosts,
+		}
+	} else {
+		subsystems["store"] = map[string]any{"status": "disabled"}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          boolStatus(len(failed) == 0 && !remedyDegraded, "ok", "degraded"),

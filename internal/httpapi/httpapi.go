@@ -51,6 +51,7 @@ import (
 	"repro/internal/remedy"
 	"repro/internal/simtime"
 	"repro/internal/snap"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/vnet"
@@ -62,6 +63,7 @@ type Server struct {
 	mgr     *core.Manager
 	sess    *snap.Session      // nil when journaling is not wired in
 	rem     *remedy.Controller // nil when remediation is not wired in
+	store   *store.Store       // nil when durable persistence is not wired in
 	started time.Time
 }
 
@@ -74,6 +76,18 @@ func New(mgr *core.Manager) *Server { return &Server{mgr: mgr, started: time.Now
 // snapshot/restore/journal endpoints are live.
 func NewWithSession(sess *snap.Session) *Server {
 	return &Server{mgr: sess.Manager(), sess: sess, started: time.Now()}
+}
+
+// SetStore attaches the durable store backing the session. The daemon
+// calls it once at boot after Bootstrap/Recover already bound the
+// store to the session as its entry sink; the server needs the handle
+// so POST /snapshot also persists a checkpoint, POST /restore rewrites
+// the store to match the swapped-in session, and /healthz reports
+// store occupancy.
+func (s *Server) SetStore(st *store.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = st
 }
 
 // Manager returns the manager the server is currently backed by. A
@@ -143,6 +157,10 @@ func (s *Server) apiRoutes() []route {
 		{"POST", "/snapshot", lockWrite, s.postSnapshot},
 		{"POST", "/restore", lockWrite, s.postRestore},
 		{"GET", "/journal", lockRead, s.getJournal},
+		// Canonical state fingerprint — what the e2e harness compares
+		// across a kill/restart cycle. Write lock: hashing exports
+		// state, which settles lazy fabric accounting.
+		{"GET", "/state/hash", lockWrite, s.getStateHash},
 		// Closed-loop remediation (unavailable unless the daemon was
 		// started with -remedy).
 		{"GET", "/remedy/status", lockRead, s.getRemedyStatus},
@@ -631,6 +649,13 @@ func (s *Server) getTelemetry(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		if n < 0 {
+			// Virtual time starts at 0; a negative cutoff is a client
+			// bug, not "everything" — same contract as the SSE ?since=
+			// resume parameter.
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("since_ns must be non-negative, got %d", n))
+			return
+		}
 		since = simtime.Time(n)
 	}
 	link := topology.LinkID(q.Get("link"))
@@ -809,6 +834,19 @@ func (s *Server) getHealthz(w http.ResponseWriter, _ *http.Request) {
 	} else {
 		subsystems["remedy"] = map[string]any{"status": "disabled"}
 	}
+	if s.store != nil {
+		st := s.store.Stats()
+		subsystems["store"] = map[string]any{
+			"status":       "ok",
+			"dir":          st.Dir,
+			"sync":         string(st.Sync),
+			"wal_records":  st.WalRecords,
+			"wal_segments": st.WalSegments,
+			"snapshot_seq": st.SnapshotSeq,
+		}
+	} else {
+		subsystems["store"] = map[string]any{"status": "disabled"}
+	}
 	if s.sess != nil {
 		subsystems["snap"].(map[string]any)["journal_entries"] = s.sess.Journal().Len()
 	}
@@ -850,6 +888,16 @@ func (s *Server) postSnapshot(w http.ResponseWriter, _ *http.Request) {
 		writeErr(w, http.StatusNotFound, errNoSession)
 		return
 	}
+	if s.store != nil {
+		info, err := s.store.SaveSnapshot(s.sess.BuildPayload())
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("persist checkpoint: %w", err))
+			return
+		}
+		w.Header().Set("X-Store-Snapshot-Seq", strconv.FormatUint(info.Seq, 10))
+		w.Header().Set("X-Store-Chunks-Written", strconv.Itoa(info.ChunksWritten))
+		w.Header().Set("X-Store-Chunks-Reused", strconv.Itoa(info.ChunksReused))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="ihnet-snapshot.json"`)
 	if err := s.sess.Snapshot(w); err != nil {
@@ -873,6 +921,16 @@ func (s *Server) postRestore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// Rewrite the durable store to match the incoming session before
+	// the swap: if the rewrite fails the old session keeps serving and
+	// the store still describes it.
+	if s.store != nil {
+		if err := s.store.Reset(restored.Config(), restored.Journal().Entries); err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("rewrite store: %w", err))
+			return
+		}
+		s.store.Resume(restored)
+	}
 	s.sess.Manager().Stop()
 	s.sess = restored
 	s.mgr = restored.Manager()
@@ -882,6 +940,25 @@ func (s *Server) postRestore(w http.ResponseWriter, r *http.Request) {
 		"journal_entries": restored.Journal().Len(),
 		"state_hash":      snap.StateHash(restored.Manager()),
 	})
+}
+
+// getStateHash returns the canonical state fingerprint plus enough
+// context (virtual time, journal length, store occupancy) for the e2e
+// harness to assert byte-identical recovery after a kill/restart.
+func (s *Server) getStateHash(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]any{
+		"state_hash":      snap.StateHash(s.mgr),
+		"virtual_time_ns": int64(s.mgr.Engine().Now()),
+	}
+	if s.sess != nil {
+		out["journal_entries"] = s.sess.Journal().Len()
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		out["store_wal_records"] = st.WalRecords
+		out["store_snapshot_seq"] = st.SnapshotSeq
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // getJournal serves the recorded command log.

@@ -169,8 +169,9 @@ func (s *FleetServer) putFleetRemedyPolicy(w http.ResponseWriter, r *http.Reques
 
 // parsePolicyBody decodes and validates a policy document via the
 // package's canonical parser (defaults applied, rule table checked).
+// Body size is already bounded by the mux-level MaxBytesReader cap.
 func parsePolicyBody(r io.Reader) (*remedy.Policy, error) {
-	raw, err := io.ReadAll(io.LimitReader(r, 1<<20))
+	raw, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}

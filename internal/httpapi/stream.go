@@ -177,19 +177,25 @@ func (sr *statusRecorder) Flush() {
 	}
 }
 
+// requestSeq mints request IDs for every AccessLog instance in the
+// process. One process-scoped counter — not per-middleware, and not
+// seeded from the wall clock — so IDs are unique across however many
+// muxes a daemon mounts, and carry no wall-clock nondeterminism into
+// the journal-correlated spans they become.
+var requestSeq atomic.Uint64
+
 // AccessLog wraps a handler with the structured access log: every
 // request gets a correlation ID (client-supplied X-Request-ID or a
-// minted "r<token>-<n>"), echoed back in the response header, stored
-// in the request context for span rooting, and logged in logfmt with
-// route, status and wall duration in microseconds. logf is typically
-// log.Printf; nil disables logging but keeps the ID plumbing.
+// minted "r<n>" from a process-scoped counter), echoed back in the
+// response header, stored in the request context for span rooting, and
+// logged in logfmt with route, status and wall duration in
+// microseconds. logf is typically log.Printf; nil disables logging but
+// keeps the ID plumbing.
 func AccessLog(next http.Handler, logf func(format string, args ...any)) http.Handler {
-	var seq atomic.Uint64
-	token := fmt.Sprintf("%06x", time.Now().UnixNano()&0xffffff)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
 		if id == "" {
-			id = fmt.Sprintf("r%s-%d", token, seq.Add(1))
+			id = "r" + strconv.FormatUint(requestSeq.Add(1), 10)
 		}
 		w.Header().Set("X-Request-ID", id)
 		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))

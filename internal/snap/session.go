@@ -45,6 +45,22 @@ func (c Config) buildTopology() (*topology.Topology, error) {
 	return nil, fmt.Errorf("snap: config names neither a preset nor a topology")
 }
 
+// EntrySink receives every command a session journals, in order, at
+// the moment it is appended — the hook a durable store implements to
+// shadow the in-memory journal on disk. The sink sees the raw
+// per-command entries: advances that coalesce in the in-memory journal
+// still reach the sink individually, and recovery re-folds them through
+// the same append path, so replay semantics are unchanged. Entries
+// carry no sequence number (the journal assigns those on append); a
+// durable sink keeps its own record positions.
+//
+// Replayed entries are never forwarded — replay reconstructs state
+// that the sink, by definition, already holds — so a sink must be
+// attached only to live sessions (after restore, not during).
+type EntrySink interface {
+	AppendEntry(Entry) error
+}
+
 // Session is a running manager whose externally issued commands are
 // recorded into an append-only journal, making the whole run
 // reproducible: Snapshot captures it, Restore and Replay rebuild it.
@@ -52,6 +68,7 @@ type Session struct {
 	cfg     Config
 	mgr     *core.Manager
 	journal Journal
+	sink    EntrySink // nil unless a durable store is attached
 	kvs     map[string]*workload.KVClient
 	// nextSpan, when set, is consumed by the next journaled command as
 	// its span ID (see SetSpan).
@@ -111,6 +128,28 @@ func (s *Session) Now() simtime.Time { return s.mgr.Engine().Now() }
 // KV returns the KV workload client started for a tenant, or nil.
 func (s *Session) KV(tenant string) *workload.KVClient { return s.kvs[tenant] }
 
+// SetSink attaches (or, with nil, detaches) a durable entry sink.
+// Attach only to a live session: during Replay/Restore the entries
+// being applied came *from* the store, and forwarding them back would
+// double-write the log.
+func (s *Session) SetSink(sink EntrySink) { s.sink = sink }
+
+// record appends a journaled command to the in-memory journal and
+// forwards it to the durable sink, if one is attached. A sink failure
+// is a command failure: the state change already happened (apply runs
+// first), but the caller learns the run is no longer durably
+// reproducible.
+func (s *Session) record(e Entry) error {
+	s.journal.append(e)
+	if s.sink == nil {
+		return nil
+	}
+	if err := s.sink.AppendEntry(e); err != nil {
+		return fmt.Errorf("snap: durable append: %w", err)
+	}
+	return nil
+}
+
 // SetSpan sets the span ID the next journaled command will carry,
 // instead of the automatic "j<seq>". The HTTP layer passes its
 // request ID here so one identifier threads access log -> journal ->
@@ -152,8 +191,7 @@ func (s *Session) AdvanceTo(t simtime.Time) error {
 	if err := s.apply(e); err != nil {
 		return err
 	}
-	s.journal.append(e)
-	return nil
+	return s.record(e)
 }
 
 // Admit journals and runs the compile -> schedule -> arbitrate
@@ -183,7 +221,9 @@ func (s *Session) AdmitAvoiding(tenant string, targets []intent.Target, avoid []
 	if err := s.apply(e); err != nil {
 		return nil, err
 	}
-	s.journal.append(e)
+	if err := s.record(e); err != nil {
+		return nil, err
+	}
 	return s.mgr.Tenant(fabric.TenantID(tenant)).View, nil
 }
 
@@ -194,8 +234,7 @@ func (s *Session) Evict(tenant string) error {
 	if err := s.apply(e); err != nil {
 		return err
 	}
-	s.journal.append(e)
-	return nil
+	return s.record(e)
 }
 
 // DegradeLink journals and injects a silent link degradation.
@@ -205,8 +244,7 @@ func (s *Session) DegradeLink(link string, lossFrac float64, extra simtime.Durat
 	if err := s.apply(e); err != nil {
 		return err
 	}
-	s.journal.append(e)
-	return nil
+	return s.record(e)
 }
 
 // FailLink journals and hard-fails a directed link.
@@ -216,8 +254,7 @@ func (s *Session) FailLink(link string) error {
 	if err := s.apply(e); err != nil {
 		return err
 	}
-	s.journal.append(e)
-	return nil
+	return s.record(e)
 }
 
 // RestoreLink journals and heals a directed link.
@@ -227,8 +264,7 @@ func (s *Session) RestoreLink(link string) error {
 	if err := s.apply(e); err != nil {
 		return err
 	}
-	s.journal.append(e)
-	return nil
+	return s.record(e)
 }
 
 // SetComponentConfig journals and applies one configuration change —
@@ -240,8 +276,7 @@ func (s *Session) SetComponentConfig(component, key, value string) error {
 	if err := s.apply(e); err != nil {
 		return err
 	}
-	s.journal.append(e)
-	return nil
+	return s.record(e)
 }
 
 // StartWorkload journals and starts a workload generator: kind is one
@@ -254,8 +289,7 @@ func (s *Session) StartWorkload(kind, tenant, src, dst string) error {
 	if err := s.apply(e); err != nil {
 		return err
 	}
-	s.journal.append(e)
-	return nil
+	return s.record(e)
 }
 
 // SetTenantCap journals and installs a per-tenant rate cap on one
@@ -266,8 +300,7 @@ func (s *Session) SetTenantCap(link, tenant string, capBps float64) error {
 	if err := s.apply(e); err != nil {
 		return err
 	}
-	s.journal.append(e)
-	return nil
+	return s.record(e)
 }
 
 // BatchOpResult reports the outcome of one op in an ApplyBatch call:
@@ -323,7 +356,9 @@ func (s *Session) ApplyBatch(ops []Entry) ([]BatchOpResult, error) {
 	tr.EndSpan()
 	if applied > 0 {
 		e.Ops = normalizeOps(ops[:applied])
-		s.journal.append(e)
+		if err := s.record(e); err != nil && failErr == nil {
+			failErr = err
+		}
 	}
 	return results, failErr
 }
@@ -364,7 +399,10 @@ func (s *Session) Ping(src, dst string) (diag.PingReport, error) {
 	if err != nil {
 		return diag.PingReport{}, err
 	}
-	s.journal.append(e) // probe traffic is in flight: journal even on timeout
+	// Probe traffic is in flight: journal even on timeout.
+	if err := s.record(e); err != nil {
+		return diag.PingReport{}, err
+	}
 	for i := 0; i < probeSlices && !done; i++ {
 		s.mgr.RunFor(probeSlice)
 	}
@@ -389,7 +427,9 @@ func (s *Session) Trace(src, dst string) (diag.TraceReport, error) {
 	if err != nil {
 		return diag.TraceReport{}, err
 	}
-	s.journal.append(e)
+	if err := s.record(e); err != nil {
+		return diag.TraceReport{}, err
+	}
 	for i := 0; i < probeSlices && !done; i++ {
 		s.mgr.RunFor(probeSlice)
 	}
@@ -415,7 +455,9 @@ func (s *Session) Perf(src, dst, tenant string) (diag.PerfReport, error) {
 	if err != nil {
 		return diag.PerfReport{}, err
 	}
-	s.journal.append(e)
+	if err := s.record(e); err != nil {
+		return diag.PerfReport{}, err
+	}
 	for i := 0; i < probeSlices && !done; i++ {
 		s.mgr.RunFor(probeSlice)
 	}
@@ -441,8 +483,7 @@ func (s *Session) replayEntry(e Entry) error {
 	if err := s.apply(e); err != nil {
 		return err
 	}
-	s.journal.append(e)
-	return nil
+	return s.record(e)
 }
 
 // apply executes one entry against the live manager without recording

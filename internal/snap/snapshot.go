@@ -53,12 +53,13 @@ func checksum(payload []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// Snapshot serializes the session into w. The session stays live; a
-// snapshot is a checkpoint, not a shutdown.
-func (s *Session) Snapshot(w io.Writer) error {
-	start := time.Now()
+// BuildPayload exports the session's current state as a snapshot
+// payload — the raw material Snapshot wraps in the envelope, exposed
+// so durable stores can chunk and persist it without re-encoding the
+// whole envelope.
+func (s *Session) BuildPayload() Payload {
 	export := Export(s.mgr)
-	p := Payload{
+	return Payload{
 		Config:          s.cfg,
 		VirtualTimeNs:   export.VirtualTimeNs,
 		EventsProcessed: export.EventsProcessed,
@@ -66,6 +67,13 @@ func (s *Session) Snapshot(w io.Writer) error {
 		State:           export,
 		Journal:         s.journal,
 	}
+}
+
+// Snapshot serializes the session into w. The session stays live; a
+// snapshot is a checkpoint, not a shutdown.
+func (s *Session) Snapshot(w io.Writer) error {
+	start := time.Now()
+	p := s.BuildPayload()
 	raw, err := json.Marshal(p)
 	if err != nil {
 		return fmt.Errorf("snap: marshal payload: %w", err)
@@ -122,6 +130,16 @@ func ReadSnapshot(r io.Reader) (Payload, error) {
 func Restore(r io.Reader) (*Session, error) {
 	p, err := ReadSnapshot(r)
 	if err != nil {
+		return nil, err
+	}
+	return RestorePayload(p)
+}
+
+// RestorePayload is Restore for an already-decoded payload: replay the
+// journal on a fresh host and verify the state hash. Durable stores
+// reassemble payloads from chunks and hand them here.
+func RestorePayload(p Payload) (*Session, error) {
+	if err := p.Journal.Validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// chunkRef names one content-addressed blob: its SHA-256 in hex and
+// its size. The hash is the identity — equal content is stored once no
+// matter how many snapshots (or hosts, in a fleet store) reference it.
+type chunkRef struct {
+	SHA256 string `json:"sha256"`
+	Size   int64  `json:"size"`
+}
+
+// chunkPool is a content-addressed blob store under <dir>, laid out as
+// chunks/<first-2-hex>/<sha256-hex>. Writes go through a temp file and
+// a rename, so a crash mid-write leaves only an ignorable *.tmp — a
+// chunk file either exists complete or not at all.
+type chunkPool struct {
+	dir string
+	// shared pools back several host stores (fleet mode); unreferenced-
+	// chunk garbage collection is disabled there because one host cannot
+	// see the others' references.
+	shared bool
+	sync   bool
+}
+
+func openChunkPool(dir string, shared, sync bool) (*chunkPool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create chunk dir: %w", err)
+	}
+	p := &chunkPool{dir: dir, shared: shared, sync: sync}
+	p.cleanTemp()
+	return p, nil
+}
+
+// cleanTemp removes leftover temp files from interrupted writes.
+func (p *chunkPool) cleanTemp() {
+	matches, _ := filepath.Glob(filepath.Join(p.dir, "chunk-*.tmp"))
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}
+
+func (p *chunkPool) path(hash string) string {
+	return filepath.Join(p.dir, hash[:2], hash)
+}
+
+// put stores data under its SHA-256, reusing an existing chunk with
+// the same content.
+func (p *chunkPool) put(data []byte) (ref chunkRef, reused bool, err error) {
+	sum := sha256.Sum256(data)
+	ref = chunkRef{SHA256: hex.EncodeToString(sum[:]), Size: int64(len(data))}
+	path := p.path(ref.SHA256)
+	if fi, err := os.Stat(path); err == nil && fi.Size() == ref.Size {
+		return ref, true, nil
+	}
+	f, err := os.CreateTemp(p.dir, "chunk-*.tmp")
+	if err != nil {
+		return ref, false, fmt.Errorf("store: create chunk temp: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return ref, false, fmt.Errorf("store: write chunk: %w", err)
+	}
+	if p.sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return ref, false, fmt.Errorf("store: sync chunk: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return ref, false, fmt.Errorf("store: close chunk: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		os.Remove(tmp)
+		return ref, false, fmt.Errorf("store: create chunk prefix dir: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return ref, false, fmt.Errorf("store: publish chunk: %w", err)
+	}
+	return ref, false, nil
+}
+
+// get reads a chunk and verifies its content against the address it
+// was requested by. A mismatch means on-disk corruption.
+func (p *chunkPool) get(ref chunkRef) ([]byte, error) {
+	data, err := os.ReadFile(p.path(ref.SHA256))
+	if err != nil {
+		return nil, fmt.Errorf("store: read chunk %s: %w", ref.SHA256, err)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != ref.SHA256 || int64(len(data)) != ref.Size {
+		return nil, fmt.Errorf("store: chunk %s is corrupt on disk", ref.SHA256)
+	}
+	return data, nil
+}
+
+// gc removes chunks not in keep. No-op for shared (fleet) pools, where
+// references span hosts the pool cannot enumerate.
+func (p *chunkPool) gc(keep map[string]bool) (removed int, err error) {
+	if p.shared {
+		return 0, nil
+	}
+	prefixes, err := os.ReadDir(p.dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: gc chunks: %w", err)
+	}
+	for _, pre := range prefixes {
+		if !pre.IsDir() || len(pre.Name()) != 2 {
+			continue
+		}
+		chunks, err := os.ReadDir(filepath.Join(p.dir, pre.Name()))
+		if err != nil {
+			continue
+		}
+		for _, c := range chunks {
+			name := c.Name()
+			if !isHexHash(name) || keep[name] {
+				continue
+			}
+			if err := os.Remove(filepath.Join(p.dir, pre.Name(), name)); err == nil {
+				removed++
+			}
+		}
+	}
+	return removed, nil
+}
+
+func isHexHash(s string) bool {
+	if len(s) != sha256.Size*2 {
+		return false
+	}
+	return strings.IndexFunc(s, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) < 0
+}

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/snap"
+)
+
+// lastSegment returns the path of the highest-named WAL segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "journal", "seg-*.wal"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no WAL segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1]
+}
+
+// TestCrashRecovery is the crash-recovery table: each corruption is a
+// physical failure mode a kill or torn write can leave behind, and
+// each must recover to the last valid entry with a journal that still
+// passes the twice-replay determinism gate.
+func TestCrashRecovery(t *testing.T) {
+	cases := []struct {
+		name string
+		// corrupt damages the store directory after a clean run.
+		corrupt func(t *testing.T, dir string)
+		// wantSnapshot is whether recovery should still come from the
+		// checkpoint (vs falling back to WAL-only replay).
+		wantSnapshot bool
+	}{
+		{
+			// A record whose bytes stop mid-payload: the tail the kernel
+			// never finished writing.
+			name: "truncated tail segment",
+			corrupt: func(t *testing.T, dir string) {
+				seg := lastSegment(t, dir)
+				fi, err := os.Stat(seg)
+				if err != nil || fi.Size() < 10 {
+					t.Fatalf("stat %s: size %d err %v", seg, fi.Size(), err)
+				}
+				if err := os.Truncate(seg, fi.Size()-7); err != nil {
+					t.Fatalf("truncate: %v", err)
+				}
+			},
+			wantSnapshot: true,
+		},
+		{
+			// A record whose payload bytes were torn: the checksum catches
+			// it and recovery cuts the log there.
+			name: "corrupted checksum entry",
+			corrupt: func(t *testing.T, dir string) {
+				seg := lastSegment(t, dir)
+				data, err := os.ReadFile(seg)
+				if err != nil || len(data) < walHeaderSize+4 {
+					t.Fatalf("read %s: %d bytes, err %v", seg, len(data), err)
+				}
+				// Flip a byte inside the last record's payload.
+				data[len(data)-3] ^= 0xff
+				if err := os.WriteFile(seg, data, 0o644); err != nil {
+					t.Fatalf("rewrite: %v", err)
+				}
+			},
+			wantSnapshot: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			sess, st := newStoredSession(t, dir, Options{Sync: SyncOS, JournalChunkEntries: 2})
+			drive(t, sess)
+			if _, err := st.SaveSnapshot(sess.BuildPayload()); err != nil {
+				t.Fatalf("SaveSnapshot: %v", err)
+			}
+			// Commands past the checkpoint; the corruption lands among
+			// these.
+			hashTimeNs := int64(sess.Now())
+			admit(t, sess, "tail-1")
+			if err := sess.Advance(200 * simtime.Microsecond); err != nil {
+				t.Fatalf("Advance: %v", err)
+			}
+			admit(t, sess, "tail-2")
+			st.Close()
+
+			tc.corrupt(t, dir)
+
+			st2, err := Open(dir, Options{Sync: SyncOS, JournalChunkEntries: 2})
+			if err != nil {
+				t.Fatalf("reopen after corruption: %v", err)
+			}
+			recovered, rep, err := st2.Recover()
+			if err != nil {
+				t.Fatalf("Recover after corruption: %v", err)
+			}
+			if tc.wantSnapshot && rep.SnapshotSeq == 0 {
+				t.Fatalf("expected recovery from the checkpoint, got WAL-only (%+v)", rep)
+			}
+
+			// Recovery lands at or after the checkpoint and at or before
+			// the full run — exactly the valid prefix of the log.
+			if recovered.Journal().Len() > sess.Journal().Len() {
+				t.Fatalf("recovered journal longer than the original: %d > %d",
+					recovered.Journal().Len(), sess.Journal().Len())
+			}
+			if recovered.Journal().Len() < 1 {
+				t.Fatalf("recovered journal is empty")
+			}
+			// Never behind the checkpoint: the corrupt tail cost at most
+			// the commands after the last intact record.
+			if got := int64(recovered.Now()); got < hashTimeNs {
+				t.Fatalf("recovered time %d regressed past the checkpoint's %d", got, hashTimeNs)
+			}
+
+			// The recovered journal must itself be a deterministic,
+			// valid command log.
+			if err := func() error { j := recovered.Journal(); return j.Validate() }(); err != nil {
+				t.Fatalf("recovered journal invalid: %v", err)
+			}
+			if div, err := snap.CheckDeterminism(recovered.Config(), recovered.Journal()); err != nil {
+				t.Fatalf("CheckDeterminism on recovered journal: %v (divergence %+v)", err, div)
+			}
+
+			// And the recovered state must equal an independent replay of
+			// that journal — byte-identical.
+			replayed, err := snap.Replay(recovered.Config(), recovered.Journal())
+			if err != nil {
+				t.Fatalf("Replay of recovered journal: %v", err)
+			}
+			if got, want := snap.StateHash(replayed.Manager()), snap.StateHash(recovered.Manager()); got != want {
+				t.Fatalf("replayed hash %s != recovered hash %s", got, want)
+			}
+		})
+	}
+}
+
+// TestPartialChunkWriteFallsBackAGeneration tears a chunk only the
+// newest checkpoint references — the partial-write failure mode — and
+// expects recovery to skip that generation, restore the previous one,
+// and replay the WAL tail into a byte-identical final state: nothing
+// is lost, because WAL pruning is bounded by the oldest retained
+// generation, not the newest.
+func TestPartialChunkWriteFallsBackAGeneration(t *testing.T) {
+	dir := t.TempDir()
+	sess, st := newStoredSession(t, dir, Options{Sync: SyncOS, JournalChunkEntries: 2})
+	drive(t, sess)
+	if _, err := st.SaveSnapshot(sess.BuildPayload()); err != nil {
+		t.Fatalf("SaveSnapshot gen 1: %v", err)
+	}
+	admit(t, sess, "mid")
+	if err := sess.Advance(200 * simtime.Microsecond); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if _, err := st.SaveSnapshot(sess.BuildPayload()); err != nil {
+		t.Fatalf("SaveSnapshot gen 2: %v", err)
+	}
+	admit(t, sess, "tail")
+	wantHash := snap.StateHash(sess.Manager())
+	wantLen := sess.Journal().Len()
+	st.Close()
+
+	// Tear generation 2's state chunk — unique to it; the config and
+	// shared journal-prefix chunks stay intact for generation 1.
+	m2, err := readManifest(filepath.Join(dir, "snapshots"), 2)
+	if err != nil {
+		t.Fatalf("read gen-2 manifest: %v", err)
+	}
+	chunk := filepath.Join(dir, "chunks", m2.State.SHA256[:2], m2.State.SHA256)
+	fi, err := os.Stat(chunk)
+	if err != nil {
+		t.Fatalf("stat gen-2 state chunk: %v", err)
+	}
+	if err := os.Truncate(chunk, fi.Size()/2); err != nil {
+		t.Fatalf("truncate chunk: %v", err)
+	}
+
+	st2, err := Open(dir, Options{Sync: SyncOS, JournalChunkEntries: 2})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	recovered, rep, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.SnapshotsSkipped != 1 || rep.SnapshotSeq != 1 {
+		t.Fatalf("expected fallback from gen 2 to gen 1, report %+v", rep)
+	}
+	if got := snap.StateHash(recovered.Manager()); got != wantHash {
+		t.Fatalf("recovered hash %s, want %s (nothing may be lost)", got, wantHash)
+	}
+	if got := recovered.Journal().Len(); got != wantLen {
+		t.Fatalf("recovered journal has %d entries, want %d", got, wantLen)
+	}
+	if _, err := snap.CheckDeterminism(recovered.Config(), recovered.Journal()); err != nil {
+		t.Fatalf("CheckDeterminism on recovered journal: %v", err)
+	}
+}
+
+// TestAllCheckpointsCorruptRefusesPartialRecovery tears every chunk:
+// with no loadable generation and the WAL prefix pruned under snapshot
+// coverage, recovery must refuse rather than silently rebuild a world
+// missing its history.
+func TestAllCheckpointsCorruptRefusesPartialRecovery(t *testing.T) {
+	dir := t.TempDir()
+	sess, st := newStoredSession(t, dir, Options{Sync: SyncOS, JournalChunkEntries: 2})
+	drive(t, sess)
+	if _, err := st.SaveSnapshot(sess.BuildPayload()); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	admit(t, sess, "tail")
+	st.Close()
+
+	var chunks []string
+	filepath.Walk(filepath.Join(dir, "chunks"), func(path string, fi os.FileInfo, err error) error {
+		if err == nil && fi.Mode().IsRegular() && isHexHash(fi.Name()) {
+			chunks = append(chunks, path)
+		}
+		return nil
+	})
+	if len(chunks) == 0 {
+		t.Fatalf("no chunks under %s", dir)
+	}
+	for _, c := range chunks {
+		fi, _ := os.Stat(c)
+		if err := os.Truncate(c, fi.Size()/2); err != nil {
+			t.Fatalf("truncate chunk: %v", err)
+		}
+	}
+
+	st2, err := Open(dir, Options{Sync: SyncOS, JournalChunkEntries: 2})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, rep, err := st2.Recover(); err == nil {
+		t.Fatalf("Recover should refuse a store with no loadable checkpoint and a pruned WAL prefix (report %+v)", rep)
+	}
+}
+
+// TestRecoverAfterMidSegmentCorruption corrupts a record that is NOT
+// the last one: everything from the bad record on is discarded and the
+// prefix must still recover and extend cleanly.
+func TestRecoverAfterMidSegmentCorruption(t *testing.T) {
+	dir := t.TempDir()
+	sess, st := newStoredSession(t, dir, Options{Sync: SyncOS})
+	drive(t, sess)
+	st.Close()
+
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	// Flip a byte roughly in the middle of the segment, inside some
+	// earlier record.
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatalf("rewrite segment: %v", err)
+	}
+
+	st2, err := Open(dir, Options{Sync: SyncOS})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	recovered, rep, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.TruncatedBytes == 0 {
+		t.Fatalf("expected tail truncation, report %+v", rep)
+	}
+	if recovered.Journal().Len() >= sess.Journal().Len() {
+		t.Fatalf("mid-segment corruption should shorten the journal: %d >= %d",
+			recovered.Journal().Len(), sess.Journal().Len())
+	}
+	// The store stays usable: new commands append past the truncation
+	// and survive another recovery.
+	admit(t, recovered, "after-recovery")
+	wantHash := snap.StateHash(recovered.Manager())
+	st2.Close()
+
+	st3, err := Open(dir, Options{Sync: SyncOS})
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	again, _, err := st3.Recover()
+	if err != nil {
+		t.Fatalf("second Recover: %v", err)
+	}
+	if got := snap.StateHash(again.Manager()); got != wantHash {
+		t.Fatalf("second recovery hash %s, want %s", got, wantHash)
+	}
+}

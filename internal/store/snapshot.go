@@ -1,0 +1,234 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/snap"
+)
+
+// ManifestFormat identifies a store snapshot manifest on disk.
+const ManifestFormat = "ihnet-store-manifest"
+
+// ManifestVersion is the manifest schema version.
+const ManifestVersion = 1
+
+// manifestKeep is how many snapshot generations a store retains;
+// older manifests are pruned after each save and their now-
+// unreferenced chunks collected.
+const manifestKeep = 3
+
+// defaultJournalChunkEntries groups this many journal entries per
+// chunk. The journal is append-only, so every full chunk is immutable:
+// consecutive snapshots re-put identical prefixes and the pool
+// deduplicates them — an incremental checkpoint costs one state chunk
+// plus the journal's new tail.
+const defaultJournalChunkEntries = 256
+
+// manifest is the payload of one snapshot generation: where every
+// piece of the snap.Payload lives in the chunk pool, plus the WAL
+// position it covers. Recovery = reassemble + replay WAL records with
+// sequence > WalSeq.
+type manifest struct {
+	Seq           uint64 `json:"seq"`
+	WalSeq        uint64 `json:"wal_seq"`
+	StateHash     string `json:"state_hash"`
+	VirtualTimeNs int64  `json:"virtual_time_ns"`
+
+	Config chunkRef `json:"config"`
+	State  chunkRef `json:"state"`
+	// Journal chunks, in order; concatenating their entry arrays
+	// rebuilds the full journal.
+	Journal        []journalChunk `json:"journal"`
+	JournalEntries int            `json:"journal_entries"`
+}
+
+type journalChunk struct {
+	chunkRef
+	Entries int `json:"entries"`
+}
+
+// manifestEnvelope wraps the manifest with the same format/version/
+// checksum scheme snap uses for snapshots.
+type manifestEnvelope struct {
+	Format         string          `json:"format"`
+	Version        int             `json:"version"`
+	Payload        json.RawMessage `json:"payload"`
+	ChecksumSHA256 string          `json:"checksum_sha256"`
+}
+
+// statePart is the non-journal, non-config remainder of a
+// snap.Payload, stored as one chunk. It changes on every checkpoint
+// (virtual time moved), so it is the snapshot's incremental cost.
+type statePart struct {
+	VirtualTimeNs   int64            `json:"virtual_time_ns"`
+	EventsProcessed uint64           `json:"events_processed"`
+	StateHash       string           `json:"state_hash"`
+	State           snap.StateExport `json:"state"`
+}
+
+// checksumJSON mirrors snap's snapshot checksum: SHA-256 over the
+// whitespace-compacted JSON, so formatting never invalidates a
+// manifest but any semantic change does.
+func checksumJSON(payload []byte) string {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		sum := sha256.Sum256(payload)
+		return hex.EncodeToString(sum[:])
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+func manifestName(seq uint64) string {
+	return fmt.Sprintf("manifest-%08d.json", seq)
+}
+
+func parseManifestName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "manifest-") || !strings.HasSuffix(name, ".json") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "manifest-"), ".json"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listManifests returns manifest sequence numbers ascending.
+func listManifests(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: read snapshots dir: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseManifestName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+func writeManifest(dir string, m manifest, sync bool) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: marshal manifest: %w", err)
+	}
+	env := manifestEnvelope{
+		Format:         ManifestFormat,
+		Version:        ManifestVersion,
+		Payload:        raw,
+		ChecksumSHA256: checksumJSON(raw),
+	}
+	doc, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal manifest envelope: %w", err)
+	}
+	path := filepath.Join(dir, manifestName(m.Seq))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, doc, 0o644); err != nil {
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	if sync {
+		if f, err := os.Open(tmp); err == nil {
+			f.Sync()
+			f.Close()
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publish manifest: %w", err)
+	}
+	return nil
+}
+
+func readManifest(dir string, seq uint64) (manifest, error) {
+	doc, err := os.ReadFile(filepath.Join(dir, manifestName(seq)))
+	if err != nil {
+		return manifest{}, fmt.Errorf("store: read manifest %d: %w", seq, err)
+	}
+	var env manifestEnvelope
+	if err := json.Unmarshal(doc, &env); err != nil {
+		return manifest{}, fmt.Errorf("store: decode manifest %d: %w", seq, err)
+	}
+	if env.Format != ManifestFormat {
+		return manifest{}, fmt.Errorf("store: manifest %d format %q is not %q", seq, env.Format, ManifestFormat)
+	}
+	if env.Version != ManifestVersion {
+		return manifest{}, fmt.Errorf("store: unsupported manifest version %d (want %d)", env.Version, ManifestVersion)
+	}
+	if got := checksumJSON(env.Payload); got != env.ChecksumSHA256 {
+		return manifest{}, fmt.Errorf("store: manifest %d checksum mismatch: recorded %s, computed %s", seq, env.ChecksumSHA256, got)
+	}
+	var m manifest
+	if err := json.Unmarshal(env.Payload, &m); err != nil {
+		return manifest{}, fmt.Errorf("store: decode manifest %d payload: %w", seq, err)
+	}
+	return m, nil
+}
+
+// chunkRefs lists every chunk hash a manifest references.
+func (m manifest) chunkRefs() []string {
+	refs := []string{m.Config.SHA256, m.State.SHA256}
+	for _, jc := range m.Journal {
+		refs = append(refs, jc.SHA256)
+	}
+	return refs
+}
+
+// loadPayload reassembles the snap.Payload a manifest describes,
+// verifying every chunk against its address.
+func (m manifest) loadPayload(pool *chunkPool) (snap.Payload, error) {
+	var p snap.Payload
+	cfgData, err := pool.get(m.Config)
+	if err != nil {
+		return p, err
+	}
+	if err := json.Unmarshal(cfgData, &p.Config); err != nil {
+		return p, fmt.Errorf("store: decode config chunk: %w", err)
+	}
+	stateData, err := pool.get(m.State)
+	if err != nil {
+		return p, err
+	}
+	var sp statePart
+	if err := json.Unmarshal(stateData, &sp); err != nil {
+		return p, fmt.Errorf("store: decode state chunk: %w", err)
+	}
+	p.VirtualTimeNs = sp.VirtualTimeNs
+	p.EventsProcessed = sp.EventsProcessed
+	p.StateHash = sp.StateHash
+	p.State = sp.State
+	p.Journal.Entries = make([]snap.Entry, 0, m.JournalEntries)
+	for _, jc := range m.Journal {
+		data, err := pool.get(jc.chunkRef)
+		if err != nil {
+			return p, err
+		}
+		var entries []snap.Entry
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return p, fmt.Errorf("store: decode journal chunk: %w", err)
+		}
+		if len(entries) != jc.Entries {
+			return p, fmt.Errorf("store: journal chunk holds %d entries, manifest says %d", len(entries), jc.Entries)
+		}
+		p.Journal.Entries = append(p.Journal.Entries, entries...)
+	}
+	if len(p.Journal.Entries) != m.JournalEntries {
+		return p, fmt.Errorf("store: journal reassembled to %d entries, manifest says %d", len(p.Journal.Entries), m.JournalEntries)
+	}
+	return p, nil
+}

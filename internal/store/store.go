@@ -1,0 +1,565 @@
+// Package store gives journals and snapshots a durable home. It is
+// the persistence layer under snap.Session: every journaled command is
+// shadowed into an append-only segmented write-ahead log with
+// per-record checksums, and checkpoints are content-addressed
+// incremental snapshots — payloads split into SHA-256-keyed chunks so
+// consecutive checkpoints (and, in fleet mode, checkpoints of many
+// hosts sharing one pool) store each distinct blob once.
+//
+// Layout of a store directory:
+//
+//	config.json              reconstruction config (snap.Config)
+//	journal/seg-<seq>.wal    WAL segments (see wal.go for the format)
+//	snapshots/manifest-*.json   checkpoint manifests (chunk references)
+//	chunks/<hh>/<sha256>     content-addressed blobs
+//
+// Recovery order: newest loadable snapshot (corrupt manifests or
+// chunks fall back to older generations, then to nothing), then replay
+// of WAL records past the snapshot's wal_seq. The WAL tolerates a
+// truncated or corrupted tail by cutting it at the last intact record,
+// so a SIGKILL — or a partial write — costs at most the commands after
+// the last completed append, never the store.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/snap"
+)
+
+// SyncPolicy selects the durability level of WAL appends.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs after every append: records survive machine
+	// crashes, at a per-command fsync cost.
+	SyncAlways SyncPolicy = "always"
+	// SyncOS hands flushing to the page cache: records survive process
+	// kills (SIGKILL included — the write(2) completed) but not power
+	// loss. The fleet default.
+	SyncOS SyncPolicy = "os"
+)
+
+// Options configure a store.
+type Options struct {
+	// Sync is the WAL durability policy; default SyncAlways.
+	Sync SyncPolicy
+	// SegmentBytes rotates WAL segments at this size; default 4 MB.
+	SegmentBytes int64
+	// JournalChunkEntries sets the journal-chunking granularity for
+	// snapshots; default 256 entries per chunk.
+	JournalChunkEntries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sync == "" {
+		o.Sync = SyncAlways
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.JournalChunkEntries <= 0 {
+		o.JournalChunkEntries = defaultJournalChunkEntries
+	}
+	return o
+}
+
+// ParseSyncPolicy validates a -store-sync flag value.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncAlways, SyncOS:
+		return SyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("store: unknown sync policy %q (want %q or %q)", s, SyncAlways, SyncOS)
+}
+
+// Store is the durable journal/snapshot backend for one host. It
+// implements snap.EntrySink; attach it with Bootstrap (fresh store) or
+// let Recover rebuild the session and attach itself.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	wal      *wal
+	pool     *chunkPool
+	snapDir  string
+	lastSnap manifest // zero Seq = none
+
+	// Metrics, bound to the session's registry at attach time; nil
+	// until then.
+	mAppends       *obs.Counter
+	mAppendErrors  *obs.Counter
+	mSnapshots     *obs.Counter
+	mChunksWritten *obs.Counter
+	mChunksReused  *obs.Counter
+}
+
+// Open opens (or initializes) a single-host store directory with a
+// private chunk pool.
+func Open(dir string, opts Options) (*Store, error) {
+	return open(dir, opts, nil)
+}
+
+func open(dir string, opts Options, pool *chunkPool) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, snapDir: filepath.Join(dir, "snapshots")}
+	if err := os.MkdirAll(s.snapDir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create snapshots dir: %w", err)
+	}
+	var err error
+	if pool != nil {
+		s.pool = pool
+	} else if s.pool, err = openChunkPool(filepath.Join(dir, "chunks"), false, opts.Sync == SyncAlways); err != nil {
+		return nil, err
+	}
+	if s.wal, err = openWAL(filepath.Join(dir, "journal"), opts.Sync == SyncAlways, opts.SegmentBytes); err != nil {
+		return nil, err
+	}
+	if seqs, err := listManifests(s.snapDir); err == nil && len(seqs) > 0 {
+		if m, err := readManifest(s.snapDir, seqs[len(seqs)-1]); err == nil {
+			s.lastSnap = m
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// HasState reports whether the store holds a previous run — a config
+// plus any journal records or snapshot. Daemons use it to decide
+// between Bootstrap (first boot) and Recover (restart).
+func (s *Store) HasState() bool {
+	if _, err := os.Stat(filepath.Join(s.dir, "config.json")); err != nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.lastSeq() > 0 || s.lastSnap.Seq > 0
+}
+
+// Bootstrap initializes a fresh store for a live session: persists the
+// config, seeds the WAL with the session's existing journal (boot-time
+// commands issued before the store attached, e.g. a synth fleet's
+// workload admissions), and attaches itself as the session's sink.
+func (s *Store) Bootstrap(sess *snap.Session) error {
+	s.mu.Lock()
+	if s.wal.lastSeq() > 0 || s.lastSnap.Seq > 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("store: %s already holds state; recover instead of bootstrapping", s.dir)
+	}
+	if err := s.writeConfig(sess.Config()); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	for _, e := range sess.Journal().Entries {
+		if err := s.appendLocked(e); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.mu.Unlock()
+	s.bindMetrics(sess)
+	sess.SetSink(s)
+	return nil
+}
+
+func (s *Store) writeConfig(cfg snap.Config) error {
+	doc, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal config: %w", err)
+	}
+	path := filepath.Join(s.dir, "config.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, doc, 0o644); err != nil {
+		return fmt.Errorf("store: write config: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publish config: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) readConfig() (snap.Config, error) {
+	doc, err := os.ReadFile(filepath.Join(s.dir, "config.json"))
+	if err != nil {
+		return snap.Config{}, fmt.Errorf("store: read config: %w", err)
+	}
+	var cfg snap.Config
+	if err := json.Unmarshal(doc, &cfg); err != nil {
+		return snap.Config{}, fmt.Errorf("store: decode config: %w", err)
+	}
+	return cfg, nil
+}
+
+// bindMetrics registers the store's counters on the session manager's
+// registry, so store activity rolls up with the host's other metrics.
+func (s *Store) bindMetrics(sess *snap.Session) {
+	reg := sess.Manager().Obs().Registry
+	s.mAppends = reg.Counter("ihnet_store_appends_total",
+		"Journal records appended to the durable WAL.")
+	s.mAppendErrors = reg.Counter("ihnet_store_append_errors_total",
+		"Durable WAL appends that failed.")
+	s.mSnapshots = reg.Counter("ihnet_store_snapshots_total",
+		"Checkpoints persisted to the durable store.")
+	s.mChunksWritten = reg.Counter("ihnet_store_chunks_written_total",
+		"New content-addressed chunks written by checkpoints.")
+	s.mChunksReused = reg.Counter("ihnet_store_chunks_reused_total",
+		"Checkpoint chunks deduplicated against existing content.")
+}
+
+// AppendEntry implements snap.EntrySink: one WAL record per journaled
+// command.
+func (s *Store) AppendEntry(e snap.Entry) error {
+	s.mu.Lock()
+	err := s.appendLocked(e)
+	s.mu.Unlock()
+	if err != nil {
+		if s.mAppendErrors != nil {
+			s.mAppendErrors.Inc()
+		}
+		return err
+	}
+	if s.mAppends != nil {
+		s.mAppends.Inc()
+	}
+	return nil
+}
+
+func (s *Store) appendLocked(e snap.Entry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: marshal entry: %w", err)
+	}
+	return s.wal.append(payload)
+}
+
+// SnapshotInfo summarizes one persisted checkpoint.
+type SnapshotInfo struct {
+	Seq           uint64 `json:"seq"`
+	WalSeq        uint64 `json:"wal_seq"`
+	StateHash     string `json:"state_hash"`
+	ChunksWritten int    `json:"chunks_written"`
+	ChunksReused  int    `json:"chunks_reused"`
+	BytesWritten  int64  `json:"bytes_written"`
+	BytesReused   int64  `json:"bytes_reused"`
+}
+
+// SaveSnapshot persists a checkpoint of the payload: config, state and
+// journal land in the chunk pool (deduplicated against everything
+// already there), a manifest records the references and the WAL
+// position it covers, and WAL segments older than the checkpoint are
+// pruned. Call it under the same serialization that orders commands —
+// the manifest's wal_seq asserts that every WAL record so far is
+// folded into the payload's journal.
+func (s *Store) SaveSnapshot(p snap.Payload) (SnapshotInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := SnapshotInfo{Seq: s.lastSnap.Seq + 1, WalSeq: s.wal.lastSeq(), StateHash: p.StateHash}
+	m := manifest{
+		Seq:            info.Seq,
+		WalSeq:         info.WalSeq,
+		StateHash:      p.StateHash,
+		VirtualTimeNs:  p.VirtualTimeNs,
+		JournalEntries: p.Journal.Len(),
+	}
+	put := func(data []byte) (chunkRef, error) {
+		ref, reused, err := s.pool.put(data)
+		if err != nil {
+			return ref, err
+		}
+		if reused {
+			info.ChunksReused++
+			info.BytesReused += ref.Size
+		} else {
+			info.ChunksWritten++
+			info.BytesWritten += ref.Size
+		}
+		return ref, nil
+	}
+
+	cfgData, err := json.Marshal(p.Config)
+	if err != nil {
+		return info, fmt.Errorf("store: marshal config: %w", err)
+	}
+	if m.Config, err = put(cfgData); err != nil {
+		return info, err
+	}
+	stateData, err := json.Marshal(statePart{
+		VirtualTimeNs:   p.VirtualTimeNs,
+		EventsProcessed: p.EventsProcessed,
+		StateHash:       p.StateHash,
+		State:           p.State,
+	})
+	if err != nil {
+		return info, fmt.Errorf("store: marshal state: %w", err)
+	}
+	if m.State, err = put(stateData); err != nil {
+		return info, err
+	}
+	chunkN := s.opts.JournalChunkEntries
+	for at := 0; at < p.Journal.Len(); at += chunkN {
+		end := min(at+chunkN, p.Journal.Len())
+		data, err := json.Marshal(p.Journal.Entries[at:end])
+		if err != nil {
+			return info, fmt.Errorf("store: marshal journal chunk: %w", err)
+		}
+		ref, err := put(data)
+		if err != nil {
+			return info, err
+		}
+		m.Journal = append(m.Journal, journalChunk{chunkRef: ref, Entries: end - at})
+	}
+
+	if err := writeManifest(s.snapDir, m, s.opts.Sync == SyncAlways); err != nil {
+		return info, err
+	}
+	s.lastSnap = m
+	if s.mSnapshots != nil {
+		s.mSnapshots.Inc()
+		s.mChunksWritten.Add(uint64(info.ChunksWritten))
+		s.mChunksReused.Add(uint64(info.ChunksReused))
+	}
+
+	// Retention: drop manifest generations beyond the keep window and
+	// collect chunks nothing references anymore, then rotate the open
+	// segment and prune WAL records every *retained* generation covers.
+	// The bound is the oldest retained manifest, not the newest: if the
+	// newest checkpoint later turns out corrupt, recovery falls back a
+	// generation and still needs the WAL from that generation forward.
+	oldestCovered := s.pruneManifests(m)
+	if err := s.wal.rotate(); err != nil {
+		return info, err
+	}
+	if _, err := s.wal.pruneThrough(oldestCovered); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// pruneManifests drops snapshot generations beyond manifestKeep,
+// garbage-collects chunks only they referenced, and returns the
+// oldest retained generation's WAL coverage (the safe WAL prune
+// bound). Best-effort: retention failures never fail the checkpoint
+// that triggered them — latest is the just-written manifest, the
+// conservative fallback answer.
+func (s *Store) pruneManifests(latest manifest) (oldestCoveredWalSeq uint64) {
+	seqs, err := listManifests(s.snapDir)
+	if err != nil || len(seqs) == 0 {
+		return 0
+	}
+	if len(seqs) > manifestKeep {
+		for _, seq := range seqs[:len(seqs)-manifestKeep] {
+			os.Remove(filepath.Join(s.snapDir, manifestName(seq)))
+		}
+		seqs = seqs[len(seqs)-manifestKeep:]
+	}
+	keep := map[string]bool{}
+	oldestCoveredWalSeq = latest.WalSeq
+	for _, seq := range seqs {
+		m, err := readManifest(s.snapDir, seq)
+		if err != nil {
+			continue
+		}
+		for _, ref := range m.chunkRefs() {
+			keep[ref] = true
+		}
+		if m.WalSeq < oldestCoveredWalSeq {
+			oldestCoveredWalSeq = m.WalSeq
+		}
+	}
+	s.pool.gc(keep)
+	return oldestCoveredWalSeq
+}
+
+// RecoveryReport describes what a Recover rebuilt and what it had to
+// discard along the way.
+type RecoveryReport struct {
+	// SnapshotSeq is the checkpoint generation restored from; 0 when
+	// recovery replayed the WAL from scratch.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// SnapshotsSkipped counts newer checkpoint generations that failed
+	// verification (corrupt manifest or chunk) and were passed over.
+	SnapshotsSkipped int `json:"snapshots_skipped,omitempty"`
+	// WalRecords is the number of intact records found in the WAL.
+	WalRecords uint64 `json:"wal_records"`
+	// Replayed is how many of those were applied on top of the
+	// snapshot.
+	Replayed int `json:"replayed"`
+	// TruncatedBytes were cut from the WAL tail (partial or corrupt
+	// records); OrphanSegments are later segment files dropped with
+	// them.
+	TruncatedBytes int64 `json:"truncated_bytes,omitempty"`
+	OrphanSegments int   `json:"orphan_segments,omitempty"`
+	// StateHash and VirtualTimeNs identify the recovered state.
+	StateHash     string `json:"state_hash"`
+	VirtualTimeNs int64  `json:"virtual_time_ns"`
+}
+
+// Recover rebuilds a live session from the store: restore the newest
+// loadable checkpoint (falling back generation by generation, then to
+// a fresh host built from config.json), replay WAL records past it,
+// and attach the store as the session's sink so new commands keep
+// landing in the log.
+func (s *Store) Recover() (*snap.Session, RecoveryReport, error) {
+	s.mu.Lock()
+	rep := RecoveryReport{
+		WalRecords:     s.wal.lastSeq(),
+		TruncatedBytes: s.wal.truncatedBytes,
+		OrphanSegments: s.wal.orphanSegments,
+	}
+
+	var sess *snap.Session
+	var fromSeq uint64
+	seqs, err := listManifests(s.snapDir)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, rep, err
+	}
+	for i := len(seqs) - 1; i >= 0 && sess == nil; i-- {
+		m, err := readManifest(s.snapDir, seqs[i])
+		if err != nil {
+			rep.SnapshotsSkipped++
+			continue
+		}
+		p, err := m.loadPayload(s.pool)
+		if err != nil {
+			rep.SnapshotsSkipped++
+			continue
+		}
+		restored, err := snap.RestorePayload(p)
+		if err != nil {
+			rep.SnapshotsSkipped++
+			continue
+		}
+		sess, fromSeq = restored, m.WalSeq
+		rep.SnapshotSeq = m.Seq
+		s.lastSnap = m
+		if err := s.wal.fastForward(m.WalSeq); err != nil {
+			s.mu.Unlock()
+			return nil, rep, err
+		}
+	}
+	if sess == nil {
+		// WAL-only replay needs the log from record 1. If pruning
+		// already discarded the prefix (it was covered by snapshots that
+		// all failed verification), a partial replay would silently
+		// rebuild a truncated world — refuse instead.
+		if first := s.wal.firstSeq(); first > 1 {
+			s.mu.Unlock()
+			return nil, rep, fmt.Errorf(
+				"store: no loadable checkpoint and the journal starts at record %d (prefix pruned); cannot recover a complete state", first)
+		}
+		cfg, err := s.readConfig()
+		if err != nil {
+			s.mu.Unlock()
+			return nil, rep, err
+		}
+		if sess, err = snap.NewSession(cfg); err != nil {
+			s.mu.Unlock()
+			return nil, rep, err
+		}
+	}
+
+	err = s.wal.scan(fromSeq, func(seq uint64, payload []byte) error {
+		var e snap.Entry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return fmt.Errorf("store: decode WAL record %d: %w", seq, err)
+		}
+		if err := sess.ReplayEntry(e); err != nil {
+			return fmt.Errorf("store: replay WAL record %d: %w", seq, err)
+		}
+		rep.Replayed++
+		return nil
+	})
+	s.mu.Unlock()
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.StateHash = snap.StateHash(sess.Manager())
+	rep.VirtualTimeNs = int64(sess.Now())
+	s.bindMetrics(sess)
+	sess.SetSink(s)
+	return sess, rep, nil
+}
+
+// Resume attaches the store as sink to an already-reconstructed
+// session without touching the log — the POST /restore path, after
+// Reset rewrote the WAL from the restored journal.
+func (s *Store) Resume(sess *snap.Session) {
+	s.bindMetrics(sess)
+	sess.SetSink(s)
+}
+
+// Reset discards the store's journal and snapshots and re-seeds it
+// from a new config and journal — the durable counterpart of
+// restoring a session from an externally supplied snapshot.
+func (s *Store) Reset(cfg snap.Config, entries []snap.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeConfig(cfg); err != nil {
+		return err
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	seqs, err := listManifests(s.snapDir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		os.Remove(filepath.Join(s.snapDir, manifestName(seq)))
+	}
+	s.lastSnap = manifest{}
+	s.pool.gc(map[string]bool{})
+	for _, e := range entries {
+		if err := s.appendLocked(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats is the store's health summary, shaped for /healthz.
+type Stats struct {
+	Dir             string     `json:"dir"`
+	Sync            SyncPolicy `json:"sync"`
+	WalRecords      uint64     `json:"wal_records"`
+	WalSegments     int        `json:"wal_segments"`
+	SnapshotSeq     uint64     `json:"snapshot_seq"`
+	SnapshotWalSeq  uint64     `json:"snapshot_wal_seq"`
+	SnapshotEntries int        `json:"snapshot_entries"`
+}
+
+// Stats reports current store occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Dir:             s.dir,
+		Sync:            s.opts.Sync,
+		WalRecords:      s.wal.lastSeq(),
+		WalSegments:     len(s.wal.segments),
+		SnapshotSeq:     s.lastSnap.Seq,
+		SnapshotWalSeq:  s.lastSnap.WalSeq,
+		SnapshotEntries: s.lastSnap.JournalEntries,
+	}
+}
+
+// Close releases the WAL file handle. The store must not be used
+// afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.close()
+}

@@ -1,0 +1,336 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intent"
+	"repro/internal/simtime"
+	"repro/internal/snap"
+	"repro/internal/topology"
+)
+
+func testConfig() snap.Config {
+	return snap.Config{Preset: "minimal", Options: core.DefaultOptions()}
+}
+
+func admit(t *testing.T, sess *snap.Session, tenant string) {
+	t.Helper()
+	_, err := sess.Admit(tenant, []intent.Target{{
+		Src: "nic0", Dst: "socket0.dimm0_0", Rate: topology.GBps(5),
+	}})
+	if err != nil {
+		t.Fatalf("Admit %s: %v", tenant, err)
+	}
+}
+
+// newStoredSession boots a fresh session bootstrapped onto a fresh
+// store in dir.
+func newStoredSession(t *testing.T, dir string, opts Options) (*snap.Session, *Store) {
+	t.Helper()
+	sess, err := snap.NewSession(testConfig())
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := st.Bootstrap(sess); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	return sess, st
+}
+
+// drive issues a representative command mix: admits, time advancement,
+// faults, config drift, caps, an eviction.
+func drive(t *testing.T, sess *snap.Session) {
+	t.Helper()
+	steps := []func() error{
+		func() error { admit(t, sess, "t1"); return nil },
+		func() error { return sess.Advance(500 * simtime.Microsecond) },
+		func() error { admit(t, sess, "t2"); return nil },
+		func() error { return sess.DegradeLink("pcieswitch0->nic0", 0.3, 2*simtime.Microsecond) },
+		func() error { return sess.Advance(500 * simtime.Microsecond) },
+		func() error { return sess.SetComponentConfig("socket0.llc", topology.ConfigDDIO, "off") },
+		func() error { return sess.SetTenantCap("pcieswitch0->nic0", "t1", 1e9) },
+		func() error { return sess.Evict("t2") },
+		func() error { return sess.Advance(250 * simtime.Microsecond) },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("drive step %d: %v", i, err)
+		}
+	}
+}
+
+// TestRecoverFromWALOnly drives a session, reopens the store with no
+// snapshot ever taken, and expects recovery to replay the WAL into a
+// byte-identical state.
+func TestRecoverFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	sess, st := newStoredSession(t, dir, Options{Sync: SyncOS})
+	drive(t, sess)
+	wantHash := snap.StateHash(sess.Manager())
+	wantLen := sess.Journal().Len()
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, err := Open(dir, Options{Sync: SyncOS})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if !st2.HasState() {
+		t.Fatalf("store should report state after a driven run")
+	}
+	recovered, rep, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.SnapshotSeq != 0 {
+		t.Fatalf("recovered from snapshot %d, want WAL-only", rep.SnapshotSeq)
+	}
+	if got := snap.StateHash(recovered.Manager()); got != wantHash {
+		t.Fatalf("recovered hash %s, want %s", got, wantHash)
+	}
+	if got := recovered.Journal().Len(); got != wantLen {
+		t.Fatalf("recovered journal has %d entries, want %d", got, wantLen)
+	}
+	if rep.StateHash != wantHash {
+		t.Fatalf("report hash %s, want %s", rep.StateHash, wantHash)
+	}
+	if _, err := snap.CheckDeterminism(recovered.Config(), recovered.Journal()); err != nil {
+		t.Fatalf("CheckDeterminism on recovered journal: %v", err)
+	}
+}
+
+// TestRecoverFromSnapshotPlusTail checkpoints mid-run, keeps driving,
+// and expects recovery to restore the snapshot and replay only the WAL
+// tail past it.
+func TestRecoverFromSnapshotPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	sess, st := newStoredSession(t, dir, Options{Sync: SyncOS, JournalChunkEntries: 2})
+	drive(t, sess)
+	info, err := st.SaveSnapshot(sess.BuildPayload())
+	if err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	if info.Seq != 1 || info.ChunksWritten == 0 {
+		t.Fatalf("unexpected snapshot info %+v", info)
+	}
+	// Tail past the checkpoint.
+	if err := sess.Advance(300 * simtime.Microsecond); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	admit(t, sess, "t3")
+	wantHash := snap.StateHash(sess.Manager())
+	st.Close()
+
+	st2, err := Open(dir, Options{Sync: SyncOS, JournalChunkEntries: 2})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	recovered, rep, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.SnapshotSeq != 1 {
+		t.Fatalf("recovered from snapshot %d, want 1", rep.SnapshotSeq)
+	}
+	if rep.Replayed == 0 {
+		t.Fatalf("expected WAL tail replay past the snapshot, got none")
+	}
+	if got := snap.StateHash(recovered.Manager()); got != wantHash {
+		t.Fatalf("recovered hash %s, want %s", got, wantHash)
+	}
+	if _, err := snap.CheckDeterminism(recovered.Config(), recovered.Journal()); err != nil {
+		t.Fatalf("CheckDeterminism on recovered journal: %v", err)
+	}
+}
+
+// TestIncrementalSnapshotsReuseChunks takes two checkpoints and
+// expects the second to reuse the config chunk and the journal's
+// unchanged prefix chunks.
+func TestIncrementalSnapshotsReuseChunks(t *testing.T) {
+	dir := t.TempDir()
+	sess, st := newStoredSession(t, dir, Options{Sync: SyncOS, JournalChunkEntries: 2})
+	drive(t, sess)
+	if _, err := st.SaveSnapshot(sess.BuildPayload()); err != nil {
+		t.Fatalf("SaveSnapshot 1: %v", err)
+	}
+	if err := sess.Advance(300 * simtime.Microsecond); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	info, err := st.SaveSnapshot(sess.BuildPayload())
+	if err != nil {
+		t.Fatalf("SaveSnapshot 2: %v", err)
+	}
+	if info.ChunksReused == 0 {
+		t.Fatalf("second checkpoint reused no chunks: %+v", info)
+	}
+}
+
+// TestResetRewritesStore restores-from-scratch semantics: Reset wipes
+// the log and reseeds it, and recovery then rebuilds the new world.
+func TestResetRewritesStore(t *testing.T) {
+	dir := t.TempDir()
+	sess, st := newStoredSession(t, dir, Options{Sync: SyncOS})
+	drive(t, sess)
+	if _, err := st.SaveSnapshot(sess.BuildPayload()); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+
+	// A different world: fresh session, two commands.
+	other, err := snap.NewSession(testConfig())
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	admit(t, other, "solo")
+	if err := other.Advance(100 * simtime.Microsecond); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	wantHash := snap.StateHash(other.Manager())
+
+	if err := st.Reset(other.Config(), other.Journal().Entries); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	st.Resume(other)
+	st.Close()
+
+	st2, err := Open(dir, Options{Sync: SyncOS})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	recovered, rep, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.SnapshotSeq != 0 {
+		t.Fatalf("reset store still recovered snapshot %d", rep.SnapshotSeq)
+	}
+	if got := snap.StateHash(recovered.Manager()); got != wantHash {
+		t.Fatalf("recovered hash %s, want %s", got, wantHash)
+	}
+}
+
+// TestFleetStoreSharesChunks snapshots two identically driven hosts
+// through one fleet store and expects the second host's checkpoint to
+// be fully deduplicated against the first's chunks.
+func TestFleetStoreSharesChunks(t *testing.T) {
+	dir := t.TempDir()
+	fst, err := OpenFleet(dir, Options{Sync: SyncOS})
+	if err != nil {
+		t.Fatalf("OpenFleet: %v", err)
+	}
+	var infos []SnapshotInfo
+	for _, name := range []string{"host-a", "host-b"} {
+		sess, err := snap.NewSession(testConfig())
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		hs, err := fst.Host(name)
+		if err != nil {
+			t.Fatalf("Host(%s): %v", name, err)
+		}
+		if err := hs.Bootstrap(sess); err != nil {
+			t.Fatalf("Bootstrap(%s): %v", name, err)
+		}
+		drive(t, sess)
+		info, err := hs.SaveSnapshot(sess.BuildPayload())
+		if err != nil {
+			t.Fatalf("SaveSnapshot(%s): %v", name, err)
+		}
+		infos = append(infos, info)
+	}
+	if infos[0].ChunksWritten == 0 {
+		t.Fatalf("first host wrote no chunks: %+v", infos[0])
+	}
+	if infos[1].ChunksWritten != 0 {
+		t.Fatalf("second identical host wrote %d chunks, want full reuse (%+v)",
+			infos[1].ChunksWritten, infos[1])
+	}
+	st := fst.Stats()
+	if st.Hosts != 2 || st.SnapshottedHosts != 2 {
+		t.Fatalf("unexpected fleet stats %+v", st)
+	}
+	if _, err := fst.Host("../escape"); err == nil {
+		t.Fatalf("path-traversal host name was accepted")
+	}
+}
+
+// TestBootstrapSeedsExistingJournal attaches a store to a session that
+// already journaled commands (the synth-fleet boot pattern) and
+// expects recovery to reproduce them.
+func TestBootstrapSeedsExistingJournal(t *testing.T) {
+	dir := t.TempDir()
+	sess, err := snap.NewSession(testConfig())
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	admit(t, sess, "early")
+	st, err := Open(dir, Options{Sync: SyncOS})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := st.Bootstrap(sess); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if err := sess.Advance(100 * simtime.Microsecond); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	wantHash := snap.StateHash(sess.Manager())
+	st.Close()
+
+	st2, err := Open(dir, Options{Sync: SyncOS})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	recovered, _, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := snap.StateHash(recovered.Manager()); got != wantHash {
+		t.Fatalf("recovered hash %s, want %s", got, wantHash)
+	}
+	// Bootstrapping the already-populated store again must refuse.
+	if err := st2.Bootstrap(recovered); err == nil {
+		t.Fatalf("Bootstrap on a non-empty store should fail")
+	}
+}
+
+// TestSegmentRotationAndPrune forces tiny segments, checkpoints, and
+// expects covered segments to be pruned while recovery still works.
+func TestSegmentRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	sess, st := newStoredSession(t, dir, Options{Sync: SyncOS, SegmentBytes: 256})
+	drive(t, sess)
+	before := st.Stats()
+	if before.WalSegments < 2 {
+		t.Fatalf("expected rotation with 256-byte segments, got %d segment(s)", before.WalSegments)
+	}
+	if _, err := st.SaveSnapshot(sess.BuildPayload()); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	after := st.Stats()
+	if after.WalSegments >= before.WalSegments {
+		t.Fatalf("snapshot did not prune covered segments: %d -> %d", before.WalSegments, after.WalSegments)
+	}
+	if err := sess.Advance(100 * simtime.Microsecond); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	wantHash := snap.StateHash(sess.Manager())
+	st.Close()
+
+	st2, err := Open(dir, Options{Sync: SyncOS, SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	recovered, _, err := st2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := snap.StateHash(recovered.Manager()); got != wantHash {
+		t.Fatalf("recovered hash %s, want %s", got, wantHash)
+	}
+}

@@ -1,0 +1,407 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WAL record wire format, little-endian:
+//
+//	[4] magic "ihw1"
+//	[8] record sequence number (monotonic from 1, never reset by rotation)
+//	[4] payload length
+//	[4] CRC32-Castagnoli of the payload
+//	[n] payload (compact JSON of one snap.Entry)
+//
+// Records are append-only across rotating segment files named
+// seg-<firstSeq>.wal. Recovery reads records in order and stops at the
+// first one that fails its length, magic, sequence, or checksum check:
+// the bad tail is truncated and any later segment files (unreachable
+// past the corruption) are deleted. Everything before the first bad
+// record is, by construction, intact.
+
+const (
+	walHeaderSize = 20
+	// walMaxPayload bounds a single record so a corrupted length field
+	// cannot drive a giant allocation during recovery.
+	walMaxPayload = 64 << 20
+	// defaultSegmentBytes rotates segments at 4 MB.
+	defaultSegmentBytes = 4 << 20
+)
+
+var walMagic = [4]byte{'i', 'h', 'w', '1'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segInfo describes one on-disk segment file.
+type segInfo struct {
+	path     string
+	firstSeq uint64 // sequence of the segment's first record
+	lastSeq  uint64 // sequence of its last record; firstSeq-1 when empty
+}
+
+// wal is the append-only segmented journal log under <dir>.
+type wal struct {
+	dir    string
+	sync   bool
+	segCap int64
+
+	f        *os.File // current (last) segment, open for append
+	size     int64    // current segment size
+	nextSeq  uint64   // sequence the next appended record will carry
+	segments []segInfo
+
+	// Recovery accounting from the open-time scan.
+	truncatedBytes int64
+	orphanSegments int
+}
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("seg-%020d.wal", firstSeq)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// openWAL scans <dir>, validates every record, truncates a corrupt
+// tail, deletes orphaned later segments, and opens the last segment
+// for append.
+func openWAL(dir string, sync bool, segCap int64) (*wal, error) {
+	if segCap <= 0 {
+		segCap = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create journal dir: %w", err)
+	}
+	w := &wal{dir: dir, sync: sync, segCap: segCap, nextSeq: 1}
+
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		firstSeq, _ := parseSegName(name)
+		if firstSeq != w.nextSeq && !(i == 0 && firstSeq >= 1) {
+			// A gap between segments means records are missing: nothing
+			// past the gap can be trusted.
+			w.orphanSegments += len(names) - i
+			for _, orphan := range names[i:] {
+				os.Remove(filepath.Join(dir, orphan))
+			}
+			break
+		}
+		if i == 0 {
+			w.nextSeq = firstSeq
+		}
+		seg := segInfo{path: filepath.Join(dir, name), firstSeq: firstSeq, lastSeq: firstSeq - 1}
+		validBytes, lastSeq, err := w.scanSegment(seg.path, firstSeq)
+		if err != nil {
+			return nil, err
+		}
+		seg.lastSeq = lastSeq
+		w.segments = append(w.segments, seg)
+		w.nextSeq = lastSeq + 1
+		if fi, statErr := os.Stat(seg.path); statErr == nil && fi.Size() > validBytes {
+			// Corrupt or truncated tail: cut it, and drop every later
+			// segment — their records follow the corruption.
+			w.truncatedBytes += fi.Size() - validBytes
+			if err := os.Truncate(seg.path, validBytes); err != nil {
+				return nil, fmt.Errorf("store: truncate corrupt tail of %s: %w", seg.path, err)
+			}
+			w.orphanSegments += len(names) - i - 1
+			for _, orphan := range names[i+1:] {
+				os.Remove(filepath.Join(dir, orphan))
+			}
+			break
+		}
+	}
+	if err := w.openTail(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read journal dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseSegName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// scanSegment validates records sequentially and returns the byte
+// length of the valid prefix plus the last valid sequence number
+// (wantSeq-1 if the segment holds no valid record).
+func (w *wal) scanSegment(path string, wantSeq uint64) (validBytes int64, lastSeq uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: open segment: %w", err)
+	}
+	defer f.Close()
+	lastSeq = wantSeq - 1
+	var off int64
+	hdr := make([]byte, walHeaderSize)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return off, lastSeq, nil // clean EOF or partial header: prefix ends here
+		}
+		if [4]byte(hdr[0:4]) != walMagic {
+			return off, lastSeq, nil
+		}
+		seq := binary.LittleEndian.Uint64(hdr[4:12])
+		n := binary.LittleEndian.Uint32(hdr[12:16])
+		sum := binary.LittleEndian.Uint32(hdr[16:20])
+		if seq != wantSeq || n > walMaxPayload {
+			return off, lastSeq, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return off, lastSeq, nil // record body cut off mid-write
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return off, lastSeq, nil
+		}
+		off += walHeaderSize + int64(n)
+		lastSeq = seq
+		wantSeq++
+	}
+}
+
+// openTail opens the last segment for append, creating the first
+// segment if the log is empty.
+func (w *wal) openTail() error {
+	if len(w.segments) == 0 {
+		return w.newSegment()
+	}
+	tail := w.segments[len(w.segments)-1]
+	f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open tail segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: stat tail segment: %w", err)
+	}
+	w.f, w.size = f, fi.Size()
+	return nil
+}
+
+// newSegment closes the current segment and starts a fresh one whose
+// name records the sequence of its first future record.
+func (w *wal) newSegment() error {
+	if w.f != nil {
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("store: close segment: %w", err)
+		}
+		w.f = nil
+	}
+	path := filepath.Join(w.dir, segName(w.nextSeq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	w.f, w.size = f, 0
+	w.segments = append(w.segments, segInfo{path: path, firstSeq: w.nextSeq, lastSeq: w.nextSeq - 1})
+	return nil
+}
+
+// append writes one record carrying the next sequence number. The
+// record reaches the kernel in a single write(2), so a SIGKILL between
+// appends never leaves a half-visible record; fsync (sync mode) extends
+// that to machine crashes.
+func (w *wal) append(payload []byte) error {
+	if len(payload) > walMaxPayload {
+		return fmt.Errorf("store: journal record of %d bytes exceeds the %d-byte limit", len(payload), walMaxPayload)
+	}
+	if w.size > 0 && w.size+walHeaderSize+int64(len(payload)) > w.segCap {
+		if err := w.newSegment(); err != nil {
+			return err
+		}
+	}
+	rec := make([]byte, walHeaderSize+len(payload))
+	copy(rec[0:4], walMagic[:])
+	binary.LittleEndian.PutUint64(rec[4:12], w.nextSeq)
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[16:20], crc32.Checksum(payload, castagnoli))
+	copy(rec[walHeaderSize:], payload)
+	if _, err := w.f.Write(rec); err != nil {
+		return fmt.Errorf("store: append journal record: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync journal: %w", err)
+		}
+	}
+	w.size += int64(len(rec))
+	w.segments[len(w.segments)-1].lastSeq = w.nextSeq
+	w.nextSeq++
+	return nil
+}
+
+// scan streams every valid record with sequence > from, in order.
+// Segments were validated at open, so errors here indicate concurrent
+// external modification and abort the scan.
+func (w *wal) scan(from uint64, fn func(seq uint64, payload []byte) error) error {
+	for _, seg := range w.segments {
+		if seg.lastSeq <= from {
+			continue
+		}
+		if err := scanRecords(seg, from, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func scanRecords(seg segInfo, from uint64, fn func(uint64, []byte) error) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return fmt.Errorf("store: open segment for scan: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, walHeaderSize)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return nil
+		}
+		if [4]byte(hdr[0:4]) != walMagic {
+			return fmt.Errorf("store: segment %s changed under scan", seg.path)
+		}
+		seq := binary.LittleEndian.Uint64(hdr[4:12])
+		n := binary.LittleEndian.Uint32(hdr[12:16])
+		sum := binary.LittleEndian.Uint32(hdr[16:20])
+		if n > walMaxPayload {
+			return fmt.Errorf("store: segment %s changed under scan", seg.path)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return fmt.Errorf("store: segment %s changed under scan: %w", seg.path, err)
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return fmt.Errorf("store: segment %s failed its checksum under scan", seg.path)
+		}
+		if seq > from {
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// pruneThrough deletes closed segments whose every record is <= seq —
+// they are fully covered by a snapshot and no longer needed for
+// recovery. The open tail segment is never pruned.
+func (w *wal) pruneThrough(seq uint64) (removed int, err error) {
+	kept := w.segments[:0]
+	for i, seg := range w.segments {
+		closed := i < len(w.segments)-1
+		if closed && seg.lastSeq <= seq {
+			if err := os.Remove(seg.path); err != nil {
+				return removed, fmt.Errorf("store: prune segment: %w", err)
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	w.segments = kept
+	return removed, nil
+}
+
+// rotate closes the current segment and starts a new one, so a
+// following pruneThrough can reclaim it once covered by a snapshot.
+func (w *wal) rotate() error {
+	if w.size == 0 {
+		return nil
+	}
+	return w.newSegment()
+}
+
+// reset deletes every segment and restarts the log at sequence 1.
+func (w *wal) reset() error {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	for _, seg := range w.segments {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("store: reset journal: %w", err)
+		}
+	}
+	w.segments = nil
+	w.nextSeq = 1
+	w.size = 0
+	return w.newSegment()
+}
+
+// lastSeq returns the sequence of the most recently appended record, 0
+// when the log is empty.
+func (w *wal) lastSeq() uint64 { return w.nextSeq - 1 }
+
+// firstSeq returns the sequence of the earliest record still on disk
+// (nextSeq when the log holds none): 1 means the full history is
+// present, anything higher means the prefix was pruned under snapshot
+// coverage.
+func (w *wal) firstSeq() uint64 {
+	for _, seg := range w.segments {
+		if seg.lastSeq >= seg.firstSeq {
+			return seg.firstSeq
+		}
+	}
+	return w.nextSeq
+}
+
+// fastForward advances the next sequence past seq, opening a fresh
+// segment when the current one already holds records. Recovery uses it
+// when a corrupt tail cut the log below a snapshot's coverage: new
+// appends must not reuse sequence numbers the snapshot already folded
+// in, or a later recovery would skip them as replayed.
+func (w *wal) fastForward(seq uint64) error {
+	if w.nextSeq > seq {
+		return nil
+	}
+	w.nextSeq = seq + 1
+	if w.size > 0 {
+		return w.newSegment()
+	}
+	// The tail segment is empty; its name no longer matches its first
+	// future record, so restart it under the right name.
+	tail := w.segments[len(w.segments)-1]
+	w.f.Close()
+	w.f = nil
+	os.Remove(tail.path)
+	w.segments = w.segments[:len(w.segments)-1]
+	return w.newSegment()
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
